@@ -1,0 +1,108 @@
+"""Ablation: multiple disks (the paper's Section-8 future work).
+
+With constituents spread over D disks, probes/scans and per-index
+maintenance overlap.  The table reports, for SCAM at n = 4, the query and
+maintenance speed-ups as D grows — approaching n when work is balanced,
+exactly as the paper anticipates.
+"""
+
+import pytest
+
+from repro.analysis.daycount import run_reports
+from repro.analysis.parameters import SCAM_PARAMETERS
+from repro.bench.tables import render_rows
+from repro.core.schemes import ReindexScheme
+from repro.extensions.multidisk import maintenance_speedup, query_speedup
+from repro.index.updates import UpdateTechnique
+
+N_INDEXES = 4
+DISKS = (1, 2, 4, 8)
+
+
+def compute_rows():
+    scheme = ReindexScheme(SCAM_PARAMETERS.window, N_INDEXES)
+    reports = run_reports(
+        scheme,
+        SCAM_PARAMETERS,
+        UpdateTechnique.SIMPLE_SHADOW,
+        transitions=SCAM_PARAMETERS.window,
+    )
+    start, steady = reports[0], reports[-1]
+    rows = []
+    for disks in DISKS:
+        rows.append(
+            [
+                disks,
+                query_speedup(steady, SCAM_PARAMETERS, disks),
+                maintenance_speedup(start, disks),
+                maintenance_speedup(steady, disks),
+            ]
+        )
+    return rows
+
+
+def test_ablation_multidisk(benchmark, report):
+    rows = benchmark(compute_rows)
+    report(
+        "ablation_multidisk",
+        render_rows(
+            "Ablation: multi-disk speed-ups (SCAM, REINDEX, n=4, analytic)",
+            [
+                "disks",
+                "query speedup",
+                "initial-build speedup",
+                "steady maintenance speedup",
+            ],
+            rows,
+        ),
+    )
+    # Query speedup approaches n with n disks; never exceeds it.
+    assert rows[0][1] == 1.0
+    assert 2.5 < rows[2][1] <= N_INDEXES + 1e-9
+    # A single daily REINDEX rebuild touches one index: no steady speedup.
+    assert rows[2][3] == 1.0
+
+
+def compute_measured_rows():
+    """Same question, answered on the real substrate: a disk array."""
+    from repro.index.updates import UpdateTechnique as UT
+    from repro.sim.multidisk_sim import MultiDiskExecutor
+    from repro.workloads.text import TextWorkloadConfig, build_store
+
+    window, n = 8, 4
+    store = build_store(
+        window,
+        TextWorkloadConfig(docs_per_day=30, words_per_doc=12, vocabulary=300, seed=3),
+    )
+    rows = []
+    for disks in DISKS:
+        executor = MultiDiskExecutor.create(
+            store, n, disks, technique=UT.SIMPLE_SHADOW
+        )
+        scheme = ReindexScheme(window, n)
+        start = executor.execute_parallel(scheme.start_ops())
+        rows.append(
+            [
+                disks,
+                start.serial_seconds * 1e3,
+                start.elapsed_seconds * 1e3,
+                start.speedup,
+            ]
+        )
+    return rows
+
+
+def test_ablation_multidisk_measured(benchmark, report):
+    rows = benchmark(compute_measured_rows)
+    report(
+        "ablation_multidisk_measured",
+        render_rows(
+            "Ablation: measured disk-array build of the initial window "
+            "(REINDEX, W=8, n=4)",
+            ["disks", "serial (ms)", "elapsed (ms)", "speedup"],
+            rows,
+        ),
+    )
+    assert rows[0][3] == pytest.approx(1.0)
+    assert rows[2][3] > 2.5  # 4 disks overlap the 4 cluster builds
+

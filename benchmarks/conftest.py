@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+``report`` fixture routes the rendered text to stdout and to
+``benchmarks/out/<name>.txt``; DESIGN.md maps each experiment to its bench.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    return OUT_DIR
+
+
+@pytest.fixture
+def report(out_dir):
+    """Return an ``emit(name, text)`` callable bound to the output directory."""
+    from repro.bench.tables import emit
+
+    def _emit(name: str, text: str) -> None:
+        emit(out_dir, name, text)
+
+    return _emit

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Interactive-style advisor: which wave index fits *your* workload?
+
+Walks three custom scenarios through the Section-6 selection process —
+the advisor ranks (scheme, n, technique) configurations by predicted total
+daily work and annotates each with the paper's qualitative caveats
+(deletion code, concurrency control, soft windows, temp space).
+
+Run:  python examples/choose_a_scheme.py
+"""
+
+from repro import (
+    ApplicationParameters,
+    CostParameters,
+    HardwareParameters,
+    ImplementationParameters,
+    recommend,
+)
+
+MB = 1_000_000
+
+
+def scenario(name, window, s_mb, probes, scans, scan_target, g, build, add):
+    s_prime = s_mb * (1.4 if g >= 2.0 else 1.05)
+    return CostParameters(
+        name=name,
+        window=window,
+        hardware=HardwareParameters(),
+        application=ApplicationParameters(
+            s_bytes=s_mb * MB,
+            probe_num=probes,
+            scan_num=scans,
+            scan_target=scan_target,
+        ),
+        implementation=ImplementationParameters(
+            g=g, build_s=build, add_s=add, del_s=add, s_prime_bytes=s_prime * MB
+        ),
+    )
+
+
+SCENARIOS = [
+    (
+        "credit-card disputes (90-day hard window, few queries)",
+        scenario("disputes", 90, 40, probes=2_000, scans=0,
+                 scan_target="all", g=1.08, build=400, add=700),
+        dict(hard_window_required=True, candidate_n=(1, 3, 9, 30)),
+    ),
+    (
+        "stock trades (7-day window, answers needed minutes after close)",
+        scenario("trades", 7, 200, probes=50_000, scans=5,
+                 scan_target="all", g=1.08, build=2_000, add=3_500),
+        dict(candidate_n=(1, 2, 4, 7)),
+    ),
+    (
+        "netnews archive on a legacy WAIS engine (no deletes, no repack)",
+        scenario("archive", 30, 80, probes=20_000, scans=0,
+                 scan_target="all", g=2.0, build=1_500, add=3_000),
+        dict(packed_shadow_available=False, candidate_n=(2, 5, 10, 15)),
+    ),
+]
+
+
+def main() -> None:
+    for title, params, kwargs in SCENARIOS:
+        print(f"\n=== {title} ===")
+        recs = recommend(params, max_candidates=3, **kwargs)
+        for rank, rec in enumerate(recs, start=1):
+            window_kind = "hard" if rec.hard_window else "soft"
+            print(
+                f"  {rank}. {rec.scheme:<9} n={rec.n_indexes:<3} "
+                f"{rec.technique:<14} {window_kind} window   "
+                f"work {rec.total_work_s:9,.0f} s/day   "
+                f"transition {rec.transition_s:7,.0f} s"
+            )
+            for note in rec.notes:
+                print(f"       - {note}")
+
+
+if __name__ == "__main__":
+    main()

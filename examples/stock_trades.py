@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Stock trades: a 7-day hard window with aggregates and crash recovery.
+
+The introduction's financial example: trades of the past week must be
+queryable by ticker, with analysts running aggregate sweeps.  Uses RATA* —
+hard windows without deletion code — plus the aggregate-scan helpers and a
+checkpoint/restore cycle simulating an overnight crash.
+
+Run:  python examples/stock_trades.py
+"""
+
+from repro import (
+    IndexConfig,
+    PlanExecutor,
+    RataStarScheme,
+    SimulatedDisk,
+    UpdateTechnique,
+    WaveIndex,
+)
+from repro.core import aggregates, restore, take_checkpoint
+from repro.workloads import TradeGenerator, TradesConfig
+from repro.core.records import RecordStore
+
+WINDOW, N = 7, 3
+CRASH_DAY, LAST_DAY = 11, 14
+
+
+def main() -> None:
+    config = TradesConfig(trades_per_day=300, seed=2024)
+    store = RecordStore()
+    TradeGenerator(config).populate(store, 1, LAST_DAY)
+
+    disk = SimulatedDisk()
+    wave = WaveIndex(disk, IndexConfig(), N)
+    executor = PlanExecutor(wave, store, UpdateTechnique.SIMPLE_SHADOW)
+    scheme = RataStarScheme(WINDOW, N)
+    executor.execute(scheme.start_ops())
+    for day in range(WINDOW + 1, CRASH_DAY + 1):
+        executor.execute(scheme.transition_ops(day))
+    print(f"Maintained days {CRASH_DAY - WINDOW + 1}..{CRASH_DAY} "
+          f"with RATA* (hard window, no deletes)")
+
+    # --- Analyst queries before the crash.
+    lo, hi = CRASH_DAY - WINDOW + 1, CRASH_DAY
+    volume = aggregates.total(wave, lo, hi)
+    print(f"\nWeekly notional volume: ${volume.value:,.0f} "
+          f"({volume.entries_scanned} trades, "
+          f"{volume.seconds * 1e3:.1f} ms scan)")
+    biggest = aggregates.maximum(wave, lo, hi)
+    print(f"Largest single trade:   ${biggest.value:,.0f}")
+    by_symbol, _ = aggregates.group_totals(wave, lo, hi)
+    top3 = sorted(by_symbol.items(), key=lambda kv: -kv[1])[:3]
+    print("Top tickers by volume: "
+          + ", ".join(f"{s} ${v:,.0f}" for s, v in top3))
+    probe = wave.timed_index_probe(top3[0][0], lo, hi)
+    print(f"{top3[0][0]} trade count this week: {len(probe.entries)} "
+          f"({probe.seconds * 1e3:.2f} ms probe)")
+
+    # --- Overnight crash: checkpoint survives, indexes do not.
+    checkpoint = take_checkpoint(scheme)
+    print(f"\n-- crash after day {CRASH_DAY}; recovering from checkpoint --")
+    new_disk = SimulatedDisk()
+    scheme2, wave2 = restore(checkpoint, store, new_disk, IndexConfig())
+    executor2 = PlanExecutor(wave2, store, UpdateTechnique.SIMPLE_SHADOW)
+    for day in range(CRASH_DAY + 1, LAST_DAY + 1):
+        executor2.execute(scheme2.transition_ops(day))
+    lo, hi = LAST_DAY - WINDOW + 1, LAST_DAY
+    print(f"Recovered and rolled forward to day {LAST_DAY}; window "
+          f"{lo}..{hi}, covered {sorted(wave2.covered_days())[:3]}..."
+          f"{sorted(wave2.covered_days())[-1]}")
+
+    volume2 = aggregates.total(wave2, lo, hi)
+    direct = sum(
+        r.info
+        for day in range(lo, hi + 1)
+        for r in store.batch(day).records
+    )
+    assert abs(volume2.value - direct) < 1e-6
+    print(f"Post-recovery weekly volume: ${volume2.value:,.0f} "
+          "(matches direct recomputation)")
+
+
+if __name__ == "__main__":
+    main()

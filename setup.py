@@ -1,0 +1,8 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so ``pip install -e .`` works on offline
+machines whose setuptools predates PEP-660 editable wheels.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,82 @@
+"""Analytic cost model: Section 5's parameters, charging rules, and measures."""
+
+from .availability import SECONDS_PER_DAY, AvailabilityReport, availability
+from .costing import (
+    AnalyticBinding,
+    AnalyticExecutor,
+    ConstituentSnapshot,
+    DayReport,
+    OpCost,
+)
+from .daycount import run_reports, steady_state
+from .formulas import (
+    MaintenanceRow,
+    QueryRow,
+    SpaceRow,
+    table8_space,
+    table9_query,
+    table10_maintenance,
+    table11_maintenance,
+    x_of,
+    y_of,
+)
+from .sensitivity import PARAMETERS, dominant_parameters, work_elasticities
+from .parameters import (
+    ApplicationParameters,
+    CostParameters,
+    HardwareParameters,
+    ImplementationParameters,
+    SCAM_PARAMETERS,
+    TABLE12,
+    TPCD_PARAMETERS,
+    WSE_PARAMETERS,
+)
+from .work import (
+    DailyAverages,
+    QuerySeconds,
+    probe_seconds,
+    query_seconds,
+    scan_seconds,
+    summarize,
+    total_work_seconds,
+)
+
+__all__ = [
+    "AnalyticBinding",
+    "AvailabilityReport",
+    "AnalyticExecutor",
+    "ApplicationParameters",
+    "ConstituentSnapshot",
+    "CostParameters",
+    "DailyAverages",
+    "DayReport",
+    "HardwareParameters",
+    "ImplementationParameters",
+    "MaintenanceRow",
+    "OpCost",
+    "PARAMETERS",
+    "dominant_parameters",
+    "work_elasticities",
+    "QueryRow",
+    "QuerySeconds",
+    "SCAM_PARAMETERS",
+    "SpaceRow",
+    "TABLE12",
+    "TPCD_PARAMETERS",
+    "WSE_PARAMETERS",
+    "SECONDS_PER_DAY",
+    "availability",
+    "probe_seconds",
+    "query_seconds",
+    "run_reports",
+    "scan_seconds",
+    "steady_state",
+    "summarize",
+    "table10_maintenance",
+    "table11_maintenance",
+    "table8_space",
+    "table9_query",
+    "total_work_seconds",
+    "x_of",
+    "y_of",
+]

@@ -1,0 +1,76 @@
+"""Query availability under maintenance: the Section-2.1 trade-off, in numbers.
+
+The paper's qualitative argument for shadowing: "queries can be serviced
+using the old index while the new index is being updated — hence no
+concurrency control is required", versus in-place updating where a mutated
+constituent cannot serve consistent reads.  This module quantifies that for
+any (scheme, technique, parameters):
+
+* **staleness** — how long after a day's data arrives until it is
+  queryable (the transition time);
+* **blocked time** — daily seconds during which some queryable constituent
+  is being mutated in place (zero under either shadowing technique);
+* **blocked fraction** — blocked time over the whole day, i.e. the chance
+  a uniformly timed probe collides with maintenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.schemes.base import WaveScheme
+from ..index.updates import UpdateTechnique
+from .daycount import run_reports
+from .parameters import CostParameters
+
+#: Seconds in one maintenance "day" (the paper's time intervals are
+#: "typically 24 hours").
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class AvailabilityReport:
+    """Steady-state availability figures for one configuration."""
+
+    scheme: str
+    technique: str
+    staleness_s: float
+    blocked_s: float
+    needs_concurrency_control: bool
+
+    @property
+    def blocked_fraction(self) -> float:
+        """Return blocked time as a fraction of a 24-hour day."""
+        return min(1.0, self.blocked_s / SECONDS_PER_DAY)
+
+
+def availability(
+    scheme_factory: Callable[[], WaveScheme],
+    params: CostParameters,
+    technique: UpdateTechnique,
+    *,
+    cycles: int = 2,
+) -> AvailabilityReport:
+    """Return steady-state availability for a configuration.
+
+    Runs the analytic executor for ``cycles`` maintenance periods past a
+    one-period warm-up and averages per-day staleness and blocked time.
+    """
+    if cycles < 1:
+        raise ValueError(f"cycles must be >= 1, got {cycles}")
+    scheme = scheme_factory()
+    period = scheme.maintenance_period
+    reports = run_reports(
+        scheme, params, technique, transitions=(1 + cycles) * period
+    )
+    measured = reports[1 + period :]
+    n = len(measured)
+    blocked = sum(r.blocked_seconds for r in measured) / n
+    return AvailabilityReport(
+        scheme=scheme.name,
+        technique=technique.value,
+        staleness_s=sum(r.seconds.transition for r in measured) / n,
+        blocked_s=blocked,
+        needs_concurrency_control=blocked > 0.0,
+    )

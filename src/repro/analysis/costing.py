@@ -1,0 +1,426 @@
+"""Analytic (day-count) execution of scheme plans.
+
+:class:`AnalyticExecutor` drives a scheme with the *same plans* the storage
+executor runs, but charges each primitive from the paper's Section-5
+parameters instead of simulating bucket I/O:
+
+=================  =========================================================
+Primitive          Charge (per day-unit of data touched)
+=================  =========================================================
+Build              ``Build``
+Add (in place)     ``Add``
+Add (simple sh.)   ``CP`` × index-size + ``Add``
+Add (packed sh.)   ``SMCP`` × index-size + ``Build``      (Table 11's note)
+Delete (in place)  ``Del``
+Delete (simple)    ``CP`` × index-size + ``Del``
+Delete (packed)    ``SMCP`` × index-size (folded into the smart copy)
+Copy               ``CP`` × source-size (``SMCP`` under packed shadowing)
+Rename / Drop      0 (a DBMS drops an index in O(1))
+=================  =========================================================
+
+Space is tracked the way Table 8 does: a packed binding occupies ``S`` per
+day, an unpacked one ``S'`` per day; shadow copies transiently double their
+index, which the per-day peak captures.  Non-uniform day sizes (Section 3.3's
+index-size measure, Figure 11) enter through ``day_weight``.
+
+Temporaries are always updated in place (Section 5: queries never read
+them, so they need no shadows) except that copies inherit the technique's
+copy flavour — under packed shadowing even temporary copies are smart
+copies, which is why Table 8's packed-shadow variant rates REINDEX++'s
+ladder at ``S``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..core.executor import PhaseSeconds
+from ..core.ops import (
+    AddOp,
+    BuildOp,
+    CopyOp,
+    CreateEmptyOp,
+    DeleteOp,
+    DropOp,
+    Op,
+    Phase,
+    RenameOp,
+    UpdateOp,
+)
+from ..core.schemes.base import WaveScheme
+from ..errors import SchemeError
+from ..index.updates import UpdateTechnique
+from .parameters import CostParameters
+
+
+@dataclass
+class AnalyticBinding:
+    """Day-set plus packedness for one named index."""
+
+    days: set[int] = field(default_factory=set)
+    packed: bool = True
+
+
+@dataclass(frozen=True)
+class ConstituentSnapshot:
+    """Per-constituent state at end of day, for query costing."""
+
+    name: str
+    day_count: int
+    weighted_days: float
+    nbytes: float
+    packed: bool
+    newest_day: int | None
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Seconds charged to one primitive op, split by phase.
+
+    ``blocking`` marks in-place mutations of queryable constituents — the
+    only work that forces concurrent queries to wait (Builds and shadow
+    updates leave the live version untouched).
+    """
+
+    target: str
+    phase: Phase
+    seconds: float
+    blocking: bool = False
+
+
+@dataclass(frozen=True)
+class DayReport:
+    """Cost/space outcome of one simulated day."""
+
+    day: int
+    seconds: PhaseSeconds
+    steady_bytes: float
+    constituent_bytes: float
+    peak_bytes: float
+    length_days: int
+    constituents: tuple[ConstituentSnapshot, ...]
+    #: Per-op cost breakdown, in execution order.
+    op_costs: tuple[OpCost, ...] = ()
+    #: Seconds during which a queryable constituent was mutated in place
+    #: (queries need concurrency control / see inconsistent data).  Always
+    #: zero under the shadowing techniques — their whole point (Section 2.1).
+    blocked_seconds: float = 0.0
+
+
+class AnalyticExecutor:
+    """Drives a scheme under the Section-5 cost model.
+
+    Args:
+        scheme: A fresh (un-started) scheme instance.
+        params: Scenario parameters (Table 12 or custom).
+        technique: Update technique for constituent indexes.
+        day_weight: Maps a day to its data volume relative to one standard
+            day (default: uniform 1.0).  Drives the non-uniform index-size
+            analysis of Section 3.3 / Figure 11.
+    """
+
+    def __init__(
+        self,
+        scheme: WaveScheme,
+        params: CostParameters,
+        technique: UpdateTechnique = UpdateTechnique.SIMPLE_SHADOW,
+        day_weight: Callable[[int], float] | None = None,
+    ) -> None:
+        self.scheme = scheme
+        self.params = params
+        self.technique = technique
+        self.day_weight = day_weight or (lambda _day: 1.0)
+        self.bindings: dict[str, AnalyticBinding] = {}
+        self._constituents = frozenset(scheme.index_names)
+        self._total_bytes = 0.0
+        self._peak_bytes = 0.0
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def run_start(self) -> DayReport:
+        """Execute the scheme's start plan (builds days 1..W)."""
+        return self._run_day(self.scheme.window, self.scheme.start_ops())
+
+    def run_transition(self, day: int) -> DayReport:
+        """Execute the transition plan for ``day``."""
+        return self._run_day(day, self.scheme.transition_ops(day))
+
+    def run(self, last_day: int) -> list[DayReport]:
+        """Run start plus transitions through ``last_day``."""
+        reports = [self.run_start()]
+        for day in range(self.scheme.window + 1, last_day + 1):
+            reports.append(self.run_transition(day))
+        return reports
+
+    def _run_day(self, day: int, plan: list[Op]) -> DayReport:
+        seconds = PhaseSeconds()
+        self._peak_bytes = self._total_bytes
+        op_costs: list[OpCost] = []
+        blocked = 0.0
+        for op in plan:
+            before = PhaseSeconds(
+                seconds.precompute, seconds.transition, seconds.post
+            )
+            self._charge(op, seconds)
+            target = getattr(op, "target", getattr(op, "source", "?"))
+            # In-place mutation of a queryable index: without a shadow,
+            # concurrent queries must be blocked (or read garbage).
+            blocks = (
+                self.technique is UpdateTechnique.IN_PLACE
+                and target in self._constituents
+                and isinstance(op, (AddOp, DeleteOp, UpdateOp))
+            )
+            # One OpCost per phase touched (UpdateOp splits pre/transition).
+            for phase, delta in (
+                (Phase.PRECOMPUTE, seconds.precompute - before.precompute),
+                (Phase.TRANSITION, seconds.transition - before.transition),
+                (Phase.POST, seconds.post - before.post),
+            ):
+                if delta > 0 or (phase is op.phase and delta == 0):
+                    op_costs.append(
+                        OpCost(
+                            target=target,
+                            phase=phase,
+                            seconds=delta,
+                            blocking=blocks and delta > 0,
+                        )
+                    )
+                if blocks:
+                    blocked += delta
+        return DayReport(
+            day=day,
+            seconds=seconds,
+            steady_bytes=self._total_bytes,
+            constituent_bytes=self._constituent_bytes(),
+            peak_bytes=self._peak_bytes,
+            length_days=sum(
+                len(self.bindings[n].days)
+                for n in self._constituents
+                if n in self.bindings
+            ),
+            constituents=self._snapshot(),
+            op_costs=tuple(op_costs),
+            blocked_seconds=blocked,
+        )
+
+    # ------------------------------------------------------------------
+    # Byte accounting
+    # ------------------------------------------------------------------
+
+    def _weight(self, days: Iterable[int]) -> float:
+        return sum(self.day_weight(d) for d in days)
+
+    def _bytes_of(self, days: Iterable[int], packed: bool) -> float:
+        per_day = (
+            self.params.application.s_bytes
+            if packed
+            else self.params.implementation.s_prime_bytes
+        )
+        return self._weight(days) * per_day
+
+    def _binding_bytes(self, binding: AnalyticBinding) -> float:
+        return self._bytes_of(binding.days, binding.packed)
+
+    def _constituent_bytes(self) -> float:
+        return sum(
+            self._binding_bytes(b)
+            for name, b in self.bindings.items()
+            if name in self._constituents
+        )
+
+    def _alloc(self, nbytes: float) -> None:
+        self._total_bytes += nbytes
+        self._peak_bytes = max(self._peak_bytes, self._total_bytes)
+
+    def _free(self, nbytes: float) -> None:
+        self._total_bytes -= nbytes
+
+    def _replace_binding(self, name: str, new: AnalyticBinding) -> None:
+        """Install ``new`` under ``name``: alloc new, then free any old."""
+        self._alloc(self._binding_bytes(new))
+        old = self.bindings.get(name)
+        if old is not None:
+            self._free(self._binding_bytes(old))
+        self.bindings[name] = new
+
+    def _get(self, name: str) -> AnalyticBinding:
+        try:
+            return self.bindings[name]
+        except KeyError:
+            raise SchemeError(f"analytic: no binding for {name!r}") from None
+
+    def _technique_for(self, name: str) -> UpdateTechnique:
+        if name in self._constituents:
+            return self.technique
+        return UpdateTechnique.IN_PLACE
+
+    # ------------------------------------------------------------------
+    # Op charging
+    # ------------------------------------------------------------------
+
+    def _charge(self, op: Op, seconds: PhaseSeconds) -> None:
+        impl = self.params.implementation
+        if isinstance(op, BuildOp):
+            seconds.add(op.phase, impl.build_s * self._weight(op.days))
+            self._replace_binding(
+                op.target, AnalyticBinding(set(op.days), packed=True)
+            )
+        elif isinstance(op, CreateEmptyOp):
+            self._replace_binding(op.target, AnalyticBinding(set(), packed=True))
+        elif isinstance(op, AddOp):
+            self._charge_add(op, seconds)
+        elif isinstance(op, DeleteOp):
+            self._charge_delete(op, seconds)
+        elif isinstance(op, UpdateOp):
+            self._charge_update(op, seconds)
+        elif isinstance(op, CopyOp):
+            self._charge_copy(op, seconds)
+        elif isinstance(op, RenameOp):
+            binding = self.bindings.pop(op.source, None)
+            if binding is None:
+                raise SchemeError(f"analytic: rename of unbound {op.source!r}")
+            old = self.bindings.get(op.target)
+            if old is not None:
+                self._free(self._binding_bytes(old))
+            self.bindings[op.target] = binding
+        elif isinstance(op, DropOp):
+            binding = self.bindings.pop(op.target, None)
+            if binding is None:
+                raise SchemeError(f"analytic: drop of unbound {op.target!r}")
+            self._free(self._binding_bytes(binding))
+        else:
+            raise SchemeError(f"analytic: unknown op {op!r}")
+
+    def _charge_add(self, op: AddOp, seconds: PhaseSeconds) -> None:
+        impl = self.params.implementation
+        binding = self._get(op.target)
+        technique = self._technique_for(op.target)
+        add_w = self._weight(op.days)
+        before_w = self._weight(binding.days)
+
+        if technique is UpdateTechnique.IN_PLACE:
+            seconds.add(op.phase, impl.add_s * add_w)
+            self._mutate_in_place(op.target, add_days=op.days)
+        elif technique is UpdateTechnique.SIMPLE_SHADOW:
+            seconds.add(
+                op.phase, self.params.cp_s * before_w + impl.add_s * add_w
+            )
+            new = AnalyticBinding(set(binding.days) | set(op.days), packed=False)
+            self._replace_binding(op.target, new)
+        else:  # packed shadow: Table 11 — inserts cost Build, result packed
+            seconds.add(
+                op.phase, self.params.smcp_s * before_w + impl.build_s * add_w
+            )
+            new = AnalyticBinding(set(binding.days) | set(op.days), packed=True)
+            self._replace_binding(op.target, new)
+
+    def _charge_delete(self, op: DeleteOp, seconds: PhaseSeconds) -> None:
+        impl = self.params.implementation
+        binding = self._get(op.target)
+        technique = self._technique_for(op.target)
+        removed = set(op.days) & binding.days
+        removed_w = self._weight(removed)
+        before_w = self._weight(binding.days)
+
+        if technique is UpdateTechnique.IN_PLACE:
+            seconds.add(op.phase, impl.del_s * removed_w)
+            self._mutate_in_place(op.target, delete_days=removed)
+        elif technique is UpdateTechnique.SIMPLE_SHADOW:
+            seconds.add(
+                op.phase, self.params.cp_s * before_w + impl.del_s * removed_w
+            )
+            new = AnalyticBinding(binding.days - removed, packed=False)
+            self._replace_binding(op.target, new)
+        else:
+            seconds.add(op.phase, self.params.smcp_s * before_w)
+            new = AnalyticBinding(binding.days - removed, packed=True)
+            self._replace_binding(op.target, new)
+
+    def _charge_update(self, op: UpdateOp, seconds: PhaseSeconds) -> None:
+        """Fused delete+insert: one shadow, phases split per Table 10/11."""
+        impl = self.params.implementation
+        binding = self._get(op.target)
+        technique = self._technique_for(op.target)
+        removed = set(op.delete_days) & binding.days
+        removed_w = self._weight(removed)
+        add_w = self._weight(op.add_days)
+        before_w = self._weight(binding.days)
+        after_days = (binding.days - removed) | set(op.add_days)
+
+        if technique is UpdateTechnique.IN_PLACE:
+            seconds.add(Phase.PRECOMPUTE, impl.del_s * removed_w)
+            seconds.add(Phase.TRANSITION, impl.add_s * add_w)
+            self._mutate_in_place(
+                op.target, add_days=op.add_days, delete_days=removed
+            )
+        elif technique is UpdateTechnique.SIMPLE_SHADOW:
+            seconds.add(
+                Phase.PRECOMPUTE,
+                self.params.cp_s * before_w + impl.del_s * removed_w,
+            )
+            seconds.add(Phase.TRANSITION, impl.add_s * add_w)
+            self._replace_binding(
+                op.target, AnalyticBinding(after_days, packed=False)
+            )
+        else:
+            seconds.add(
+                Phase.TRANSITION,
+                self.params.smcp_s * before_w + impl.build_s * add_w,
+            )
+            self._replace_binding(
+                op.target, AnalyticBinding(after_days, packed=True)
+            )
+
+    def _charge_copy(self, op: CopyOp, seconds: PhaseSeconds) -> None:
+        source = self._get(op.source)
+        src_w = self._weight(source.days)
+        if self.technique is UpdateTechnique.PACKED_SHADOW:
+            seconds.add(op.phase, self.params.smcp_s * src_w)
+            new = AnalyticBinding(set(source.days), packed=True)
+        else:
+            seconds.add(op.phase, self.params.cp_s * src_w)
+            new = AnalyticBinding(set(source.days), packed=source.packed)
+        self._replace_binding(op.target, new)
+
+    def _mutate_in_place(
+        self,
+        name: str,
+        add_days: Iterable[int] = (),
+        delete_days: Iterable[int] = (),
+    ) -> None:
+        """Update a binding in place; the result is rated unpacked (``S'``)."""
+        binding = self._get(name)
+        old_bytes = self._binding_bytes(binding)
+        binding.days.difference_update(delete_days)
+        binding.days.update(add_days)
+        binding.packed = False
+        new_bytes = self._binding_bytes(binding)
+        if new_bytes >= old_bytes:
+            self._alloc(new_bytes - old_bytes)
+        else:
+            self._free(old_bytes - new_bytes)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def _snapshot(self) -> tuple[ConstituentSnapshot, ...]:
+        snaps = []
+        for name in self.scheme.index_names:
+            binding = self.bindings.get(name)
+            if binding is None:
+                continue
+            snaps.append(
+                ConstituentSnapshot(
+                    name=name,
+                    day_count=len(binding.days),
+                    weighted_days=self._weight(binding.days),
+                    nbytes=self._binding_bytes(binding),
+                    packed=binding.packed,
+                    newest_day=max(binding.days) if binding.days else None,
+                )
+            )
+        return tuple(snaps)

@@ -1,0 +1,74 @@
+"""Steady-state runs of the analytic cost model.
+
+Helpers that drive a scheme under :class:`~repro.analysis.costing.AnalyticExecutor`
+long enough to reach steady state and then average one or more full cycles —
+the procedure behind every per-``n`` data point in Figures 3–10.
+
+A scheme's maintenance behaviour is periodic with period ``W`` transitions
+(under uniform day sizes): after a warm-up of one cycle, averaging any whole
+number of cycles yields the exact long-run averages the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.schemes.base import WaveScheme
+from ..index.updates import UpdateTechnique
+from .costing import AnalyticExecutor, DayReport
+from .parameters import CostParameters
+from .work import DailyAverages, summarize
+
+
+def run_reports(
+    scheme: WaveScheme,
+    params: CostParameters,
+    technique: UpdateTechnique = UpdateTechnique.SIMPLE_SHADOW,
+    *,
+    transitions: int | None = None,
+    day_weight: Callable[[int], float] | None = None,
+) -> list[DayReport]:
+    """Run ``scheme`` for ``transitions`` days past its start; return all reports.
+
+    ``transitions`` defaults to three full cycles (``3 W``).
+    """
+    if transitions is None:
+        transitions = 3 * scheme.window
+    executor = AnalyticExecutor(scheme, params, technique, day_weight)
+    return executor.run(scheme.window + transitions)
+
+
+def steady_state(
+    scheme_factory: Callable[[], WaveScheme],
+    params: CostParameters,
+    technique: UpdateTechnique = UpdateTechnique.SIMPLE_SHADOW,
+    *,
+    warmup_cycles: int = 1,
+    measure_cycles: int = 2,
+    day_weight: Callable[[int], float] | None = None,
+) -> DailyAverages:
+    """Average per-day measures over ``measure_cycles`` steady-state cycles.
+
+    Args:
+        scheme_factory: Zero-argument callable building a fresh scheme
+            (schemes are single-use planners).
+        warmup_cycles: Whole cycles discarded after the initial build.
+        measure_cycles: Whole cycles averaged.
+    """
+    if warmup_cycles < 0 or measure_cycles < 1:
+        raise ValueError("need warmup_cycles >= 0 and measure_cycles >= 1")
+    scheme = scheme_factory()
+    # A scheme's maintenance repeats with its own period (W for DEL-family,
+    # W−1 for WATA-family rotations); align the window so averages are exact.
+    period = scheme.maintenance_period
+    total = (warmup_cycles + measure_cycles) * period
+    reports = run_reports(
+        scheme,
+        params,
+        technique,
+        transitions=total,
+        day_weight=day_weight,
+    )
+    # reports[0] is the start day; transitions begin at index 1.
+    measured = reports[1 + warmup_cycles * period :]
+    return summarize(measured, params)

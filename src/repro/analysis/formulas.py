@@ -1,0 +1,263 @@
+"""Closed-form cost expressions (Tables 8–11).
+
+These are the formulas the paper's Section 5 states (with ``X = W/n`` and
+``Y = (W−1)/(n−1)``), kept separate from the exact day-count executor so the
+two can be cross-checked: the executor is authoritative (it runs the real
+plans), the closed forms are the human-readable summary.  Where the source
+text's table cells are corrupted, the formulas below follow the surrounding
+prose and are verified against the executor by the test suite; cells the
+prose does not pin down are returned as ``None`` ("see the day-count run").
+
+All per-day work values are *steady-state averages* in seconds; space
+values are in bytes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .parameters import CostParameters
+
+
+def x_of(window: int, n_indexes: int) -> float:
+    """Return ``X = W/n``, the days per cluster."""
+    return window / n_indexes
+
+
+def avg_cluster_days(window: int, n_indexes: int) -> float:
+    """Return the cycle-averaged size of the cluster being maintained.
+
+    When ``n`` divides ``W`` this is exactly ``X = W/n``.  Otherwise a
+    cluster of size ``m`` is the maintenance target for ``m`` consecutive
+    transitions, so the average over a full cycle weights each cluster by
+    its own size: ``Σ m_i² / W``.  The paper's tables assume divisibility;
+    this is the exact generalisation the day-count executor realises.
+    """
+    from ..core.timeset import cluster_lengths
+
+    sizes = cluster_lengths(window, n_indexes)
+    return sum(m * m for m in sizes) / window
+
+
+def avg_wata_cluster_days(window: int, n_indexes: int) -> float:
+    """Return the cycle-averaged WATA cluster size (clusters of ~Y days)."""
+    from ..core.timeset import cluster_lengths
+
+    sizes = cluster_lengths(window - 1, n_indexes - 1)
+    total = sum(sizes)
+    return sum(m * m for m in sizes) / total
+
+
+def y_of(window: int, n_indexes: int) -> float:
+    """Return ``Y = (W−1)/(n−1)``, the WATA-family cluster size."""
+    if n_indexes < 2:
+        raise ValueError("Y is defined only for n >= 2")
+    return (window - 1) / (n_indexes - 1)
+
+
+@dataclass(frozen=True)
+class SpaceRow:
+    """One row of Table 8 (space utilisation), in bytes."""
+
+    scheme: str
+    avg_operation: float | None
+    max_operation: float | None
+    avg_transition_extra: float | None
+    max_transition_extra: float | None
+
+
+@dataclass(frozen=True)
+class MaintenanceRow:
+    """One row of Table 10/11 (maintenance work), in seconds/day."""
+
+    scheme: str
+    precompute_s: float | None
+    transition_s: float | None
+
+
+@dataclass(frozen=True)
+class QueryRow:
+    """One row of Table 9 (per-query costs), in seconds."""
+
+    scheme: str
+    probe_one_index_s: float
+    scan_one_index_s: float
+
+
+# ----------------------------------------------------------------------
+# Table 8: space utilisation under simple shadowing
+# ----------------------------------------------------------------------
+
+def table8_space(
+    scheme: str, params: CostParameters, n_indexes: int
+) -> SpaceRow:
+    """Return the Table 8 row for ``scheme`` (simple shadow updating)."""
+    w = params.window
+    x = x_of(w, n_indexes)
+    s = params.application.s_bytes
+    sp = params.implementation.s_prime_bytes
+    cx = math.ceil(x)
+
+    if scheme == "DEL":
+        return SpaceRow("DEL", w * sp, w * sp, cx * sp, cx * sp)
+    if scheme == "REINDEX":
+        return SpaceRow("REINDEX", w * s, w * s, cx * s, cx * s)
+    if scheme == "REINDEX+":
+        # Temp cycles through 1 .. X−1 days then resets: average (X−1)/2.
+        avg_temp = (x - 1) / 2 if x > 1 else 0.0
+        max_temp = max(cx - 1, 0)
+        return SpaceRow(
+            "REINDEX+",
+            (w + avg_temp) * sp,
+            (w + max_temp) * sp,
+            cx * sp,
+            cx * sp,
+        )
+    if scheme == "REINDEX++":
+        # The ladder holds at most 0 + 1 + ... + (⌈X⌉−1) days (at Initialize).
+        max_ladder = cx * (cx - 1) / 2
+        return SpaceRow(
+            "REINDEX++", None, (w + max_ladder) * sp, 0.0, 0.0
+        )
+    if n_indexes < 2:
+        raise ValueError(f"{scheme} requires n >= 2")
+    y = y_of(w, n_indexes)
+    cy = math.ceil(y)
+    if scheme == "WATA*":
+        # Theorem 2: max length W + ⌈Y⌉ − 1; residual averages (⌈Y⌉−1)/2.
+        return SpaceRow(
+            "WATA*",
+            (w + (cy - 1) / 2) * sp,
+            (w + cy - 1) * sp,
+            cy * sp,
+            cy * sp,
+        )
+    if scheme == "RATA*":
+        max_ladder = cy * (cy - 1) / 2
+        return SpaceRow(
+            "RATA*", None, (w + max_ladder) * sp, cy * sp, cy * sp
+        )
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+# ----------------------------------------------------------------------
+# Table 9: query performance
+# ----------------------------------------------------------------------
+
+def table9_query(
+    scheme: str, params: CostParameters, n_indexes: int
+) -> QueryRow:
+    """Return the Table 9 row: per-index probe and scan times.
+
+    A full TimedIndexProbe/TimedSegmentScan multiplies these by the number
+    of constituent indexes it touches (1 .. n).
+    """
+    w = params.window
+    hw = params.hardware
+    app = params.application
+    sp = params.implementation.s_prime_bytes
+    per_day = app.s_bytes if scheme == "REINDEX" else sp
+
+    if scheme in ("WATA*", "RATA*"):
+        days_per_index = y_of(w, n_indexes) if scheme == "WATA*" else x_of(
+            w, n_indexes
+        )
+        if scheme == "WATA*":
+            # Soft window: an index averages up to Y days, residual included.
+            days_per_index = y_of(w, n_indexes)
+    else:
+        days_per_index = x_of(w, n_indexes)
+
+    probe = hw.seek_s + hw.transfer_s(days_per_index * app.c_bytes)
+    scan = hw.seek_s + hw.transfer_s(days_per_index * per_day)
+    return QueryRow(scheme, probe, scan)
+
+
+# ----------------------------------------------------------------------
+# Tables 10 and 11: maintenance work
+# ----------------------------------------------------------------------
+
+def table10_maintenance(
+    scheme: str, params: CostParameters, n_indexes: int
+) -> MaintenanceRow:
+    """Return the Table 10 row (simple shadow updating), averages per day."""
+    w = params.window
+    x = x_of(w, n_indexes)
+    impl = params.implementation
+    cp = params.cp_s
+
+    if scheme == "DEL":
+        x_exact = avg_cluster_days(w, n_indexes)
+        return MaintenanceRow("DEL", x_exact * cp + impl.del_s, impl.add_s)
+    if scheme == "REINDEX":
+        x_exact = avg_cluster_days(w, n_indexes)
+        return MaintenanceRow("REINDEX", 0.0, x_exact * impl.build_s)
+    if scheme == "REINDEX+":
+        # Exact per-cycle accounting (verified against the executor): a
+        # cluster of m days costs one Build, CP·(m²−1) of copying on the
+        # critical path (Temp copies plus the shadow of each constituent
+        # add), CP·(m−1) precomputable on the cycle's last day, and
+        # Add·[m(m−1)/2 + m − 1] of incremental indexing — on average about
+        # half the days REINDEX re-indexes, as the paper states.
+        from ..core.timeset import cluster_lengths
+
+        sizes = cluster_lengths(w, n_indexes)
+        trans = 0.0
+        pre = 0.0
+        for m in sizes:
+            trans += impl.build_s
+            if m >= 2:
+                trans += cp * (m * m - 1)
+                trans += impl.add_s * (m * (m - 1) / 2 + m - 1)
+                pre += cp * (m - 1)
+        return MaintenanceRow("REINDEX+", pre / w, trans / w)
+    if scheme == "REINDEX++":
+        # Transition is a single Add; ladder upkeep is pre-computation of
+        # roughly 1 + X/2 day-adds plus the amortized ladder rebuild.
+        return MaintenanceRow("REINDEX++", None, impl.add_s)
+    if n_indexes < 2:
+        raise ValueError(f"{scheme} requires n >= 2")
+    y = y_of(w, n_indexes)
+    if scheme == "WATA*":
+        # A cluster of Y days sees Y−1 Waits (shadow copy of the growing
+        # I_last, then Add) and one ThrowAway (Build).  For large Y this is
+        # the paper's "(Y/2)·CP + Add"; at Y = 1 it is exactly Build.
+        transition = ((y - 1) * impl.add_s + impl.build_s) / y + cp * (y - 1) / 2
+        return MaintenanceRow("WATA*", 0.0, transition)
+    if scheme == "RATA*":
+        transition = ((y - 1) * impl.add_s + impl.build_s) / y + cp * (y - 1) / 2
+        return MaintenanceRow("RATA*", None, transition)
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def table11_maintenance(
+    scheme: str, params: CostParameters, n_indexes: int
+) -> MaintenanceRow:
+    """Return the Table 11 row (packed shadow updating), averages per day."""
+    w = params.window
+    x = x_of(w, n_indexes)
+    impl = params.implementation
+    smcp = params.smcp_s
+
+    if scheme == "DEL":
+        x_exact = avg_cluster_days(w, n_indexes)
+        return MaintenanceRow("DEL", 0.0, x_exact * smcp + impl.build_s)
+    if scheme == "REINDEX":
+        x_exact = avg_cluster_days(w, n_indexes)
+        return MaintenanceRow("REINDEX", 0.0, x_exact * impl.build_s)
+    if scheme in ("REINDEX+", "REINDEX++"):
+        return MaintenanceRow(scheme, None, None)
+    if n_indexes < 2:
+        raise ValueError(f"{scheme} requires n >= 2")
+    y = y_of(w, n_indexes)
+    if scheme == "WATA*":
+        # Wait inserts cost Build under packed shadowing (Table 11's note),
+        # and so does the ThrowAway rebuild, so Build lands every day; the
+        # smart copy of the growing I_last averages (Y−1)/2 days.
+        transition = impl.build_s + smcp * (y - 1) / 2
+        return MaintenanceRow("WATA*", 0.0, transition)
+    if scheme == "RATA*":
+        transition = impl.build_s + smcp * (y - 1) / 2
+        return MaintenanceRow("RATA*", None, transition)
+    raise ValueError(f"unknown scheme {scheme!r}")

@@ -1,0 +1,233 @@
+"""The Section-5 cost-model parameters and the Table 12 case-study values.
+
+The paper groups its "coarse" parameters into hardware, application, and
+implementation parameters; the classes below mirror that grouping and
+Table 12 supplies the three published parameterisations (SCAM, WSE, TPC-D).
+
+Derived quantities:
+
+* ``CP`` — seconds to copy one day's *unpacked* index to another location:
+  read ``S'`` plus write ``S'``, each with one seek.
+* ``SMCP`` — seconds to smart-copy one day's index: read ``S'`` (the
+  unpacked source), write ``S`` (the packed result), each with one seek.
+
+Both can be overridden explicitly for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..storage.cost import MEGABYTE
+
+
+@dataclass(frozen=True)
+class HardwareParameters:
+    """Disk parameters (Table 12, rows ``seek`` and ``Trans``)."""
+
+    seek_s: float = 0.014
+    trans_bps: float = 10 * MEGABYTE
+
+    def __post_init__(self) -> None:
+        if self.seek_s < 0:
+            raise ValueError(f"seek_s must be >= 0, got {self.seek_s}")
+        if self.trans_bps <= 0:
+            raise ValueError(f"trans_bps must be > 0, got {self.trans_bps}")
+
+    def transfer_s(self, nbytes: float) -> float:
+        """Return seconds to stream ``nbytes``."""
+        return nbytes / self.trans_bps
+
+
+@dataclass(frozen=True)
+class ApplicationParameters:
+    """Per-application quantities (Table 12, application rows).
+
+    All per-day quantities describe *one day* of data at scale factor 1.
+
+    Attributes:
+        s_bytes: ``S`` — packed index size for one day.
+        c_bytes: ``c`` — average bucket size per day for a random value.
+        probe_num: ``Probe_num`` — TimedIndexProbes per day.
+        scan_num: ``Scan_num`` — TimedSegmentScans per day.
+        scan_target: ``"all"`` (scan every constituent, Scan_idx = n, as in
+            TPC-D) or ``"newest"`` (only the index holding the newest day,
+            Scan_idx = 1, as in SCAM's registration checks).
+    """
+
+    s_bytes: float
+    c_bytes: float = 100.0
+    probe_num: float = 0.0
+    scan_num: float = 0.0
+    scan_target: str = "all"
+
+    def __post_init__(self) -> None:
+        if self.s_bytes <= 0:
+            raise ValueError(f"s_bytes must be > 0, got {self.s_bytes}")
+        if self.c_bytes < 0 or self.probe_num < 0 or self.scan_num < 0:
+            raise ValueError("application parameters must be non-negative")
+        if self.scan_target not in ("all", "newest"):
+            raise ValueError(
+                f"scan_target must be 'all' or 'newest', got {self.scan_target!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ImplementationParameters:
+    """Measured implementation quantities (Table 12, implementation rows).
+
+    Attributes:
+        g: CONTIGUOUS growth factor.
+        build_s: ``Build`` — seconds to build a packed index of one day.
+        add_s: ``Add`` — seconds to incrementally index one day.
+        del_s: ``Del`` — seconds to incrementally delete one day.
+        s_prime_bytes: ``S'`` — unpacked (CONTIGUOUS) index size per day.
+    """
+
+    g: float
+    build_s: float
+    add_s: float
+    del_s: float
+    s_prime_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.g <= 1.0:
+            raise ValueError(f"g must be > 1.0, got {self.g}")
+        for name in ("build_s", "add_s", "del_s", "s_prime_bytes"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Everything Section 5 needs, bundled per scenario."""
+
+    name: str
+    window: int
+    hardware: HardwareParameters
+    application: ApplicationParameters
+    implementation: ImplementationParameters
+    #: Optional explicit overrides for the derived copy costs (seconds/day).
+    cp_s_override: float | None = field(default=None)
+    smcp_s_override: float | None = field(default=None)
+
+    # ------------------------------------------------------------------
+    # Derived per-day costs
+    # ------------------------------------------------------------------
+
+    @property
+    def cp_s(self) -> float:
+        """Seconds to copy one day's unpacked index (``CP``)."""
+        if self.cp_s_override is not None:
+            return self.cp_s_override
+        s_prime = self.implementation.s_prime_bytes
+        return 2 * self.hardware.seek_s + self.hardware.transfer_s(2 * s_prime)
+
+    @property
+    def smcp_s(self) -> float:
+        """Seconds to smart-copy one day's index (``SMCP``)."""
+        if self.smcp_s_override is not None:
+            return self.smcp_s_override
+        read = self.implementation.s_prime_bytes
+        write = self.application.s_bytes
+        return 2 * self.hardware.seek_s + self.hardware.transfer_s(read + write)
+
+    def scaled(self, scale_factor: float) -> "CostParameters":
+        """Return parameters for ``scale_factor`` times the daily volume.
+
+        Linear scaling of every data-proportional quantity — the analytic
+        counterpart of Figure 10's x-axis.  (The substrate-measured variant
+        of Figure 10 re-measures instead of scaling; see
+        ``repro.casestudies.scam``.)
+        """
+        if scale_factor <= 0:
+            raise ValueError(f"scale_factor must be > 0, got {scale_factor}")
+        app = replace(
+            self.application,
+            s_bytes=self.application.s_bytes * scale_factor,
+            c_bytes=self.application.c_bytes * scale_factor,
+        )
+        impl = replace(
+            self.implementation,
+            build_s=self.implementation.build_s * scale_factor,
+            add_s=self.implementation.add_s * scale_factor,
+            del_s=self.implementation.del_s * scale_factor,
+            s_prime_bytes=self.implementation.s_prime_bytes * scale_factor,
+        )
+        return replace(self, application=app, implementation=impl)
+
+    def with_window(self, window: int) -> "CostParameters":
+        """Return a copy with a different window size (Figure 9's x-axis)."""
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        return replace(self, window=window)
+
+
+# ----------------------------------------------------------------------
+# Table 12: published case-study parameterisations
+# ----------------------------------------------------------------------
+
+SCAM_PARAMETERS = CostParameters(
+    name="SCAM",
+    window=7,
+    hardware=HardwareParameters(seek_s=0.014, trans_bps=10 * MEGABYTE),
+    application=ApplicationParameters(
+        s_bytes=56 * MEGABYTE,
+        c_bytes=100.0,
+        probe_num=100_000,
+        scan_num=10,
+        scan_target="newest",
+    ),
+    implementation=ImplementationParameters(
+        g=2.0,
+        build_s=1686.0,
+        add_s=3341.0,
+        del_s=3341.0,
+        s_prime_bytes=78.4 * MEGABYTE,
+    ),
+)
+
+WSE_PARAMETERS = CostParameters(
+    name="WSE",
+    window=35,
+    hardware=HardwareParameters(seek_s=0.014, trans_bps=10 * MEGABYTE),
+    application=ApplicationParameters(
+        s_bytes=75 * MEGABYTE,
+        c_bytes=100.0,
+        probe_num=340_000,
+        scan_num=0,
+        scan_target="all",
+    ),
+    implementation=ImplementationParameters(
+        g=2.0,
+        build_s=2276.0,
+        add_s=4678.0,
+        del_s=4678.0,
+        s_prime_bytes=105 * MEGABYTE,
+    ),
+)
+
+TPCD_PARAMETERS = CostParameters(
+    name="TPC-D",
+    window=100,
+    hardware=HardwareParameters(seek_s=0.014, trans_bps=10 * MEGABYTE),
+    application=ApplicationParameters(
+        s_bytes=600 * MEGABYTE,
+        c_bytes=100.0,
+        probe_num=0,
+        scan_num=10,
+        scan_target="all",
+    ),
+    implementation=ImplementationParameters(
+        g=1.08,
+        build_s=8406.0,
+        add_s=11431.0,
+        del_s=11431.0,
+        s_prime_bytes=627 * MEGABYTE,
+    ),
+)
+
+#: All three published parameter sets, keyed by scenario name.
+TABLE12 = {
+    p.name: p for p in (SCAM_PARAMETERS, WSE_PARAMETERS, TPCD_PARAMETERS)
+}

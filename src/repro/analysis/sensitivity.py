@@ -1,0 +1,129 @@
+"""Parameter sensitivity: which Table-12 constant actually drives a design?
+
+For a configuration (scheme, n, technique) on a scenario, compute the
+elasticity of total daily work with respect to each cost parameter:
+
+    elasticity(p) = (dWork / Work) / (dp / p)
+
+evaluated numerically with a small relative bump.  An elasticity of 1.0
+means work scales proportionally with the parameter; 0 means it is
+irrelevant.  This formalises the case-study reasoning of Section 6 ("the
+total work is very sensitive to the mix of queries and updates"): for the
+WSE, ``probe_num`` and ``seek`` dominate; for TPC-D, ``trans``/``S'`` via
+scans; for SCAM, the indexing constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from ..core.schemes.base import WaveScheme
+from ..index.updates import UpdateTechnique
+from .daycount import steady_state
+from .parameters import CostParameters
+
+#: The parameters a sensitivity sweep perturbs, with their accessors.
+PARAMETERS: tuple[str, ...] = (
+    "seek",
+    "trans",
+    "S",
+    "S_prime",
+    "c",
+    "build",
+    "add",
+    "del",
+    "probe_num",
+    "scan_num",
+)
+
+
+def _bumped(params: CostParameters, name: str, factor: float) -> CostParameters:
+    hw, app, impl = params.hardware, params.application, params.implementation
+    if name == "seek":
+        return replace(params, hardware=replace(hw, seek_s=hw.seek_s * factor))
+    if name == "trans":
+        return replace(
+            params, hardware=replace(hw, trans_bps=hw.trans_bps * factor)
+        )
+    if name == "S":
+        return replace(
+            params, application=replace(app, s_bytes=app.s_bytes * factor)
+        )
+    if name == "S_prime":
+        return replace(
+            params,
+            implementation=replace(
+                impl, s_prime_bytes=impl.s_prime_bytes * factor
+            ),
+        )
+    if name == "c":
+        return replace(
+            params, application=replace(app, c_bytes=app.c_bytes * factor)
+        )
+    if name == "build":
+        return replace(
+            params, implementation=replace(impl, build_s=impl.build_s * factor)
+        )
+    if name == "add":
+        return replace(
+            params, implementation=replace(impl, add_s=impl.add_s * factor)
+        )
+    if name == "del":
+        return replace(
+            params, implementation=replace(impl, del_s=impl.del_s * factor)
+        )
+    if name == "probe_num":
+        return replace(
+            params, application=replace(app, probe_num=app.probe_num * factor)
+        )
+    if name == "scan_num":
+        return replace(
+            params, application=replace(app, scan_num=app.scan_num * factor)
+        )
+    raise ValueError(f"unknown parameter {name!r}")
+
+
+def work_elasticities(
+    scheme_factory: Callable[[CostParameters], WaveScheme],
+    params: CostParameters,
+    technique: UpdateTechnique,
+    *,
+    bump: float = 0.05,
+    parameters: tuple[str, ...] = PARAMETERS,
+) -> dict[str, float]:
+    """Return ``{parameter: elasticity of total daily work}``.
+
+    Args:
+        scheme_factory: Builds a fresh scheme *given the parameters* (so a
+            window change would propagate; the factory normally ignores the
+            argument beyond ``params.window``).
+        bump: Relative perturbation used for the central difference.
+    """
+    if not 0 < bump < 1:
+        raise ValueError(f"bump must be in (0, 1), got {bump}")
+
+    def work(p: CostParameters) -> float:
+        return steady_state(
+            lambda: scheme_factory(p), p, technique, measure_cycles=1
+        ).total_work_s
+
+    base = work(params)
+    if base == 0:
+        raise ValueError("base configuration does zero work")
+    out: dict[str, float] = {}
+    for name in parameters:
+        up = work(_bumped(params, name, 1.0 + bump))
+        down = work(_bumped(params, name, 1.0 - bump))
+        out[name] = (up - down) / (2 * bump * base)
+    return out
+
+
+def dominant_parameters(
+    elasticities: dict[str, float], *, top: int = 3
+) -> list[tuple[str, float]]:
+    """Return the ``top`` parameters by absolute elasticity, descending."""
+    ranked = sorted(
+        elasticities.items(), key=lambda kv: abs(kv[1]), reverse=True
+    )
+    return ranked[:top]

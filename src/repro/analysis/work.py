@@ -1,0 +1,144 @@
+"""Query costs and the paper's "total work" measure (Section 5).
+
+Total daily work = transition time + pre-computation time + the time to run
+the day's query stream serially:
+
+* ``Probe_num`` TimedIndexProbes, each touching every live constituent
+  (``Probe_idx = n`` in all three case studies) at one seek plus the value's
+  bucket — ``k`` days of bucket bytes for a ``k``-day index, expired days
+  included (soft windows pay here).
+* ``Scan_num`` TimedSegmentScans, each touching either every constituent
+  (TPC-D) or only the index holding the newest day (SCAM's registration
+  checks), at one seek plus the index's allocated bytes — ``S`` per day when
+  packed, ``S'`` when not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .costing import DayReport
+from .parameters import CostParameters
+
+
+@dataclass(frozen=True)
+class QuerySeconds:
+    """Daily query-stream cost, split by access type."""
+
+    probe_s: float
+    scan_s: float
+
+    @property
+    def total(self) -> float:
+        """Return probe + scan seconds."""
+        return self.probe_s + self.scan_s
+
+
+def probe_seconds(report: DayReport, params: CostParameters) -> float:
+    """Return the day's TimedIndexProbe seconds.
+
+    One probe = Σ over probed constituents of
+    ``seek + (days in index) × c / Trans``.
+    """
+    app = params.application
+    if app.probe_num == 0:
+        return 0.0
+    hw = params.hardware
+    per_probe = 0.0
+    for snap in report.constituents:
+        per_probe += hw.seek_s + hw.transfer_s(snap.weighted_days * app.c_bytes)
+    return app.probe_num * per_probe
+
+
+def scan_seconds(report: DayReport, params: CostParameters) -> float:
+    """Return the day's TimedSegmentScan seconds.
+
+    One scan = Σ over scanned constituents of ``seek + index bytes / Trans``.
+    """
+    app = params.application
+    if app.scan_num == 0:
+        return 0.0
+    hw = params.hardware
+    if app.scan_target == "newest":
+        target = _newest_constituent(report)
+        targets = [target] if target is not None else []
+    else:
+        targets = list(report.constituents)
+    per_scan = sum(hw.seek_s + hw.transfer_s(s.nbytes) for s in targets)
+    return app.scan_num * per_scan
+
+
+def _newest_constituent(report: DayReport):
+    newest = None
+    for snap in report.constituents:
+        if snap.newest_day is None:
+            continue
+        if newest is None or snap.newest_day > newest.newest_day:
+            newest = snap
+    return newest
+
+
+def query_seconds(report: DayReport, params: CostParameters) -> QuerySeconds:
+    """Return the day's full query-stream cost."""
+    return QuerySeconds(
+        probe_s=probe_seconds(report, params),
+        scan_s=scan_seconds(report, params),
+    )
+
+
+def total_work_seconds(report: DayReport, params: CostParameters) -> float:
+    """Return the paper's total-work measure for one day.
+
+    Transition + pre-computation (including post-transition preparation)
+    plus the serialized query stream.
+    """
+    queries = query_seconds(report, params)
+    return report.seconds.total + queries.total
+
+
+@dataclass(frozen=True)
+class DailyAverages:
+    """Averages over a run's steady-state days (one full cycle or more)."""
+
+    transition_s: float
+    precompute_s: float
+    maintenance_s: float
+    probe_s: float
+    scan_s: float
+    total_work_s: float
+    steady_bytes: float
+    peak_bytes: float
+    max_peak_bytes: float
+    max_length_days: int
+
+    @property
+    def space_bytes(self) -> float:
+        """Return the Figure-3 space measure: steady + transition overhead.
+
+        Averages the per-day peak (which includes shadow spikes), i.e. the
+        sum of columns 2 and 4 of Table 8.
+        """
+        return self.peak_bytes
+
+
+def summarize(reports: list[DayReport], params: CostParameters) -> DailyAverages:
+    """Average per-day measures over ``reports`` (excluding none)."""
+    if not reports:
+        raise ValueError("cannot summarize an empty run")
+    n = len(reports)
+    queries = [query_seconds(r, params) for r in reports]
+    return DailyAverages(
+        transition_s=sum(r.seconds.transition for r in reports) / n,
+        precompute_s=sum(r.seconds.precomputation for r in reports) / n,
+        maintenance_s=sum(r.seconds.total for r in reports) / n,
+        probe_s=sum(q.probe_s for q in queries) / n,
+        scan_s=sum(q.scan_s for q in queries) / n,
+        total_work_s=sum(
+            r.seconds.total + q.total for r, q in zip(reports, queries)
+        )
+        / n,
+        steady_bytes=sum(r.steady_bytes for r in reports) / n,
+        peak_bytes=sum(r.peak_bytes for r in reports) / n,
+        max_peak_bytes=max(r.peak_bytes for r in reports),
+        max_length_days=max(r.length_days for r in reports),
+    )

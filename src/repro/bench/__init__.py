@@ -1,0 +1,5 @@
+"""Benchmark-harness support: table rendering and artifact emission."""
+
+from .tables import emit, render_curves, render_rows
+
+__all__ = ["emit", "render_curves", "render_rows"]

@@ -1,0 +1,74 @@
+"""Rendering helpers for the benchmark harness.
+
+The benches regenerate the paper's tables and figures as text: curve
+families become aligned tables with one row per scheme, one column per
+x-value.  Output goes both to stdout (visible with ``pytest -s``) and to
+``benchmarks/out/<name>.txt`` so EXPERIMENTS.md can cite stable artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Sequence
+
+
+def render_curves(
+    title: str,
+    x_label: str,
+    xs: Sequence[float],
+    curves: Mapping[str, Sequence[float | None]],
+    *,
+    unit: str = "",
+    scale: float = 1.0,
+    fmt: str = "{:,.0f}",
+) -> str:
+    """Render ``{series: ys}`` curves as an aligned text table.
+
+    Args:
+        scale: Divider applied to every y (e.g. 1e6 to print megabytes).
+        fmt: Format applied to scaled values; ``None`` y-cells print ``-``.
+    """
+    header = [f"{x_label}\\scheme"] + [str(x) for x in xs]
+    rows = [header]
+    for name, ys in curves.items():
+        cells = [name]
+        for y in ys:
+            cells.append("-" if y is None else fmt.format(y / scale))
+        rows.append(cells)
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = [title + (f"  [{unit}]" if unit else "")]
+    for i, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+        if i == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def render_rows(
+    title: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Render generic rows under a header, aligned."""
+    table = [[str(c) for c in header]]
+    for row in rows:
+        table.append(
+            ["-" if c is None else (f"{c:,.1f}" if isinstance(c, float) else str(c)) for c in row]
+        )
+    widths = [max(len(r[i]) for r in table) for i in range(len(header))]
+    lines = [title]
+    for i, row in enumerate(table):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def emit(out_dir: Path, name: str, text: str) -> None:
+    """Print ``text`` and persist it under ``out_dir/name.txt``."""
+    print()
+    print(text)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,25 @@
+"""Section-6 case studies: SCAM, WSE, TPC-D, and the Figure-11 sizing study."""
+
+from . import scam, sizing, tpcd, wse
+from .common import MEASURES, curves_over_n, curves_over_params, scheme_series
+from .sizing import (
+    figure11_ratios,
+    hard_window_sizes,
+    index_size_ratio,
+    scheme_daily_sizes,
+)
+
+__all__ = [
+    "MEASURES",
+    "curves_over_n",
+    "curves_over_params",
+    "figure11_ratios",
+    "hard_window_sizes",
+    "index_size_ratio",
+    "scam",
+    "scheme_daily_sizes",
+    "scheme_series",
+    "sizing",
+    "tpcd",
+    "wse",
+]

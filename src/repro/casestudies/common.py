@@ -1,0 +1,131 @@
+"""Shared machinery for the Section-6 case studies.
+
+Each figure in Figures 3–10 is a family of curves — one per scheme — over
+some x-axis (number of indexes ``n``, window ``W``, or scale factor).  The
+helpers here compute those curve families from the analytic cost model,
+returning plain ``{scheme name: [y values]}`` dictionaries the benchmark
+harness prints and the tests assert shapes on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..analysis.daycount import steady_state
+from ..analysis.parameters import CostParameters
+from ..analysis.work import DailyAverages
+from ..core.schemes import ALL_SCHEMES
+from ..core.schemes.base import WaveScheme
+from ..index.updates import UpdateTechnique
+
+#: y-value extractors by measure name.
+MEASURES: dict[str, Callable[[DailyAverages], float]] = {
+    "space": lambda a: a.peak_bytes,
+    "steady_space": lambda a: a.steady_bytes,
+    "transition": lambda a: a.transition_s,
+    "precompute": lambda a: a.precompute_s,
+    "work": lambda a: a.total_work_s,
+}
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One (x, averages) sample of a case-study curve."""
+
+    x: float
+    averages: DailyAverages
+
+
+def scheme_series(
+    scheme_cls: type[WaveScheme],
+    params_for_x: Callable[[float], CostParameters],
+    n_for_x: Callable[[float], int],
+    xs: Sequence[float],
+    technique: UpdateTechnique,
+    *,
+    measure_cycles: int = 1,
+) -> list[SeriesPoint]:
+    """Evaluate one scheme's steady-state averages at each x."""
+    points = []
+    for x in xs:
+        params = params_for_x(x)
+        n = n_for_x(x)
+        averages = steady_state(
+            lambda: scheme_cls(params.window, n),
+            params,
+            technique,
+            measure_cycles=measure_cycles,
+        )
+        points.append(SeriesPoint(x=x, averages=averages))
+    return points
+
+
+def curves_over_n(
+    params: CostParameters,
+    n_values: Sequence[int],
+    technique: UpdateTechnique,
+    measure: str,
+    *,
+    schemes: Sequence[type[WaveScheme]] = ALL_SCHEMES,
+) -> dict[str, list[float | None]]:
+    """Return ``{scheme: [measure at each n, None where n is illegal]}``.
+
+    The ``None`` holes mark WATA/RATA at ``n = 1``, which the paper's plots
+    simply omit.
+    """
+    extract = MEASURES[measure]
+    curves: dict[str, list[float | None]] = {}
+    for scheme_cls in schemes:
+        ys: list[float | None] = []
+        for n in n_values:
+            if n < scheme_cls.min_indexes or n > params.window:
+                ys.append(None)
+                continue
+            averages = steady_state(
+                lambda: scheme_cls(params.window, n),
+                params,
+                technique,
+                measure_cycles=1,
+            )
+            ys.append(extract(averages))
+        curves[scheme_cls.name] = ys
+    return curves
+
+
+def curves_over_params(
+    params_list: Sequence[CostParameters],
+    xs: Sequence[float],
+    n_indexes: int,
+    technique: UpdateTechnique,
+    measure: str,
+    *,
+    schemes: Sequence[type[WaveScheme]] = ALL_SCHEMES,
+) -> dict[str, list[float | None]]:
+    """Return curves over an x-axis that reparameterises the scenario.
+
+    Used for Figure 9 (x = window size) and Figure 10 (x = scale factor),
+    where ``params_list[i]`` corresponds to ``xs[i]``.
+    """
+    if len(params_list) != len(xs):
+        raise ValueError("params_list and xs must have equal length")
+    extract = MEASURES[measure]
+    curves: dict[str, list[float | None]] = {}
+    for scheme_cls in schemes:
+        ys: list[float | None] = []
+        for params in params_list:
+            if (
+                n_indexes < scheme_cls.min_indexes
+                or n_indexes > params.window
+            ):
+                ys.append(None)
+                continue
+            averages = steady_state(
+                lambda: scheme_cls(params.window, n_indexes),
+                params,
+                technique,
+                measure_cycles=1,
+            )
+            ys.append(extract(averages))
+        curves[scheme_cls.name] = ys
+    return curves

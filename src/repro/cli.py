@@ -1,0 +1,350 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``schemes`` — list the maintenance schemes and their properties.
+* ``trace`` — print a scheme's transition table (the paper's Tables 1–7
+  for any ``W``, ``n``, and horizon).
+* ``figure`` — regenerate one of the paper's figures as a text table.
+* ``advise`` — rank configurations for a scenario (Section 6's process).
+* ``calibrate`` — measure Build/Add/S' on the simulated substrate.
+* ``latency`` — simulate a day of query latency under maintenance.
+* ``sensitivity`` — work elasticity per Table-12 cost parameter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis.parameters import TABLE12
+from .core.schemes import ALL_SCHEMES, scheme_by_name
+from .core.trace import format_trace, trace_scheme
+from .index.updates import UpdateTechnique
+
+_TECHNIQUES = tuple(UpdateTechnique)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Return the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Wave-Indices (SIGMOD 1997) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("schemes", help="list maintenance schemes")
+
+    trace = sub.add_parser("trace", help="print a scheme's transition table")
+    trace.add_argument("scheme", help="scheme name, e.g. DEL or REINDEX+")
+    trace.add_argument("--window", "-w", type=int, default=10)
+    trace.add_argument("--indexes", "-n", type=int, default=2)
+    trace.add_argument(
+        "--days", "-d", type=int, default=None,
+        help="last day to trace (default: window + 6)",
+    )
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument(
+        "name",
+        choices=sorted(_FIGURES),
+        help="figure to compute",
+    )
+
+    advise = sub.add_parser("advise", help="rank configurations for a scenario")
+    advise.add_argument(
+        "--scenario",
+        choices=sorted(TABLE12),
+        default="SCAM",
+        help="Table 12 scenario parameters to use",
+    )
+    advise.add_argument("--candidates", type=int, nargs="+", default=[1, 2, 4, 7, 10])
+    advise.add_argument("--hard-window", action="store_true")
+    advise.add_argument("--no-packed-shadow", action="store_true")
+    advise.add_argument("--top", type=int, default=5)
+
+    calibrate = sub.add_parser(
+        "calibrate", help="measure Build/Add/S' on the simulated substrate"
+    )
+    calibrate.add_argument("--scale-factor", type=float, default=1.0)
+    calibrate.add_argument("--cluster-days", type=int, default=1)
+    calibrate.add_argument(
+        "--memory-mb", type=float, default=None,
+        help="buffer-pool size; omit for the memoryless model",
+    )
+
+    latency = sub.add_parser(
+        "latency",
+        help="simulate a day of query latency under maintenance",
+    )
+    latency.add_argument("scheme", help="scheme name, e.g. DEL")
+    latency.add_argument(
+        "--scenario", choices=sorted(TABLE12), default="SCAM"
+    )
+    latency.add_argument("--indexes", "-n", type=int, default=2)
+    latency.add_argument(
+        "--technique",
+        choices=[t.value for t in _TECHNIQUES],
+        default="in_place",
+    )
+    latency.add_argument("--queries", type=int, default=5_000)
+    latency.add_argument("--seed", type=int, default=0)
+
+    sensitivity = sub.add_parser(
+        "sensitivity",
+        help="elasticity of total work per cost parameter",
+    )
+    sensitivity.add_argument("scheme", help="scheme name, e.g. REINDEX")
+    sensitivity.add_argument(
+        "--scenario", choices=sorted(TABLE12), default="SCAM"
+    )
+    sensitivity.add_argument("--indexes", "-n", type=int, default=4)
+    sensitivity.add_argument(
+        "--technique",
+        choices=[t.value for t in _TECHNIQUES],
+        default="simple_shadow",
+    )
+    return parser
+
+
+def _cmd_schemes() -> int:
+    print(f"{'name':<14}{'window':<8}{'min n':<7}{'temporaries':<12}period")
+    for scheme_cls in ALL_SCHEMES:
+        window = "hard" if scheme_cls.hard_window else "soft"
+        temps = "yes" if scheme_cls.uses_temporaries else "no"
+        period = "W" if scheme_cls.period_offset == 0 else "W-1"
+        print(f"{scheme_cls.name:<14}{window:<8}{scheme_cls.min_indexes:<7}"
+              f"{temps:<12}{period}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        scheme_cls = scheme_by_name(args.scheme)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    last_day = args.days if args.days is not None else args.window + 6
+    try:
+        scheme = scheme_cls(args.window, args.indexes)
+    except TypeError:
+        print(
+            f"{scheme_cls.name} needs extra configuration (e.g. day sizes) "
+            "and cannot be traced from the CLI; use the Python API.",
+            file=sys.stderr,
+        )
+        return 2
+    rows = trace_scheme(scheme, last_day)
+    title = f"{scheme_cls.name} (W={args.window}, n={args.indexes})"
+    print(format_trace(rows, title=title))
+    return 0
+
+
+def _figure_fig3():
+    from .bench.tables import render_curves
+    from .casestudies import scam
+
+    return render_curves(
+        "Figure 3: SCAM average space vs n (W=7)",
+        "n", scam.DEFAULT_N_VALUES, scam.figure3_space(),
+        unit="MB", scale=1_000_000,
+    )
+
+
+def _figure_fig4():
+    from .bench.tables import render_curves
+    from .casestudies import scam
+
+    return render_curves(
+        "Figure 4: SCAM transition time vs n (W=7)",
+        "n", scam.DEFAULT_N_VALUES, scam.figure4_transition(), unit="s",
+    )
+
+
+def _figure_fig5():
+    from .bench.tables import render_curves
+    from .casestudies import scam
+
+    return render_curves(
+        "Figure 5: SCAM total work vs n (W=7)",
+        "n", scam.DEFAULT_N_VALUES, scam.figure5_work(), unit="s",
+    )
+
+
+def _figure_fig6():
+    from .bench.tables import render_curves
+    from .casestudies import wse
+
+    return render_curves(
+        "Figure 6: WSE total work vs n (W=35, packed shadowing)",
+        "n", wse.DEFAULT_N_VALUES, wse.figure6_work(), unit="s",
+    )
+
+
+def _figure_fig7():
+    from .bench.tables import render_curves
+    from .casestudies import tpcd
+
+    return render_curves(
+        "Figure 7: TPC-D total work vs n (packed shadowing)",
+        "n", tpcd.DEFAULT_N_VALUES, tpcd.figure7_packed(), unit="s",
+    )
+
+
+def _figure_fig8():
+    from .bench.tables import render_curves
+    from .casestudies import tpcd
+
+    return render_curves(
+        "Figure 8: TPC-D total work vs n (simple shadowing)",
+        "n", tpcd.DEFAULT_N_VALUES, tpcd.figure8_simple(), unit="s",
+    )
+
+
+def _figure_fig11():
+    from .casestudies.sizing import figure11_ratios
+    from .workloads.usenet import day_weights, june_december_1997_volume
+
+    weights = day_weights(june_december_1997_volume())
+    ratios = figure11_ratios(weights, window=7)
+    lines = ["Figure 11: WATA* index-size ratio vs n (W=7, 200-day trace)"]
+    for n, ratio in sorted(ratios.items()):
+        lines.append(f"  n={n}: {ratio:.3f}")
+    return "\n".join(lines)
+
+
+_FIGURES = {
+    "fig3": _figure_fig3,
+    "fig4": _figure_fig4,
+    "fig5": _figure_fig5,
+    "fig6": _figure_fig6,
+    "fig7": _figure_fig7,
+    "fig8": _figure_fig8,
+    "fig11": _figure_fig11,
+}
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    print(_FIGURES[args.name]())
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from .core.advisor import recommend
+
+    params = TABLE12[args.scenario]
+    recs = recommend(
+        params,
+        candidate_n=tuple(args.candidates),
+        packed_shadow_available=not args.no_packed_shadow,
+        hard_window_required=args.hard_window,
+        max_candidates=args.top,
+    )
+    print(f"Scenario {args.scenario} (W={params.window}):")
+    for rank, rec in enumerate(recs, start=1):
+        kind = "hard" if rec.hard_window else "soft"
+        print(
+            f"  {rank}. {rec.scheme:<10} n={rec.n_indexes:<3} "
+            f"{rec.technique:<14} {kind} window  "
+            f"work {rec.total_work_s:10,.0f} s/day"
+        )
+        for note in rec.notes:
+            print(f"       - {note}")
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from .casestudies.scam import measure_build_add_constants
+
+    memory = args.memory_mb * 1_000_000 if args.memory_mb else None
+    build, add, s_prime = measure_build_add_constants(
+        args.scale_factor,
+        cluster_days=args.cluster_days,
+        memory_bytes=memory,
+    )
+    print(f"Substrate constants at SF={args.scale_factor} "
+          f"(cluster of {args.cluster_days} day(s)"
+          + (f", {args.memory_mb} MB pool" if args.memory_mb else "") + "):")
+    print(f"  Build = {build:10.4f} s/day")
+    print(f"  Add   = {add:10.4f} s/day   (Add/Build = {add / build:.2f})")
+    print(f"  S'    = {s_prime:10,.0f} bytes/day")
+    return 0
+
+
+def _cmd_latency(args: argparse.Namespace) -> int:
+    from .analysis.daycount import run_reports
+    from .sim.latency import simulate_query_latency
+
+    try:
+        scheme_cls = scheme_by_name(args.scheme)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    params = TABLE12[args.scenario]
+    technique = UpdateTechnique(args.technique)
+    scheme = scheme_cls(params.window, args.indexes)
+    reports = run_reports(scheme, params, technique, transitions=params.window)
+    stats = simulate_query_latency(
+        reports[-1],
+        params,
+        technique,
+        queries_per_day=args.queries,
+        seed=args.seed,
+    )
+    print(
+        f"{scheme_cls.name} n={args.indexes} ({technique.value}) on "
+        f"{args.scenario}: {stats.queries} queries"
+    )
+    print(f"  p50 {stats.p50_s * 1e3:10.2f} ms")
+    print(f"  p95 {stats.p95_s * 1e3:10.2f} ms")
+    print(f"  max {stats.max_s:10.2f} s")
+    print(f"  blocked by maintenance: {stats.blocked_fraction:.1%}")
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from .analysis.sensitivity import dominant_parameters, work_elasticities
+
+    try:
+        scheme_cls = scheme_by_name(args.scheme)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    params = TABLE12[args.scenario]
+    technique = UpdateTechnique(args.technique)
+    elasticities = work_elasticities(
+        lambda p: scheme_cls(p.window, args.indexes), params, technique
+    )
+    print(
+        f"Work elasticities for {scheme_cls.name} n={args.indexes} "
+        f"({technique.value}) on {args.scenario}:"
+    )
+    for name, value in sorted(
+        elasticities.items(), key=lambda kv: -abs(kv[1])
+    ):
+        bar = "#" * min(40, round(abs(value) * 40))
+        print(f"  {name:>10}: {value:+7.3f}  {bar}")
+    top = ", ".join(name for name, _ in dominant_parameters(elasticities))
+    print(f"dominant: {top}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "schemes":
+        return _cmd_schemes()
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "advise":
+        return _cmd_advise(args)
+    if args.command == "calibrate":
+        return _cmd_calibrate(args)
+    if args.command == "latency":
+        return _cmd_latency(args)
+    if args.command == "sensitivity":
+        return _cmd_sensitivity(args)
+    raise AssertionError(f"unhandled command {args.command!r}")

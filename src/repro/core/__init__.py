@@ -1,0 +1,102 @@
+"""Core wave-index framework: records, schemes, plans, executor, queries."""
+
+from . import aggregates
+from .checkpoint import (
+    checkpoint_from_json,
+    checkpoint_to_json,
+    restore,
+    restore_scheme,
+    take_checkpoint,
+)
+from .executor import ExecutionReport, PhaseSeconds, PlanExecutor
+from .persistence import dump_wave, load_wave, wave_from_json, wave_to_json
+from .ops import (
+    AddOp,
+    BuildOp,
+    CopyOp,
+    CreateEmptyOp,
+    DeleteOp,
+    DropOp,
+    Op,
+    Phase,
+    RenameOp,
+    UpdateOp,
+)
+from .queries import ProbeResult, ScanResult
+from .records import DayBatch, Record, RecordStore
+from .schemes import (
+    ALL_SCHEMES,
+    HARD_WINDOW_SCHEMES,
+    DelScheme,
+    RataStarScheme,
+    ReindexPlusPlusScheme,
+    ReindexPlusScheme,
+    ReindexScheme,
+    WataStarScheme,
+    WataTable4Scheme,
+    WaveScheme,
+    scheme_by_name,
+)
+from .symbolic import SymbolicState
+from .timeset import (
+    cluster_lengths,
+    is_contiguous,
+    partition_days,
+    validate_window,
+    window_days,
+)
+from .trace import TraceRow, format_trace, trace_scheme
+from .wave import WaveIndex, constituent_names
+
+__all__ = [
+    "ALL_SCHEMES",
+    "aggregates",
+    "checkpoint_from_json",
+    "checkpoint_to_json",
+    "restore",
+    "restore_scheme",
+    "take_checkpoint",
+    "dump_wave",
+    "load_wave",
+    "wave_from_json",
+    "wave_to_json",
+    "AddOp",
+    "BuildOp",
+    "CopyOp",
+    "CreateEmptyOp",
+    "DayBatch",
+    "DelScheme",
+    "DeleteOp",
+    "DropOp",
+    "ExecutionReport",
+    "HARD_WINDOW_SCHEMES",
+    "Op",
+    "Phase",
+    "PhaseSeconds",
+    "PlanExecutor",
+    "ProbeResult",
+    "RataStarScheme",
+    "Record",
+    "RecordStore",
+    "ReindexPlusPlusScheme",
+    "ReindexPlusScheme",
+    "ReindexScheme",
+    "RenameOp",
+    "ScanResult",
+    "SymbolicState",
+    "TraceRow",
+    "UpdateOp",
+    "WataStarScheme",
+    "WataTable4Scheme",
+    "WaveIndex",
+    "WaveScheme",
+    "cluster_lengths",
+    "constituent_names",
+    "format_trace",
+    "is_contiguous",
+    "partition_days",
+    "scheme_by_name",
+    "trace_scheme",
+    "validate_window",
+    "window_days",
+]

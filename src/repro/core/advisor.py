@@ -1,0 +1,114 @@
+"""Scheme advisor: the paper's Section-6 selection guidance, as code.
+
+Section 6 walks three scenarios and derives recommendations from a handful
+of workload facts — query volume, scan patterns, window size, whether
+packed shadowing can be implemented, and whether hard windows are required.
+:func:`recommend` encodes that decision process so an application designer
+can get the paper's advice (with its reasoning) for their own parameters.
+
+The advisor ranks candidates by predicted total daily work from the
+analytic model, then applies the paper's qualitative overrides (query
+response time favouring small ``n``, implementation-complexity notes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..analysis.daycount import steady_state
+from ..analysis.parameters import CostParameters
+from ..index.updates import UpdateTechnique
+from .schemes import ALL_SCHEMES
+from .schemes.base import WaveScheme
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One ranked candidate configuration."""
+
+    scheme: str
+    n_indexes: int
+    technique: str
+    total_work_s: float
+    transition_s: float
+    peak_bytes: float
+    hard_window: bool
+    notes: tuple[str, ...]
+
+
+def recommend(
+    params: CostParameters,
+    *,
+    candidate_n: Sequence[int] = (1, 2, 4, 7, 10),
+    packed_shadow_available: bool = True,
+    hard_window_required: bool = False,
+    max_candidates: int = 5,
+) -> list[Recommendation]:
+    """Rank scheme configurations for a scenario.
+
+    Args:
+        params: The scenario's cost parameters (window included).
+        candidate_n: Values of ``n`` to consider (clamped to the window).
+        packed_shadow_available: ``False`` models a legacy index package
+            that cannot repack (the paper's TPC-D discussion).
+        hard_window_required: ``False`` admits WATA's soft windows.
+        max_candidates: Number of ranked entries returned.
+    """
+    techniques = [UpdateTechnique.SIMPLE_SHADOW]
+    if packed_shadow_available:
+        techniques.append(UpdateTechnique.PACKED_SHADOW)
+
+    candidates: list[Recommendation] = []
+    for scheme_cls in ALL_SCHEMES:
+        if hard_window_required and not scheme_cls.hard_window:
+            continue
+        for n in candidate_n:
+            if not scheme_cls.min_indexes <= n <= params.window:
+                continue
+            for technique in techniques:
+                averages = steady_state(
+                    lambda: scheme_cls(params.window, n),
+                    params,
+                    technique,
+                    measure_cycles=1,
+                )
+                candidates.append(
+                    Recommendation(
+                        scheme=scheme_cls.name,
+                        n_indexes=n,
+                        technique=technique.value,
+                        total_work_s=averages.total_work_s,
+                        transition_s=averages.transition_s,
+                        peak_bytes=averages.peak_bytes,
+                        hard_window=scheme_cls.hard_window,
+                        notes=_notes(scheme_cls, n, technique),
+                    )
+                )
+    candidates.sort(key=lambda r: (r.total_work_s, r.n_indexes))
+    return candidates[:max_candidates]
+
+
+def _notes(
+    scheme_cls: type[WaveScheme], n: int, technique: UpdateTechnique
+) -> tuple[str, ...]:
+    notes: list[str] = []
+    if not scheme_cls.hard_window:
+        notes.append(
+            "soft window: up to ceil((W-1)/(n-1))-1 expired days remain indexed"
+        )
+    if scheme_cls.name == "DEL":
+        notes.append("requires index deletion code")
+        if technique is UpdateTechnique.IN_PLACE:
+            notes.append("in-place updates need concurrency control")
+    if scheme_cls.name in ("REINDEX", "REINDEX+", "REINDEX++", "WATA*", "RATA*"):
+        notes.append("no deletion code needed (works on WAIS/SMART-style packages)")
+    if scheme_cls.uses_temporaries:
+        notes.append("extra space for temporary indexes")
+    if n > 4:
+        notes.append(
+            f"every probe touches {n} indexes: watch query response time"
+        )
+    if technique is UpdateTechnique.PACKED_SHADOW:
+        notes.append("packed indexes: fastest scans, needs repacking support")
+    return tuple(notes)

@@ -1,0 +1,164 @@
+"""Primitive wave-index operations emitted by maintenance schemes.
+
+Schemes are pure *planners*: each day they emit a list of ops drawn from the
+vocabulary below, mirroring the primitives of Section 2.2 (``BuildIndex``,
+``AddToIndex``, ``DeleteFromIndex``, ``DropIndex``) plus the copy/rename
+moves the Appendix-A pseudocode uses (``I_j <- Temp``, ``Rename T_k as I_j``).
+
+Ops reference indexes by *name*.  Names bound as constituents (``I1`` ...)
+are queryable and updated under the configured technique; every other name
+is a temporary, updated in place (Section 5: temporaries never serve
+queries, so they need no shadowing).
+
+Each op carries a :class:`Phase` so maintenance time can be split the way
+Tables 10–11 and Figures 4–10 require:
+
+* ``PRECOMPUTE`` — work that does not depend on the new day's data and can
+  run before it arrives (e.g. DEL's shadow copy + delete).
+* ``TRANSITION`` — the critical path from "new data available" to "new data
+  queryable".
+* ``POST`` — preparation for *future* days done after the new data is live
+  (e.g. REINDEX++ topping up the next temporary).  The paper folds this
+  into its "pre-computation" measure, and so do our reports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Phase(enum.Enum):
+    """When during the day an operation runs (see module docstring)."""
+
+    PRECOMPUTE = "precompute"
+    TRANSITION = "transition"
+    POST = "post"
+
+    @property
+    def counts_as_precomputation(self) -> bool:
+        """Return ``True`` for the phases the paper reports as pre-computation."""
+        return self is not Phase.TRANSITION
+
+
+@dataclass(frozen=True)
+class Op:
+    """Base class for primitive operations."""
+
+    phase: Phase = field(kw_only=True, default=Phase.TRANSITION)
+
+    def describe(self) -> str:
+        """Return the paper-style rendering used by the Tables 1–7 traces."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class BuildOp(Op):
+    """``target <- BuildIndex(days)``: fresh packed index over ``days``.
+
+    If ``target`` is already bound, the old index stays queryable while the
+    new one is built and is dropped after the swap (shadow semantics —
+    rebuilds never leave the wave index without coverage).
+    """
+
+    target: str
+    days: tuple[int, ...]
+
+    def describe(self) -> str:
+        return f"{self.target} <- BuildIndex({_days(self.days)})"
+
+
+@dataclass(frozen=True)
+class CreateEmptyOp(Op):
+    """``target <- empty``: bind a fresh empty index (``Temp <- phi``)."""
+
+    target: str
+
+    def describe(self) -> str:
+        return f"{self.target} <- empty"
+
+
+@dataclass(frozen=True)
+class AddOp(Op):
+    """``AddToIndex(days, target)``: incremental insert of whole days."""
+
+    target: str
+    days: tuple[int, ...]
+
+    def describe(self) -> str:
+        return f"AddToIndex({_days(self.days)}, {self.target})"
+
+
+@dataclass(frozen=True)
+class DeleteOp(Op):
+    """``DeleteFromIndex(days, target)``: incremental delete of whole days."""
+
+    target: str
+    days: tuple[int, ...]
+
+    def describe(self) -> str:
+        return f"DeleteFromIndex({_days(self.days)}, {self.target})"
+
+
+@dataclass(frozen=True)
+class UpdateOp(Op):
+    """Fused delete+insert on one index sharing a single shadow.
+
+    DEL's daily step is "remove the expired day, add the new one" on the
+    same index.  Under simple shadowing a naive Delete-then-Add would copy
+    the index twice; the paper's cost tables (Table 10) assume one copy.
+    ``UpdateOp`` expresses the fusion: one shadow, delete charged to
+    ``PRECOMPUTE``, insert charged to ``TRANSITION``.
+    """
+
+    target: str
+    add_days: tuple[int, ...]
+    delete_days: tuple[int, ...]
+
+    def describe(self) -> str:
+        return (
+            f"DeleteFromIndex({_days(self.delete_days)}, {self.target}); "
+            f"AddToIndex({_days(self.add_days)}, {self.target})"
+        )
+
+
+@dataclass(frozen=True)
+class CopyOp(Op):
+    """``dst <- src``: bind ``dst`` to a physical copy of ``src``.
+
+    Any previous ``dst`` binding is dropped after the copy completes.
+    """
+
+    source: str
+    target: str
+
+    def describe(self) -> str:
+        return f"{self.target} <- {self.source}"
+
+
+@dataclass(frozen=True)
+class RenameOp(Op):
+    """``Rename src as dst``: rebind with no data movement.
+
+    Any previous ``dst`` binding is dropped; ``src`` ceases to exist.
+    """
+
+    source: str
+    target: str
+
+    def describe(self) -> str:
+        return f"Rename {self.source} as {self.target}"
+
+
+@dataclass(frozen=True)
+class DropOp(Op):
+    """``DropIndex(target)``: free the index and remove the binding."""
+
+    target: str
+
+    def describe(self) -> str:
+        return f"DropIndex({self.target})"
+
+
+def _days(days: tuple[int, ...]) -> str:
+    return "{" + ", ".join(str(d) for d in days) + "}"

@@ -1,0 +1,42 @@
+"""Query result types for wave indexes.
+
+The four access operations of Section 2.2 (``IndexProbe``, ``SegmentScan``
+and their timed variants) all reduce to the two timed forms; these result
+records carry the entries found plus the cost information the performance
+analysis needs (simulated seconds, number of constituent indexes touched —
+the paper's ``Probe_idx`` / ``Scan_idx``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..index.entry import Entry
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of a (timed) index probe."""
+
+    entries: tuple[Entry, ...]
+    seconds: float
+    indexes_probed: int
+
+    @property
+    def record_ids(self) -> tuple[int, ...]:
+        """Return the matching record ids in retrieval order."""
+        return tuple(e.record_id for e in self.entries)
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Outcome of a (timed) segment scan."""
+
+    entries: tuple[Entry, ...]
+    seconds: float
+    indexes_scanned: int
+
+    @property
+    def record_ids(self) -> tuple[int, ...]:
+        """Return the matching record ids in retrieval order."""
+        return tuple(e.record_id for e in self.entries)

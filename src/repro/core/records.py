@@ -1,0 +1,169 @@
+"""Records, day batches, and the record store.
+
+The paper's data model (Section 2): records arrive in daily batches; each
+record has one or more values for the search field ``F``; an index entry is
+a pointer to the record tagged with the insert day.
+
+:class:`RecordStore` is the source of truth the wave index is built from.
+It also answers queries by brute force, which the test suite uses as the
+oracle for differential testing of every scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from ..errors import WorkloadError
+from ..index.entry import Entry
+
+
+@dataclass(frozen=True)
+class Record:
+    """One indexed record.
+
+    Attributes:
+        record_id: Unique identifier (the target of index pointers).
+        day: The day the record arrived.
+        values: The record's values for the search field ``F`` — a record
+            may have several (e.g. the distinct words of a document).
+        nbytes: Raw size of the record, charged when ``BuildIndex`` scans
+            the source data.
+        info: Associated information copied into each index entry (the
+            paper's ``a_i`` — e.g. a sale amount), enabling aggregate scans
+            without fetching records.
+    """
+
+    record_id: int
+    day: int
+    values: tuple[Any, ...]
+    nbytes: int = 100
+    info: int | float | str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"record {self.record_id} has no search values")
+        if self.nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {self.nbytes}")
+
+
+@dataclass
+class DayBatch:
+    """All records generated on one day."""
+
+    day: int
+    records: list[Record] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for record in self.records:
+            if record.day != self.day:
+                raise WorkloadError(
+                    f"record {record.record_id} is for day {record.day}, "
+                    f"not batch day {self.day}"
+                )
+
+    @property
+    def entry_count(self) -> int:
+        """Return the number of index entries this batch produces."""
+        return sum(len(r.values) for r in self.records)
+
+    @property
+    def data_bytes(self) -> int:
+        """Return the raw size of the batch's records."""
+        return sum(r.nbytes for r in self.records)
+
+    def postings(self) -> Iterator[tuple[Any, Entry]]:
+        """Yield ``(search_value, entry)`` pairs for every record value."""
+        for record in self.records:
+            for value in record.values:
+                yield value, Entry(record.record_id, self.day, record.info)
+
+    def grouped(self) -> dict[Any, list[Entry]]:
+        """Return postings grouped by search value."""
+        grouped: dict[Any, list[Entry]] = {}
+        for value, entry in self.postings():
+            grouped.setdefault(value, []).append(entry)
+        return grouped
+
+
+class RecordStore:
+    """Holds the daily batches a wave index is maintained over.
+
+    The store intentionally retains *all* days ever added (the wave index,
+    not the store, implements expiry): schemes like ``REINDEX`` re-read old
+    days when rebuilding, and tests compare index contents against the
+    store's ground truth.
+    """
+
+    def __init__(self) -> None:
+        self._batches: dict[int, DayBatch] = {}
+
+    def add_batch(self, batch: DayBatch) -> None:
+        """Register a day's batch; replacing a day is a usage error."""
+        if batch.day in self._batches:
+            raise WorkloadError(f"day {batch.day} already has a batch")
+        self._batches[batch.day] = batch
+
+    def add_records(self, day: int, records: Iterable[Record]) -> DayBatch:
+        """Convenience: wrap ``records`` in a batch for ``day`` and add it."""
+        batch = DayBatch(day=day, records=list(records))
+        self.add_batch(batch)
+        return batch
+
+    def batch(self, day: int) -> DayBatch:
+        """Return the batch for ``day``.
+
+        Raises:
+            WorkloadError: If no batch was added for that day.
+        """
+        try:
+            return self._batches[day]
+        except KeyError:
+            raise WorkloadError(f"no batch for day {day}") from None
+
+    def has_day(self, day: int) -> bool:
+        """Return ``True`` if a batch exists for ``day``."""
+        return day in self._batches
+
+    @property
+    def days(self) -> list[int]:
+        """Return all stored days in ascending order."""
+        return sorted(self._batches)
+
+    def grouped_for(self, days: Iterable[int]) -> dict[Any, list[Entry]]:
+        """Return postings for ``days`` grouped by search value.
+
+        Entries are emitted in ascending day order within each value, which
+        is the order a day-at-a-time build would produce.
+        """
+        grouped: dict[Any, list[Entry]] = {}
+        for day in sorted(set(days)):
+            for value, entry in self.batch(day).postings():
+                grouped.setdefault(value, []).append(entry)
+        return grouped
+
+    def data_bytes_for(self, days: Iterable[int]) -> int:
+        """Return total raw bytes of the batches for ``days``."""
+        return sum(self.batch(day).data_bytes for day in set(days))
+
+    # ------------------------------------------------------------------
+    # Brute-force oracles (used by differential tests)
+    # ------------------------------------------------------------------
+
+    def brute_probe(self, value: Any, t1: int, t2: int) -> list[Entry]:
+        """Return entries for ``value`` with insert day in ``[t1, t2]``."""
+        hits = []
+        for day in self.days:
+            if t1 <= day <= t2:
+                for v, entry in self.batch(day).postings():
+                    if v == value:
+                        hits.append(entry)
+        return hits
+
+    def brute_scan(self, t1: int, t2: int) -> list[Entry]:
+        """Return every entry with insert day in ``[t1, t2]``."""
+        hits = []
+        for day in self.days:
+            if t1 <= day <= t2:
+                hits.extend(e for _, e in self.batch(day).postings())
+        return hits

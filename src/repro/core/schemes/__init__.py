@@ -1,0 +1,74 @@
+"""The six wave-index maintenance schemes of the paper (plus one variant).
+
+=============  =====================  ============  ================
+Scheme         Class                  Window        Min. indexes
+=============  =====================  ============  ================
+DEL            DelScheme              hard          1
+REINDEX        ReindexScheme          hard          1
+REINDEX+       ReindexPlusScheme      hard          1
+REINDEX++      ReindexPlusPlusScheme  hard          1
+WATA*          WataStarScheme         soft          2
+WATA(table4)   WataTable4Scheme       soft          2
+RATA*          RataStarScheme         hard          2
+=============  =====================  ============  ================
+"""
+
+from .base import WaveScheme
+from .batched_del import BatchedDelScheme
+from .del_scheme import DelScheme
+from .rata import RataStarScheme
+from .reindex import ReindexScheme
+from .reindex_plus import ReindexPlusScheme
+from .reindex_plus_plus import ReindexPlusPlusScheme
+from .wata import WataStarScheme, WataTable4Scheme
+from .wata_size import WataSizeAwareScheme
+
+#: The paper's six schemes, in presentation order.
+ALL_SCHEMES: tuple[type[WaveScheme], ...] = (
+    DelScheme,
+    ReindexScheme,
+    ReindexPlusScheme,
+    ReindexPlusPlusScheme,
+    WataStarScheme,
+    RataStarScheme,
+)
+
+#: Schemes that maintain hard windows (index exactly the last W days).
+HARD_WINDOW_SCHEMES: tuple[type[WaveScheme], ...] = tuple(
+    s for s in ALL_SCHEMES if s.hard_window
+)
+
+_BY_NAME = {scheme.name: scheme for scheme in ALL_SCHEMES}
+_BY_NAME[WataTable4Scheme.name] = WataTable4Scheme
+_BY_NAME[WataSizeAwareScheme.name] = WataSizeAwareScheme
+_BY_NAME[BatchedDelScheme.name] = BatchedDelScheme
+
+
+def scheme_by_name(name: str) -> type[WaveScheme]:
+    """Look up a scheme class by its paper name (e.g. ``"REINDEX+"``).
+
+    Raises:
+        KeyError: If the name is unknown.
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown scheme {name!r}; known schemes: {known}") from None
+
+
+__all__ = [
+    "ALL_SCHEMES",
+    "HARD_WINDOW_SCHEMES",
+    "BatchedDelScheme",
+    "DelScheme",
+    "RataStarScheme",
+    "ReindexPlusPlusScheme",
+    "ReindexPlusScheme",
+    "ReindexScheme",
+    "WataSizeAwareScheme",
+    "WataStarScheme",
+    "WataTable4Scheme",
+    "WaveScheme",
+    "scheme_by_name",
+]

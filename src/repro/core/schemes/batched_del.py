@@ -1,0 +1,123 @@
+"""Batched DEL: amortising deletes, the paper's bulk-delete observation.
+
+Section 1 motivates WATA with "if there are a substantial number of
+deletes, [bulk deletion] may be more efficient than deleting an entry at a
+time".  Between DEL (delete daily) and WATA (never delete, drop whole
+indexes) sits a natural hybrid: run DEL's rotation but defer deletions,
+flushing every ``batch_days`` transitions.  The window softens by at most
+``batch_days − 1`` expired days — far tighter than WATA's ``⌈Y⌉ − 1`` —
+while each simple-shadow flush pays one index copy for up to ``batch_days``
+deleted days instead of one per day.
+
+Setting ``batch_days = 1`` recovers DEL exactly (asserted by the tests).
+"""
+
+from __future__ import annotations
+
+from ...errors import SchemeError
+from ..ops import AddOp, BuildOp, DeleteOp, Op, Phase, UpdateOp
+from ..timeset import partition_days
+from .base import WaveScheme
+
+
+class BatchedDelScheme(WaveScheme):
+    """DEL with deletions deferred into batches of ``batch_days``."""
+
+    name = "DEL(batched)"
+    hard_window = False
+    min_indexes = 1
+    uses_temporaries = False
+
+    def __init__(self, window: int, n_indexes: int, batch_days: int = 7) -> None:
+        super().__init__(window, n_indexes)
+        if batch_days < 1:
+            raise SchemeError(f"batch_days must be >= 1, got {batch_days}")
+        self.batch_days = batch_days
+        self._pending: list[int] = []
+
+    @property
+    def maintenance_period(self) -> int:
+        """Return the cycle length: rotations and flushes realign at lcm."""
+        import math
+
+        return math.lcm(self.window, self.batch_days)
+
+    def _extra_state(self) -> dict:
+        return {"pending": list(self._pending), "batch_days": self.batch_days}
+
+    @classmethod
+    def construct_for_state(cls, state: dict) -> "BatchedDelScheme":
+        return cls(
+            state["window"],
+            state["n_indexes"],
+            batch_days=state["extra"]["batch_days"],
+        )
+
+    def _restore_extra(self, extra: dict) -> None:
+        if extra["batch_days"] != self.batch_days:
+            from ...errors import SchemeError
+
+            raise SchemeError(
+                f"checkpoint is for batch_days={extra['batch_days']}, "
+                f"not {self.batch_days}"
+            )
+        self._pending = list(extra["pending"])
+
+    @property
+    def pending_expired(self) -> tuple[int, ...]:
+        """Return expired days awaiting the next batch flush."""
+        return tuple(self._pending)
+
+    def _start(self) -> list[Op]:
+        plan: list[Op] = []
+        clusters = partition_days(1, self.window, self.n_indexes)
+        for name, cluster in zip(self.index_names, clusters):
+            self.days[name] = set(cluster)
+            plan.append(
+                BuildOp(target=name, days=tuple(cluster), phase=Phase.TRANSITION)
+            )
+        return plan
+
+    def _transition(self, new_day: int) -> list[Op]:
+        expired = new_day - self.window
+        target = self.constituent_covering(expired)
+        self._pending.append(expired)
+        plan: list[Op] = []
+
+        if len(self._pending) >= self.batch_days:
+            # Flush: group pending days by the index that still holds them.
+            by_index: dict[str, list[int]] = {}
+            for day in self._pending:
+                holder = self.constituent_covering(day)
+                by_index.setdefault(holder, []).append(day)
+            self._pending = []
+            if target in by_index and len(by_index) == 1:
+                # Common case: everything pending lives in today's target —
+                # fuse the flush with the insert (one shadow).
+                days = sorted(by_index[target])
+                plan.append(
+                    UpdateOp(
+                        target=target,
+                        add_days=(new_day,),
+                        delete_days=tuple(days),
+                        phase=Phase.TRANSITION,
+                    )
+                )
+                for day in days:
+                    self.days[target].discard(day)
+                self.days[target].add(new_day)
+                return plan
+            for holder, days in sorted(by_index.items()):
+                plan.append(
+                    DeleteOp(
+                        target=holder,
+                        days=tuple(sorted(days)),
+                        phase=Phase.PRECOMPUTE,
+                    )
+                )
+                for day in days:
+                    self.days[holder].discard(day)
+
+        plan.append(AddOp(target=target, days=(new_day,), phase=Phase.TRANSITION))
+        self.days[target].add(new_day)
+        return plan

@@ -1,0 +1,46 @@
+"""DEL: delete-then-insert maintenance (Appendix A, Figure 12).
+
+Every day, the constituent holding the expiring day ``new − W`` has that
+day's entries deleted and the new day's entries inserted.  Hard windows.
+The daily delete and insert are fused into one :class:`UpdateOp` so that a
+simple-shadow execution copies the index once, matching Table 10's
+``(W/n)·CP + Del`` pre-computation + ``Add`` transition split.
+"""
+
+from __future__ import annotations
+
+from ..ops import BuildOp, Op, Phase, UpdateOp
+from ..timeset import partition_days
+from .base import WaveScheme
+
+
+class DelScheme(WaveScheme):
+    """The paper's DEL algorithm."""
+
+    name = "DEL"
+    hard_window = True
+    min_indexes = 1
+
+    def _start(self) -> list[Op]:
+        plan: list[Op] = []
+        clusters = partition_days(1, self.window, self.n_indexes)
+        for name, cluster in zip(self.index_names, clusters):
+            self.days[name] = set(cluster)
+            plan.append(
+                BuildOp(target=name, days=tuple(cluster), phase=Phase.TRANSITION)
+            )
+        return plan
+
+    def _transition(self, new_day: int) -> list[Op]:
+        expired = new_day - self.window
+        target = self.constituent_covering(expired)
+        self.days[target].discard(expired)
+        self.days[target].add(new_day)
+        return [
+            UpdateOp(
+                target=target,
+                add_days=(new_day,),
+                delete_days=(expired,),
+                phase=Phase.TRANSITION,
+            )
+        ]

@@ -1,0 +1,170 @@
+"""RATA: Reindex And Throw Away (Appendix A, Figure 17).
+
+RATA* keeps WATA*'s cheap transitions (append the new day, throw whole
+indexes away) but restores *hard* windows: a ladder of temporaries holds the
+expiring cluster's surviving suffixes (``T_i`` = its ``i`` youngest days),
+and on each Wait day the constituent holding the expired day is swapped for
+the next rung — physically evicting exactly one day without any deletion
+code.  The ladder for the next cluster is rebuilt at each ThrowAway and is
+charged as pre-computation (the paper notes it can even be spread over
+earlier days, never needing more than two days of indexing per day).
+
+Pseudocode fix-up (documented in DESIGN.md): Figure 17's Wait branch reads
+"Drop I_1"; the index dropped is ``I_j`` — the constituent holding the
+expired day — as Table 7's example shows.
+"""
+
+from __future__ import annotations
+
+from ...errors import SchemeError
+from ..ops import AddOp, BuildOp, CopyOp, DropOp, Op, Phase, RenameOp
+from ..timeset import partition_days
+from .base import WaveScheme
+
+
+def rata_temp_name(i: int) -> str:
+    """Return the name of RATA's ladder rung ``i`` (``R1``, ``R2``, ...).
+
+    RATA rungs are named ``R*`` (not ``T*``) so a trace never confuses them
+    with REINDEX++'s ladder in mixed documentation.
+    """
+    return f"R{i}"
+
+
+class RataStarScheme(WaveScheme):
+    """The paper's RATA* algorithm (built on the WATA* split)."""
+
+    name = "RATA*"
+    hard_window = True
+    min_indexes = 2
+    period_offset = 1
+    uses_temporaries = True
+
+    def __init__(self, window: int, n_indexes: int) -> None:
+        super().__init__(window, n_indexes)
+        self._z: dict[str, int] = {}
+        self._last: str | None = None
+        self._temp_used = 0
+
+    def _extra_state(self) -> dict:
+        return {
+            "z": dict(self._z),
+            "last": self._last,
+            "temp_used": self._temp_used,
+        }
+
+    def _restore_extra(self, extra: dict) -> None:
+        self._z = dict(extra["z"])
+        self._last = extra["last"]
+        self._temp_used = extra["temp_used"]
+
+    @property
+    def temp_used(self) -> int:
+        """Return the next ladder rung to consume (0 = ladder exhausted)."""
+        return self._temp_used
+
+    def z_sizes(self) -> dict[str, int]:
+        """Return each constituent's day count."""
+        return dict(self._z)
+
+    # ------------------------------------------------------------------
+    # Ladder construction (Figure 17's Initialize)
+    # ------------------------------------------------------------------
+
+    def _initialize_ops(self, suffix_days: list[int], phase: Phase) -> list[Op]:
+        """Build rungs over ``suffix_days`` (next cluster minus oldest day)."""
+        plan: list[Op] = []
+        if not suffix_days:
+            self._temp_used = 0
+            return plan
+        youngest_first = sorted(suffix_days, reverse=True)
+        plan.append(
+            BuildOp(
+                target=rata_temp_name(1), days=(youngest_first[0],), phase=phase
+            )
+        )
+        self.days[rata_temp_name(1)] = {youngest_first[0]}
+        for i, day in enumerate(youngest_first[1:], start=2):
+            plan.append(
+                CopyOp(
+                    source=rata_temp_name(i - 1),
+                    target=rata_temp_name(i),
+                    phase=phase,
+                )
+            )
+            plan.append(AddOp(target=rata_temp_name(i), days=(day,), phase=phase))
+            self.days[rata_temp_name(i)] = (
+                set(self.days[rata_temp_name(i - 1)]) | {day}
+            )
+        self._temp_used = len(suffix_days)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Start / transition
+    # ------------------------------------------------------------------
+
+    def _start(self) -> list[Op]:
+        if self.window < 2:
+            raise SchemeError("RATA* needs a window of at least 2 days")
+        plan: list[Op] = []
+        clusters = partition_days(1, self.window - 1, self.n_indexes - 1)
+        clusters.append([self.window])
+        for name, cluster in zip(self.index_names, clusters):
+            self.days[name] = set(cluster)
+            self._z[name] = len(cluster)
+            plan.append(
+                BuildOp(target=name, days=tuple(cluster), phase=Phase.TRANSITION)
+            )
+        self._last = self.index_names[-1]
+        first_cluster = clusters[0]
+        plan.extend(self._initialize_ops(first_cluster[1:], Phase.POST))
+        return plan
+
+    def _transition(self, new_day: int) -> list[Op]:
+        expired = new_day - self.window
+        holder = self.constituent_covering(expired)
+        others = sum(z for name, z in self._z.items() if name != holder)
+        if others == self.window - 1:
+            return self._throw_away(holder, expired, new_day)
+        return self._wait(holder, expired, new_day)
+
+    def _throw_away(self, holder: str, expired: int, new_day: int) -> list[Op]:
+        """The holder is down to its last (expiring) day: restart it."""
+        plan: list[Op] = [
+            DropOp(target=holder, phase=Phase.TRANSITION),
+            BuildOp(target=holder, days=(new_day,), phase=Phase.TRANSITION),
+        ]
+        self.days[holder] = {new_day}
+        self._z[holder] = 1
+        self._last = holder
+        # Prepare the ladder for the next cluster to be trimmed.
+        next_holder = self.constituent_covering(expired + 1)
+        suffix = sorted(set(self.days[next_holder]) - {expired + 1})
+        plan.extend(self._initialize_ops(suffix, Phase.POST))
+        return plan
+
+    def _wait(self, holder: str, expired: int, new_day: int) -> list[Op]:
+        """Append the new day; evict the expired one via the ladder."""
+        assert self._last is not None
+        if self._temp_used == 0:
+            raise SchemeError(
+                f"RATA* ladder exhausted on day {new_day}: holder {holder} "
+                f"still has days {sorted(self.days[holder])}"
+            )
+        plan: list[Op] = [
+            AddOp(target=self._last, days=(new_day,), phase=Phase.TRANSITION)
+        ]
+        self.days[self._last].add(new_day)
+        self._z[self._last] += 1
+
+        rung = rata_temp_name(self._temp_used)
+        plan.append(DropOp(target=holder, phase=Phase.TRANSITION))
+        plan.append(RenameOp(source=rung, target=holder, phase=Phase.TRANSITION))
+        self.days[holder] = self.days.pop(rung)
+        self._z[holder] = len(self.days[holder])
+        self._temp_used -= 1
+        if expired in self.days[holder]:
+            raise SchemeError(
+                f"RATA* rung {rung} still contains expired day {expired}"
+            )
+        return plan

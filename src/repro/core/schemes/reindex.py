@@ -1,0 +1,44 @@
+"""REINDEX: rebuild-from-scratch maintenance (Appendix A, Figure 13).
+
+Every day, the constituent holding the expiring day is rebuilt from scratch
+over its surviving days plus the new day.  Hard windows; the rebuilt index
+is always packed; no deletion code is ever needed — the paper's "simpler
+code / better structured index" trade against rebuilding ``W/n`` days daily.
+"""
+
+from __future__ import annotations
+
+from ..ops import BuildOp, Op, Phase
+from ..timeset import partition_days
+from .base import WaveScheme
+
+
+class ReindexScheme(WaveScheme):
+    """The paper's REINDEX algorithm."""
+
+    name = "REINDEX"
+    hard_window = True
+    min_indexes = 1
+
+    def _start(self) -> list[Op]:
+        plan: list[Op] = []
+        clusters = partition_days(1, self.window, self.n_indexes)
+        for name, cluster in zip(self.index_names, clusters):
+            self.days[name] = set(cluster)
+            plan.append(
+                BuildOp(target=name, days=tuple(cluster), phase=Phase.TRANSITION)
+            )
+        return plan
+
+    def _transition(self, new_day: int) -> list[Op]:
+        expired = new_day - self.window
+        target = self.constituent_covering(expired)
+        self.days[target].discard(expired)
+        self.days[target].add(new_day)
+        return [
+            BuildOp(
+                target=target,
+                days=tuple(sorted(self.days[target])),
+                phase=Phase.TRANSITION,
+            )
+        ]

@@ -1,0 +1,136 @@
+"""REINDEX+: reindexing with one staging index (Appendix A, Figure 14).
+
+REINDEX recomputes the entries of recently arrived days over and over while
+their cluster cycles through; REINDEX+ keeps a temporary index ``Temp``
+accumulating the current cycle's new days so each is indexed once into Temp
+and the shrinking tail of old days is what gets re-added.  On average this
+halves REINDEX's daily indexing work at the price of Temp's extra space.
+
+Per-transition cases, exactly as in Figure 14 (Table 5's example):
+
+* ``Temp`` empty — first day of a cluster cycle: build Temp from the new
+  day, copy it over the expiring constituent, re-add the surviving days.
+* ``DaysToAdd`` empty — last day of a cycle: the constituent becomes a copy
+  of Temp (which can be taken *before* the new data arrives → precompute)
+  plus the new day; Temp resets.
+* otherwise — middle of a cycle: add the new day to Temp, copy Temp over
+  the constituent, re-add the remaining old days.
+
+Pseudocode fix-up (documented in DESIGN.md): for size-1 clusters Figure 14's
+``Temp`` would leak into the next cluster's cycle; a cycle over a size-1
+cluster both starts and ends on the same day, so Temp is reset immediately
+and the transition degenerates to a plain rebuild — REINDEX's behaviour,
+which is also the right cost model for ``W = n``.
+"""
+
+from __future__ import annotations
+
+from ...errors import SchemeError
+from ..ops import AddOp, BuildOp, CopyOp, CreateEmptyOp, Op, Phase
+from ..timeset import partition_days
+from .base import WaveScheme
+
+TEMP = "Temp"
+
+
+class ReindexPlusScheme(WaveScheme):
+    """The paper's REINDEX+ algorithm."""
+
+    name = "REINDEX+"
+    hard_window = True
+    min_indexes = 1
+    uses_temporaries = True
+
+    def __init__(self, window: int, n_indexes: int) -> None:
+        super().__init__(window, n_indexes)
+        self._temp_days: set[int] | None = None  # None <=> Temp = phi
+        self._days_to_add: set[int] = set()
+
+    def _extra_state(self) -> dict:
+        return {
+            "temp_days": None
+            if self._temp_days is None
+            else sorted(self._temp_days),
+            "days_to_add": sorted(self._days_to_add),
+        }
+
+    def _restore_extra(self, extra: dict) -> None:
+        temp = extra["temp_days"]
+        self._temp_days = None if temp is None else set(temp)
+        self._days_to_add = set(extra["days_to_add"])
+
+    @property
+    def temp_days(self) -> set[int]:
+        """Return Temp's current time-set (empty when Temp = phi)."""
+        return set(self._temp_days or ())
+
+    @property
+    def days_to_add(self) -> set[int]:
+        """Return the surviving old days still re-added each transition."""
+        return set(self._days_to_add)
+
+    def _start(self) -> list[Op]:
+        plan: list[Op] = []
+        clusters = partition_days(1, self.window, self.n_indexes)
+        for name, cluster in zip(self.index_names, clusters):
+            self.days[name] = set(cluster)
+            plan.append(
+                BuildOp(target=name, days=tuple(cluster), phase=Phase.TRANSITION)
+            )
+        plan.append(CreateEmptyOp(target=TEMP, phase=Phase.TRANSITION))
+        self._temp_days = None
+        self.days[TEMP] = set()
+        return plan
+
+    def _transition(self, new_day: int) -> list[Op]:
+        expired = new_day - self.window
+        target = self.constituent_covering(expired)
+        plan: list[Op] = []
+
+        if self._temp_days is None:
+            # First day of a cluster cycle.
+            self._days_to_add = set(self.days[target]) - {expired}
+            if self._days_to_add:
+                plan.append(BuildOp(target=TEMP, days=(new_day,)))
+                plan.append(CopyOp(source=TEMP, target=target))
+                plan.append(
+                    AddOp(target=target, days=tuple(sorted(self._days_to_add)))
+                )
+                self._temp_days = {new_day}
+            else:
+                # Size-1 cluster: the cycle starts and ends today, so Temp
+                # never materialises — a plain rebuild (REINDEX behaviour).
+                plan.append(BuildOp(target=target, days=(new_day,)))
+                self._temp_days = None
+        elif not self._days_to_add:
+            # Last day of a cycle: constituent = Temp + new day.
+            plan.append(
+                CopyOp(source=TEMP, target=target, phase=Phase.PRECOMPUTE)
+            )
+            plan.append(AddOp(target=target, days=(new_day,)))
+            plan.append(CreateEmptyOp(target=TEMP, phase=Phase.POST))
+            self._temp_days = None
+        else:
+            # Middle of a cycle.
+            plan.append(AddOp(target=TEMP, days=(new_day,)))
+            plan.append(CopyOp(source=TEMP, target=target))
+            plan.append(
+                AddOp(target=target, days=tuple(sorted(self._days_to_add)))
+            )
+            self._temp_days.add(new_day)
+
+        self.days[target].discard(expired)
+        self.days[target].add(new_day)
+        self.days[TEMP] = set(self._temp_days or ())
+        # Figure 14 step 6: tomorrow one fewer old day needs re-adding.
+        self._days_to_add.discard(new_day - self.window + 1)
+        self._check_books(target)
+        return plan
+
+    def _check_books(self, target: str) -> None:
+        temp = self._temp_days or set()
+        if not (temp <= self.days[target] or not temp):
+            raise SchemeError(
+                f"REINDEX+ bookkeeping drifted: Temp={sorted(temp)} not within "
+                f"{target}={sorted(self.days[target])}"
+            )

@@ -1,0 +1,155 @@
+"""REINDEX++: staged reindexing with pre-built temporaries (Figure 15).
+
+REINDEX+ still does its copying and re-adding on the critical path after
+the new data arrives.  REINDEX++ pre-builds a ladder of temporaries
+``T_1 ⊂ T_2 ⊂ ... `` over the *next* expiring cluster's surviving suffixes
+(``T_i`` holds the cluster's ``i`` youngest days), so that when a new day
+arrives the transition is just "add the day to the top unused temporary and
+rename it as the constituent" — one ``Add``, after which the data is
+queryable.  Everything else (topping up the lower temporaries, rebuilding
+the ladder at cluster boundaries) happens off the critical path and is
+charged as pre-computation, exactly the trade Table 10 and Figure 4 report.
+
+The ladder for a size-1 cluster is empty (``Initialize`` of the empty set):
+every transition then takes the ``TempUsed == 0`` path, adding the new day
+to an empty ``T_0`` — which is precisely REINDEX with daily rebuilds, and
+keeps the algorithm total for all ``1 <= n <= W``.
+"""
+
+from __future__ import annotations
+
+from ...errors import SchemeError
+from ..ops import AddOp, BuildOp, CopyOp, CreateEmptyOp, Op, Phase, RenameOp
+from ..timeset import partition_days
+from .base import WaveScheme
+
+
+def temp_name(i: int) -> str:
+    """Return the name of temporary ladder rung ``i`` (``T0``, ``T1``, ...)."""
+    return f"T{i}"
+
+
+class ReindexPlusPlusScheme(WaveScheme):
+    """The paper's REINDEX++ algorithm."""
+
+    name = "REINDEX++"
+    hard_window = True
+    min_indexes = 1
+    uses_temporaries = True
+
+    def __init__(self, window: int, n_indexes: int) -> None:
+        super().__init__(window, n_indexes)
+        self._temp_used = 0
+        self._days_to_add: set[int] = set()
+
+    def _extra_state(self) -> dict:
+        return {
+            "temp_used": self._temp_used,
+            "days_to_add": sorted(self._days_to_add),
+        }
+
+    def _restore_extra(self, extra: dict) -> None:
+        self._temp_used = extra["temp_used"]
+        self._days_to_add = set(extra["days_to_add"])
+
+    @property
+    def temp_used(self) -> int:
+        """Return the index of the next ladder rung to be consumed."""
+        return self._temp_used
+
+    # ------------------------------------------------------------------
+    # Ladder construction (Figure 15's Initialize)
+    # ------------------------------------------------------------------
+
+    def _initialize_ops(self, suffix_days: list[int], phase: Phase) -> list[Op]:
+        """Build the temporary ladder over ``suffix_days``.
+
+        ``suffix_days`` is the next-expiring cluster minus its oldest day,
+        ascending.  Rung ``T_i`` ends up holding the ``i`` youngest of them:
+        ``T_1 = {d_k}``, ``T_2 = {d_k, d_k-1}``, ...
+        """
+        plan: list[Op] = [CreateEmptyOp(target=temp_name(0), phase=phase)]
+        self.days[temp_name(0)] = set()
+        if not suffix_days:
+            self._temp_used = 0
+            self._days_to_add = set()
+            return plan
+        youngest_first = sorted(suffix_days, reverse=True)
+        plan.append(
+            BuildOp(target=temp_name(1), days=(youngest_first[0],), phase=phase)
+        )
+        self.days[temp_name(1)] = {youngest_first[0]}
+        for i, day in enumerate(youngest_first[1:], start=2):
+            plan.append(
+                CopyOp(source=temp_name(i - 1), target=temp_name(i), phase=phase)
+            )
+            plan.append(AddOp(target=temp_name(i), days=(day,), phase=phase))
+            self.days[temp_name(i)] = set(self.days[temp_name(i - 1)]) | {day}
+        self._temp_used = len(suffix_days)
+        self._days_to_add = set()
+        return plan
+
+    # ------------------------------------------------------------------
+    # Start / transition
+    # ------------------------------------------------------------------
+
+    def _start(self) -> list[Op]:
+        plan: list[Op] = []
+        clusters = partition_days(1, self.window, self.n_indexes)
+        for name, cluster in zip(self.index_names, clusters):
+            self.days[name] = set(cluster)
+            plan.append(
+                BuildOp(target=name, days=tuple(cluster), phase=Phase.TRANSITION)
+            )
+        first_cluster = clusters[0]
+        plan.extend(self._initialize_ops(first_cluster[1:], Phase.POST))
+        return plan
+
+    def _transition(self, new_day: int) -> list[Op]:
+        expired = new_day - self.window
+        target = self.constituent_covering(expired)
+        plan: list[Op] = []
+
+        if self._temp_used == 0:
+            # Last day of the cluster cycle (or size-1 clusters throughout):
+            # T_0 holds every surviving day already.
+            rung = temp_name(0)
+            plan.append(AddOp(target=rung, days=(new_day,)))
+            self.days[rung].add(new_day)
+            plan.append(RenameOp(source=rung, target=target))
+            self.days[target] = self.days.pop(rung)
+            # Rebuild the ladder for the next cluster to expire.
+            next_target = self.constituent_covering(expired + 1)
+            suffix = sorted(set(self.days[next_target]) - {expired + 1})
+            plan.extend(self._initialize_ops(suffix, Phase.POST))
+        else:
+            rung = temp_name(self._temp_used)
+            self._days_to_add.add(new_day)
+            plan.append(AddOp(target=rung, days=(new_day,)))
+            self.days[rung].add(new_day)
+            plan.append(RenameOp(source=rung, target=target))
+            self.days[target] = self.days.pop(rung)
+            self._temp_used -= 1
+            lower = temp_name(self._temp_used)
+            plan.append(
+                AddOp(
+                    target=lower,
+                    days=tuple(sorted(self._days_to_add)),
+                    phase=Phase.POST,
+                )
+            )
+            self.days[lower].update(self._days_to_add)
+
+        self._check_books(target, new_day)
+        return plan
+
+    def _check_books(self, target: str, new_day: int) -> None:
+        expected = set(
+            range(new_day - self.window + 1, new_day + 1)
+        )
+        covered = self.covered_days()
+        if covered != expected:
+            raise SchemeError(
+                f"REINDEX++ window drifted on day {new_day}: covered "
+                f"{sorted(covered)}, expected {sorted(expected)}"
+            )

@@ -1,0 +1,135 @@
+"""WATA: Wait And Throw Away (Appendix A, Figure 16).
+
+Data is only ever *added*; expired days stay in their index (a soft window)
+until every day in that index has expired, at which point the whole index is
+thrown away in O(1) and a fresh one started with the new day.  No deletion
+code, minimal daily work — at the cost of indexing up to ``⌈(W−1)/(n−1)⌉−1``
+extra expired days.
+
+Two initial splits are provided:
+
+* :class:`WataStarScheme` — the paper's WATA*: the first ``W−1`` days go to
+  indexes ``I_1..I_{n−1}`` and day ``W`` starts ``I_n``.  Theorem 2 proves
+  this split optimal: max length ``W + ⌈(W−1)/(n−1)⌉ − 1``.
+* :class:`WataTable4Scheme` — the alternative clustering of Table 4 (all
+  ``W`` days over ``I_1..I_{n−1}`` with ``I_n`` starting empty), included
+  to regenerate that table and to demonstrate *why* it is worse (length 13
+  vs 12 in the running example).
+
+WATA needs at least two constituents: with one, the single index can never
+fully expire and would grow forever (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from ...errors import SchemeError
+from ..ops import AddOp, BuildOp, DropOp, Op, Phase
+from ..timeset import partition_days
+from .base import WaveScheme
+
+
+class WataStarScheme(WaveScheme):
+    """The paper's WATA* algorithm (length-optimal split)."""
+
+    name = "WATA*"
+    hard_window = False
+    min_indexes = 2
+    period_offset = 1
+
+    #: Which initial split to use; subclasses override.
+    initial_split: ClassVar[str] = "star"
+
+    def __init__(self, window: int, n_indexes: int) -> None:
+        super().__init__(window, n_indexes)
+        self._z: dict[str, int] = {}
+        self._last: str | None = None
+
+    def _extra_state(self) -> dict:
+        return {"z": dict(self._z), "last": self._last}
+
+    def _restore_extra(self, extra: dict) -> None:
+        self._z = dict(extra["z"])
+        self._last = extra["last"]
+
+    @property
+    def last_modified(self) -> str | None:
+        """Return the name of the index currently receiving new days."""
+        return self._last
+
+    def z_sizes(self) -> dict[str, int]:
+        """Return each constituent's day count (the pseudocode's ``Z``)."""
+        return dict(self._z)
+
+    def _initial_clusters(self) -> list[list[int]]:
+        if self.initial_split == "star":
+            clusters = partition_days(1, self.window - 1, self.n_indexes - 1)
+            clusters.append([self.window])
+            return clusters
+        # Table-4 split: all W days over n-1 indexes, I_n starts empty.
+        clusters = partition_days(1, self.window, self.n_indexes - 1)
+        clusters.append([])
+        return clusters
+
+    def _start(self) -> list[Op]:
+        if self.initial_split == "star" and self.window < 2:
+            raise SchemeError("WATA* needs a window of at least 2 days")
+        plan: list[Op] = []
+        clusters = self._initial_clusters()
+        for name, cluster in zip(self.index_names, clusters):
+            self.days[name] = set(cluster)
+            self._z[name] = len(cluster)
+            plan.append(
+                BuildOp(target=name, days=tuple(cluster), phase=Phase.TRANSITION)
+            )
+        self._last = self.index_names[-1]
+        return plan
+
+    def _transition(self, new_day: int) -> list[Op]:
+        expired = new_day - self.window
+        holder = self.constituent_covering(expired)
+        others = sum(z for name, z in self._z.items() if name != holder)
+        if others == self.window - 1:
+            return self._throw_away(holder, new_day)
+        return self._wait(new_day)
+
+    def _throw_away(self, holder: str, new_day: int) -> list[Op]:
+        """Every day in ``holder`` has expired: drop it, restart with today."""
+        self.days[holder] = {new_day}
+        self._z[holder] = 1
+        self._last = holder
+        return [
+            DropOp(target=holder, phase=Phase.TRANSITION),
+            BuildOp(target=holder, days=(new_day,), phase=Phase.TRANSITION),
+        ]
+
+    def _wait(self, new_day: int) -> list[Op]:
+        """Append the new day to the most recently (re)started index."""
+        assert self._last is not None
+        self.days[self._last].add(new_day)
+        self._z[self._last] += 1
+        return [AddOp(target=self._last, days=(new_day,), phase=Phase.TRANSITION)]
+
+    # ------------------------------------------------------------------
+    # Theorem 2 helpers
+    # ------------------------------------------------------------------
+
+    def length(self) -> int:
+        """Return the current length: total days across constituents."""
+        return sum(self._z.values())
+
+    def max_length_bound(self) -> int:
+        """Return Theorem 2's bound: ``W + ⌈(W−1)/(n−1)⌉ − 1``."""
+        import math
+
+        return self.window + math.ceil(
+            (self.window - 1) / (self.n_indexes - 1)
+        ) - 1
+
+
+class WataTable4Scheme(WataStarScheme):
+    """The alternate WATA clustering of Table 4 (eager full-window split)."""
+
+    name = "WATA(table4)"
+    initial_split = "table4"

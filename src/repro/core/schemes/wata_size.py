@@ -1,0 +1,139 @@
+"""Size-aware WATA: the known-horizon segment cap as a runnable scheme.
+
+Section 3.3 distinguishes index *length* (days) from index *size* (bytes)
+under non-uniform daily volumes.  WATA* optimises length; Kleinberg et
+al.'s known-horizon algorithm optimises size when the maximum window size
+``M`` is known, by capping every segment at ``M/(n−1)`` so the expired
+residue never exceeds one capped segment (total ≤ ``M·n/(n−1)``).
+
+:class:`WataSizeAwareScheme` turns that rule into a wave-index maintenance
+scheme: it behaves like WATA* but *also* rolls to a fresh constituent when
+adding the new day would push the receiving segment over the cap — provided
+a fully expired constituent is available to recycle.  When none is (the
+``n``-index constraint binds), it must keep appending; the size guarantee
+then requires the cap to be respected by construction, which holds whenever
+``M`` really bounds every window (Kleinberg's premise) — the property tests
+exercise both regimes.
+
+Day volumes are supplied by a ``day_size`` callable so the scheme can make
+online decisions from data it has actually seen.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ...errors import SchemeError
+from ..ops import AddOp, BuildOp, DropOp, Op, Phase
+from .wata import WataStarScheme
+
+
+class WataSizeAwareScheme(WataStarScheme):
+    """WATA with a per-segment size cap of ``max_window_size / (n−1)``."""
+
+    name = "WATA(size)"
+
+    def __init__(
+        self,
+        window: int,
+        n_indexes: int,
+        *,
+        max_window_size: float,
+        day_size: Callable[[int], float],
+    ) -> None:
+        super().__init__(window, n_indexes)
+        if max_window_size <= 0:
+            raise SchemeError("max_window_size must be > 0")
+        self.max_window_size = max_window_size
+        self.day_size = day_size
+        self._cap = max_window_size / (n_indexes - 1)
+        #: Current data size per constituent, maintained online.
+        self._sizes: dict[str, float] = {}
+
+    @classmethod
+    def construct_for_state(cls, state: dict) -> "WataSizeAwareScheme":
+        raise SchemeError(
+            "WATA(size) needs its day_size callable, which a checkpoint "
+            "cannot carry; construct the scheme manually and call "
+            "restore_state(state)"
+        )
+
+    def _extra_state(self) -> dict:
+        extra = super()._extra_state()
+        extra["sizes"] = dict(self._sizes)
+        extra["max_window_size"] = self.max_window_size
+        return extra
+
+    def _restore_extra(self, extra: dict) -> None:
+        super()._restore_extra(extra)
+        if extra["max_window_size"] != self.max_window_size:
+            raise SchemeError(
+                f"checkpoint is for max_window_size="
+                f"{extra['max_window_size']}, not {self.max_window_size}"
+            )
+        self._sizes = dict(extra["sizes"])
+
+    def size_bound(self) -> float:
+        """Return the guaranteed total-size bound ``M·n/(n−1)``."""
+        return self.max_window_size * self.n_indexes / (self.n_indexes - 1)
+
+    def total_size(self) -> float:
+        """Return the current total indexed size (expired days included)."""
+        return sum(self._sizes.values())
+
+    # ------------------------------------------------------------------
+    # Start / transition
+    # ------------------------------------------------------------------
+
+    def _start(self) -> list[Op]:
+        plan = super()._start()
+        self._sizes = {
+            name: sum(self.day_size(d) for d in days)
+            for name, days in self.constituent_days().items()
+        }
+        return plan
+
+    def _transition(self, new_day: int) -> list[Op]:
+        expired = new_day - self.window
+        holder = self.constituent_covering(expired)
+        others = sum(z for name, z in self._z.items() if name != holder)
+
+        if others == self.window - 1:
+            # Mandatory ThrowAway: the holder is fully expired.
+            plan = self._throw_away(holder, new_day)
+            self._sizes[holder] = self.day_size(new_day)
+            return plan
+
+        assert self._last is not None
+        new_size = self.day_size(new_day)
+        if self._sizes.get(self._last, 0.0) + new_size > self._cap:
+            recyclable = self._fully_expired_constituent(new_day)
+            if recyclable is not None:
+                # Early roll: recycle an expired constituent for the new
+                # segment instead of busting the cap.
+                plan: list[Op] = [
+                    DropOp(target=recyclable, phase=Phase.TRANSITION),
+                    BuildOp(
+                        target=recyclable,
+                        days=(new_day,),
+                        phase=Phase.TRANSITION,
+                    ),
+                ]
+                self.days[recyclable] = {new_day}
+                self._z[recyclable] = 1
+                self._sizes[recyclable] = new_size
+                self._last = recyclable
+                return plan
+
+        plan = self._wait(new_day)
+        self._sizes[self._last] = self._sizes.get(self._last, 0.0) + new_size
+        return plan
+
+    def _fully_expired_constituent(self, new_day: int) -> str | None:
+        """Return a constituent whose every day has expired, if any."""
+        oldest_live = new_day - self.window + 1
+        for name in self.index_names:
+            days = self.days.get(name, set())
+            if days and max(days) < oldest_live:
+                return name
+        return None

@@ -1,0 +1,117 @@
+"""Symbolic (day-set) execution of operation plans.
+
+Applies the same plans the storage executor runs, but to nothing more than
+``name -> set-of-days`` bindings.  Used by:
+
+* the trace recorder (:mod:`repro.core.trace`) that regenerates Tables 1–7,
+* the analytic cost model (:mod:`repro.analysis.daycount`), which charges
+  each op from the day counts it observes here,
+* property tests, which can run thousands of symbolic days cheaply.
+
+Because the plans are identical objects, any divergence between symbolic
+and storage execution is a bug, and a differential test asserts they agree
+day by day.
+"""
+
+from __future__ import annotations
+
+from ..errors import SchemeError
+from .ops import (
+    AddOp,
+    BuildOp,
+    CopyOp,
+    CreateEmptyOp,
+    DeleteOp,
+    DropOp,
+    Op,
+    RenameOp,
+    UpdateOp,
+)
+
+
+class SymbolicState:
+    """Day-set bindings manipulated by plans."""
+
+    def __init__(self, constituent_names: list[str]) -> None:
+        self.constituents = list(constituent_names)
+        self._constituent_set = frozenset(constituent_names)
+        self.bindings: dict[str, set[int]] = {}
+
+    def is_constituent(self, name: str) -> bool:
+        """Return ``True`` if ``name`` is a queryable wave-index member."""
+        return name in self._constituent_set
+
+    def get(self, name: str) -> set[int]:
+        """Return the day-set bound to ``name``."""
+        try:
+            return self.bindings[name]
+        except KeyError:
+            raise SchemeError(f"symbolic: no binding for {name!r}") from None
+
+    def covered_days(self) -> set[int]:
+        """Return the union of the constituents' day-sets."""
+        union: set[int] = set()
+        for name in self.constituents:
+            union.update(self.bindings.get(name, ()))
+        return union
+
+    def constituent_days(self) -> dict[str, set[int]]:
+        """Return each constituent's day-set (empty set when unbound)."""
+        return {
+            name: set(self.bindings.get(name, set()))
+            for name in self.constituents
+        }
+
+    def temporary_days(self) -> dict[str, set[int]]:
+        """Return the day-sets of non-constituent bindings."""
+        return {
+            name: set(days)
+            for name, days in self.bindings.items()
+            if name not in self._constituent_set
+        }
+
+    def total_constituent_days(self) -> int:
+        """Return the wave index's length: Σ|I_j| over constituents."""
+        return sum(
+            len(self.bindings.get(name, ())) for name in self.constituents
+        )
+
+    def total_days_including_temps(self) -> int:
+        """Return Σ|binding| over every binding, temporaries included."""
+        return sum(len(days) for days in self.bindings.values())
+
+    # ------------------------------------------------------------------
+    # Plan application
+    # ------------------------------------------------------------------
+
+    def apply(self, op: Op) -> None:
+        """Apply one op to the bindings."""
+        if isinstance(op, BuildOp):
+            self.bindings[op.target] = set(op.days)
+        elif isinstance(op, CreateEmptyOp):
+            self.bindings[op.target] = set()
+        elif isinstance(op, AddOp):
+            self.get(op.target).update(op.days)
+        elif isinstance(op, DeleteOp):
+            self.get(op.target).difference_update(op.days)
+        elif isinstance(op, UpdateOp):
+            days = self.get(op.target)
+            days.difference_update(op.delete_days)
+            days.update(op.add_days)
+        elif isinstance(op, CopyOp):
+            self.bindings[op.target] = set(self.get(op.source))
+        elif isinstance(op, RenameOp):
+            if op.source not in self.bindings:
+                raise SchemeError(f"symbolic: rename of unbound {op.source!r}")
+            self.bindings[op.target] = self.bindings.pop(op.source)
+        elif isinstance(op, DropOp):
+            if op.target not in self.bindings:
+                raise SchemeError(f"symbolic: drop of unbound {op.target!r}")
+            del self.bindings[op.target]
+        else:
+            raise SchemeError(f"symbolic: unknown op {op!r}")
+
+    def apply_plan(self, plan: list[Op]) -> None:
+        """Apply a whole plan in order."""
+        for op in plan:
+            self.apply(op)

@@ -1,0 +1,81 @@
+"""Time-set helpers: partitioning windows of days into clusters.
+
+The paper represents the days covered by a constituent index as a set of
+integers (its *time-set*) and partitions the initial window per the Start
+procedures of Appendix A: for ``W`` days over ``n`` indexes, the first
+``W mod n`` clusters get ``ceil(W/n)`` days and the rest get ``floor(W/n)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import SchemeError
+
+
+def validate_window(window: int, n_indexes: int, *, minimum_indexes: int = 1) -> None:
+    """Validate a ``(W, n)`` configuration common to all schemes.
+
+    Raises:
+        SchemeError: If the window is empty, there are too few/many indexes,
+            or a scheme-specific minimum is violated.
+    """
+    if window < 1:
+        raise SchemeError(f"window must be >= 1 day, got {window}")
+    if n_indexes < minimum_indexes:
+        raise SchemeError(
+            f"scheme requires at least {minimum_indexes} constituent "
+            f"indexes, got {n_indexes}"
+        )
+    if n_indexes > window:
+        raise SchemeError(
+            f"cannot spread {window} days over {n_indexes} indexes "
+            "(each cluster needs at least one day)"
+        )
+
+
+def partition_days(first_day: int, total_days: int, n_clusters: int) -> list[list[int]]:
+    """Split ``total_days`` consecutive days into ``n_clusters`` clusters.
+
+    Days run ``first_day .. first_day + total_days - 1``.  Per Appendix A,
+    the first ``total_days mod n_clusters`` clusters receive
+    ``ceil(total_days / n_clusters)`` days, the rest the floor.  Clusters are
+    returned oldest first, each as an ascending day list.
+    """
+    if n_clusters < 1:
+        raise SchemeError(f"need at least one cluster, got {n_clusters}")
+    if total_days < n_clusters:
+        raise SchemeError(
+            f"cannot split {total_days} days into {n_clusters} non-empty clusters"
+        )
+    big = math.ceil(total_days / n_clusters)
+    small = total_days // n_clusters
+    n_big = total_days % n_clusters
+    clusters = []
+    day = first_day
+    for i in range(n_clusters):
+        size = big if i < n_big else small
+        clusters.append(list(range(day, day + size)))
+        day += size
+    return clusters
+
+
+def cluster_lengths(total_days: int, n_clusters: int) -> list[int]:
+    """Return just the sizes produced by :func:`partition_days`."""
+    return [len(c) for c in partition_days(1, total_days, n_clusters)]
+
+
+def is_contiguous(days: set[int] | frozenset[int]) -> bool:
+    """Return ``True`` if ``days`` is a run of consecutive integers.
+
+    Every scheme in the paper maintains contiguous time-sets; the property
+    tests assert this after every transition.
+    """
+    if not days:
+        return True
+    return max(days) - min(days) + 1 == len(days)
+
+
+def window_days(current_day: int, window: int) -> set[int]:
+    """Return the hard window ending at ``current_day``: the last ``window`` days."""
+    return set(range(current_day - window + 1, current_day + 1))

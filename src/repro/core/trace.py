@@ -1,0 +1,87 @@
+"""Transition-table traces: regenerating the paper's Tables 1–7.
+
+Runs a scheme symbolically day by day and records, per day, the operations
+executed (rendered in the paper's notation) and the day-sets of every index
+afterwards — exactly the columns of the example tables in Sections 1–4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .schemes.base import WaveScheme
+from .symbolic import SymbolicState
+
+
+@dataclass(frozen=True)
+class TraceRow:
+    """One row of a transition table."""
+
+    day: int
+    operations: tuple[str, ...]
+    constituents: dict[str, tuple[int, ...]]
+    temporaries: dict[str, tuple[int, ...]]
+
+    def cell(self, name: str) -> str:
+        """Return a table cell like ``{d2, d3}`` for index ``name``."""
+        days = self.constituents.get(name) or self.temporaries.get(name) or ()
+        return "{" + ", ".join(f"d{d}" for d in days) + "}"
+
+
+def trace_scheme(scheme: WaveScheme, last_day: int) -> list[TraceRow]:
+    """Drive ``scheme`` from its start day through ``last_day``.
+
+    Returns one row per day, the first being the Start row (day ``W``).
+    """
+    if last_day < scheme.window:
+        raise ValueError(
+            f"last_day must be >= the window ({scheme.window}), got {last_day}"
+        )
+    state = SymbolicState(scheme.index_names)
+    rows: list[TraceRow] = []
+
+    plan = scheme.start_ops()
+    state.apply_plan(plan)
+    rows.append(_row(scheme.window, plan, state))
+
+    for day in range(scheme.window + 1, last_day + 1):
+        plan = scheme.transition_ops(day)
+        state.apply_plan(plan)
+        rows.append(_row(day, plan, state))
+    return rows
+
+
+def _row(day: int, plan, state: SymbolicState) -> TraceRow:
+    return TraceRow(
+        day=day,
+        operations=tuple(op.describe() for op in plan),
+        constituents={
+            name: tuple(sorted(days))
+            for name, days in state.constituent_days().items()
+        },
+        temporaries={
+            name: tuple(sorted(days))
+            for name, days in state.temporary_days().items()
+        },
+    )
+
+
+def format_trace(rows: list[TraceRow], *, title: str = "") -> str:
+    """Render rows as a text table in the paper's style."""
+    names = list(rows[0].constituents) if rows else []
+    temp_names = sorted({name for row in rows for name in row.temporaries})
+    header = ["Day", "Operation"] + names + temp_names
+    table: list[list[str]] = [header]
+    for row in rows:
+        ops = "; ".join(row.operations)
+        cells = [str(row.day), ops]
+        cells += [row.cell(name) for name in names]
+        cells += [row.cell(name) for name in temp_names]
+        table.append(cells)
+    widths = [max(len(r[i]) for r in table) for i in range(len(header))]
+    lines = []
+    if title:
+        lines.append(title)
+    for r in table:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,232 @@
+"""The wave index: a set of constituent indexes covering a window of days.
+
+A :class:`WaveIndex` owns the name -> index bindings that the maintenance
+schemes manipulate.  Bindings split into *constituents* (``I1`` .. ``In``,
+the queryable members of Θ) and *temporaries* (``Temp``, ``T0`` ... — the
+staging indexes of REINDEX+/REINDEX++/RATA*, invisible to queries).
+
+Queries implement Section 2.2: a ``TimedIndexProbe``/``TimedSegmentScan``
+touches only the constituents whose time-sets intersect the requested range
+and filters retrieved entries by their insert-day timestamps (WATA's soft
+windows can hold expired days, which timestamp filtering hides).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..errors import WaveIndexError
+from ..index.config import IndexConfig
+from ..index.constituent import ConstituentIndex
+from ..index.entry import Entry
+from ..storage.disk import SimulatedDisk
+from .queries import ProbeResult, ScanResult
+
+#: Sentinel range bounds for the untimed query forms.
+NEG_INF = -(10**9)
+POS_INF = 10**9
+
+
+def constituent_names(n_indexes: int) -> list[str]:
+    """Return the standard constituent names ``I1`` .. ``In``."""
+    return [f"I{i}" for i in range(1, n_indexes + 1)]
+
+
+class WaveIndex:
+    """A collection of named constituent indexes over a sliding window.
+
+    Args:
+        disk: The simulated device all constituents live on.
+        config: Index configuration (entry size, CONTIGUOUS policy,
+            directory flavour).
+        n_indexes: Number of constituent indexes ``n``.
+    """
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        config: IndexConfig,
+        n_indexes: int,
+    ) -> None:
+        if n_indexes < 1:
+            raise WaveIndexError(f"need at least one index, got {n_indexes}")
+        self.disk = disk
+        self.config = config
+        self.constituents = constituent_names(n_indexes)
+        self._constituent_set = frozenset(self.constituents)
+        self.bindings: dict[str, ConstituentIndex] = {}
+
+    # ------------------------------------------------------------------
+    # Binding management (used by the executor)
+    # ------------------------------------------------------------------
+
+    def is_constituent(self, name: str) -> bool:
+        """Return ``True`` if ``name`` is a queryable member of Θ."""
+        return name in self._constituent_set
+
+    def get(self, name: str) -> ConstituentIndex:
+        """Return the index bound to ``name``.
+
+        Raises:
+            WaveIndexError: If nothing is bound.
+        """
+        try:
+            return self.bindings[name]
+        except KeyError:
+            raise WaveIndexError(f"no index bound to {name!r}") from None
+
+    def get_optional(self, name: str) -> ConstituentIndex | None:
+        """Return the binding for ``name`` or ``None``."""
+        return self.bindings.get(name)
+
+    def bind(self, name: str, index: ConstituentIndex) -> None:
+        """Bind ``name`` to ``index``, dropping any previous binding.
+
+        The old index is dropped *after* the new binding is installed, which
+        is the shadow-swap order every scheme relies on.
+        """
+        old = self.bindings.get(name)
+        index.name = name
+        self.bindings[name] = index
+        if old is not None and old is not index:
+            old.drop()
+
+    def unbind(self, name: str) -> ConstituentIndex:
+        """Remove and return the binding for ``name`` (without dropping it)."""
+        try:
+            return self.bindings.pop(name)
+        except KeyError:
+            raise WaveIndexError(f"no index bound to {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def live_constituents(self) -> Iterator[ConstituentIndex]:
+        """Iterate the currently bound constituent indexes in I1..In order."""
+        for name in self.constituents:
+            index = self.bindings.get(name)
+            if index is not None:
+                yield index
+
+    def covered_days(self) -> set[int]:
+        """Return the union of the constituents' time-sets."""
+        days: set[int] = set()
+        for index in self.live_constituents():
+            days.update(index.time_set)
+        return days
+
+    def days_by_name(self) -> dict[str, set[int]]:
+        """Return each binding's time-set (constituents and temporaries)."""
+        return {
+            name: set(index.time_set) for name, index in self.bindings.items()
+        }
+
+    @property
+    def constituent_bytes(self) -> int:
+        """Return bytes pinned by constituent indexes."""
+        return sum(i.allocated_bytes for i in self.live_constituents())
+
+    @property
+    def total_bytes(self) -> int:
+        """Return bytes pinned by all bindings, temporaries included."""
+        return sum(i.allocated_bytes for i in self.bindings.values())
+
+    @property
+    def total_length_days(self) -> int:
+        """Return the wave index's *length*: total days in constituents.
+
+        This is the Appendix-B measure ``length(Θ)`` = Σ|I_j|; for soft
+        window schemes it can exceed the required window ``W``.
+        """
+        return sum(len(i.time_set) for i in self.live_constituents())
+
+    # ------------------------------------------------------------------
+    # Access operations (Section 2.2)
+    # ------------------------------------------------------------------
+
+    def timed_index_probe(self, value: Any, t1: int, t2: int) -> ProbeResult:
+        """``TimedIndexProbe(Θ, t1, t2, value)``.
+
+        Probes each constituent whose time-set intersects ``[t1, t2]`` and
+        keeps entries whose insert day falls in the range.
+        """
+        if t1 > t2:
+            raise WaveIndexError(f"empty time range [{t1}, {t2}]")
+        entries: list[Entry] = []
+        seconds = 0.0
+        probed = 0
+        for index in self.live_constituents():
+            if not any(t1 <= d <= t2 for d in index.time_set):
+                continue
+            probed += 1
+            found, cost = index.timed_probe(value, t1, t2)
+            entries.extend(found)
+            seconds += cost
+        return ProbeResult(tuple(entries), seconds, probed)
+
+    def index_probe(self, value: Any) -> ProbeResult:
+        """``IndexProbe``: probe all constituents, no time restriction."""
+        return self.timed_index_probe(value, NEG_INF, POS_INF)
+
+    def timed_segment_scan(self, t1: int, t2: int) -> ScanResult:
+        """``TimedSegmentScan(Θ, t1, t2)``.
+
+        Scans each constituent whose time-set intersects ``[t1, t2]``; the
+        whole index is transferred (packed or not) and entries outside the
+        range are filtered in memory.
+        """
+        if t1 > t2:
+            raise WaveIndexError(f"empty time range [{t1}, {t2}]")
+        entries: list[Entry] = []
+        seconds = 0.0
+        scanned = 0
+        for index in self.live_constituents():
+            if not any(t1 <= d <= t2 for d in index.time_set):
+                continue
+            scanned += 1
+            found, cost = index.timed_scan(t1, t2)
+            entries.extend(found)
+            seconds += cost
+        return ScanResult(tuple(entries), seconds, scanned)
+
+    def segment_scan(self) -> ScanResult:
+        """``SegmentScan``: scan every constituent, no time restriction."""
+        return self.timed_segment_scan(NEG_INF, POS_INF)
+
+    def cluster_aligned_probe(
+        self, value: Any, t1: int, t2: int
+    ) -> tuple[ProbeResult, bool]:
+        """Probe only constituents whose time-sets lie fully in ``[t1, t2]``.
+
+        Section 2.2's observation: "if we restrict timed queries to only
+        refer to time intervals that correspond to the cluster intervals,
+        then bucket entries do not need insertion times" — every entry of a
+        fully covered constituent is relevant without per-entry filtering,
+        so entries can be stored without timestamps (a smaller
+        ``entry_size_bytes``).
+
+        Returns:
+            ``(result, exact)`` — ``exact`` is ``False`` when some
+            constituent only partially overlaps the range, i.e. the result
+            under-reports and the caller needs a full
+            :meth:`timed_index_probe` (which requires timestamps).
+        """
+        if t1 > t2:
+            raise WaveIndexError(f"empty time range [{t1}, {t2}]")
+        entries: list[Entry] = []
+        seconds = 0.0
+        probed = 0
+        exact = True
+        for index in self.live_constituents():
+            days = index.time_set
+            if not days or not any(t1 <= d <= t2 for d in days):
+                continue
+            if min(days) < t1 or max(days) > t2:
+                exact = False
+                continue
+            probed += 1
+            found, cost = index.probe(value)
+            entries.extend(found)
+            seconds += cost
+        return ProbeResult(tuple(entries), seconds, probed), exact

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the wave-index reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing programming errors (plain ``ValueError``/``TypeError``
+raised for bad arguments at API boundaries) from runtime failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class StorageError(ReproError):
+    """Base class for simulated-storage failures."""
+
+
+class OutOfSpaceError(StorageError):
+    """The simulated disk has no extent large enough for an allocation."""
+
+
+class ExtentError(StorageError):
+    """An extent handle was used incorrectly (double free, stale access)."""
+
+
+class IndexError_(ReproError):
+    """Base class for constituent-index failures.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``IndexError``; exported as ``ConstituentIndexError``.
+    """
+
+
+class DirectoryError(IndexError_):
+    """A directory structure (B+Tree / hash) was used inconsistently."""
+
+
+class BucketOverflowError(IndexError_):
+    """An append would exceed a bucket's allocated capacity.
+
+    Only raised by the *packed* bucket layout, which allocates exactly the
+    space it needs; the CONTIGUOUS layout grows buckets instead.
+    """
+
+
+class WaveIndexError(ReproError):
+    """Base class for wave-index level failures."""
+
+
+class SchemeError(WaveIndexError):
+    """A maintenance scheme was configured or driven incorrectly."""
+
+
+class WindowError(WaveIndexError):
+    """A query or transition referenced days outside the maintained window."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured incorrectly."""
+
+
+# Public alias: ``IndexError_`` reads poorly at call sites.
+ConstituentIndexError = IndexError_

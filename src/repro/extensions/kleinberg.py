@@ -1,0 +1,280 @@
+"""WATA index-size optimisation: offline optimum and known-horizon online.
+
+Section 3.3 cites Kleinberg et al. [KMRV97], who extended the paper's WATA
+work with (a) an optimal *offline* algorithm when all future day sizes are
+known and (b) an online algorithm achieving competitive ratio ``n/(n−1)``
+when the maximum window size ``M`` is known in advance (versus WATA*'s
+purely-online ratio of 2.0, Theorem 3).  This module implements both as the
+paper's "related extensions", plus the machinery to state the problem:
+
+A WATA-family plan is a *segmentation* of days ``1..D`` into consecutive
+segments (each segment = the lifetime of one constituent index).  Segment
+``k`` spanning days ``[a_k, b_k]`` is live from day ``a_k`` until the day
+its last day expires, i.e. through day ``b_k + W − 1``.  Feasibility with
+``n`` indexes requires that no more than ``n`` segments are ever live
+simultaneously, which reduces to ``b_{k+n-1} >= b_k + W - 1`` for all k
+(segment ``k+n`` must not start before segment ``k`` dies).  The *cost* of
+a plan is the maximum over days of the total size of days held by live
+segments; the goal is to minimise it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import SchemeError
+
+
+@dataclass(frozen=True)
+class SegmentationPlan:
+    """A WATA-family plan: segment boundaries and its max-size cost."""
+
+    boundaries: tuple[int, ...]  # b_1 < b_2 < ... < b_m = D (segment ends)
+    max_size: float
+
+    @property
+    def segments(self) -> list[tuple[int, int]]:
+        """Return segments as inclusive ``(first_day, last_day)`` pairs."""
+        segments = []
+        start = 1
+        for end in self.boundaries:
+            segments.append((start, end))
+            start = end + 1
+        return segments
+
+
+def _prefix_sums(weights: Sequence[float]) -> list[float]:
+    prefix = [0.0]
+    for w in weights:
+        prefix.append(prefix[-1] + w)
+    return prefix
+
+
+def plan_cost(
+    boundaries: Sequence[int], weights: Sequence[float], window: int
+) -> float:
+    """Return the max held size of the plan over all days.
+
+    On day ``t`` the live segments are those intersecting days
+    ``> t − W`` *or* still hosting unexpired days; total held size is the
+    span from the start of the segment containing day ``t − W + 1`` (the
+    oldest live day) through day ``t``.
+    """
+    d = len(weights)
+    if not boundaries or boundaries[-1] != d:
+        raise SchemeError("boundaries must end at the last day")
+    prefix = _prefix_sums(weights)
+    seg_start = {}
+    start = 1
+    for end in boundaries:
+        if end < start:
+            raise SchemeError(f"non-increasing boundary {end}")
+        for day in range(start, end + 1):
+            seg_start[day] = start
+        start = end + 1
+
+    worst = 0.0
+    for t in range(window, d + 1):
+        oldest_live = t - window + 1
+        held_from = seg_start[oldest_live]
+        worst = max(worst, prefix[t] - prefix[held_from - 1])
+    return worst
+
+
+def plan_feasible(
+    boundaries: Sequence[int], window: int, n_indexes: int
+) -> bool:
+    """Return ``True`` if at most ``n`` segments are ever live at once."""
+    if n_indexes < 2:
+        return False
+    ends = list(boundaries)
+    for k in range(len(ends) - (n_indexes - 1)):
+        if ends[k + n_indexes - 1] < ends[k] + window - 1:
+            return False
+    return True
+
+
+def segment_peak_cost(
+    prefix: Sequence[float], a: int, b: int, window: int
+) -> float:
+    """Return the peak size attributable to segment ``[a, b]``.
+
+    While ``[a, b]`` hosts the oldest live day (days ``a+W−1 .. b+W−1``),
+    the held data spans from ``a`` to the current day; the worst case is the
+    last such day, so the segment's peak is
+    ``prefix[min(b+W−1, D)] − prefix[a−1]``.  The plan's cost is the maximum
+    of these over its segments, which :func:`plan_cost` computes day by day
+    and the test suite confirms agrees with this closed form.
+    """
+    d = len(prefix) - 1
+    return prefix[min(b + window - 1, d)] - prefix[a - 1]
+
+
+def offline_optimal_plan(
+    weights: Sequence[float], window: int, n_indexes: int
+) -> SegmentationPlan:
+    """Return a minimum-max-size plan given full knowledge of day sizes.
+
+    Exact dynamic program over segment boundaries.  The state is the
+    position to segment from plus the last ``n − 1`` boundaries (needed to
+    enforce the liveness constraint ``b_{k+n−1} >= b_k + W − 1``), so the
+    state space is O(D^{n−1}) — exact and fast for the ``n <= 3`` instances
+    the tests and benches use, and guarded against accidental blow-ups.
+    """
+    d = len(weights)
+    if d < window:
+        raise SchemeError(f"need at least W={window} days, got {d}")
+    if n_indexes < 2:
+        raise SchemeError("WATA-family plans need n >= 2")
+    if d ** (n_indexes - 1) * d > 5_000_000:
+        raise SchemeError(
+            f"exact offline optimum over D={d} days with n={n_indexes} is "
+            "too large; use KnownHorizonOnlineWata or smaller instances"
+        )
+    prefix = _prefix_sums(weights)
+    history = n_indexes - 1
+    inf = math.inf
+    cache: dict[tuple[int, tuple[int, ...]], tuple[float, tuple[int, ...]]] = {}
+
+    def solve(a: int, recent: tuple[int, ...]) -> tuple[float, tuple[int, ...]]:
+        """Best (max-cost, boundaries) segmenting days ``a..D``."""
+        if a > d:
+            return 0.0, ()
+        key = (a, recent)
+        if key in cache:
+            return cache[key]
+        best_cost, best_tail = inf, ()
+        min_b = a
+        if len(recent) == history:
+            # The new boundary is n−1 positions after recent[0]; liveness
+            # requires it at least W−1 days later.
+            min_b = max(min_b, recent[0] + window - 1)
+        for b in range(min_b, d + 1):
+            cost_here = segment_peak_cost(prefix, a, b, window)
+            if cost_here >= best_cost:
+                break  # segment cost grows with b; no better split follows
+            new_recent = (recent + (b,))[-history:]
+            sub_cost, sub_tail = solve(b + 1, new_recent)
+            total = max(cost_here, sub_cost)
+            if total < best_cost - 1e-12:
+                best_cost, best_tail = total, (b,) + sub_tail
+        cache[key] = (best_cost, best_tail)
+        return best_cost, best_tail
+
+    cost, boundaries = solve(1, ())
+    if not boundaries or math.isinf(cost):
+        raise SchemeError(
+            f"no feasible plan for W={window}, n={n_indexes} over {d} days"
+        )
+    return SegmentationPlan(
+        boundaries=boundaries,
+        max_size=plan_cost(boundaries, weights, window),
+    )
+
+
+def brute_force_optimal_plan(
+    weights: Sequence[float], window: int, n_indexes: int
+) -> SegmentationPlan:
+    """Exhaustively search all segmentations (tiny instances only).
+
+    Used by the tests as the oracle for :func:`offline_optimal_plan`.
+    """
+    d = len(weights)
+    if d > 14:
+        raise SchemeError("brute force is only for d <= 14")
+    best: SegmentationPlan | None = None
+    interior = list(range(1, d))
+    for r in range(len(interior) + 1):
+        for cut in itertools.combinations(interior, r):
+            boundaries = list(cut) + [d]
+            if not plan_feasible(boundaries, window, n_indexes):
+                continue
+            cost = plan_cost(boundaries, weights, window)
+            if best is None or cost < best.max_size - 1e-12:
+                best = SegmentationPlan(tuple(boundaries), cost)
+    if best is None:
+        raise SchemeError("no feasible segmentation")
+    return best
+
+
+class KnownHorizonOnlineWata:
+    """Kleinberg et al.'s online algorithm with known max window size ``M``.
+
+    Given ``M`` (the largest hard-window size that will ever occur), cap
+    every segment at ``M / (n − 1)``: the residual expired data co-resident
+    with live data is then at most one segment, ``M/(n−1)``, so total size
+    never exceeds ``M + M/(n−1) = M · n/(n−1)``.
+
+    Days are fed one at a time with their sizes; the object tracks segment
+    boundaries online.
+    """
+
+    def __init__(self, window: int, n_indexes: int, max_window_size: float) -> None:
+        if n_indexes < 2:
+            raise SchemeError("known-horizon WATA needs n >= 2")
+        if max_window_size <= 0:
+            raise SchemeError("max_window_size must be > 0")
+        self.window = window
+        self.n_indexes = n_indexes
+        self.max_window_size = max_window_size
+        self._cap = max_window_size / (n_indexes - 1)
+        self._weights: list[float] = []
+        self._boundaries: list[int] = []
+        self._segment_size = 0.0
+
+    @property
+    def boundaries(self) -> tuple[int, ...]:
+        """Return the closed segment boundaries so far."""
+        return tuple(self._boundaries)
+
+    def feed(self, size: float) -> None:
+        """Append the next day; close the segment if it would exceed the cap."""
+        if size < 0:
+            raise SchemeError(f"negative day size {size}")
+        day = len(self._weights) + 1
+        if self._segment_size + size > self._cap and self._segment_size > 0:
+            self._boundaries.append(day - 1)
+            self._segment_size = 0.0
+        self._weights.append(size)
+        self._segment_size += size
+
+    def finish(self) -> SegmentationPlan:
+        """Close the trailing segment and return the full plan."""
+        if not self._weights:
+            raise SchemeError("no days were fed")
+        boundaries = self._boundaries + [len(self._weights)]
+        return SegmentationPlan(
+            boundaries=tuple(boundaries),
+            max_size=plan_cost(boundaries, self._weights, self.window),
+        )
+
+    def competitive_bound(self) -> float:
+        """Return the guaranteed bound ``M · n/(n−1)``."""
+        return self.max_window_size * self.n_indexes / (self.n_indexes - 1)
+
+
+def wata_star_competitive_check(
+    weights: Sequence[float], window: int, n_indexes: int
+) -> tuple[float, float]:
+    """Return ``(WATA* max size, hard-window max size)`` on a trace.
+
+    Theorem 3 guarantees the first is at most twice the second (the hard
+    window maximum lower-bounds any scheme's storage).
+    """
+    from ..casestudies.sizing import hard_window_sizes, scheme_daily_sizes
+    from ..core.schemes.wata import WataStarScheme
+
+    scheme = WataStarScheme(window, n_indexes)
+    lazy = max(scheme_daily_sizes(scheme, weights, len(weights)))
+    eager = max(hard_window_sizes(weights, window, len(weights)))
+    return lazy, eager
+
+
+def theoretical_max_length(window: int, n_indexes: int) -> int:
+    """Return Theorem 2's bound on WATA*'s length: ``W + ⌈(W−1)/(n−1)⌉ − 1``."""
+    if n_indexes < 2:
+        raise SchemeError("WATA length bound needs n >= 2")
+    return window + math.ceil((window - 1) / (n_indexes - 1)) - 1

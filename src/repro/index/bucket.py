@@ -1,0 +1,81 @@
+"""Buckets: per-search-value posting lists with disk placement.
+
+A bucket holds the entries for one search value (Figure 1 of the paper).
+Placement comes in two flavours:
+
+* **Packed** — the bucket occupies a slice of the index's single shared
+  extent, sized exactly to its entries with no room for growth.  This is
+  what ``BuildIndex`` produces; the whole index scans with one seek.
+* **Contiguous (private)** — the bucket owns a private extent managed by the
+  CONTIGUOUS policy, with free tail space for appends.  This is what
+  incremental updates produce; a full-index scan pays one seek per bucket.
+
+A packed bucket that receives an append is *evicted* into a private extent
+first (the old slice is dead space until the shared extent is rewritten) —
+precisely why the paper says in-place/simple-shadow updates leave an index
+unpacked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..storage.extent import Extent
+from .entry import Entry
+
+
+@dataclass
+class Bucket:
+    """Postings for one search value plus where they live on disk.
+
+    Attributes:
+        value: The search value this bucket serves.
+        entries: Live entries, in append order.
+        extent: Private extent (contiguous mode) or the index's shared
+            extent (packed mode).
+        shared: ``True`` while the bucket lives inside a shared packed
+            extent.
+        capacity_entries: How many entries the placement can hold.  For
+            packed buckets this equals ``len(entries)`` at build time.
+        offset_in_extent: Byte offset of the bucket inside a shared extent;
+            0 for private extents.
+    """
+
+    value: Any
+    entries: list[Entry] = field(default_factory=list)
+    extent: Extent | None = None
+    shared: bool = False
+    capacity_entries: int = 0
+    offset_in_extent: int = 0
+
+    @property
+    def live_count(self) -> int:
+        """Return the number of live entries."""
+        return len(self.entries)
+
+    def used_bytes(self, entry_size: int) -> int:
+        """Return bytes occupied by live entries."""
+        return self.live_count * entry_size
+
+    def capacity_bytes(self, entry_size: int) -> int:
+        """Return bytes reserved for this bucket on disk."""
+        return self.capacity_entries * entry_size
+
+    def free_entries(self) -> int:
+        """Return how many more entries fit without reallocation."""
+        return self.capacity_entries - self.live_count
+
+    def fits(self, n_more: int) -> bool:
+        """Return ``True`` if ``n_more`` entries fit in the current placement."""
+        return not self.shared and n_more <= self.free_entries()
+
+    def remove_days(self, days: set[int]) -> int:
+        """Drop entries whose insert day is in ``days``; return how many."""
+        before = len(self.entries)
+        self.entries = [e for e in self.entries if e.day not in days]
+        return before - len(self.entries)
+
+    def select(self, t1: int, t2: int) -> list[Entry]:
+        """Return entries with insert day in the closed range ``[t1, t2]``."""
+        return [e for e in self.entries if t1 <= e.day <= t2]

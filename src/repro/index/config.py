@@ -1,0 +1,48 @@
+"""Configuration shared by constituent indexes.
+
+Bundles the knobs the paper varies: the entry size (drives all byte
+accounting), the CONTIGUOUS growth factor ``g`` (Table 12 uses 2.0 for
+Zipfian text and 1.08 for uniform TPC-D keys), and the directory flavour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .contiguous import ContiguousPolicy
+from .directory import Directory
+from .hashdir import HashDirectory
+
+
+def _default_directory() -> Directory:
+    return HashDirectory()
+
+
+@dataclass(frozen=True)
+class IndexConfig:
+    """Immutable settings for building and updating constituent indexes.
+
+    Attributes:
+        entry_size_bytes: Serialized size of one :class:`~repro.index.entry.Entry`.
+        contiguous: Growth policy for incremental (non-packed) buckets.
+        directory_factory: Zero-argument callable producing an empty
+            directory; defaults to :class:`HashDirectory`.  Pass
+            ``lambda: BPlusTreeDirectory()`` for ordered directories.
+    """
+
+    entry_size_bytes: int = 16
+    contiguous: ContiguousPolicy = field(default_factory=ContiguousPolicy)
+    directory_factory: Callable[[], Directory] = _default_directory
+
+    def __post_init__(self) -> None:
+        if self.entry_size_bytes <= 0:
+            raise ValueError(
+                f"entry_size_bytes must be > 0, got {self.entry_size_bytes}"
+            )
+
+    def bytes_for(self, n_entries: int) -> int:
+        """Return the serialized size of ``n_entries`` entries."""
+        if n_entries < 0:
+            raise ValueError(f"n_entries must be >= 0, got {n_entries}")
+        return n_entries * self.entry_size_bytes

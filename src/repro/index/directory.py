@@ -1,0 +1,55 @@
+"""Abstract directory interface.
+
+Section 2 of the paper: "The directory is a search structure (e.g., a B+Tree
+or a hash table) that given a search value identifies a bucket."  The paper
+assumes the directory fits in memory, so directory operations are free in
+the disk cost model; only bucket I/O is charged.
+
+Two implementations are provided:
+
+* :class:`~repro.index.btree.BPlusTreeDirectory` — ordered, supports range
+  iteration (useful for packed layouts, which write buckets in key order).
+* :class:`~repro.index.hashdir.HashDirectory` — unordered, O(1) point lookups.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterator
+
+
+class Directory(ABC):
+    """Maps search values to bucket objects, entirely in memory."""
+
+    @abstractmethod
+    def get(self, value: Any) -> Any | None:
+        """Return the bucket for ``value``, or ``None`` if absent."""
+
+    @abstractmethod
+    def put(self, value: Any, bucket: Any) -> None:
+        """Insert or replace the bucket for ``value``."""
+
+    @abstractmethod
+    def remove(self, value: Any) -> Any | None:
+        """Remove and return the bucket for ``value`` (``None`` if absent)."""
+
+    @abstractmethod
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """Iterate ``(value, bucket)`` pairs in the directory's native order."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Return the number of distinct search values."""
+
+    def __contains__(self, value: Any) -> bool:
+        return self.get(value) is not None
+
+    def values(self) -> Iterator[Any]:
+        """Iterate buckets in the directory's native order."""
+        for _, bucket in self.items():
+            yield bucket
+
+    def keys(self) -> Iterator[Any]:
+        """Iterate search values in the directory's native order."""
+        for value, _ in self.items():
+            yield value

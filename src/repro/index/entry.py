@@ -1,0 +1,49 @@
+"""Index entries.
+
+Section 2 of the paper: each bucket holds, per record with the bucket's
+search value, a *pointer* to the record plus associated information, which
+for the wave-index schemes must include a timestamp — the day the record was
+inserted.  :class:`Entry` models exactly that triple.
+
+Entries have a fixed serialized size (``entry_size_bytes`` in
+:class:`~repro.index.config.IndexConfig`); the paper's SCAM case study uses
+roughly 100 bytes per bucket per day per value, which the defaults mirror.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Entry(NamedTuple):
+    """One posting: a record pointer with its insert-day timestamp.
+
+    Attributes:
+        record_id: Opaque pointer to the indexed record (``p_i`` in the
+            paper's Figure 1).
+        day: The day the record was inserted (the timestamp in ``a_i``).
+        info: Optional associated information (``a_i``), e.g. a byte offset
+            in an IR context or a projected attribute in a relational one.
+    """
+
+    record_id: int
+    day: int
+    info: int | float | str | None = None
+
+    def expired(self, oldest_live_day: int) -> bool:
+        """Return ``True`` if this entry is older than ``oldest_live_day``."""
+        return self.day < oldest_live_day
+
+
+def entries_by_value(
+    postings: list[tuple[object, Entry]],
+) -> dict[object, list[Entry]]:
+    """Group ``(search_value, entry)`` pairs into a value -> entries map.
+
+    The grouping preserves posting order within each value, which matters
+    for packed layouts where append order equals scan order.
+    """
+    grouped: dict[object, list[Entry]] = {}
+    for value, entry in postings:
+        grouped.setdefault(value, []).append(entry)
+    return grouped

@@ -1,0 +1,34 @@
+"""Hash-table directory.
+
+The second directory flavour the paper names in Section 2.  Point lookups
+are O(1); iteration order is insertion order (Python dict semantics), which
+keeps scans deterministic for tests without paying for key comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from .directory import Directory
+
+
+class HashDirectory(Directory):
+    """Unordered directory backed by a hash table."""
+
+    def __init__(self) -> None:
+        self._table: dict[Any, Any] = {}
+
+    def get(self, value: Any) -> Any | None:
+        return self._table.get(value)
+
+    def put(self, value: Any, bucket: Any) -> None:
+        self._table[value] = bucket
+
+    def remove(self, value: Any) -> Any | None:
+        return self._table.pop(value, None)
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        return iter(self._table.items())
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,219 @@
+"""The three update techniques of Section 2.1.
+
+* **In-place** — modify the live index directly.  Cheapest in space, but
+  queries would need concurrency control, and the index ends up unpacked.
+* **Simple shadow** — copy the index (``CP``), update the copy in place,
+  then swap it in.  Queries keep using the old version meanwhile; costs one
+  full copy of the index and doubles its space during the transition.
+* **Packed shadow** — build a temporary packed index for the inserted
+  records, then smart-copy (``SMCP``) the old index to a new contiguous
+  location, dropping expired entries and merging in the new buckets.  The
+  result is packed.
+
+All three are exposed through two functions mirroring the paper's
+constituent operations: :func:`add_to_index` and :func:`delete_from_index`.
+Shadow variants return a *new* index and leave the original untouched; the
+caller (the wave-index executor) is responsible for swapping it into the
+wave index and dropping the old version — that ordering is what produces
+the transition-time space spikes of Table 8.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Iterable, Mapping
+
+from ..storage.disk import SimulatedDisk
+from .bucket import Bucket
+from .config import IndexConfig
+from .constituent import ConstituentIndex
+from .entry import Entry
+
+
+class UpdateTechnique(enum.Enum):
+    """How constituent indexes absorb a batch of updates (Section 2.1)."""
+
+    IN_PLACE = "in_place"
+    SIMPLE_SHADOW = "simple_shadow"
+    PACKED_SHADOW = "packed_shadow"
+
+
+def clone_index(
+    index: ConstituentIndex, *, name: str | None = None
+) -> ConstituentIndex:
+    """Copy an index byte-for-byte to fresh extents (the paper's ``CP``).
+
+    Charges one sequential read of the source's allocated bytes and one
+    sequential write of the copy.  The copy preserves packedness and, for
+    unpacked sources, every bucket's capacity (slack is copied too — simple
+    shadowing does not repack).
+    """
+    disk = index.disk
+    config = index.config
+    clone = ConstituentIndex(disk, config, name=name or index.name)
+    entry_size = config.entry_size_bytes
+
+    disk.stream_read(index.allocated_bytes)
+    if index.packed:
+        total = index.used_bytes
+        extent = disk.allocate(total)
+        buckets = []
+        offset = 0
+        for bucket in index.buckets():
+            copied = Bucket(
+                value=bucket.value,
+                entries=list(bucket.entries),
+                extent=extent,
+                shared=True,
+                capacity_entries=bucket.live_count,
+                offset_in_extent=offset,
+            )
+            offset += bucket.live_count * entry_size
+            buckets.append(copied)
+        clone._adopt_packed(extent, buckets, index.time_set)
+    else:
+        for bucket in index.buckets():
+            capacity = max(bucket.capacity_entries, bucket.live_count)
+            extent = disk.allocate(capacity * entry_size)
+            copied = Bucket(
+                value=bucket.value,
+                entries=list(bucket.entries),
+                extent=extent,
+                shared=False,
+                capacity_entries=capacity,
+            )
+            clone.directory.put(bucket.value, copied)
+        clone.time_set = set(index.time_set)
+        clone.packed = False
+    disk.stream_write(clone.allocated_bytes)
+    return clone
+
+
+def packed_rewrite(
+    index: ConstituentIndex,
+    inserts: Mapping[Any, list[Entry]],
+    insert_days: Iterable[int],
+    delete_days: Iterable[int],
+    *,
+    name: str | None = None,
+    source_bytes: int | None = None,
+) -> ConstituentIndex:
+    """Smart-copy an index into a new packed index (the paper's ``SMCP``).
+
+    Follows Section 2.1's packed-shadow recipe: a temporary packed index is
+    built for ``inserts``; the old index is scanned, entries of
+    ``delete_days`` are dropped in flight, and the temporary buckets are
+    merged in; the result is written contiguously.  The temporary index is
+    freed before returning; the *old* index is left alive for the caller to
+    swap out.
+    """
+    from .builder import build_packed_index  # local import: avoid cycle
+
+    disk = index.disk
+    config = index.config
+    entry_size = config.entry_size_bytes
+    delete_set = set(delete_days)
+
+    # Step 1: temporary packed index for the inserted records.
+    temp = build_packed_index(
+        disk,
+        config,
+        inserts,
+        insert_days,
+        name=f"{name or index.name}.tmp",
+        source_bytes=source_bytes,
+    )
+
+    # Step 2: merge old (minus expired) with temp into one packed layout.
+    merged: dict[Any, list[Entry]] = {}
+    for bucket in index.buckets():
+        kept = [e for e in bucket.entries if e.day not in delete_set]
+        if kept:
+            merged[bucket.value] = kept
+    for bucket in temp.buckets():
+        merged.setdefault(bucket.value, []).extend(bucket.entries)
+
+    new_days = (set(index.time_set) - delete_set) | set(insert_days)
+    total_entries = sum(len(v) for v in merged.values())
+    total_bytes = total_entries * entry_size
+
+    # Charge the smart copy: read old + temp, write the packed result.
+    disk.stream_read(index.allocated_bytes + temp.allocated_bytes)
+    new_extent = disk.allocate(total_bytes)
+    result = ConstituentIndex(disk, config, name=name or index.name)
+    buckets = []
+    offset = 0
+    for value in _ordered(merged):
+        entries = merged[value]
+        bucket = Bucket(
+            value=value,
+            entries=entries,
+            extent=new_extent,
+            shared=True,
+            capacity_entries=len(entries),
+            offset_in_extent=offset,
+        )
+        offset += len(entries) * entry_size
+        buckets.append(bucket)
+    disk.write(new_extent, total_bytes)
+    result._adopt_packed(new_extent, buckets, new_days)
+
+    temp.drop()
+    return result
+
+
+def _ordered(grouped: Mapping[Any, list[Entry]]) -> list[Any]:
+    values = list(grouped)
+    try:
+        return sorted(values)
+    except TypeError:
+        return values
+
+
+def add_to_index(
+    index: ConstituentIndex,
+    grouped: Mapping[Any, list[Entry]],
+    days: Iterable[int],
+    technique: UpdateTechnique,
+    *,
+    source_bytes: int | None = None,
+) -> ConstituentIndex:
+    """``AddToIndex`` under the chosen technique.
+
+    Returns the index that now holds the data: ``index`` itself for
+    :attr:`UpdateTechnique.IN_PLACE`, otherwise a fresh shadow the caller
+    must install (and then drop ``index``).
+    """
+    if technique is UpdateTechnique.IN_PLACE:
+        index.insert_postings(grouped, days)
+        return index
+    if technique is UpdateTechnique.SIMPLE_SHADOW:
+        shadow = clone_index(index)
+        shadow.insert_postings(grouped, days)
+        return shadow
+    if technique is UpdateTechnique.PACKED_SHADOW:
+        return packed_rewrite(
+            index, grouped, days, delete_days=(), source_bytes=source_bytes
+        )
+    raise ValueError(f"unknown technique: {technique!r}")
+
+
+def delete_from_index(
+    index: ConstituentIndex,
+    days: Iterable[int],
+    technique: UpdateTechnique,
+) -> ConstituentIndex:
+    """``DeleteFromIndex`` under the chosen technique.
+
+    Same return convention as :func:`add_to_index`.
+    """
+    if technique is UpdateTechnique.IN_PLACE:
+        index.delete_days(days)
+        return index
+    if technique is UpdateTechnique.SIMPLE_SHADOW:
+        shadow = clone_index(index)
+        shadow.delete_days(days)
+        return shadow
+    if technique is UpdateTechnique.PACKED_SHADOW:
+        return packed_rewrite(index, {}, (), delete_days=days)
+    raise ValueError(f"unknown technique: {technique!r}")

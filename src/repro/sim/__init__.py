@@ -1,0 +1,30 @@
+"""Measured simulation: run schemes on the real substrate, day by day."""
+
+from .driver import Simulation, run_simulation
+from .latency import (
+    DAY_SECONDS,
+    BusyInterval,
+    LatencyStats,
+    maintenance_timeline,
+    simulate_query_latency,
+)
+from .metrics import DayMetrics, SimulationResult
+from .multidisk_sim import MultiDiskExecutor, MultiDiskReport
+from .querygen import QueryWorkload, uniform_key_picker, zipf_value_picker
+
+__all__ = [
+    "BusyInterval",
+    "DAY_SECONDS",
+    "DayMetrics",
+    "LatencyStats",
+    "maintenance_timeline",
+    "simulate_query_latency",
+    "MultiDiskExecutor",
+    "MultiDiskReport",
+    "QueryWorkload",
+    "Simulation",
+    "SimulationResult",
+    "run_simulation",
+    "uniform_key_picker",
+    "zipf_value_picker",
+]

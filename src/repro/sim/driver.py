@@ -1,0 +1,125 @@
+"""Measured simulation driver.
+
+Runs a maintenance scheme day by day against the *real* substrate — actual
+constituent indexes on the simulated disk — measuring what the analytic
+model only predicts: per-day maintenance seconds by phase, space peaks, and
+(optionally) a query stream's cost.  The two paths execute the same plans,
+so the driver doubles as the cross-validation harness for the cost model
+and as the engine behind the substrate-measured experiments (Figure 10's
+measured variant, Figure 11).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.executor import PlanExecutor
+from ..core.records import RecordStore
+from ..core.schemes.base import WaveScheme
+from ..core.wave import WaveIndex
+from ..errors import SchemeError
+from ..index.config import IndexConfig
+from ..index.updates import UpdateTechnique
+from ..storage.cost import DiskParameters
+from ..storage.disk import SimulatedDisk
+from .metrics import DayMetrics, SimulationResult
+from .querygen import QueryWorkload
+
+
+class Simulation:
+    """Day-by-day measured run of one scheme on one record store.
+
+    Args:
+        scheme: Fresh scheme instance (defines ``W`` and ``n``).
+        store: Record batches for every day the run will touch — including
+            days before the window start if the scheme rebuilds old days.
+        technique: Update technique for constituent indexes.
+        index_config: Index layer settings (entry size, ``g``, directory).
+        disk_params: Hardware cost parameters.
+        queries: Optional daily query workload.
+    """
+
+    def __init__(
+        self,
+        scheme: WaveScheme,
+        store: RecordStore,
+        technique: UpdateTechnique = UpdateTechnique.SIMPLE_SHADOW,
+        index_config: IndexConfig | None = None,
+        disk_params: DiskParameters | None = None,
+        queries: QueryWorkload | None = None,
+    ) -> None:
+        self.scheme = scheme
+        self.store = store
+        self.disk = SimulatedDisk(disk_params)
+        self.wave = WaveIndex(self.disk, index_config or IndexConfig(), scheme.n_indexes)
+        self.executor = PlanExecutor(self.wave, store, technique)
+        self.queries = queries
+        self.result = SimulationResult(
+            window=scheme.window,
+            n_indexes=scheme.n_indexes,
+            scheme_name=scheme.name,
+            technique=technique.value,
+        )
+        self._started = False
+
+    def run_start(self) -> DayMetrics:
+        """Execute the scheme's initial build (day ``W``)."""
+        if self._started:
+            raise SchemeError("simulation already started")
+        self._started = True
+        return self._run_day(self.scheme.window, self.scheme.start_ops())
+
+    def run_transition(self, day: int) -> DayMetrics:
+        """Execute one daily transition."""
+        if not self._started:
+            raise SchemeError("call run_start() first")
+        return self._run_day(day, self.scheme.transition_ops(day))
+
+    def run(self, last_day: int) -> SimulationResult:
+        """Run start plus transitions through ``last_day``."""
+        self.run_start()
+        for day in range(self.scheme.window + 1, last_day + 1):
+            self.run_transition(day)
+        return self.result
+
+    def _run_day(self, day: int, plan) -> DayMetrics:
+        report = self.executor.execute(plan)
+        query_seconds = 0.0
+        if self.queries is not None:
+            query_seconds = self.queries.run_day(
+                self.wave, day, self.scheme.window
+            )
+        metrics = DayMetrics(
+            day=day,
+            seconds=report.seconds,
+            query_seconds=query_seconds,
+            steady_bytes=self.disk.live_bytes,
+            constituent_bytes=self.wave.constituent_bytes,
+            peak_bytes=report.peak_bytes,
+            length_days=self.wave.total_length_days,
+            covered_days=frozenset(self.wave.covered_days()),
+        )
+        self.result.days.append(metrics)
+        return metrics
+
+
+def run_simulation(
+    scheme_factory: Callable[[], WaveScheme],
+    store: RecordStore,
+    *,
+    last_day: int,
+    technique: UpdateTechnique = UpdateTechnique.SIMPLE_SHADOW,
+    index_config: IndexConfig | None = None,
+    disk_params: DiskParameters | None = None,
+    queries: QueryWorkload | None = None,
+) -> SimulationResult:
+    """One-call convenience wrapper around :class:`Simulation`."""
+    sim = Simulation(
+        scheme_factory(),
+        store,
+        technique=technique,
+        index_config=index_config,
+        disk_params=disk_params,
+        queries=queries,
+    )
+    return sim.run(last_day)

@@ -1,0 +1,77 @@
+"""Metrics collected by the measured simulation driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.executor import PhaseSeconds
+
+
+@dataclass(frozen=True)
+class DayMetrics:
+    """Measured outcome of one simulated day on the real substrate."""
+
+    day: int
+    seconds: PhaseSeconds
+    query_seconds: float
+    steady_bytes: int
+    constituent_bytes: int
+    peak_bytes: int
+    length_days: int
+    covered_days: frozenset[int]
+
+    @property
+    def total_work_seconds(self) -> float:
+        """Return maintenance plus query seconds for the day."""
+        return self.seconds.total + self.query_seconds
+
+
+@dataclass
+class SimulationResult:
+    """Accumulated metrics over a whole run."""
+
+    window: int
+    n_indexes: int
+    scheme_name: str
+    technique: str
+    days: list[DayMetrics] = field(default_factory=list)
+
+    def steady_days(self, warmup: int = 0) -> list[DayMetrics]:
+        """Return per-day metrics after skipping ``warmup`` transitions.
+
+        The start day (index 0) is always skipped: it builds the whole
+        window at once and is not representative of daily maintenance.
+        """
+        return self.days[1 + warmup :]
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    def avg_transition_seconds(self, warmup: int = 0) -> float:
+        """Return the mean transition time over steady days."""
+        days = self.steady_days(warmup)
+        return sum(d.seconds.transition for d in days) / len(days)
+
+    def avg_precompute_seconds(self, warmup: int = 0) -> float:
+        """Return the mean pre-computation time over steady days."""
+        days = self.steady_days(warmup)
+        return sum(d.seconds.precomputation for d in days) / len(days)
+
+    def avg_total_work_seconds(self, warmup: int = 0) -> float:
+        """Return the mean daily total work over steady days."""
+        days = self.steady_days(warmup)
+        return sum(d.total_work_seconds for d in days) / len(days)
+
+    def avg_peak_bytes(self, warmup: int = 0) -> float:
+        """Return the mean per-day space peak over steady days."""
+        days = self.steady_days(warmup)
+        return sum(d.peak_bytes for d in days) / len(days)
+
+    def max_peak_bytes(self) -> int:
+        """Return the worst space peak over the whole run."""
+        return max(d.peak_bytes for d in self.days)
+
+    def max_length_days(self) -> int:
+        """Return the maximum wave-index length (Appendix B measure)."""
+        return max(d.length_days for d in self.days)

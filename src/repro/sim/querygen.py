@@ -1,0 +1,81 @@
+"""Daily query workloads for the measured simulation.
+
+Models the paper's query mixes: a number of timed index probes over the
+window (SCAM's copy-detection chunks, a WSE's user queries) plus a number
+of segment scans (SCAM's registration checks over the newest day, TPC-D's
+analytical sweeps over the whole window).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..core.wave import WaveIndex
+from ..errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A day's query stream against the wave index.
+
+    Attributes:
+        probes_per_day: TimedIndexProbes issued per day.
+        scans_per_day: TimedSegmentScans issued per day.
+        value_picker: Given an RNG, returns a search value to probe.
+        scan_newest_only: If ``True``, scans cover only the newest day
+            (SCAM's registration check); otherwise the whole window.
+        seed: Master seed; each day derives its own stream.
+    """
+
+    probes_per_day: int = 0
+    scans_per_day: int = 0
+    value_picker: Callable[[random.Random], Any] | None = None
+    scan_newest_only: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.probes_per_day < 0 or self.scans_per_day < 0:
+            raise WorkloadError("query counts must be >= 0")
+        if self.probes_per_day > 0 and self.value_picker is None:
+            raise WorkloadError("probes_per_day > 0 requires a value_picker")
+
+    def run_day(self, wave: WaveIndex, day: int, window: int) -> float:
+        """Execute the day's queries; return their simulated seconds."""
+        rng = random.Random(hash((self.seed, "queries", day)) & 0x7FFFFFFF)
+        lo, hi = day - window + 1, day
+        seconds = 0.0
+        for _ in range(self.probes_per_day):
+            value = self.value_picker(rng)  # type: ignore[misc]
+            seconds += wave.timed_index_probe(value, lo, hi).seconds
+        scan_lo = hi if self.scan_newest_only else lo
+        for _ in range(self.scans_per_day):
+            seconds += wave.timed_segment_scan(scan_lo, hi).seconds
+        return seconds
+
+
+def zipf_value_picker(vocabulary: int, s: float = 1.0) -> Callable[[random.Random], str]:
+    """Return a picker drawing word values the way the text workload does.
+
+    Probed values follow the same Zipf skew as the indexed words, so hot
+    words hit big buckets — matching real query traffic against real text.
+    """
+    from ..workloads.zipf import ZipfSampler
+
+    def pick(rng: random.Random) -> str:
+        sampler = ZipfSampler(vocabulary, s, seed=rng.randrange(1 << 30))
+        return f"w{sampler.sample()}"
+
+    return pick
+
+
+def uniform_key_picker(domain: int) -> Callable[[random.Random], int]:
+    """Return a picker drawing uniform integer keys (TPC-D SUPPKEY style)."""
+    if domain < 1:
+        raise WorkloadError(f"domain must be >= 1, got {domain}")
+
+    def pick(rng: random.Random) -> int:
+        return rng.randint(1, domain)
+
+    return pick

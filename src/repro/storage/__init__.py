@@ -1,0 +1,26 @@
+"""Simulated storage substrate: extents, allocator, clocked disk.
+
+This package stands in for the paper's physical disk.  See ``DESIGN.md`` for
+the substitution rationale: the paper's cost analysis uses only seek time and
+transfer bandwidth, both of which :class:`DiskParameters` exposes.
+"""
+
+from .allocator import ExtentAllocator
+from .bufferpool import BufferPoolModel
+from .cost import DEFAULT_BANDWIDTH_BPS, DEFAULT_SEEK_S, MEGABYTE, DiskParameters
+from .disk import SimulatedDisk
+from .extent import Extent
+from .stats import IOSnapshot, IOStats
+
+__all__ = [
+    "BufferPoolModel",
+    "DEFAULT_BANDWIDTH_BPS",
+    "DEFAULT_SEEK_S",
+    "MEGABYTE",
+    "DiskParameters",
+    "Extent",
+    "ExtentAllocator",
+    "IOSnapshot",
+    "IOStats",
+    "SimulatedDisk",
+]

@@ -1,0 +1,70 @@
+"""Buffer-pool (memory-pressure) model for random-access index updates.
+
+The paper's measured constants came from a DEC 3000 with 96 MB of RAM —
+less than one-seventh of SCAM's 7-day unpacked index.  Incremental
+(CONTIGUOUS) updates touch buckets in random order, so their cost depends
+heavily on how much of the index the buffer pool can keep resident:
+updates to a resident bucket are memory-speed, misses pay a seek.
+Streaming operations (packed builds, scans, copies) are unaffected — they
+never revisit a page.
+
+:class:`BufferPoolModel` captures exactly that: given the working-set size
+of a random-access operation, it scales the operation's *seek count* by the
+miss rate ``max(0, 1 − memory/working_set)``.  Plugged into
+:class:`~repro.storage.disk.SimulatedDisk`, it makes incremental ``Add``
+super-linear in daily volume once the index outgrows memory — the effect
+behind Figure 10's REINDEX-overtakes-WATA crossover (see EXPERIMENTS.md).
+
+The default disk has no buffer pool (``None``): all nominal seeks are paid,
+which matches the paper's memoryless Section-5 cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BufferPoolModel:
+    """A simple LRU-style residency model.
+
+    Attributes:
+        memory_bytes: Pool size available for index pages.
+        min_miss_rate: Floor on the miss rate even for fully resident
+            working sets (cold misses, page write-backs); 0 models a
+            perfectly warm cache.
+    """
+
+    memory_bytes: float
+    min_miss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise ValueError(
+                f"memory_bytes must be > 0, got {self.memory_bytes}"
+            )
+        if not 0.0 <= self.min_miss_rate <= 1.0:
+            raise ValueError(
+                f"min_miss_rate must be in [0, 1], got {self.min_miss_rate}"
+            )
+
+    def miss_rate(self, working_set_bytes: float) -> float:
+        """Return the fraction of random touches that go to disk.
+
+        Uniform-random access over a working set of size ``w`` with an LRU
+        pool of size ``m`` hits with probability ``min(1, m/w)``.
+        """
+        if working_set_bytes < 0:
+            raise ValueError(
+                f"working_set_bytes must be >= 0, got {working_set_bytes}"
+            )
+        if working_set_bytes == 0:
+            return self.min_miss_rate
+        resident = min(1.0, self.memory_bytes / working_set_bytes)
+        return max(self.min_miss_rate, 1.0 - resident)
+
+    def effective_seeks(self, seeks: float, working_set_bytes: float) -> float:
+        """Scale a nominal seek count by the miss rate."""
+        if seeks < 0:
+            raise ValueError(f"seeks must be >= 0, got {seeks}")
+        return seeks * self.miss_rate(working_set_bytes)

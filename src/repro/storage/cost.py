@@ -1,0 +1,69 @@
+"""Hardware cost parameters for the simulated disk.
+
+The paper's entire analysis (Section 5) is expressed in two hardware
+parameters: the seek time and the sequential transfer rate.  Table 12 uses
+``seek = 14 ms`` and ``Trans = 10 MB/s``, which we adopt as defaults.
+
+Costs are charged in *seconds* of simulated time.  A single I/O of ``b``
+bytes costs ``seek + b / bandwidth``; contiguous (packed) data can therefore
+be moved with one seek, while fragmented data pays one seek per extent —
+exactly the effect the paper exploits when arguing for packed indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Bytes per megabyte, used throughout for converting Table 12 figures.
+MEGABYTE = 1_000_000
+
+#: Default seek time from Table 12 (seconds).
+DEFAULT_SEEK_S = 0.014
+
+#: Default transfer bandwidth from Table 12 (bytes/second).
+DEFAULT_BANDWIDTH_BPS = 10 * MEGABYTE
+
+
+@dataclass(frozen=True)
+class DiskParameters:
+    """Immutable description of a simulated disk's performance envelope.
+
+    Attributes:
+        seek_s: Time for one random seek, in seconds.
+        bandwidth_bps: Sequential transfer rate, in bytes per second.
+        capacity_bytes: Total device capacity. ``None`` means unbounded,
+            which is convenient for analytic runs that only track the
+            high-water mark.
+    """
+
+    seek_s: float = DEFAULT_SEEK_S
+    bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS
+    capacity_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.seek_s < 0:
+            raise ValueError(f"seek_s must be >= 0, got {self.seek_s}")
+        if self.bandwidth_bps <= 0:
+            raise ValueError(
+                f"bandwidth_bps must be > 0, got {self.bandwidth_bps}"
+            )
+        if self.capacity_bytes is not None and self.capacity_bytes <= 0:
+            raise ValueError(
+                f"capacity_bytes must be > 0 or None, got {self.capacity_bytes}"
+            )
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Return the time in seconds to stream ``nbytes`` sequentially."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        return nbytes / self.bandwidth_bps
+
+    def io_time(self, nbytes: int, *, seeks: float = 1) -> float:
+        """Return the time for an I/O of ``nbytes`` preceded by ``seeks`` seeks.
+
+        ``seeks`` may be fractional: under a buffer-pool model only the
+        missing fraction of random touches pays a seek.
+        """
+        if seeks < 0:
+            raise ValueError(f"seeks must be >= 0, got {seeks}")
+        return seeks * self.seek_s + self.transfer_time(nbytes)

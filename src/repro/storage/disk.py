@@ -1,0 +1,193 @@
+"""Clocked simulated disk.
+
+:class:`SimulatedDisk` combines an :class:`~repro.storage.allocator.ExtentAllocator`
+with a :class:`~repro.storage.cost.DiskParameters` cost model and a running
+clock.  Index code allocates extents, then *reads* and *writes* through the
+disk so every byte moved is charged ``seek + bytes/bandwidth`` seconds.
+
+This is the substitution for the paper's physical DEC-3000 disk: the paper's
+Section-5 analysis is expressed entirely in ``seek`` and ``Trans``, so a
+device that charges those two costs reproduces every trend the paper derives
+from them (DESIGN.md, substitution table).
+
+The disk does not store payload bytes — indexes keep their entries in Python
+structures and use extents purely as placement/cost bookkeeping.  This keeps
+multi-hundred-megabyte "days" affordable in memory while preserving the
+byte-exact accounting the experiments need.
+"""
+
+from __future__ import annotations
+
+from .allocator import ExtentAllocator
+from .bufferpool import BufferPoolModel
+from .cost import DiskParameters
+from .extent import Extent
+from .stats import IOSnapshot, IOStats
+
+
+class SimulatedDisk:
+    """A byte-addressed device with seek/transfer cost accounting.
+
+    Args:
+        params: Hardware cost parameters; defaults to Table 12's disk
+            (14 ms seek, 10 MB/s transfer, unbounded capacity).
+    """
+
+    def __init__(
+        self,
+        params: DiskParameters | None = None,
+        buffer_pool: "BufferPoolModel | None" = None,
+    ) -> None:
+        self.params = params or DiskParameters()
+        self.buffer_pool = buffer_pool
+        self._allocator = ExtentAllocator(self.params.capacity_bytes)
+        self.stats = IOStats()
+        self._clock = 0.0
+
+    def effective_seeks(
+        self, seeks: float, working_set_bytes: float | None = None
+    ) -> float:
+        """Scale ``seeks`` by the buffer pool's miss rate, if modelled.
+
+        Random-access callers (CONTIGUOUS bucket updates) pass the size of
+        the structure they hop around in; streaming callers pass ``None``
+        and always pay their nominal seeks.
+        """
+        if self.buffer_pool is None or working_set_bytes is None:
+            return seeks
+        return self.buffer_pool.effective_seeks(seeks, working_set_bytes)
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    @property
+    def clock(self) -> float:
+        """Return elapsed simulated seconds since the disk was created."""
+        return self._clock
+
+    def advance(self, seconds: float) -> None:
+        """Advance the clock without I/O (e.g. CPU-bound work models)."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        self._clock += seconds
+
+    # ------------------------------------------------------------------
+    # Space management
+    # ------------------------------------------------------------------
+
+    def allocate(self, nbytes: int) -> Extent:
+        """Allocate a contiguous extent; free space costs no I/O time."""
+        return self._allocator.allocate(nbytes)
+
+    def free(self, extent: Extent) -> None:
+        """Release an extent.
+
+        Freeing is instantaneous in the model, mirroring the paper's
+        observation that a commercial DBMS throws away a whole index in
+        milliseconds regardless of size — the heart of WATA's advantage.
+        """
+        self._allocator.free(extent)
+
+    def reallocate(self, extent: Extent, nbytes: int) -> Extent:
+        """Allocate a new extent of ``nbytes`` and free ``extent``.
+
+        The new extent is allocated *before* the old one is freed, exactly
+        as CONTIGUOUS must do (the old bucket is copied into the new one),
+        so the transient space spike is captured by the high-water mark.
+        """
+        new = self._allocator.allocate(nbytes)
+        self._allocator.free(extent)
+        return new
+
+    @property
+    def live_bytes(self) -> int:
+        """Return currently allocated bytes."""
+        return self._allocator.live_bytes
+
+    @property
+    def high_water_bytes(self) -> int:
+        """Return the maximum of :attr:`live_bytes` since the last reset."""
+        return self._allocator.high_water_bytes
+
+    def reset_high_water(self) -> None:
+        """Restart peak-space tracking from the current live size."""
+        self._allocator.reset_high_water()
+
+    @property
+    def live_extents(self) -> int:
+        """Return the number of live extents."""
+        return self._allocator.live_extents
+
+    def check_invariants(self) -> None:
+        """Delegate to the allocator's consistency checks."""
+        self._allocator.check_invariants()
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+
+    def read(self, extent: Extent, nbytes: int | None = None, *, seeks: float = 1) -> float:
+        """Charge a read of ``nbytes`` (default: the whole extent).
+
+        Returns the seconds the read took.  ``seeks`` defaults to one: any
+        random access pays a seek, while callers streaming many adjacent
+        extents (a packed segment scan) pass ``seeks=0`` for all but the
+        first extent.
+        """
+        extent.check_live()
+        if nbytes is None:
+            nbytes = extent.size
+        if not 0 <= nbytes <= extent.size:
+            raise ValueError(
+                f"read of {nbytes} bytes outside extent of {extent.size} bytes"
+            )
+        seconds = self.params.io_time(nbytes, seeks=seeks)
+        self.stats.record_read(nbytes, seeks, seconds)
+        self._clock += seconds
+        return seconds
+
+    def write(self, extent: Extent, nbytes: int | None = None, *, seeks: float = 1) -> float:
+        """Charge a write of ``nbytes`` (default: the whole extent)."""
+        extent.check_live()
+        if nbytes is None:
+            nbytes = extent.size
+        if not 0 <= nbytes <= extent.size:
+            raise ValueError(
+                f"write of {nbytes} bytes outside extent of {extent.size} bytes"
+            )
+        seconds = self.params.io_time(nbytes, seeks=seeks)
+        self.stats.record_write(nbytes, seeks, seconds)
+        self._clock += seconds
+        return seconds
+
+    def stream_read(self, nbytes: int, *, seeks: float = 1) -> float:
+        """Charge a sequential read of ``nbytes`` without a specific extent.
+
+        Used for scanning a day's source records during ``BuildIndex`` and
+        for whole-index scans/copies, which the paper models as a single
+        seek followed by one long transfer (Table 9).
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        seconds = self.params.io_time(nbytes, seeks=seeks)
+        self.stats.record_read(nbytes, seeks, seconds)
+        self._clock += seconds
+        return seconds
+
+    def stream_write(self, nbytes: int, *, seeks: float = 1) -> float:
+        """Charge a sequential write of ``nbytes`` without a specific extent.
+
+        The space itself must already have been accounted via
+        :meth:`allocate`; this only charges the transfer time.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        seconds = self.params.io_time(nbytes, seeks=seeks)
+        self.stats.record_write(nbytes, seeks, seconds)
+        self._clock += seconds
+        return seconds
+
+    def snapshot(self) -> IOSnapshot:
+        """Return a snapshot of the I/O counters."""
+        return self.stats.snapshot()

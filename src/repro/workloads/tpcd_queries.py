@@ -1,0 +1,112 @@
+"""TPC-D query Q1: the Pricing Summary Report.
+
+Q1 aggregates LINEITEM rows with ``shipdate <= cutoff`` grouped by
+``(returnflag, linestatus)``:
+
+    sum(quantity), sum(extendedprice),
+    sum(extendedprice · (1 − discount)),
+    sum(extendedprice · (1 − discount) · (1 + tax)),
+    avg(quantity), avg(extendedprice), avg(discount), count(*)
+
+ordered by the group key.  In the paper's scenario the query runs daily
+over the whole 100-day window via segment scans of the wave index; here the
+aggregation itself is implemented so the TPC-D example and integration
+tests can verify wave-index scans against a direct computation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from .tpcd import LineItem
+
+
+@dataclass(frozen=True)
+class Q1Row:
+    """One group of the Pricing Summary Report."""
+
+    returnflag: str
+    linestatus: str
+    sum_qty: float
+    sum_base_price: float
+    sum_disc_price: float
+    sum_charge: float
+    avg_qty: float
+    avg_price: float
+    avg_disc: float
+    count_order: int
+
+
+def q1_pricing_summary(
+    items: Iterable[LineItem],
+    *,
+    ship_cutoff_day: int | None = None,
+) -> list[Q1Row]:
+    """Compute Q1 over ``items``.
+
+    Args:
+        ship_cutoff_day: Only rows with ``shipdate <= cutoff`` participate
+            (TPC-D's ``DATE - interval`` predicate); ``None`` keeps all rows.
+
+    Returns:
+        Groups ordered by ``(returnflag, linestatus)``.
+    """
+    sums: dict[tuple[str, str], list[float]] = {}
+    for item in items:
+        if ship_cutoff_day is not None and item.shipdate > ship_cutoff_day:
+            continue
+        key = (item.returnflag, item.linestatus)
+        acc = sums.setdefault(key, [0.0, 0.0, 0.0, 0.0, 0.0, 0])
+        disc_price = item.extendedprice * (1.0 - item.discount)
+        acc[0] += item.quantity
+        acc[1] += item.extendedprice
+        acc[2] += disc_price
+        acc[3] += disc_price * (1.0 + item.tax)
+        acc[4] += item.discount
+        acc[5] += 1
+
+    rows = []
+    for (flag, status), acc in sorted(sums.items()):
+        count = int(acc[5])
+        rows.append(
+            Q1Row(
+                returnflag=flag,
+                linestatus=status,
+                sum_qty=acc[0],
+                sum_base_price=acc[1],
+                sum_disc_price=acc[2],
+                sum_charge=acc[3],
+                avg_qty=acc[0] / count,
+                avg_price=acc[1] / count,
+                avg_disc=acc[4] / count,
+                count_order=count,
+            )
+        )
+    return rows
+
+
+def q1_rows_equal(a: list[Q1Row], b: list[Q1Row], *, rel_tol: float = 1e-9) -> bool:
+    """Return ``True`` if two reports agree up to float tolerance."""
+    if len(a) != len(b):
+        return False
+    for ra, rb in zip(a, b):
+        if (ra.returnflag, ra.linestatus) != (rb.returnflag, rb.linestatus):
+            return False
+        if ra.count_order != rb.count_order:
+            return False
+        for attr in (
+            "sum_qty",
+            "sum_base_price",
+            "sum_disc_price",
+            "sum_charge",
+            "avg_qty",
+            "avg_price",
+            "avg_disc",
+        ):
+            if not math.isclose(
+                getattr(ra, attr), getattr(rb, attr), rel_tol=rel_tol
+            ):
+                return False
+    return True

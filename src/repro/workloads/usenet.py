@@ -1,0 +1,117 @@
+"""Synthetic Usenet daily-volume traces (Figure 2 and Figure 11 inputs).
+
+The paper measured ~10,000 newsgroups on Stanford's NNTP server: roughly
+110,000 posts on the busiest Wednesdays falling to ~30,000 on Sundays
+(Figure 2, September 1997), and used a 200-day June–December 1997 trace for
+the Figure 11 index-size study.  Neither trace survives, so we synthesise
+seeded traces with the same weekly profile and jitter (DESIGN.md
+substitution table); every function here is deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..errors import WorkloadError
+
+#: Mean posting volume by weekday (0 = Monday .. 6 = Sunday), matching the
+#: Figure 2 profile: strong weekdays, ~half volume Saturday, ~30k Sunday.
+WEEKDAY_MEANS: tuple[int, ...] = (
+    95_000,  # Mon
+    103_000,  # Tue
+    108_000,  # Wed (busiest)
+    104_000,  # Thu
+    90_000,  # Fri
+    52_000,  # Sat
+    31_000,  # Sun
+)
+
+#: September 1, 1997 was a Monday.
+_SEPTEMBER_1997_FIRST_WEEKDAY = 0
+
+
+def weekly_volume_trace(
+    num_days: int,
+    *,
+    first_weekday: int = 0,
+    jitter: float = 0.06,
+    trend: float = 0.0,
+    seed: int = 1997,
+) -> list[int]:
+    """Return ``num_days`` of synthetic daily posting counts.
+
+    Args:
+        first_weekday: Weekday of day 1 (0 = Monday).
+        jitter: Multiplicative noise amplitude (uniform ±jitter).
+        trend: Linear growth per day as a fraction of the mean (Usenet grew
+            through 1997; Figure 11's trace uses a slight upward trend).
+        seed: RNG seed; identical arguments give identical traces.
+    """
+    if num_days < 1:
+        raise WorkloadError(f"num_days must be >= 1, got {num_days}")
+    if not 0 <= first_weekday <= 6:
+        raise WorkloadError(f"first_weekday must be 0..6, got {first_weekday}")
+    if jitter < 0 or jitter >= 1:
+        raise WorkloadError(f"jitter must be in [0, 1), got {jitter}")
+    rng = random.Random(seed)
+    trace = []
+    for i in range(num_days):
+        mean = WEEKDAY_MEANS[(first_weekday + i) % 7]
+        noise = 1.0 + rng.uniform(-jitter, jitter)
+        growth = 1.0 + trend * i
+        trace.append(max(1, int(mean * noise * growth)))
+    return trace
+
+
+def september_1997_volume() -> list[int]:
+    """Return the synthetic 30-day September-1997 trace (Figure 2).
+
+    Sept 1, 1997 was a Monday; the second Wednesday peaks near 110,000 and
+    Sundays bottom out near 30,000, as in the paper's plot.
+    """
+    return weekly_volume_trace(
+        30, first_weekday=_SEPTEMBER_1997_FIRST_WEEKDAY, jitter=0.05, seed=997
+    )
+
+
+def june_december_1997_volume() -> list[int]:
+    """Return the synthetic 200-day Jun–Dec 1997 trace (Figure 11 input).
+
+    June 1, 1997 was a Sunday; a mild upward trend models Usenet's growth
+    over the second half of 1997.
+    """
+    return weekly_volume_trace(
+        200, first_weekday=6, jitter=0.08, trend=0.0012, seed=1997
+    )
+
+
+def day_weights(trace: list[int]) -> "list[float]":
+    """Normalise a volume trace to per-day weights with mean 1.0.
+
+    The analytic executor's ``day_weight`` measures each day's data relative
+    to one "standard" day; feeding it these weights reproduces the
+    non-uniform index-size analysis of Section 3.3.
+    """
+    if not trace:
+        raise WorkloadError("empty trace")
+    mean = math.fsum(trace) / len(trace)
+    return [v / mean for v in trace]
+
+
+def weight_fn(trace: list[int]):
+    """Return a ``day -> weight`` callable over a 1-based day axis.
+
+    Days beyond the trace raise :class:`WorkloadError` — running a scheme
+    off the end of its data is a bug worth hearing about.
+    """
+    weights = day_weights(trace)
+
+    def weight(day: int) -> float:
+        if not 1 <= day <= len(weights):
+            raise WorkloadError(
+                f"trace covers days 1..{len(weights)}, got day {day}"
+            )
+        return weights[day - 1]
+
+    return weight

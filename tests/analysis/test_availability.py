@@ -1,0 +1,84 @@
+"""Tests for the query-availability analysis (Section 2.1's trade-off)."""
+
+import pytest
+
+from repro.analysis.availability import availability
+from repro.analysis.parameters import SCAM_PARAMETERS
+from repro.core.schemes import (
+    ALL_SCHEMES,
+    DelScheme,
+    ReindexScheme,
+    WataStarScheme,
+)
+from repro.index.updates import UpdateTechnique
+
+
+class TestBlockedTime:
+    def test_in_place_del_blocks_queries(self):
+        report = availability(
+            lambda: DelScheme(7, 2), SCAM_PARAMETERS, UpdateTechnique.IN_PLACE
+        )
+        assert report.needs_concurrency_control
+        assert report.blocked_s > 0
+        assert 0 < report.blocked_fraction <= 1.0
+
+    @pytest.mark.parametrize(
+        "technique",
+        [UpdateTechnique.SIMPLE_SHADOW, UpdateTechnique.PACKED_SHADOW],
+        ids=lambda t: t.value,
+    )
+    @pytest.mark.parametrize(
+        "scheme_cls",
+        [c for c in ALL_SCHEMES if c.min_indexes <= 2],
+        ids=lambda c: c.name,
+    )
+    def test_shadowing_never_blocks(self, scheme_cls, technique):
+        """The paper's core claim for shadow updating."""
+        report = availability(
+            lambda: scheme_cls(7, 2), SCAM_PARAMETERS, technique
+        )
+        assert report.blocked_s == 0.0
+        assert not report.needs_concurrency_control
+
+    def test_reindex_never_blocks_even_in_place(self):
+        """REINDEX only ever builds fresh indexes: nothing queryable is
+        mutated, which is its 'no concurrency control' selling point."""
+        report = availability(
+            lambda: ReindexScheme(7, 2),
+            SCAM_PARAMETERS,
+            UpdateTechnique.IN_PLACE,
+        )
+        assert report.blocked_s == 0.0
+
+    def test_wata_blocks_only_for_the_daily_add(self):
+        in_place = availability(
+            lambda: WataStarScheme(7, 2),
+            SCAM_PARAMETERS,
+            UpdateTechnique.IN_PLACE,
+        )
+        del_ = availability(
+            lambda: DelScheme(7, 2), SCAM_PARAMETERS, UpdateTechnique.IN_PLACE
+        )
+        # WATA never deletes, so it blocks less than DEL.
+        assert 0 < in_place.blocked_s < del_.blocked_s
+
+
+class TestStaleness:
+    def test_staleness_equals_transition_time(self):
+        report = availability(
+            lambda: DelScheme(7, 1),
+            SCAM_PARAMETERS,
+            UpdateTechnique.SIMPLE_SHADOW,
+        )
+        assert report.staleness_s == pytest.approx(
+            SCAM_PARAMETERS.implementation.add_s
+        )
+
+    def test_cycles_validated(self):
+        with pytest.raises(ValueError):
+            availability(
+                lambda: DelScheme(7, 1),
+                SCAM_PARAMETERS,
+                UpdateTechnique.IN_PLACE,
+                cycles=0,
+            )

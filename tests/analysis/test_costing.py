@@ -1,0 +1,134 @@
+"""Tests for the analytic (day-count) executor's charging rules."""
+
+import pytest
+
+from repro.analysis.costing import AnalyticExecutor
+from repro.analysis.parameters import SCAM_PARAMETERS
+from repro.core.schemes import (
+    DelScheme,
+    ReindexScheme,
+    WataStarScheme,
+)
+from repro.index.updates import UpdateTechnique
+
+P = SCAM_PARAMETERS
+S = P.application.s_bytes
+SP = P.implementation.s_prime_bytes
+
+
+def run_one(scheme, technique, transitions=7, day_weight=None):
+    ex = AnalyticExecutor(scheme, P, technique, day_weight)
+    reports = ex.run(scheme.window + transitions)
+    return ex, reports
+
+
+class TestBuildCharging:
+    def test_start_build_cost(self):
+        scheme = ReindexScheme(7, 1)
+        ex = AnalyticExecutor(scheme, P, UpdateTechnique.SIMPLE_SHADOW)
+        report = ex.run_start()
+        assert report.seconds.transition == pytest.approx(
+            7 * P.implementation.build_s
+        )
+        assert report.steady_bytes == pytest.approx(7 * S)  # packed
+
+    def test_reindex_daily_cost_is_x_build(self):
+        scheme = ReindexScheme(7, 1)
+        ex = AnalyticExecutor(scheme, P, UpdateTechnique.SIMPLE_SHADOW)
+        ex.run_start()
+        report = ex.run_transition(8)
+        assert report.seconds.transition == pytest.approx(
+            7 * P.implementation.build_s
+        )
+        assert report.seconds.precomputation == 0.0
+
+
+class TestDelCharging:
+    def test_simple_shadow_split(self):
+        scheme = DelScheme(7, 1)
+        ex = AnalyticExecutor(scheme, P, UpdateTechnique.SIMPLE_SHADOW)
+        ex.run_start()
+        report = ex.run_transition(8)
+        # Table 10: precompute = X*CP + Del, transition = Add.
+        assert report.seconds.precompute == pytest.approx(
+            7 * P.cp_s + P.implementation.del_s
+        )
+        assert report.seconds.transition == pytest.approx(
+            P.implementation.add_s
+        )
+
+    def test_packed_shadow_all_transition(self):
+        scheme = DelScheme(7, 1)
+        ex = AnalyticExecutor(scheme, P, UpdateTechnique.PACKED_SHADOW)
+        ex.run_start()
+        report = ex.run_transition(8)
+        # Table 11: transition = X*SMCP + Build, no precompute.
+        assert report.seconds.precompute == 0.0
+        assert report.seconds.transition == pytest.approx(
+            7 * P.smcp_s + P.implementation.build_s
+        )
+
+    def test_in_place_split(self):
+        scheme = DelScheme(7, 1)
+        ex = AnalyticExecutor(scheme, P, UpdateTechnique.IN_PLACE)
+        ex.run_start()
+        report = ex.run_transition(8)
+        assert report.seconds.precompute == pytest.approx(
+            P.implementation.del_s
+        )
+        assert report.seconds.transition == pytest.approx(
+            P.implementation.add_s
+        )
+
+
+class TestSpaceRating:
+    def test_packed_rated_s_unpacked_rated_s_prime(self):
+        scheme = DelScheme(7, 1)
+        ex = AnalyticExecutor(scheme, P, UpdateTechnique.SIMPLE_SHADOW)
+        start = ex.run_start()
+        assert start.steady_bytes == pytest.approx(7 * S)  # built packed
+        after = ex.run_transition(8)
+        assert after.steady_bytes == pytest.approx(7 * SP)  # shadow-updated
+
+    def test_peak_includes_shadow_copy(self):
+        scheme = DelScheme(7, 1)
+        ex = AnalyticExecutor(scheme, P, UpdateTechnique.SIMPLE_SHADOW)
+        ex.run_start()
+        report = ex.run_transition(8)
+        # Steady 7 days + shadow of the whole index during the update.
+        assert report.peak_bytes >= report.steady_bytes + 6.9 * S
+
+    def test_wata_reports_soft_window_length(self):
+        scheme = WataStarScheme(7, 2)
+        ex = AnalyticExecutor(scheme, P, UpdateTechnique.SIMPLE_SHADOW)
+        reports = ex.run(7 + 14)
+        assert max(r.length_days for r in reports) == scheme.max_length_bound()
+
+
+class TestDayWeights:
+    def test_weighted_build(self):
+        weights = {1: 2.0, 2: 1.0, 3: 0.5, 4: 1.0, 5: 1.0, 6: 1.0, 7: 1.0}
+        scheme = ReindexScheme(7, 1)
+        ex = AnalyticExecutor(
+            scheme,
+            P,
+            UpdateTechnique.SIMPLE_SHADOW,
+            day_weight=lambda d: weights.get(d, 1.0),
+        )
+        report = ex.run_start()
+        assert report.seconds.transition == pytest.approx(
+            7.5 * P.implementation.build_s
+        )
+        assert report.steady_bytes == pytest.approx(7.5 * S)
+
+
+class TestSnapshots:
+    def test_constituent_snapshots(self):
+        scheme = WataStarScheme(7, 3)
+        ex = AnalyticExecutor(scheme, P, UpdateTechnique.SIMPLE_SHADOW)
+        ex.run_start()
+        report = ex.run_transition(8)
+        names = [s.name for s in report.constituents]
+        assert names == ["I1", "I2", "I3"]
+        newest = max(s.newest_day for s in report.constituents)
+        assert newest == 8

@@ -1,0 +1,130 @@
+"""Tests for the Section-5 / Table-12 parameter classes."""
+
+import pytest
+
+from repro.analysis.parameters import (
+    ApplicationParameters,
+    CostParameters,
+    HardwareParameters,
+    ImplementationParameters,
+    SCAM_PARAMETERS,
+    TABLE12,
+    TPCD_PARAMETERS,
+    WSE_PARAMETERS,
+)
+from repro.storage.cost import MEGABYTE
+
+
+class TestTable12Values:
+    """The published constants, verbatim."""
+
+    def test_scam(self):
+        p = SCAM_PARAMETERS
+        assert p.window == 7
+        assert p.hardware.seek_s == 0.014
+        assert p.application.s_bytes == 56 * MEGABYTE
+        assert p.application.probe_num == 100_000
+        assert p.application.scan_num == 10
+        assert p.application.scan_target == "newest"
+        assert p.implementation.g == 2.0
+        assert p.implementation.build_s == 1686
+        assert p.implementation.add_s == 3341
+        assert p.implementation.s_prime_bytes == pytest.approx(78.4 * MEGABYTE)
+
+    def test_wse(self):
+        p = WSE_PARAMETERS
+        assert p.window == 35
+        assert p.application.probe_num == 340_000
+        assert p.application.scan_num == 0
+        assert p.implementation.build_s == 2276
+
+    def test_tpcd(self):
+        p = TPCD_PARAMETERS
+        assert p.window == 100
+        assert p.application.probe_num == 0
+        assert p.application.scan_num == 10
+        assert p.application.scan_target == "all"
+        assert p.implementation.g == 1.08
+        assert p.implementation.s_prime_bytes == 627 * MEGABYTE
+
+    def test_registry(self):
+        assert set(TABLE12) == {"SCAM", "WSE", "TPC-D"}
+
+    def test_s_prime_ratio_reflects_g(self):
+        # g = 2 gives ~1.4x overhead; g = 1.08 gives ~1.045x.
+        scam_ratio = (
+            SCAM_PARAMETERS.implementation.s_prime_bytes
+            / SCAM_PARAMETERS.application.s_bytes
+        )
+        tpcd_ratio = (
+            TPCD_PARAMETERS.implementation.s_prime_bytes
+            / TPCD_PARAMETERS.application.s_bytes
+        )
+        assert scam_ratio == pytest.approx(1.4)
+        assert tpcd_ratio == pytest.approx(1.045)
+
+
+class TestDerivedCosts:
+    def test_cp_reads_and_writes_s_prime(self):
+        p = SCAM_PARAMETERS
+        expected = 2 * 0.014 + 2 * 78.4 * MEGABYTE / (10 * MEGABYTE)
+        assert p.cp_s == pytest.approx(expected)
+
+    def test_smcp_reads_s_prime_writes_s(self):
+        p = SCAM_PARAMETERS
+        expected = 2 * 0.014 + (78.4 + 56) * MEGABYTE / (10 * MEGABYTE)
+        assert p.smcp_s == pytest.approx(expected)
+
+    def test_overrides(self):
+        from dataclasses import replace
+
+        p = replace(SCAM_PARAMETERS, cp_s_override=1.0, smcp_s_override=2.0)
+        assert p.cp_s == 1.0
+        assert p.smcp_s == 2.0
+
+
+class TestScaling:
+    def test_scaled_multiplies_data_quantities(self):
+        p = SCAM_PARAMETERS.scaled(3.0)
+        assert p.application.s_bytes == 3 * SCAM_PARAMETERS.application.s_bytes
+        assert p.implementation.add_s == 3 * SCAM_PARAMETERS.implementation.add_s
+        # Hardware and query counts unchanged.
+        assert p.hardware == SCAM_PARAMETERS.hardware
+        assert p.application.probe_num == SCAM_PARAMETERS.application.probe_num
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SCAM_PARAMETERS.scaled(0)
+
+    def test_with_window(self):
+        p = SCAM_PARAMETERS.with_window(14)
+        assert p.window == 14
+        assert SCAM_PARAMETERS.window == 7  # original untouched
+        with pytest.raises(ValueError):
+            SCAM_PARAMETERS.with_window(0)
+
+
+class TestValidation:
+    def test_hardware(self):
+        with pytest.raises(ValueError):
+            HardwareParameters(seek_s=-1)
+        with pytest.raises(ValueError):
+            HardwareParameters(trans_bps=0)
+
+    def test_application(self):
+        with pytest.raises(ValueError):
+            ApplicationParameters(s_bytes=0)
+        with pytest.raises(ValueError):
+            ApplicationParameters(s_bytes=1, scan_target="sideways")
+        with pytest.raises(ValueError):
+            ApplicationParameters(s_bytes=1, probe_num=-1)
+
+    def test_implementation(self):
+        with pytest.raises(ValueError):
+            ImplementationParameters(
+                g=1.0, build_s=1, add_s=1, del_s=1, s_prime_bytes=1
+            )
+        with pytest.raises(ValueError):
+            ImplementationParameters(
+                g=2.0, build_s=-1, add_s=1, del_s=1, s_prime_bytes=1
+            )

@@ -1,0 +1,104 @@
+"""Tests for the parameter-sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.parameters import (
+    SCAM_PARAMETERS,
+    TPCD_PARAMETERS,
+    WSE_PARAMETERS,
+)
+from repro.analysis.sensitivity import (
+    dominant_parameters,
+    work_elasticities,
+)
+from repro.core.schemes import DelScheme, ReindexScheme
+from repro.index.updates import UpdateTechnique
+
+
+class TestElasticities:
+    def test_del_structure(self):
+        """DEL on SCAM: Add and Del weigh equally (same constant), probes
+        are seek-dominated (probe_num and seek elasticities coincide), and
+        Build/S are irrelevant (steady DEL never rebuilds)."""
+        el = work_elasticities(
+            lambda p: DelScheme(p.window, 2),
+            SCAM_PARAMETERS,
+            UpdateTechnique.SIMPLE_SHADOW,
+        )
+        assert el["add"] == pytest.approx(el["del"], rel=0.01)
+        assert el["probe_num"] == pytest.approx(el["seek"], rel=0.05)
+        assert abs(el["build"]) < 1e-9
+        assert abs(el["S"]) < 1e-9
+        # Every elasticity except trans is non-negative; trans helps.
+        assert all(v >= -1e-9 for k, v in el.items() if k != "trans")
+
+    def test_trans_is_negative(self):
+        el = work_elasticities(
+            lambda p: DelScheme(p.window, 2),
+            SCAM_PARAMETERS,
+            UpdateTechnique.SIMPLE_SHADOW,
+        )
+        assert el["trans"] < 0
+
+    def test_wse_dominated_by_probes_and_seek(self):
+        """The WSE's 340k daily probes are pure seek traffic."""
+        el = work_elasticities(
+            lambda p: DelScheme(p.window, 2),
+            WSE_PARAMETERS,
+            UpdateTechnique.PACKED_SHADOW,
+        )
+        top = dict(dominant_parameters(el, top=2))
+        assert "probe_num" in top
+        assert "seek" in top
+
+    def test_tpcd_dominated_by_scans(self):
+        """TPC-D's work is scan bandwidth: S' (simple shadowing) rules."""
+        el = work_elasticities(
+            lambda p: DelScheme(p.window, 2),
+            TPCD_PARAMETERS,
+            UpdateTechnique.SIMPLE_SHADOW,
+        )
+        top = [name for name, _ in dominant_parameters(el, top=3)]
+        assert "S_prime" in top or "trans" in top
+
+    def test_reindex_sensitive_to_build_not_add(self):
+        el = work_elasticities(
+            lambda p: ReindexScheme(p.window, 2),
+            SCAM_PARAMETERS,
+            UpdateTechnique.SIMPLE_SHADOW,
+        )
+        assert el["build"] > 0.3
+        assert abs(el["add"]) < 1e-9
+        assert abs(el["del"]) < 1e-9
+
+    def test_del_pays_del_reindex_does_not(self):
+        el = work_elasticities(
+            lambda p: DelScheme(p.window, 2),
+            SCAM_PARAMETERS,
+            UpdateTechnique.SIMPLE_SHADOW,
+        )
+        assert el["del"] > 0.1
+
+
+class TestValidation:
+    def test_bump_range(self):
+        with pytest.raises(ValueError):
+            work_elasticities(
+                lambda p: DelScheme(p.window, 2),
+                SCAM_PARAMETERS,
+                UpdateTechnique.SIMPLE_SHADOW,
+                bump=0.0,
+            )
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ValueError):
+            work_elasticities(
+                lambda p: DelScheme(p.window, 2),
+                SCAM_PARAMETERS,
+                UpdateTechnique.SIMPLE_SHADOW,
+                parameters=("nope",),
+            )
+
+    def test_dominant_ranking(self):
+        ranked = dominant_parameters({"a": 0.1, "b": -0.9, "c": 0.5}, top=2)
+        assert ranked == [("b", -0.9), ("c", 0.5)]

@@ -1,0 +1,148 @@
+"""Tests for query costing and the total-work measure."""
+
+import pytest
+
+from repro.analysis.costing import AnalyticExecutor
+from repro.analysis.daycount import run_reports, steady_state
+from repro.analysis.parameters import (
+    SCAM_PARAMETERS,
+    TPCD_PARAMETERS,
+    WSE_PARAMETERS,
+)
+from repro.analysis.work import (
+    probe_seconds,
+    query_seconds,
+    scan_seconds,
+    summarize,
+    total_work_seconds,
+)
+from repro.core.schemes import DelScheme, ReindexScheme, WataStarScheme
+from repro.index.updates import UpdateTechnique
+
+
+def last_report(params, scheme_factory, technique=UpdateTechnique.SIMPLE_SHADOW):
+    scheme = scheme_factory()
+    reports = run_reports(scheme, params, technique, transitions=scheme.window)
+    return reports[-1]
+
+
+class TestProbeCost:
+    def test_probe_cost_zero_without_probes(self):
+        report = last_report(TPCD_PARAMETERS, lambda: DelScheme(100, 2))
+        assert probe_seconds(report, TPCD_PARAMETERS) == 0.0
+
+    def test_probe_cost_scales_with_n(self):
+        small = last_report(SCAM_PARAMETERS, lambda: DelScheme(7, 1))
+        large = last_report(SCAM_PARAMETERS, lambda: DelScheme(7, 7))
+        assert probe_seconds(large, SCAM_PARAMETERS) > probe_seconds(
+            small, SCAM_PARAMETERS
+        )
+
+    def test_probe_cost_formula_n1(self):
+        report = last_report(SCAM_PARAMETERS, lambda: DelScheme(7, 1))
+        hw = SCAM_PARAMETERS.hardware
+        app = SCAM_PARAMETERS.application
+        expected = app.probe_num * (hw.seek_s + hw.transfer_s(7 * app.c_bytes))
+        assert probe_seconds(report, SCAM_PARAMETERS) == pytest.approx(expected)
+
+    def test_wata_probes_pay_for_expired_days(self):
+        """Soft windows make buckets bigger, probes slower."""
+        del_probe = probe_seconds(
+            last_report(SCAM_PARAMETERS, lambda: DelScheme(7, 2)),
+            SCAM_PARAMETERS,
+        )
+        # Pick a WATA day where residue is maximal (just before ThrowAway).
+        scheme = WataStarScheme(7, 2)
+        reports = run_reports(
+            scheme, SCAM_PARAMETERS, UpdateTechnique.SIMPLE_SHADOW,
+            transitions=14,
+        )
+        wata_probe = max(probe_seconds(r, SCAM_PARAMETERS) for r in reports)
+        assert wata_probe > del_probe
+
+
+class TestScanCost:
+    def test_newest_target_scans_one_index(self):
+        report = last_report(SCAM_PARAMETERS, lambda: DelScheme(7, 7))
+        cost = scan_seconds(report, SCAM_PARAMETERS)
+        hw = SCAM_PARAMETERS.hardware
+        # One index holding one day, scanned 10 times.
+        per_day = SCAM_PARAMETERS.implementation.s_prime_bytes
+        assert cost == pytest.approx(10 * (hw.seek_s + hw.transfer_s(per_day)))
+
+    def test_all_target_scans_everything(self):
+        report = last_report(TPCD_PARAMETERS, lambda: DelScheme(100, 4))
+        cost = scan_seconds(report, TPCD_PARAMETERS)
+        hw = TPCD_PARAMETERS.hardware
+        total_bytes = 100 * TPCD_PARAMETERS.implementation.s_prime_bytes
+        expected = 10 * (4 * hw.seek_s + hw.transfer_s(total_bytes))
+        assert cost == pytest.approx(expected)
+
+    def test_packed_indexes_scan_faster(self):
+        simple = last_report(
+            TPCD_PARAMETERS, lambda: DelScheme(100, 2),
+            UpdateTechnique.SIMPLE_SHADOW,
+        )
+        packed = last_report(
+            TPCD_PARAMETERS, lambda: DelScheme(100, 2),
+            UpdateTechnique.PACKED_SHADOW,
+        )
+        assert scan_seconds(packed, TPCD_PARAMETERS) < scan_seconds(
+            simple, TPCD_PARAMETERS
+        )
+
+    def test_wse_has_no_scans(self):
+        report = last_report(WSE_PARAMETERS, lambda: DelScheme(35, 2))
+        assert scan_seconds(report, WSE_PARAMETERS) == 0.0
+
+
+class TestTotalWork:
+    def test_total_work_sums_components(self):
+        report = last_report(SCAM_PARAMETERS, lambda: DelScheme(7, 2))
+        q = query_seconds(report, SCAM_PARAMETERS)
+        assert total_work_seconds(report, SCAM_PARAMETERS) == pytest.approx(
+            report.seconds.total + q.total
+        )
+
+    def test_summarize_requires_reports(self):
+        with pytest.raises(ValueError):
+            summarize([], SCAM_PARAMETERS)
+
+    def test_summarize_averages(self):
+        scheme = ReindexScheme(7, 1)
+        reports = run_reports(
+            scheme, SCAM_PARAMETERS, UpdateTechnique.SIMPLE_SHADOW,
+            transitions=14,
+        )
+        avg = summarize(reports[1:], SCAM_PARAMETERS)
+        assert avg.transition_s == pytest.approx(
+            7 * SCAM_PARAMETERS.implementation.build_s
+        )
+        assert avg.max_length_days == 7
+
+
+class TestSteadyState:
+    def test_steady_state_is_cycle_invariant(self):
+        """Averaging 1 cycle or 3 gives the same numbers (periodicity)."""
+        one = steady_state(
+            lambda: DelScheme(7, 2),
+            SCAM_PARAMETERS,
+            UpdateTechnique.SIMPLE_SHADOW,
+            measure_cycles=1,
+        )
+        three = steady_state(
+            lambda: DelScheme(7, 2),
+            SCAM_PARAMETERS,
+            UpdateTechnique.SIMPLE_SHADOW,
+            measure_cycles=3,
+        )
+        assert one.total_work_s == pytest.approx(three.total_work_s)
+        assert one.steady_bytes == pytest.approx(three.steady_bytes)
+
+    def test_invalid_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            steady_state(
+                lambda: DelScheme(7, 2),
+                SCAM_PARAMETERS,
+                measure_cycles=0,
+            )

@@ -1,0 +1,82 @@
+"""Tests for the case-study curve machinery."""
+
+import pytest
+
+from repro.analysis.parameters import SCAM_PARAMETERS
+from repro.casestudies.common import (
+    MEASURES,
+    curves_over_n,
+    curves_over_params,
+    scheme_series,
+)
+from repro.core.schemes import ALL_SCHEMES, DelScheme
+from repro.index.updates import UpdateTechnique
+
+
+class TestCurvesOverN:
+    def test_holes_where_n_is_illegal(self):
+        curves = curves_over_n(
+            SCAM_PARAMETERS, (1, 2), UpdateTechnique.SIMPLE_SHADOW, "work"
+        )
+        assert curves["WATA*"][0] is None  # n = 1 illegal for WATA
+        assert curves["WATA*"][1] is not None
+        assert curves["DEL"][0] is not None
+
+    def test_holes_where_n_exceeds_window(self):
+        curves = curves_over_n(
+            SCAM_PARAMETERS, (8,), UpdateTechnique.SIMPLE_SHADOW, "work"
+        )
+        # W = 7: n = 8 is unrepresentable for everyone.
+        assert all(ys == [None] for ys in curves.values())
+
+    def test_all_schemes_present(self):
+        curves = curves_over_n(
+            SCAM_PARAMETERS, (2,), UpdateTechnique.SIMPLE_SHADOW, "transition"
+        )
+        assert set(curves) == {c.name for c in ALL_SCHEMES}
+
+    @pytest.mark.parametrize("measure", sorted(MEASURES))
+    def test_every_measure_computes(self, measure):
+        curves = curves_over_n(
+            SCAM_PARAMETERS, (2,), UpdateTechnique.SIMPLE_SHADOW, measure
+        )
+        assert curves["DEL"][0] > 0
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(KeyError):
+            curves_over_n(
+                SCAM_PARAMETERS, (2,), UpdateTechnique.SIMPLE_SHADOW, "vibes"
+            )
+
+
+class TestCurvesOverParams:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            curves_over_params(
+                [SCAM_PARAMETERS],
+                [1, 2],
+                2,
+                UpdateTechnique.SIMPLE_SHADOW,
+                "work",
+            )
+
+    def test_window_axis(self):
+        params_list = [SCAM_PARAMETERS.with_window(w) for w in (4, 7)]
+        curves = curves_over_params(
+            params_list, [4, 7], 2, UpdateTechnique.SIMPLE_SHADOW, "transition"
+        )
+        # REINDEX transition grows with W at fixed n.
+        assert curves["REINDEX"][1] > curves["REINDEX"][0]
+
+
+class TestSchemeSeries:
+    def test_points_carry_averages(self):
+        points = scheme_series(
+            DelScheme,
+            params_for_x=lambda x: SCAM_PARAMETERS,
+            n_for_x=lambda x: int(x),
+            xs=[1, 2],
+            technique=UpdateTechnique.SIMPLE_SHADOW,
+        )
+        assert [p.x for p in points] == [1, 2]
+        assert all(p.averages.total_work_s > 0 for p in points)

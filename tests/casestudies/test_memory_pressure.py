@@ -1,0 +1,79 @@
+"""Tests for the memory-pressured Figure-10 variant.
+
+The paper's Figure 10 shows REINDEX overtaking WATA* at SF ≈ 3 because the
+authors' re-measured ``Add`` degraded under memory pressure.  The
+buffer-pool model reproduces that mechanism: with a pool sized to the SF=1
+working set, incremental updates are cache-warm at SF <= 1 and thrash
+beyond, while packed rebuilds (streaming) scale linearly.
+"""
+
+import pytest
+
+from repro.casestudies import scam
+
+
+class TestMeasuredConstantsUnderPressure:
+    def test_add_degrades_superlinearly_past_the_cliff(self):
+        _, _, sp1 = scam.measure_build_add_constants(1.0, cluster_days=4)
+        memory = sp1 * 5  # the SF = 1 working set fits exactly
+        _, add1, _ = scam.measure_build_add_constants(
+            1.0, cluster_days=4, memory_bytes=memory
+        )
+        _, add4, _ = scam.measure_build_add_constants(
+            4.0, cluster_days=4, memory_bytes=memory
+        )
+        assert add4 > 4 * add1 * 2  # far beyond linear scaling
+
+    def test_build_stays_linear_under_pressure(self):
+        _, _, sp1 = scam.measure_build_add_constants(1.0, cluster_days=4)
+        memory = sp1 * 5
+        build1, _, _ = scam.measure_build_add_constants(
+            1.0, cluster_days=4, memory_bytes=memory
+        )
+        build4, _, _ = scam.measure_build_add_constants(
+            4.0, cluster_days=4, memory_bytes=memory
+        )
+        assert build4 == pytest.approx(build1 * 4, rel=0.5)
+
+    def test_cluster_days_validated(self):
+        with pytest.raises(ValueError):
+            scam.measure_build_add_constants(1.0, cluster_days=0)
+
+
+class TestFigure10Crossover:
+    @pytest.fixture(scope="class")
+    def pressured(self):
+        return scam.figure10_memory_pressured(
+            scale_factors=(1.0, 3.0, 5.0), memory_ratio=1.0
+        )
+
+    def test_reindex_overtakes_incremental_schemes(self, pressured):
+        """The paper's crossover: REINDEX wins at SF >= 3 under pressure."""
+        sf3 = 1  # index of SF = 3.0
+        for scheme in ("DEL", "WATA*", "RATA*", "REINDEX+"):
+            assert pressured["REINDEX"][sf3] < pressured[scheme][sf3], scheme
+
+    def test_wata_still_wins_at_sf1(self, pressured):
+        assert pressured["WATA*"][0] < pressured["REINDEX"][0]
+
+    def test_no_crossover_without_pressure(self):
+        """Linearly scaled constants never flip WATA* and REINDEX."""
+        curves = scam.figure10_scale_factor(scale_factors=(1.0, 5.0))
+        assert curves["WATA*"][1] < curves["REINDEX"][1]
+
+    def test_memory_ratio_validated(self):
+        with pytest.raises(ValueError):
+            scam.figure10_memory_pressured(
+                scale_factors=(1.0,), memory_ratio=0
+            )
+
+    def test_deep_pressure_narrows_but_keeps_ordering(self):
+        """With the pool far below the SF=1 working set, everything thrashes
+        about equally: the REINDEX/WATA* gap narrows with SF but need not
+        cross (see EXPERIMENTS.md)."""
+        curves = scam.figure10_memory_pressured(
+            scale_factors=(1.0, 5.0), memory_ratio=0.3
+        )
+        gap_sf1 = curves["REINDEX"][0] / curves["WATA*"][0]
+        gap_sf5 = curves["REINDEX"][1] / curves["WATA*"][1]
+        assert gap_sf5 < gap_sf1

@@ -1,0 +1,133 @@
+"""Shape assertions for the SCAM case study (Figures 3, 4, 5, 9, 10).
+
+These tests pin the paper's qualitative findings: who wins, in which
+direction curves move, and where recommendations land — not absolute
+seconds, which depended on 1997 hardware.
+"""
+
+import pytest
+
+from repro.casestudies import scam
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return scam.figure3_space()
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return scam.figure4_transition()
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return scam.figure5_work()
+
+
+class TestFigure3Space:
+    def test_reindex_uses_least_space(self, fig3):
+        """Paper: 'REINDEX requires the minimal amount of space'.
+
+        At the degenerate n = W point every scheme rebuilds single-day
+        packed indexes and WATA* can tie or edge out REINDEX (it sheds the
+        rebuild shadow), so the claim is asserted for n < W.
+        """
+        for i, n in enumerate(scam.DEFAULT_N_VALUES):
+            if n == scam.SCAM_PARAMETERS.window:
+                continue
+            reindex = fig3["REINDEX"][i]
+            for scheme, ys in fig3.items():
+                if ys[i] is not None:
+                    assert reindex <= ys[i] * 1.0001, (scheme, n)
+
+    def test_space_decreases_with_n(self, fig3):
+        """Paper: 'all schemes require less space as n increases'."""
+        for scheme, ys in fig3.items():
+            values = [y for y in ys if y is not None]
+            assert values[0] >= values[-1], scheme
+
+    def test_wata_holes_are_none_at_n1(self, fig3):
+        assert fig3["WATA*"][0] is None
+        assert fig3["RATA*"][0] is None
+
+
+class TestFigure4Transition:
+    def test_del_flat_at_add(self, fig4):
+        """DEL always incrementally indexes exactly one day."""
+        values = [y for y in fig4["DEL"]]
+        assert max(values) - min(values) < 1.0
+
+    def test_reindex_decreasing_in_n(self, fig4):
+        ys = fig4["REINDEX"]
+        assert ys[0] > ys[-1]
+        assert ys == sorted(ys, reverse=True)
+
+    def test_reindex_bad_small_n_good_large_n(self, fig4):
+        """Paper: REINDEX poor for n <= 3, competitive for n >= 4."""
+        assert fig4["REINDEX"][0] > fig4["DEL"][0]  # n = 1
+        assert fig4["REINDEX"][6] < fig4["DEL"][6]  # n = 7
+
+    def test_reindex_pp_transition_equals_del(self, fig4):
+        """Both do one incremental Add on the critical path."""
+        for a, b in zip(fig4["REINDEX++"], fig4["DEL"]):
+            assert a == pytest.approx(b, rel=0.01)
+
+    def test_wata_transition_cheap(self, fig4):
+        for i in range(1, len(scam.DEFAULT_N_VALUES)):
+            assert fig4["WATA*"][i] <= fig4["DEL"][i] * 1.05
+
+
+class TestFigure5TotalWork:
+    def test_reindex_worst_at_n1_among_rebuilders(self, fig5):
+        assert fig5["REINDEX"][0] > fig5["DEL"][0]
+
+    def test_reindex_competitive_at_n4_plus(self, fig5):
+        """Paper recommends REINDEX with n = 4 for SCAM."""
+        i = scam.DEFAULT_N_VALUES.index(4)
+        assert fig5["REINDEX"][i] < fig5["DEL"][i]
+        assert fig5["REINDEX"][i] < fig5["REINDEX++"][i]
+
+    def test_del_grows_with_n_due_to_probes(self, fig5):
+        assert fig5["DEL"][-1] > fig5["DEL"][0]
+
+
+class TestFigure9WindowScaling:
+    def test_rebuilders_scale_with_w_others_flat(self):
+        curves = scam.figure9_window_scaling(windows=(7, 14, 28, 42))
+        # REINDEX grows roughly linearly in W.
+        reindex = curves["REINDEX"]
+        assert reindex[-1] > 2.5 * reindex[0]
+        # DEL/WATA/RATA maintenance is W-independent; only probe costs
+        # change, so growth stays small.
+        for scheme in ("DEL", "WATA*", "RATA*"):
+            ys = curves[scheme]
+            assert ys[-1] < 1.6 * ys[0], scheme
+
+
+class TestFigure10ScaleFactor:
+    def test_linear_scaling_preserves_ordering(self):
+        """Analytic variant: all schemes scale ~linearly; WATA stays ahead
+        (the paper's crossover needed re-measured constants; see
+        EXPERIMENTS.md)."""
+        curves = scam.figure10_scale_factor(scale_factors=(1.0, 3.0, 5.0))
+        for scheme, ys in curves.items():
+            if ys[0] is None:
+                continue
+            assert ys[-1] > ys[0]
+        assert curves["WATA*"][2] < curves["REINDEX"][2]
+
+    def test_measured_variant_runs_and_orders_sanely(self):
+        curves = scam.figure10_measured(scale_factors=(0.5, 1.0, 2.0))
+        for scheme, ys in curves.items():
+            assert len(ys) == 3
+            assert all(y is None or y > 0 for y in ys)
+        # Work grows with volume in every scheme.
+        assert curves["REINDEX"][2] > curves["REINDEX"][0]
+
+
+class TestCalibration:
+    def test_measured_constants_have_paper_like_ratios(self):
+        build, add, s_prime = scam.measure_build_add_constants(1.0)
+        assert add > build  # incremental indexing costs more (Table 12)
+        assert s_prime > 0

@@ -1,0 +1,67 @@
+"""Tests for the Section-6 scheme advisor."""
+
+import pytest
+
+from repro.analysis.parameters import (
+    SCAM_PARAMETERS,
+    TPCD_PARAMETERS,
+    WSE_PARAMETERS,
+)
+from repro.core.advisor import recommend
+
+
+class TestRecommendations:
+    def test_returns_ranked_list(self):
+        recs = recommend(SCAM_PARAMETERS, candidate_n=(1, 2, 4, 7))
+        assert len(recs) == 5
+        works = [r.total_work_s for r in recs]
+        assert works == sorted(works)
+
+    def test_wse_prefers_del_n1_with_packed_shadow(self):
+        """The paper's Figure 6 recommendation."""
+        recs = recommend(WSE_PARAMETERS, candidate_n=(1, 2, 5, 10))
+        best = recs[0]
+        assert best.scheme == "DEL"
+        assert best.n_indexes == 1
+        assert best.technique == "packed_shadow"
+
+    def test_tpcd_without_packed_shadow_prefers_wata(self):
+        """The paper's Figure 8 recommendation (legacy system)."""
+        recs = recommend(
+            TPCD_PARAMETERS,
+            candidate_n=(1, 2, 10),
+            packed_shadow_available=False,
+        )
+        assert recs[0].scheme == "WATA*"
+        assert all(r.technique == "simple_shadow" for r in recs)
+
+    def test_hard_window_requirement_excludes_wata(self):
+        recs = recommend(
+            TPCD_PARAMETERS,
+            candidate_n=(1, 2, 10),
+            packed_shadow_available=False,
+            hard_window_required=True,
+        )
+        assert all(r.hard_window for r in recs)
+        assert all(r.scheme != "WATA*" for r in recs)
+
+    def test_notes_flag_soft_windows(self):
+        recs = recommend(TPCD_PARAMETERS, candidate_n=(2,), max_candidates=20)
+        wata = [r for r in recs if r.scheme == "WATA*"]
+        assert wata
+        assert any("soft window" in note for note in wata[0].notes)
+
+    def test_notes_flag_deletion_code_for_del(self):
+        recs = recommend(SCAM_PARAMETERS, candidate_n=(1,), max_candidates=20)
+        del_recs = [r for r in recs if r.scheme == "DEL"]
+        assert del_recs
+        assert any("deletion code" in n for n in del_recs[0].notes)
+
+    def test_max_candidates_respected(self):
+        recs = recommend(SCAM_PARAMETERS, candidate_n=(1, 2), max_candidates=3)
+        assert len(recs) == 3
+
+    def test_illegal_n_skipped_silently(self):
+        # n = 10 > window = 7 must simply not appear.
+        recs = recommend(SCAM_PARAMETERS, candidate_n=(10,), max_candidates=50)
+        assert recs == []

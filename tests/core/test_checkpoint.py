@@ -1,0 +1,224 @@
+"""Tests for wave-index checkpoint and recovery.
+
+The defining property: a run that is checkpointed, torn down, restored, and
+continued must behave *identically* (same day-sets, same query results) to
+an uninterrupted run — for every scheme, at every possible checkpoint day.
+"""
+
+import pytest
+
+from repro.core.checkpoint import (
+    checkpoint_from_json,
+    checkpoint_to_json,
+    restore,
+    restore_scheme,
+    take_checkpoint,
+)
+from repro.core.executor import PlanExecutor
+from repro.core.schemes import ALL_SCHEMES, DelScheme, ReindexPlusScheme
+from repro.core.symbolic import SymbolicState
+from repro.core.wave import WaveIndex
+from repro.errors import SchemeError
+from repro.index.config import IndexConfig
+from repro.index.updates import UpdateTechnique
+from repro.storage.disk import SimulatedDisk
+from tests.conftest import make_store
+
+WINDOW, N, LAST = 8, 3, 24
+
+
+@pytest.mark.parametrize("scheme_cls", ALL_SCHEMES, ids=lambda c: c.name)
+@pytest.mark.parametrize("checkpoint_day", [WINDOW, WINDOW + 3, WINDOW + 9])
+class TestResumeEquivalence:
+    def test_symbolic_resume_matches_uninterrupted(
+        self, scheme_cls, checkpoint_day
+    ):
+        if N < scheme_cls.min_indexes:
+            pytest.skip("n too small")
+        # Uninterrupted run.
+        straight = scheme_cls(WINDOW, N)
+        state_a = SymbolicState(straight.index_names)
+        state_a.apply_plan(straight.start_ops())
+        for day in range(WINDOW + 1, LAST + 1):
+            state_a.apply_plan(straight.transition_ops(day))
+
+        # Interrupted run: checkpoint at checkpoint_day, restore, continue.
+        first = scheme_cls(WINDOW, N)
+        state_b = SymbolicState(first.index_names)
+        state_b.apply_plan(first.start_ops())
+        for day in range(WINDOW + 1, checkpoint_day + 1):
+            state_b.apply_plan(first.transition_ops(day))
+        blob = checkpoint_to_json(take_checkpoint(first))
+        resumed = restore_scheme(checkpoint_from_json(blob))
+        for day in range(checkpoint_day + 1, LAST + 1):
+            state_b.apply_plan(resumed.transition_ops(day))
+
+        assert state_a.bindings == state_b.bindings
+        assert resumed.days == straight.days
+
+    def test_storage_restore_serves_identical_queries(
+        self, scheme_cls, checkpoint_day
+    ):
+        if N < scheme_cls.min_indexes:
+            pytest.skip("n too small")
+        store = make_store(LAST, seed=23)
+
+        def run_to(day, scheme, executor):
+            for d in range(scheme.window + 1, day + 1):
+                executor.execute(scheme.transition_ops(d))
+
+        # Uninterrupted.
+        disk_a = SimulatedDisk()
+        wave_a = WaveIndex(disk_a, IndexConfig(), N)
+        scheme_a = scheme_cls(WINDOW, N)
+        ex_a = PlanExecutor(wave_a, store, UpdateTechnique.SIMPLE_SHADOW)
+        ex_a.execute(scheme_a.start_ops())
+        run_to(LAST, scheme_a, ex_a)
+
+        # Interrupted at checkpoint_day.
+        disk_b = SimulatedDisk()
+        wave_b = WaveIndex(disk_b, IndexConfig(), N)
+        scheme_b = scheme_cls(WINDOW, N)
+        ex_b = PlanExecutor(wave_b, store, UpdateTechnique.SIMPLE_SHADOW)
+        ex_b.execute(scheme_b.start_ops())
+        run_to(checkpoint_day, scheme_b, ex_b)
+        checkpoint = take_checkpoint(scheme_b)
+
+        disk_c = SimulatedDisk()
+        scheme_c, wave_c = restore(checkpoint, store, disk_c, IndexConfig())
+        ex_c = PlanExecutor(wave_c, store, UpdateTechnique.SIMPLE_SHADOW)
+        for day in range(checkpoint_day + 1, LAST + 1):
+            ex_c.execute(scheme_c.transition_ops(day))
+
+        assert wave_c.days_by_name() == wave_a.days_by_name()
+        lo, hi = LAST - WINDOW + 1, LAST
+        for value in "abcdefgh":
+            assert sorted(
+                wave_c.timed_index_probe(value, lo, hi).record_ids
+            ) == sorted(wave_a.timed_index_probe(value, lo, hi).record_ids)
+
+
+class TestCheckpointValidation:
+    def test_unstarted_scheme_rejected(self):
+        with pytest.raises(SchemeError):
+            take_checkpoint(DelScheme(5, 1))
+
+    def test_version_checked(self):
+        scheme = DelScheme(5, 1)
+        scheme.start_ops()
+        checkpoint = take_checkpoint(scheme)
+        checkpoint["version"] = 99
+        with pytest.raises(SchemeError):
+            restore_scheme(checkpoint)
+
+    def test_wrong_configuration_rejected(self):
+        scheme = DelScheme(5, 1)
+        scheme.start_ops()
+        state = scheme.get_state()
+        other = DelScheme(6, 1)
+        with pytest.raises(SchemeError):
+            other.restore_state(state)
+        wrong_kind = ReindexPlusScheme(5, 1)
+        with pytest.raises(SchemeError):
+            wrong_kind.restore_state(state)
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(SchemeError):
+            checkpoint_from_json('{"not": "a checkpoint"}')
+
+    def test_json_roundtrip_is_identity(self):
+        scheme = ReindexPlusScheme(6, 2)
+        scheme.start_ops()
+        scheme.transition_ops(7)
+        checkpoint = take_checkpoint(scheme)
+        assert checkpoint_from_json(checkpoint_to_json(checkpoint)) == checkpoint
+
+    def test_restored_indexes_are_packed(self):
+        """Recovery rebuilds packed — the best-structured restart state."""
+        store = make_store(12, seed=3)
+        scheme = DelScheme(8, 2)
+        disk = SimulatedDisk()
+        wave = WaveIndex(disk, IndexConfig(), 2)
+        ex = PlanExecutor(wave, store, UpdateTechnique.SIMPLE_SHADOW)
+        ex.execute(scheme.start_ops())
+        ex.execute(scheme.transition_ops(9))
+        checkpoint = take_checkpoint(scheme)
+        _, restored_wave = restore(
+            checkpoint, store, SimulatedDisk(), IndexConfig()
+        )
+        for index in restored_wave.live_constituents():
+            assert index.packed
+
+
+class TestExtensionSchemeCheckpoints:
+    def test_batched_del_resume_preserves_pending(self):
+        from repro.core.schemes import BatchedDelScheme
+
+        def fresh():
+            return BatchedDelScheme(WINDOW, N, batch_days=4)
+
+        straight = fresh()
+        state_a = SymbolicState(straight.index_names)
+        state_a.apply_plan(straight.start_ops())
+        for day in range(WINDOW + 1, LAST + 1):
+            state_a.apply_plan(straight.transition_ops(day))
+
+        first = fresh()
+        state_b = SymbolicState(first.index_names)
+        state_b.apply_plan(first.start_ops())
+        checkpoint_day = WINDOW + 5  # mid-batch: pending is non-empty
+        for day in range(WINDOW + 1, checkpoint_day + 1):
+            state_b.apply_plan(first.transition_ops(day))
+        assert first.pending_expired  # the interesting case
+        blob = checkpoint_to_json(take_checkpoint(first))
+        resumed = restore_scheme(checkpoint_from_json(blob))
+        assert resumed.pending_expired == first.pending_expired
+        for day in range(checkpoint_day + 1, LAST + 1):
+            state_b.apply_plan(resumed.transition_ops(day))
+        assert state_a.bindings == state_b.bindings
+
+    def test_batched_del_batch_mismatch_rejected(self):
+        from repro.core.schemes import BatchedDelScheme
+
+        scheme = BatchedDelScheme(WINDOW, N, batch_days=4)
+        scheme.start_ops()
+        state = scheme.get_state()
+        other = BatchedDelScheme(WINDOW, N, batch_days=2)
+        with pytest.raises(SchemeError):
+            other.restore_state(state)
+
+    def test_wata_size_resume_preserves_sizes(self):
+        import random
+
+        from repro.core.schemes.wata_size import WataSizeAwareScheme
+
+        rng = random.Random(8)
+        weights = [rng.uniform(0.3, 2.0) for _ in range(LAST)]
+        m = max(
+            sum(weights[i : i + WINDOW]) for i in range(LAST - WINDOW + 1)
+        )
+
+        def fresh():
+            return WataSizeAwareScheme(
+                WINDOW, N, max_window_size=m,
+                day_size=lambda d: weights[d - 1],
+            )
+
+        straight = fresh()
+        state_a = SymbolicState(straight.index_names)
+        state_a.apply_plan(straight.start_ops())
+        for day in range(WINDOW + 1, LAST + 1):
+            state_a.apply_plan(straight.transition_ops(day))
+
+        first = fresh()
+        state_b = SymbolicState(first.index_names)
+        state_b.apply_plan(first.start_ops())
+        for day in range(WINDOW + 1, WINDOW + 7):
+            state_b.apply_plan(first.transition_ops(day))
+        checkpoint = take_checkpoint(first)
+        resumed = fresh()
+        resumed.restore_state(checkpoint["scheme"])
+        assert resumed.total_size() == pytest.approx(first.total_size())
+        for day in range(WINDOW + 7, LAST + 1):
+            state_b.apply_plan(resumed.transition_ops(day))
+        assert state_a.bindings == state_b.bindings

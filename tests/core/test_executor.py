@@ -1,0 +1,209 @@
+"""Tests for the plan executor: op semantics, techniques, phase charging."""
+
+import pytest
+
+from repro.core.executor import PhaseSeconds, PlanExecutor
+from repro.core.ops import (
+    AddOp,
+    BuildOp,
+    CopyOp,
+    CreateEmptyOp,
+    DeleteOp,
+    DropOp,
+    Phase,
+    RenameOp,
+    UpdateOp,
+)
+from repro.core.wave import WaveIndex
+from repro.index.config import IndexConfig
+from repro.index.updates import UpdateTechnique
+from repro.storage.disk import SimulatedDisk
+from tests.conftest import make_store
+
+
+@pytest.fixture
+def env():
+    disk = SimulatedDisk()
+    store = make_store(20)
+    wave = WaveIndex(disk, IndexConfig(), n_indexes=2)
+    return disk, store, wave
+
+
+def executor_for(env, technique=UpdateTechnique.SIMPLE_SHADOW):
+    disk, store, wave = env
+    return PlanExecutor(wave, store, technique)
+
+
+class TestPhaseSeconds:
+    def test_accumulation(self):
+        seconds = PhaseSeconds()
+        seconds.add(Phase.PRECOMPUTE, 1.0)
+        seconds.add(Phase.TRANSITION, 2.0)
+        seconds.add(Phase.POST, 4.0)
+        assert seconds.precomputation == 5.0
+        assert seconds.total == 7.0
+
+    def test_iadd(self):
+        a = PhaseSeconds(precompute=1, transition=2, post=3)
+        a += PhaseSeconds(precompute=10, transition=20, post=30)
+        assert (a.precompute, a.transition, a.post) == (11, 22, 33)
+
+
+class TestOps:
+    def test_build_binds_packed_index(self, env):
+        ex = executor_for(env)
+        ex.execute([BuildOp(target="I1", days=(1, 2))])
+        idx = ex.wave.get("I1")
+        assert idx.packed
+        assert idx.days == {1, 2}
+
+    def test_build_swaps_and_drops_old(self, env):
+        ex = executor_for(env)
+        ex.execute([BuildOp(target="I1", days=(1,))])
+        old = ex.wave.get("I1")
+        ex.execute([BuildOp(target="I1", days=(2,))])
+        assert old.dropped
+        assert ex.wave.get("I1").days == {2}
+
+    def test_create_empty(self, env):
+        ex = executor_for(env)
+        ex.execute([CreateEmptyOp(target="Temp")])
+        assert ex.wave.get("Temp").entry_count == 0
+
+    def test_add_and_delete_roundtrip(self, env):
+        ex = executor_for(env)
+        ex.execute([BuildOp(target="I1", days=(1,))])
+        ex.execute([AddOp(target="I1", days=(2,))])
+        assert ex.wave.get("I1").days == {1, 2}
+        ex.execute([DeleteOp(target="I1", days=(1,))])
+        assert ex.wave.get("I1").days == {2}
+
+    def test_copy_then_mutate_leaves_source_alone(self, env):
+        ex = executor_for(env)
+        ex.execute(
+            [
+                BuildOp(target="Temp", days=(1,)),
+                CopyOp(source="Temp", target="I1"),
+                AddOp(target="I1", days=(2,)),
+            ]
+        )
+        assert ex.wave.get("Temp").days == {1}
+        assert ex.wave.get("I1").days == {1, 2}
+
+    def test_rename_moves_and_drops_old_target(self, env):
+        ex = executor_for(env)
+        ex.execute([BuildOp(target="I1", days=(1,)), BuildOp(target="T1", days=(2,))])
+        old = ex.wave.get("I1")
+        ex.execute([RenameOp(source="T1", target="I1")])
+        assert old.dropped
+        assert ex.wave.get("I1").days == {2}
+        assert ex.wave.get_optional("T1") is None
+
+    def test_drop(self, env):
+        ex = executor_for(env)
+        ex.execute([BuildOp(target="I1", days=(1,))])
+        idx = ex.wave.get("I1")
+        ex.execute([DropOp(target="I1")])
+        assert idx.dropped
+        assert ex.wave.get_optional("I1") is None
+
+
+class TestTechniqueRouting:
+    def test_temp_indexes_always_updated_in_place(self, env):
+        """Adding to a temporary never shadows, even under simple shadow."""
+        ex = executor_for(env, UpdateTechnique.SIMPLE_SHADOW)
+        ex.execute([BuildOp(target="Temp", days=(1,))])
+        temp = ex.wave.get("Temp")
+        ex.execute([AddOp(target="Temp", days=(2,))])
+        assert ex.wave.get("Temp") is temp  # same object: in-place
+
+    def test_constituent_shadowed_under_simple_shadow(self, env):
+        ex = executor_for(env, UpdateTechnique.SIMPLE_SHADOW)
+        ex.execute([BuildOp(target="I1", days=(1,))])
+        original = ex.wave.get("I1")
+        ex.execute([AddOp(target="I1", days=(2,))])
+        assert ex.wave.get("I1") is not original
+        assert original.dropped
+
+    def test_packed_shadow_add_produces_packed(self, env):
+        ex = executor_for(env, UpdateTechnique.PACKED_SHADOW)
+        ex.execute([BuildOp(target="I1", days=(1,))])
+        ex.execute([AddOp(target="I1", days=(2,))])
+        idx = ex.wave.get("I1")
+        assert idx.packed
+        assert idx.allocated_bytes == idx.used_bytes
+
+    def test_in_place_add_keeps_object(self, env):
+        ex = executor_for(env, UpdateTechnique.IN_PLACE)
+        ex.execute([BuildOp(target="I1", days=(1,))])
+        idx = ex.wave.get("I1")
+        ex.execute([AddOp(target="I1", days=(2,))])
+        assert ex.wave.get("I1") is idx
+
+
+class TestUpdateOpPhases:
+    @pytest.mark.parametrize(
+        "technique,expect_pre",
+        [
+            (UpdateTechnique.IN_PLACE, True),
+            (UpdateTechnique.SIMPLE_SHADOW, True),
+            (UpdateTechnique.PACKED_SHADOW, False),
+        ],
+    )
+    def test_phase_split(self, env, technique, expect_pre):
+        ex = executor_for(env, technique)
+        ex.execute([BuildOp(target="I1", days=(1, 2))])
+        report = ex.execute(
+            [UpdateOp(target="I1", add_days=(3,), delete_days=(1,))]
+        )
+        assert ex.wave.get("I1").days == {2, 3}
+        assert report.seconds.transition > 0
+        if expect_pre:
+            assert report.seconds.precompute > 0
+        else:
+            assert report.seconds.precompute == 0.0
+
+    def test_simple_shadow_fused_cheaper_than_split(self):
+        """UpdateOp's whole point: one shadow copy, not two."""
+
+        def run(plan_factory):
+            disk = SimulatedDisk()
+            store = make_store(20)
+            wave = WaveIndex(disk, IndexConfig(), n_indexes=2)
+            ex = PlanExecutor(wave, store, UpdateTechnique.SIMPLE_SHADOW)
+            ex.execute([BuildOp(target="I1", days=(1, 2, 3))])
+            before = disk.snapshot()
+            ex.execute(plan_factory())
+            return (disk.snapshot() - before).bytes_read
+
+        fused = run(
+            lambda: [UpdateOp(target="I1", add_days=(4,), delete_days=(1,))]
+        )
+        split = run(
+            lambda: [
+                DeleteOp(target="I1", days=(1,)),
+                AddOp(target="I1", days=(4,)),
+            ]
+        )
+        assert fused < split
+
+
+class TestSpacePeaks:
+    def test_peak_includes_shadow(self, env):
+        disk, store, wave = env
+        ex = PlanExecutor(wave, store, UpdateTechnique.SIMPLE_SHADOW)
+        ex.execute([BuildOp(target="I1", days=(1, 2, 3))])
+        steady = disk.live_bytes
+        report = ex.execute([AddOp(target="I1", days=(4,))])
+        assert report.peak_bytes >= steady + 0.9 * steady  # ~2x during shadow
+
+    def test_unknown_op_rejected(self, env):
+        from repro.errors import SchemeError
+
+        ex = executor_for(env)
+
+        class FakeOp:
+            phase = Phase.TRANSITION
+
+        with pytest.raises(SchemeError):
+            ex.execute([FakeOp()])

@@ -1,0 +1,68 @@
+"""Tests for the primitive-operation vocabulary."""
+
+from repro.core.ops import (
+    AddOp,
+    BuildOp,
+    CopyOp,
+    CreateEmptyOp,
+    DeleteOp,
+    DropOp,
+    Phase,
+    RenameOp,
+    UpdateOp,
+)
+
+
+class TestPhases:
+    def test_default_phase_is_transition(self):
+        assert BuildOp(target="I1", days=(1,)).phase is Phase.TRANSITION
+
+    def test_precomputation_classification(self):
+        assert Phase.PRECOMPUTE.counts_as_precomputation
+        assert Phase.POST.counts_as_precomputation
+        assert not Phase.TRANSITION.counts_as_precomputation
+
+
+class TestDescriptions:
+    """The describe() renderings feed the Tables 1-7 traces."""
+
+    def test_build(self):
+        op = BuildOp(target="I1", days=(1, 2, 3))
+        assert op.describe() == "I1 <- BuildIndex({1, 2, 3})"
+
+    def test_add(self):
+        assert AddOp(target="Temp", days=(11,)).describe() == (
+            "AddToIndex({11}, Temp)"
+        )
+
+    def test_delete(self):
+        assert DeleteOp(target="I1", days=(1,)).describe() == (
+            "DeleteFromIndex({1}, I1)"
+        )
+
+    def test_update_mentions_both_halves(self):
+        text = UpdateOp(target="I1", add_days=(11,), delete_days=(1,)).describe()
+        assert "DeleteFromIndex({1}, I1)" in text
+        assert "AddToIndex({11}, I1)" in text
+
+    def test_copy_rename_drop_empty(self):
+        assert CopyOp(source="Temp", target="I1").describe() == "I1 <- Temp"
+        assert RenameOp(source="T4", target="I1").describe() == "Rename T4 as I1"
+        assert DropOp(target="I1").describe() == "DropIndex(I1)"
+        assert CreateEmptyOp(target="Temp").describe() == "Temp <- empty"
+
+
+class TestImmutability:
+    def test_ops_are_frozen(self):
+        op = BuildOp(target="I1", days=(1,))
+        try:
+            op.target = "I2"  # type: ignore[misc]
+        except AttributeError:
+            return
+        raise AssertionError("ops must be immutable")
+
+    def test_ops_are_hashable(self):
+        a = AddOp(target="I1", days=(1,))
+        b = AddOp(target="I1", days=(1,))
+        assert a == b
+        assert len({a, b}) == 1

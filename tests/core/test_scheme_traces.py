@@ -1,0 +1,180 @@
+"""Exact regeneration of the paper's example transition tables (Tables 1-7).
+
+Each test drives a scheme through the days the paper tabulates and asserts
+the index contents cell by cell.
+"""
+
+from repro.core.schemes import (
+    DelScheme,
+    RataStarScheme,
+    ReindexPlusPlusScheme,
+    ReindexPlusScheme,
+    ReindexScheme,
+    WataStarScheme,
+    WataTable4Scheme,
+)
+from repro.core.trace import format_trace, trace_scheme
+
+
+def contents(rows, day):
+    """Return {index: days tuple} for a given day's row."""
+    row = next(r for r in rows if r.day == day)
+    merged = dict(row.constituents)
+    merged.update(row.temporaries)
+    return merged
+
+
+class TestTable1Del:
+    def test_table1(self):
+        rows = trace_scheme(DelScheme(10, 2), 13)
+        assert contents(rows, 10) == {
+            "I1": (1, 2, 3, 4, 5),
+            "I2": (6, 7, 8, 9, 10),
+        }
+        assert contents(rows, 11)["I1"] == (2, 3, 4, 5, 11)
+        assert contents(rows, 12)["I1"] == (3, 4, 5, 11, 12)
+        assert contents(rows, 13)["I1"] == (4, 5, 11, 12, 13)
+        assert all(contents(rows, d)["I2"] == (6, 7, 8, 9, 10) for d in (11, 12, 13))
+
+    def test_operations_are_delete_then_add(self):
+        rows = trace_scheme(DelScheme(10, 2), 11)
+        ops = rows[1].operations[0]
+        assert "DeleteFromIndex({1}, I1)" in ops
+        assert "AddToIndex({11}, I1)" in ops
+
+
+class TestTable2Reindex:
+    def test_table2(self):
+        rows = trace_scheme(ReindexScheme(10, 2), 13)
+        assert contents(rows, 11)["I1"] == (2, 3, 4, 5, 11)
+        assert contents(rows, 13)["I1"] == (4, 5, 11, 12, 13)
+        assert rows[1].operations == ("I1 <- BuildIndex({2, 3, 4, 5, 11})",)
+
+
+class TestTable3WataStar:
+    def test_table3(self):
+        rows = trace_scheme(WataStarScheme(10, 4), 14)
+        assert contents(rows, 10) == {
+            "I1": (1, 2, 3),
+            "I2": (4, 5, 6),
+            "I3": (7, 8, 9),
+            "I4": (10,),
+        }
+        # Days 11, 12: wait, appending to I4.
+        assert contents(rows, 11)["I4"] == (10, 11)
+        assert contents(rows, 12)["I4"] == (10, 11, 12)
+        assert contents(rows, 12)["I1"] == (1, 2, 3)  # soft window residue
+        # Day 13: I1 fully expired -> throw away, restart with day 13.
+        assert contents(rows, 13)["I1"] == (13,)
+        assert "DropIndex(I1)" in rows[3].operations
+        # Day 14: wait again on the fresh I1.
+        assert contents(rows, 14)["I1"] == (13, 14)
+
+
+class TestTable4WataVariant:
+    def test_table4(self):
+        rows = trace_scheme(WataTable4Scheme(10, 4), 14)
+        assert contents(rows, 10) == {
+            "I1": (1, 2, 3, 4),
+            "I2": (5, 6, 7),
+            "I3": (8, 9, 10),
+            "I4": (),
+        }
+        assert contents(rows, 13)["I4"] == (11, 12, 13)
+        assert contents(rows, 13)["I1"] == (1, 2, 3, 4)
+        assert contents(rows, 14)["I1"] == (14,)  # thrown away on day 14
+
+    def test_variant_has_larger_length_than_star(self):
+        # The paper: Table 4's clustering peaks at length 13, Table 3's at 12.
+        star_rows = trace_scheme(WataStarScheme(10, 4), 40)
+        var_rows = trace_scheme(WataTable4Scheme(10, 4), 40)
+
+        def max_len(rows):
+            return max(
+                sum(len(days) for days in r.constituents.values()) for r in rows
+            )
+
+        assert max_len(star_rows) == 12
+        assert max_len(var_rows) == 13
+
+
+class TestTable5ReindexPlus:
+    def test_table5(self):
+        rows = trace_scheme(ReindexPlusScheme(10, 2), 16)
+        assert contents(rows, 11) == {
+            "I1": (2, 3, 4, 5, 11),
+            "I2": (6, 7, 8, 9, 10),
+            "Temp": (11,),
+        }
+        assert contents(rows, 13)["Temp"] == (11, 12, 13)
+        assert contents(rows, 14)["I1"] == (5, 11, 12, 13, 14)
+        # Day 15 closes the cycle: Temp resets.
+        assert contents(rows, 15)["I1"] == (11, 12, 13, 14, 15)
+        assert contents(rows, 15)["Temp"] == ()
+        # Day 16 starts the next cycle against I2.
+        assert contents(rows, 16)["I2"] == (7, 8, 9, 10, 16)
+        assert contents(rows, 16)["Temp"] == (16,)
+
+
+class TestTable6ReindexPlusPlus:
+    def test_table6_start_ladder(self):
+        rows = trace_scheme(ReindexPlusPlusScheme(10, 2), 16)
+        start = contents(rows, 10)
+        assert start["T0"] == ()
+        assert start["T1"] == (5,)
+        assert start["T2"] == (4, 5)
+        assert start["T3"] == (3, 4, 5)
+        assert start["T4"] == (2, 3, 4, 5)
+
+    def test_table6_transitions(self):
+        rows = trace_scheme(ReindexPlusPlusScheme(10, 2), 16)
+        assert contents(rows, 11)["I1"] == (2, 3, 4, 5, 11)
+        assert contents(rows, 11)["T3"] == (3, 4, 5, 11)
+        assert contents(rows, 12)["I1"] == (3, 4, 5, 11, 12)
+        assert contents(rows, 12)["T2"] == (4, 5, 11, 12)
+        assert contents(rows, 14)["T0"] == (11, 12, 13, 14)
+        assert contents(rows, 15)["I1"] == (11, 12, 13, 14, 15)
+        # Ladder rebuilt for I2's cluster on day 15.
+        assert contents(rows, 15)["T4"] == (7, 8, 9, 10)
+        assert contents(rows, 16)["I2"] == (7, 8, 9, 10, 16)
+
+    def test_transition_op_is_single_add_plus_rename(self):
+        scheme = ReindexPlusPlusScheme(10, 2)
+        scheme.start_ops()
+        plan = scheme.transition_ops(11)
+        from repro.core.ops import AddOp, Phase, RenameOp
+
+        transition_ops = [op for op in plan if op.phase is Phase.TRANSITION]
+        assert len(transition_ops) == 2
+        assert isinstance(transition_ops[0], AddOp)
+        assert isinstance(transition_ops[1], RenameOp)
+
+
+class TestTable7Rata:
+    def test_table7(self):
+        rows = trace_scheme(RataStarScheme(10, 4), 14)
+        start = contents(rows, 10)
+        assert start["R1"] == (3,)
+        assert start["R2"] == (2, 3)
+        assert contents(rows, 11)["I1"] == (2, 3)
+        assert contents(rows, 11)["I4"] == (10, 11)
+        assert contents(rows, 12)["I1"] == (3,)
+        assert contents(rows, 13)["I1"] == (13,)
+        assert contents(rows, 13)["R2"] == (5, 6)
+        assert contents(rows, 14)["I2"] == (5, 6)
+        assert contents(rows, 14)["I1"] == (13, 14)
+
+
+class TestFormatting:
+    def test_format_trace_renders_all_columns(self):
+        rows = trace_scheme(ReindexPlusScheme(10, 2), 12)
+        text = format_trace(rows, title="Table 5")
+        assert "Table 5" in text
+        assert "I1" in text and "I2" in text and "Temp" in text
+        assert "{d11, d12}" in text
+
+    def test_trace_requires_last_day_past_start(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            trace_scheme(DelScheme(10, 2), 9)

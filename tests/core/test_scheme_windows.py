@@ -1,0 +1,187 @@
+"""Property tests: window invariants for every scheme over arbitrary (W, n).
+
+The paper's central correctness claims, asserted after every transition:
+
+* hard-window schemes index exactly the last W days;
+* soft-window schemes index a superset of the last W days and respect the
+  Theorem-2 length bound;
+* constituents' time-sets are pairwise disjoint and contiguous;
+* schemes reject invalid configurations and non-sequential driving.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schemes import (
+    ALL_SCHEMES,
+    DelScheme,
+    RataStarScheme,
+    ReindexPlusPlusScheme,
+    ReindexPlusScheme,
+    WataStarScheme,
+    WataTable4Scheme,
+)
+from repro.core.symbolic import SymbolicState
+from repro.core.timeset import is_contiguous
+from repro.errors import SchemeError
+
+configs = st.tuples(st.integers(1, 24), st.integers(1, 8)).filter(
+    lambda wn: wn[1] <= wn[0]
+)
+
+
+def drive_symbolically(scheme, last_day):
+    state = SymbolicState(scheme.index_names)
+    state.apply_plan(scheme.start_ops())
+    yield scheme.window, state
+    for day in range(scheme.window + 1, last_day + 1):
+        state.apply_plan(scheme.transition_ops(day))
+        yield day, state
+
+
+def is_cyclic_block(days, window):
+    """True if ``days`` occupies one contiguous arc of the window cycle.
+
+    DEL-family clusters are rotations like ``{4, 5, 11, 12, 13}`` (Table 1):
+    contiguous modulo W, not on the integer line.
+    """
+    if len(days) <= 1:
+        return True
+    positions = sorted((d - 1) % window for d in days)
+    if len(set(positions)) != len(positions):
+        return False
+    gaps = sum(
+        1
+        for a, b in zip(positions, positions[1:] + positions[:1])
+        if (b - a) % window != 1
+    )
+    return gaps <= 1
+
+
+@pytest.mark.parametrize("scheme_cls", ALL_SCHEMES, ids=lambda c: c.name)
+class TestWindowInvariants:
+    @given(config=configs, extra=st.integers(1, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_after_every_transition(self, scheme_cls, config, extra):
+        window, n = config
+        if n < scheme_cls.min_indexes:
+            n = scheme_cls.min_indexes
+            if n > window:
+                return  # not representable
+        scheme = scheme_cls(window, n)
+        for day, state in drive_symbolically(scheme, window + extra):
+            expected = set(range(day - window + 1, day + 1))
+            covered = state.covered_days()
+            if scheme_cls.hard_window:
+                assert covered == expected, (
+                    f"{scheme_cls.name} W={window} n={n} day={day}"
+                )
+            else:
+                assert covered >= expected
+                assert max(covered) == day
+            per_index = state.constituent_days()
+            seen: set[int] = set()
+            for days in per_index.values():
+                if scheme_cls.hard_window:
+                    # DEL-family clusters rotate through the window cycle.
+                    assert is_cyclic_block(days, window)
+                else:
+                    # WATA-family clusters are plain consecutive runs.
+                    assert is_contiguous(days)
+                assert not (seen & days), "clusters must be disjoint"
+                seen |= days
+            # Scheme bookkeeping mirrors the executed state.
+            assert scheme.covered_days() == covered
+
+
+class TestValidation:
+    def test_wata_needs_two_indexes(self):
+        with pytest.raises(SchemeError):
+            WataStarScheme(10, 1)
+        with pytest.raises(SchemeError):
+            RataStarScheme(10, 1)
+
+    def test_window_at_least_n(self):
+        with pytest.raises(SchemeError):
+            DelScheme(3, 4)
+
+    def test_nonpositive_window(self):
+        with pytest.raises(SchemeError):
+            DelScheme(0, 1)
+
+    def test_wata_needs_two_days(self):
+        with pytest.raises(SchemeError):
+            scheme = WataStarScheme(1, 1)  # n >= 2 already fails
+        # W == n == 2 is the smallest legal WATA*.
+        scheme = WataStarScheme(2, 2)
+        scheme.start_ops()
+        scheme.transition_ops(3)
+
+
+class TestDrivingProtocol:
+    def test_double_start_rejected(self):
+        scheme = DelScheme(5, 1)
+        scheme.start_ops()
+        with pytest.raises(SchemeError):
+            scheme.start_ops()
+
+    def test_transition_before_start_rejected(self):
+        with pytest.raises(SchemeError):
+            DelScheme(5, 1).transition_ops(6)
+
+    def test_skipping_days_rejected(self):
+        scheme = DelScheme(5, 1)
+        scheme.start_ops()
+        with pytest.raises(SchemeError):
+            scheme.transition_ops(7)
+
+    def test_replaying_days_rejected(self):
+        scheme = DelScheme(5, 1)
+        scheme.start_ops()
+        scheme.transition_ops(6)
+        with pytest.raises(SchemeError):
+            scheme.transition_ops(6)
+
+    def test_current_day_tracks(self):
+        scheme = DelScheme(5, 1)
+        assert scheme.current_day is None
+        scheme.start_ops()
+        assert scheme.current_day == 5
+        scheme.transition_ops(6)
+        assert scheme.current_day == 6
+
+
+class TestEdgeConfigurations:
+    """Configurations the pseudocode handles awkwardly (see DESIGN.md)."""
+
+    @pytest.mark.parametrize(
+        "scheme_cls",
+        [ReindexPlusScheme, ReindexPlusPlusScheme],
+        ids=lambda c: c.name,
+    )
+    def test_one_day_clusters(self, scheme_cls):
+        """W == n: every cluster has one day (REINDEX+ degenerates)."""
+        scheme = scheme_cls(5, 5)
+        state = SymbolicState(scheme.index_names)
+        state.apply_plan(scheme.start_ops())
+        for day in range(6, 20):
+            state.apply_plan(scheme.transition_ops(day))
+            assert state.covered_days() == set(range(day - 4, day + 1))
+
+    def test_mixed_cluster_sizes(self):
+        """W not divisible by n mixes big and size-1 clusters."""
+        scheme = ReindexPlusScheme(5, 3)  # clusters 2, 2, 1
+        state = SymbolicState(scheme.index_names)
+        state.apply_plan(scheme.start_ops())
+        for day in range(6, 25):
+            state.apply_plan(scheme.transition_ops(day))
+            assert state.covered_days() == set(range(day - 4, day + 1))
+
+    def test_wata_table4_variant_covers_window(self):
+        scheme = WataTable4Scheme(10, 4)
+        state = SymbolicState(scheme.index_names)
+        state.apply_plan(scheme.start_ops())
+        for day in range(11, 60):
+            state.apply_plan(scheme.transition_ops(day))
+            assert state.covered_days() >= set(range(day - 9, day + 1))

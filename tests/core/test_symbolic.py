@@ -1,0 +1,89 @@
+"""Tests for symbolic (day-set) plan execution."""
+
+import pytest
+
+from repro.core.ops import (
+    AddOp,
+    BuildOp,
+    CopyOp,
+    CreateEmptyOp,
+    DeleteOp,
+    DropOp,
+    RenameOp,
+    UpdateOp,
+)
+from repro.core.symbolic import SymbolicState
+from repro.errors import SchemeError
+
+
+@pytest.fixture
+def state():
+    return SymbolicState(["I1", "I2"])
+
+
+class TestSymbolicOps:
+    def test_build(self, state):
+        state.apply(BuildOp(target="I1", days=(1, 2)))
+        assert state.get("I1") == {1, 2}
+
+    def test_create_empty(self, state):
+        state.apply(CreateEmptyOp(target="Temp"))
+        assert state.get("Temp") == set()
+
+    def test_add_delete(self, state):
+        state.apply(BuildOp(target="I1", days=(1,)))
+        state.apply(AddOp(target="I1", days=(2, 3)))
+        state.apply(DeleteOp(target="I1", days=(1,)))
+        assert state.get("I1") == {2, 3}
+
+    def test_update(self, state):
+        state.apply(BuildOp(target="I1", days=(1, 2)))
+        state.apply(UpdateOp(target="I1", add_days=(3,), delete_days=(1,)))
+        assert state.get("I1") == {2, 3}
+
+    def test_copy_is_independent(self, state):
+        state.apply(BuildOp(target="Temp", days=(5,)))
+        state.apply(CopyOp(source="Temp", target="I1"))
+        state.apply(AddOp(target="I1", days=(6,)))
+        assert state.get("Temp") == {5}
+        assert state.get("I1") == {5, 6}
+
+    def test_rename_moves_binding(self, state):
+        state.apply(BuildOp(target="T3", days=(7,)))
+        state.apply(RenameOp(source="T3", target="I1"))
+        assert state.get("I1") == {7}
+        with pytest.raises(SchemeError):
+            state.get("T3")
+
+    def test_drop(self, state):
+        state.apply(BuildOp(target="I1", days=(1,)))
+        state.apply(DropOp(target="I1"))
+        with pytest.raises(SchemeError):
+            state.get("I1")
+
+    def test_rename_unbound_rejected(self, state):
+        with pytest.raises(SchemeError):
+            state.apply(RenameOp(source="nope", target="I1"))
+
+    def test_drop_unbound_rejected(self, state):
+        with pytest.raises(SchemeError):
+            state.apply(DropOp(target="nope"))
+
+    def test_add_to_unbound_rejected(self, state):
+        with pytest.raises(SchemeError):
+            state.apply(AddOp(target="I1", days=(1,)))
+
+
+class TestSummaries:
+    def test_constituents_vs_temporaries(self, state):
+        state.apply(BuildOp(target="I1", days=(1,)))
+        state.apply(BuildOp(target="Temp", days=(2,)))
+        assert state.covered_days() == {1}
+        assert state.constituent_days() == {"I1": {1}, "I2": set()}
+        assert state.temporary_days() == {"Temp": {2}}
+        assert state.total_constituent_days() == 1
+        assert state.total_days_including_temps() == 2
+
+    def test_is_constituent(self, state):
+        assert state.is_constituent("I1")
+        assert not state.is_constituent("Temp")

@@ -1,0 +1,99 @@
+"""Tests for time-set partitioning helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.timeset import (
+    cluster_lengths,
+    is_contiguous,
+    partition_days,
+    validate_window,
+    window_days,
+)
+from repro.errors import SchemeError
+
+
+class TestPartitionDays:
+    def test_even_split(self):
+        clusters = partition_days(1, 10, 2)
+        assert clusters == [[1, 2, 3, 4, 5], [6, 7, 8, 9, 10]]
+
+    def test_uneven_split_first_clusters_get_ceiling(self):
+        # Appendix A: first (W mod n) clusters have ceil(W/n) days.
+        clusters = partition_days(1, 10, 3)
+        assert [len(c) for c in clusters] == [4, 3, 3]
+        assert clusters[0] == [1, 2, 3, 4]
+
+    def test_offset_start(self):
+        clusters = partition_days(5, 4, 2)
+        assert clusters == [[5, 6], [7, 8]]
+
+    def test_single_cluster(self):
+        assert partition_days(1, 7, 1) == [[1, 2, 3, 4, 5, 6, 7]]
+
+    def test_one_day_per_cluster(self):
+        assert partition_days(1, 3, 3) == [[1], [2], [3]]
+
+    def test_too_many_clusters_rejected(self):
+        with pytest.raises(SchemeError):
+            partition_days(1, 2, 3)
+
+    def test_zero_clusters_rejected(self):
+        with pytest.raises(SchemeError):
+            partition_days(1, 5, 0)
+
+    @given(st.integers(1, 200), st.integers(1, 50))
+    def test_partition_properties(self, total, n):
+        if n > total:
+            with pytest.raises(SchemeError):
+                partition_days(1, total, n)
+            return
+        clusters = partition_days(1, total, n)
+        # Covers exactly 1..total, disjoint, contiguous, ordered.
+        flattened = [d for c in clusters for d in c]
+        assert flattened == list(range(1, total + 1))
+        assert len(clusters) == n
+        sizes = [len(c) for c in clusters]
+        assert max(sizes) - min(sizes) <= 1
+        assert max(sizes) == math.ceil(total / n)
+        assert sizes.count(math.ceil(total / n)) >= total % n
+
+
+class TestValidation:
+    def test_window_must_be_positive(self):
+        with pytest.raises(SchemeError):
+            validate_window(0, 1)
+
+    def test_minimum_indexes(self):
+        with pytest.raises(SchemeError):
+            validate_window(10, 1, minimum_indexes=2)
+        validate_window(10, 2, minimum_indexes=2)
+
+    def test_n_cannot_exceed_window(self):
+        with pytest.raises(SchemeError):
+            validate_window(3, 4)
+
+
+class TestHelpers:
+    def test_cluster_lengths(self):
+        assert cluster_lengths(10, 4) == [3, 3, 2, 2]
+
+    @pytest.mark.parametrize(
+        "days,expected",
+        [
+            (set(), True),
+            ({5}, True),
+            ({3, 4, 5}, True),
+            ({3, 5}, False),
+            ({1, 2, 4, 5}, False),
+        ],
+    )
+    def test_is_contiguous(self, days, expected):
+        assert is_contiguous(days) is expected
+
+    def test_window_days(self):
+        assert window_days(10, 3) == {8, 9, 10}
+        assert window_days(5, 5) == {1, 2, 3, 4, 5}

@@ -1,0 +1,118 @@
+"""Property tests for the paper's WATA* theorems (Appendix B).
+
+* Theorem 2: WATA*'s maximum length is exactly ``W + ceil((W-1)/(n-1)) - 1``.
+* Theorem 1: no WATA-family algorithm can do better (checked against the
+  Table 4 variant, which the paper shows is worse).
+* Theorem 3: WATA* is 2-competitive on index *size* for arbitrary day sizes.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.casestudies.sizing import hard_window_sizes, scheme_daily_sizes
+from repro.core.schemes.wata import WataStarScheme, WataTable4Scheme
+from repro.core.symbolic import SymbolicState
+
+wata_configs = st.tuples(st.integers(2, 30), st.integers(2, 10)).filter(
+    lambda wn: wn[1] <= wn[0]
+)
+
+
+def run_lengths(scheme, last_day):
+    state = SymbolicState(scheme.index_names)
+    state.apply_plan(scheme.start_ops())
+    lengths = [state.total_constituent_days()]
+    for day in range(scheme.window + 1, last_day + 1):
+        state.apply_plan(scheme.transition_ops(day))
+        lengths.append(state.total_constituent_days())
+    return lengths
+
+
+class TestTheorem2MaxLength:
+    @given(config=wata_configs)
+    @settings(max_examples=60, deadline=None)
+    def test_length_never_exceeds_bound(self, config):
+        window, n = config
+        scheme = WataStarScheme(window, n)
+        bound = window + math.ceil((window - 1) / (n - 1)) - 1
+        assert scheme.max_length_bound() == bound
+        lengths = run_lengths(scheme, window + 4 * window)
+        assert max(lengths) <= bound
+
+    @given(config=wata_configs)
+    @settings(max_examples=30, deadline=None)
+    def test_bound_is_attained(self, config):
+        """The bound is tight: the max length is achieved, not just bounded."""
+        window, n = config
+        scheme = WataStarScheme(window, n)
+        bound = scheme.max_length_bound()
+        lengths = run_lengths(scheme, window + 4 * window)
+        assert max(lengths) == bound
+
+    def test_paper_example_w10_n4(self):
+        # Section 3.3: the Table 3 scheme has length 12 (not Table 4's 13).
+        scheme = WataStarScheme(10, 4)
+        assert scheme.max_length_bound() == 12
+        assert max(run_lengths(scheme, 50)) == 12
+
+    def test_variant_is_no_better(self):
+        """Theorem 1: WATA* is optimal; the eager-split variant can't beat it."""
+        for window, n in [(10, 4), (12, 3), (9, 2), (14, 5)]:
+            star = max(run_lengths(WataStarScheme(window, n), 5 * window))
+            variant = max(
+                run_lengths(WataTable4Scheme(window, n), 5 * window)
+            )
+            assert variant >= star
+
+
+class TestTheorem3CompetitiveSize:
+    @given(
+        config=wata_configs,
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_two_competitive_on_random_sizes(self, config, seed):
+        window, n = config
+        rng = random.Random(seed)
+        num_days = window + 3 * window
+        weights = [rng.uniform(0.1, 5.0) for _ in range(num_days)]
+        scheme = WataStarScheme(window, n)
+        lazy = max(scheme_daily_sizes(scheme, weights, num_days))
+        eager = max(hard_window_sizes(weights, window, num_days))
+        # OPT >= eager (any scheme stores the hard window), so the ratio to
+        # eager upper-bounds the competitive ratio.
+        assert lazy <= 2.0 * eager + 1e-9
+
+    def test_adversarial_spike(self):
+        """A huge day inside a residual segment still stays within 2x."""
+        window, n = 7, 2
+        weights = [1.0] * 30
+        weights[10] = 50.0
+        scheme = WataStarScheme(window, n)
+        lazy = max(scheme_daily_sizes(scheme, weights, 30))
+        eager = max(hard_window_sizes(weights, window, 30))
+        assert lazy <= 2.0 * eager + 1e-9
+
+
+class TestResidualDays:
+    @given(config=wata_configs)
+    @settings(max_examples=40, deadline=None)
+    def test_at_most_one_index_holds_expired_days(self, config):
+        """Appendix B observation: only one constituent can hold waste."""
+        window, n = config
+        scheme = WataStarScheme(window, n)
+        state = SymbolicState(scheme.index_names)
+        state.apply_plan(scheme.start_ops())
+        for day in range(window + 1, window + 3 * window + 1):
+            state.apply_plan(scheme.transition_ops(day))
+            live = set(range(day - window + 1, day + 1))
+            wasteful = [
+                name
+                for name, days in state.constituent_days().items()
+                if days - live
+            ]
+            assert len(wasteful) <= 1

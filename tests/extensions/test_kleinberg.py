@@ -1,0 +1,148 @@
+"""Tests for the Kleinberg-style WATA extensions (offline + known-horizon)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchemeError
+from repro.extensions.kleinberg import (
+    KnownHorizonOnlineWata,
+    brute_force_optimal_plan,
+    offline_optimal_plan,
+    plan_cost,
+    plan_feasible,
+    segment_peak_cost,
+    theoretical_max_length,
+    wata_star_competitive_check,
+)
+
+
+class TestPlanCost:
+    def test_single_segment_uniform(self):
+        # One segment over 6 days, W = 3: held grows to all 6 days.
+        assert plan_cost([6], [1.0] * 6, 3) == pytest.approx(6.0)
+
+    def test_two_segments(self):
+        # Split 3+3 with W = 3: second segment's peak spans days 1..6? No —
+        # once segment 1 fully expires (day 6 sees oldest live 4), held is 4..6.
+        cost = plan_cost([3, 6], [1.0] * 6, 3)
+        assert cost == pytest.approx(5.0)  # worst at day 5: days 1..5 held
+
+    def test_closed_form_matches_daywise(self):
+        rng = random.Random(1)
+        weights = [rng.uniform(0.2, 3.0) for _ in range(15)]
+        boundaries = [4, 9, 15]
+        prefix = [0.0]
+        for w in weights:
+            prefix.append(prefix[-1] + w)
+        window = 5
+        closed = max(
+            segment_peak_cost(prefix, a, b, window)
+            for a, b in [(1, 4), (5, 9), (10, 15)]
+        )
+        assert plan_cost(boundaries, weights, window) == pytest.approx(closed)
+
+    def test_bad_boundaries_rejected(self):
+        with pytest.raises(SchemeError):
+            plan_cost([3], [1.0] * 6, 3)  # does not end at last day
+
+
+class TestFeasibility:
+    def test_wata_star_spacing_feasible(self):
+        # Boundaries every W-1 days satisfy the n = 2 constraint exactly.
+        assert plan_feasible([6, 12, 18], window=7, n_indexes=2)
+
+    def test_too_tight_for_n2(self):
+        assert not plan_feasible([2, 4, 6], window=7, n_indexes=2)
+
+    def test_more_indexes_relax_constraint(self):
+        assert plan_feasible([2, 4, 6, 8], window=7, n_indexes=4)
+
+    def test_n1_never_feasible(self):
+        assert not plan_feasible([5], window=3, n_indexes=1)
+
+
+class TestOfflineOptimal:
+    @given(
+        d=st.integers(6, 12),
+        w=st.integers(2, 8),
+        n=st.integers(2, 4),
+        seed=st.integers(0, 999),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force(self, d, w, n, seed):
+        if w > d:
+            w = d
+        rng = random.Random(seed)
+        weights = [rng.uniform(0.5, 2.0) for _ in range(d)]
+        bf = brute_force_optimal_plan(weights, w, n)
+        opt = offline_optimal_plan(weights, w, n)
+        assert opt.max_size == pytest.approx(bf.max_size)
+        assert plan_feasible(list(opt.boundaries), w, n)
+
+    def test_optimal_never_worse_than_wata_star(self):
+        rng = random.Random(5)
+        weights = [rng.uniform(0.5, 2.0) for _ in range(60)]
+        opt = offline_optimal_plan(weights, 7, 2)
+        lazy, _eager = wata_star_competitive_check(weights, 7, 2)
+        assert opt.max_size <= lazy + 1e-9
+
+    def test_segments_property(self):
+        weights = [1.0] * 12
+        opt = offline_optimal_plan(weights, 4, 2)
+        segments = opt.segments
+        assert segments[0][0] == 1
+        assert segments[-1][1] == 12
+        for (a1, b1), (a2, _b2) in zip(segments, segments[1:]):
+            assert a2 == b1 + 1
+
+    def test_guard_against_blowup(self):
+        with pytest.raises(SchemeError):
+            offline_optimal_plan([1.0] * 500, 7, 6)
+
+    def test_window_longer_than_trace_rejected(self):
+        with pytest.raises(SchemeError):
+            offline_optimal_plan([1.0] * 3, 7, 2)
+
+
+class TestKnownHorizonOnline:
+    def test_respects_guaranteed_bound(self):
+        rng = random.Random(9)
+        weights = [rng.uniform(0.1, 2.0) for _ in range(100)]
+        window, n = 7, 3
+        m = max(sum(weights[i : i + window]) for i in range(100 - window + 1))
+        online = KnownHorizonOnlineWata(window, n, m)
+        for w in weights:
+            online.feed(w)
+        plan = online.finish()
+        assert plan.max_size <= online.competitive_bound() + 1e-9
+
+    def test_beats_wata_star_guarantee(self):
+        """n/(n-1) < 2 for n >= 3: knowing M buys a better ratio."""
+        online = KnownHorizonOnlineWata(7, 4, 10.0)
+        assert online.competitive_bound() < 2 * 10.0
+
+    def test_validation(self):
+        with pytest.raises(SchemeError):
+            KnownHorizonOnlineWata(7, 1, 10.0)
+        with pytest.raises(SchemeError):
+            KnownHorizonOnlineWata(7, 2, 0.0)
+        online = KnownHorizonOnlineWata(7, 2, 10.0)
+        with pytest.raises(SchemeError):
+            online.feed(-1.0)
+        with pytest.raises(SchemeError):
+            online.finish()  # nothing fed
+
+
+class TestTheorem2Helper:
+    @pytest.mark.parametrize(
+        "w,n,expected", [(10, 4, 12), (7, 2, 12), (7, 7, 7), (35, 5, 43)]
+    )
+    def test_values(self, w, n, expected):
+        assert theoretical_max_length(w, n) == expected
+
+    def test_needs_two_indexes(self):
+        with pytest.raises(SchemeError):
+            theoretical_max_length(10, 1)

@@ -1,0 +1,148 @@
+"""Tests for the Section-8 multi-disk model."""
+
+import pytest
+
+from repro.analysis.daycount import run_reports
+from repro.analysis.parameters import SCAM_PARAMETERS, TPCD_PARAMETERS
+from repro.analysis.work import probe_seconds, scan_seconds
+from repro.core.schemes import DelScheme
+from repro.errors import ReproError
+from repro.extensions.multidisk import (
+    balanced_assignment,
+    parallel_probe_seconds,
+    parallel_scan_seconds,
+    query_speedup,
+    round_robin_assignment,
+)
+from repro.index.updates import UpdateTechnique
+
+
+def report_for(params, n):
+    scheme = DelScheme(params.window, n)
+    reports = run_reports(
+        scheme, params, UpdateTechnique.SIMPLE_SHADOW, transitions=params.window
+    )
+    return reports[-1]
+
+
+class TestAssignments:
+    def test_round_robin(self):
+        assignment = round_robin_assignment(5, 2)
+        assert assignment.index_to_disk == (0, 1, 0, 1, 0)
+        assert assignment.indexes_on(0) == [0, 2, 4]
+
+    def test_round_robin_validation(self):
+        with pytest.raises(ReproError):
+            round_robin_assignment(0, 2)
+        with pytest.raises(ReproError):
+            round_robin_assignment(2, 0)
+
+    def test_balanced_assignment_spreads_load(self):
+        assignment = balanced_assignment([10.0, 1.0, 1.0, 8.0], 2)
+        loads = [0.0, 0.0]
+        for i, disk in enumerate(assignment.index_to_disk):
+            loads[disk] += [10.0, 1.0, 1.0, 8.0][i]
+        assert abs(loads[0] - loads[1]) <= 2.0
+
+
+class TestParallelQueries:
+    def test_single_disk_equals_serial(self):
+        report = report_for(SCAM_PARAMETERS, 4)
+        assignment = round_robin_assignment(4, 1)
+        assert parallel_probe_seconds(
+            report, SCAM_PARAMETERS, assignment
+        ) == pytest.approx(probe_seconds(report, SCAM_PARAMETERS))
+
+    def test_n_disks_divide_probe_time(self):
+        report = report_for(SCAM_PARAMETERS, 4)
+        assignment = round_robin_assignment(4, 4)
+        parallel = parallel_probe_seconds(report, SCAM_PARAMETERS, assignment)
+        serial = probe_seconds(report, SCAM_PARAMETERS)
+        assert parallel < serial
+        assert parallel >= serial / 4 - 1e-9
+
+    def test_scan_parallelism(self):
+        report = report_for(TPCD_PARAMETERS, 4)
+        assignment = round_robin_assignment(4, 2)
+        parallel = parallel_scan_seconds(report, TPCD_PARAMETERS, assignment)
+        serial = scan_seconds(report, TPCD_PARAMETERS)
+        assert serial / 2.2 < parallel < serial
+
+    def test_speedup_approaches_n_for_balanced_layout(self):
+        report = report_for(SCAM_PARAMETERS, 4)
+        speedup = query_speedup(report, SCAM_PARAMETERS, n_disks=4)
+        assert 2.5 < speedup <= 4.0 + 1e-9
+
+    def test_speedup_is_one_without_queries(self):
+        from dataclasses import replace
+
+        params = replace(
+            TPCD_PARAMETERS,
+            application=replace(
+                TPCD_PARAMETERS.application, probe_num=0, scan_num=0
+            ),
+        )
+        report = report_for(params, 4)
+        assert query_speedup(report, params, 4) == 1.0
+
+
+class TestParallelMaintenance:
+    def test_single_disk_equals_serial(self):
+        from repro.extensions.multidisk import (
+            maintenance_speedup,
+            parallel_maintenance_seconds,
+        )
+
+        report = report_for(SCAM_PARAMETERS, 4)
+        serial = sum(op.seconds for op in report.op_costs)
+        assert parallel_maintenance_seconds(report, 1) == pytest.approx(serial)
+        assert maintenance_speedup(report, 1) == pytest.approx(1.0)
+
+    def test_more_disks_never_slower(self):
+        from repro.extensions.multidisk import parallel_maintenance_seconds
+
+        report = report_for(SCAM_PARAMETERS, 4)
+        times = [
+            parallel_maintenance_seconds(report, d) for d in (1, 2, 4, 8)
+        ]
+        for a, b in zip(times, times[1:]):
+            assert b <= a + 1e-9
+
+    def test_reindex_start_parallelises_across_disks(self):
+        """The initial W-day build touches every constituent: n disks can
+        overlap the n builds."""
+        from repro.analysis.costing import AnalyticExecutor
+        from repro.core.schemes import ReindexScheme
+        from repro.extensions.multidisk import maintenance_speedup
+
+        ex = AnalyticExecutor(
+            ReindexScheme(8, 4), SCAM_PARAMETERS.with_window(8),
+            UpdateTechnique.SIMPLE_SHADOW,
+        )
+        start = ex.run_start()
+        speedup = maintenance_speedup(start, 4)
+        assert speedup == pytest.approx(4.0)
+
+    def test_empty_day_speedup_is_one(self):
+        from repro.analysis.costing import DayReport
+        from repro.core.executor import PhaseSeconds
+        from repro.extensions.multidisk import maintenance_speedup
+
+        empty = DayReport(
+            day=1,
+            seconds=PhaseSeconds(),
+            steady_bytes=0,
+            constituent_bytes=0,
+            peak_bytes=0,
+            length_days=0,
+            constituents=(),
+        )
+        assert maintenance_speedup(empty, 4) == 1.0
+
+    def test_validation(self):
+        from repro.errors import ReproError
+        from repro.extensions.multidisk import parallel_maintenance_seconds
+
+        report = report_for(SCAM_PARAMETERS, 2)
+        with pytest.raises(ReproError):
+            parallel_maintenance_seconds(report, 0)

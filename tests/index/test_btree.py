@@ -1,0 +1,199 @@
+"""Unit and property tests for the B+Tree directory."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.btree import BPlusTreeDirectory
+
+
+class TestBasicOperations:
+    def test_empty(self):
+        tree = BPlusTreeDirectory(order=4)
+        assert len(tree) == 0
+        assert tree.get("x") is None
+        assert "x" not in tree
+        assert list(tree.items()) == []
+
+    def test_put_get(self):
+        tree = BPlusTreeDirectory(order=4)
+        tree.put("b", 2)
+        tree.put("a", 1)
+        assert tree.get("a") == 1
+        assert tree.get("b") == 2
+        assert len(tree) == 2
+
+    def test_put_overwrites(self):
+        tree = BPlusTreeDirectory(order=4)
+        tree.put("a", 1)
+        tree.put("a", 99)
+        assert tree.get("a") == 99
+        assert len(tree) == 1
+
+    def test_remove(self):
+        tree = BPlusTreeDirectory(order=4)
+        tree.put("a", 1)
+        assert tree.remove("a") == 1
+        assert tree.remove("a") is None
+        assert len(tree) == 0
+
+    def test_items_sorted(self):
+        tree = BPlusTreeDirectory(order=4)
+        for key in [5, 3, 9, 1, 7, 2, 8, 4, 6, 0]:
+            tree.put(key, key * 10)
+        assert [k for k, _ in tree.items()] == list(range(10))
+        assert [v for v in tree.values()] == [k * 10 for k in range(10)]
+
+    def test_minimum_order_enforced(self):
+        with pytest.raises(ValueError):
+            BPlusTreeDirectory(order=2)
+
+    def test_many_inserts_force_splits(self):
+        tree = BPlusTreeDirectory(order=3)
+        for i in range(200):
+            tree.put(i, i)
+        tree.check_invariants()
+        assert len(tree) == 200
+        assert tree.get(137) == 137
+
+    def test_many_deletes_force_merges(self):
+        tree = BPlusTreeDirectory(order=3)
+        for i in range(200):
+            tree.put(i, i)
+        for i in range(0, 200, 2):
+            assert tree.remove(i) == i
+        tree.check_invariants()
+        assert len(tree) == 100
+        assert tree.get(2) is None
+        assert tree.get(3) == 3
+
+    def test_delete_everything(self):
+        tree = BPlusTreeDirectory(order=3)
+        for i in range(50):
+            tree.put(i, i)
+        for i in range(50):
+            tree.remove(i)
+        tree.check_invariants()
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+
+
+class TestRangeQueries:
+    def test_range_items(self):
+        tree = BPlusTreeDirectory(order=4)
+        for i in range(0, 100, 2):
+            tree.put(i, i)
+        got = [k for k, _ in tree.range_items(10, 21)]
+        assert got == [10, 12, 14, 16, 18, 20]
+
+    def test_range_outside_keys(self):
+        tree = BPlusTreeDirectory(order=4)
+        tree.put(5, "x")
+        assert list(tree.range_items(10, 20)) == []
+        assert [k for k, _ in tree.range_items(0, 6)] == [5]
+
+    def test_range_on_empty_tree(self):
+        tree = BPlusTreeDirectory(order=4)
+        assert list(tree.range_items(0, 100)) == []
+
+
+@st.composite
+def tree_scripts(draw):
+    keys = st.integers(0, 60)
+    n = draw(st.integers(1, 120))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["put", "put", "remove", "get"]))
+        ops.append((kind, draw(keys)))
+    return ops
+
+
+class TestBTreeProperties:
+    @given(tree_scripts(), st.integers(3, 8))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_dict_model(self, script, order):
+        tree = BPlusTreeDirectory(order=order)
+        model: dict[int, int] = {}
+        for i, (kind, key) in enumerate(script):
+            if kind == "put":
+                tree.put(key, i)
+                model[key] = i
+            elif kind == "remove":
+                assert tree.remove(key) == model.pop(key, None)
+            else:
+                assert tree.get(key) == model.get(key)
+        tree.check_invariants()
+        assert len(tree) == len(model)
+        assert list(tree.items()) == sorted(model.items())
+
+    @given(st.lists(st.text(max_size=6), unique=True, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_string_keys_iterate_sorted(self, keys):
+        tree = BPlusTreeDirectory(order=4)
+        for k in keys:
+            tree.put(k, None)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+        tree.check_invariants()
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = BPlusTreeDirectory.bulk_load([])
+        assert len(tree) == 0
+        tree.check_invariants()
+
+    def test_single_item(self):
+        tree = BPlusTreeDirectory.bulk_load([(5, "x")], order=4)
+        assert tree.get(5) == "x"
+        tree.check_invariants()
+
+    def test_contents_and_structure(self):
+        items = [(i, i * 10) for i in range(500)]
+        tree = BPlusTreeDirectory.bulk_load(items, order=8)
+        tree.check_invariants()
+        assert len(tree) == 500
+        assert list(tree.items()) == items
+        assert tree.get(321) == 3210
+
+    def test_unsorted_rejected(self):
+        import pytest
+
+        from repro.errors import DirectoryError
+
+        with pytest.raises(DirectoryError):
+            BPlusTreeDirectory.bulk_load([(2, "a"), (1, "b")])
+
+    def test_duplicates_rejected(self):
+        import pytest
+
+        from repro.errors import DirectoryError
+
+        with pytest.raises(DirectoryError):
+            BPlusTreeDirectory.bulk_load([(1, "a"), (1, "b")])
+
+    def test_inserts_and_deletes_after_bulk_load(self):
+        tree = BPlusTreeDirectory.bulk_load(
+            [(i, i) for i in range(0, 200, 2)], order=6
+        )
+        for i in range(1, 200, 2):
+            tree.put(i, i)
+        for i in range(0, 200, 4):
+            tree.remove(i)
+        tree.check_invariants()
+        assert tree.get(3) == 3
+        assert tree.get(4) is None
+
+    @given(
+        st.lists(st.integers(0, 10_000), unique=True, max_size=400),
+        st.integers(3, 12),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bulk_load_equals_incremental(self, keys, order):
+        items = [(k, k) for k in sorted(keys)]
+        bulk = BPlusTreeDirectory.bulk_load(items, order=order)
+        incremental = BPlusTreeDirectory(order=order)
+        for k, v in items:
+            incremental.put(k, v)
+        bulk.check_invariants()
+        assert list(bulk.items()) == list(incremental.items())
+        assert len(bulk) == len(incremental)

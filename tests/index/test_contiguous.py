@@ -1,0 +1,89 @@
+"""Tests for the CONTIGUOUS growth policy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.contiguous import ContiguousPolicy
+
+
+class TestPolicyValidation:
+    def test_growth_factor_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            ContiguousPolicy(growth_factor=1.0)
+        with pytest.raises(ValueError):
+            ContiguousPolicy(growth_factor=0.5)
+
+    def test_initial_entries_positive(self):
+        with pytest.raises(ValueError):
+            ContiguousPolicy(initial_entries=0)
+
+
+class TestCapacities:
+    def test_initial_capacity_floors_at_initial_entries(self):
+        policy = ContiguousPolicy(initial_entries=8)
+        assert policy.initial_capacity(3) == 8
+        assert policy.initial_capacity(20) == 20
+
+    def test_grown_capacity_multiplies_by_g(self):
+        policy = ContiguousPolicy(growth_factor=2.0)
+        assert policy.grown_capacity(10, 11) == 20
+
+    def test_grown_capacity_jumps_to_needed(self):
+        policy = ContiguousPolicy(growth_factor=2.0)
+        assert policy.grown_capacity(10, 100) == 100
+
+    def test_small_growth_factor_still_grows(self):
+        # g = 1.08 (TPC-D): growth must make progress on small buckets.
+        policy = ContiguousPolicy(growth_factor=1.08)
+        assert policy.grown_capacity(4, 5) > 4
+
+    def test_shrink_threshold(self):
+        policy = ContiguousPolicy(growth_factor=2.0, initial_entries=4)
+        assert policy.should_shrink(capacity=100, live_entries=10)
+        assert not policy.should_shrink(capacity=100, live_entries=30)
+        assert not policy.should_shrink(capacity=4, live_entries=0)
+
+    def test_shrink_disabled(self):
+        policy = ContiguousPolicy(shrink=False)
+        assert not policy.should_shrink(capacity=1000, live_entries=1)
+
+    def test_shrunk_capacity_leaves_headroom(self):
+        policy = ContiguousPolicy(growth_factor=2.0, initial_entries=4)
+        assert policy.shrunk_capacity(10) == 20
+        assert policy.shrunk_capacity(0) >= policy.initial_entries
+
+
+class TestPolicyProperties:
+    @given(
+        st.floats(min_value=1.01, max_value=4.0),
+        st.integers(1, 1000),
+        st.integers(0, 5000),
+    )
+    @settings(max_examples=200)
+    def test_grown_capacity_always_sufficient_and_larger(
+        self, g, capacity, needed
+    ):
+        policy = ContiguousPolicy(growth_factor=g)
+        grown = policy.grown_capacity(capacity, needed)
+        assert grown >= needed
+        assert grown > capacity
+
+    @given(st.integers(0, 10_000))
+    def test_initial_capacity_sufficient(self, n):
+        policy = ContiguousPolicy()
+        assert policy.initial_capacity(n) >= n
+
+    @given(st.integers(0, 10_000))
+    def test_amortized_doubling_bound(self, n):
+        """Total copy work under repeated unit appends is O(n) with g = 2."""
+        policy = ContiguousPolicy(growth_factor=2.0, initial_entries=4)
+        capacity = policy.initial_capacity(0)
+        copies = 0
+        size = 0
+        for _ in range(n):
+            if size + 1 > capacity:
+                copies += size
+                capacity = policy.grown_capacity(capacity, size + 1)
+            size += 1
+        assert copies <= 2 * max(n, 1)

@@ -1,0 +1,41 @@
+"""Tests for index entries and posting grouping."""
+
+from repro.index.entry import Entry, entries_by_value
+
+
+class TestEntry:
+    def test_fields(self):
+        entry = Entry(record_id=7, day=3, info="offset:120")
+        assert entry.record_id == 7
+        assert entry.day == 3
+        assert entry.info == "offset:120"
+
+    def test_info_defaults_to_none(self):
+        assert Entry(1, 1).info is None
+
+    def test_expired(self):
+        entry = Entry(1, day=5)
+        assert entry.expired(oldest_live_day=6)
+        assert not entry.expired(oldest_live_day=5)
+        assert not entry.expired(oldest_live_day=4)
+
+    def test_entries_are_hashable_tuples(self):
+        assert Entry(1, 2) == Entry(1, 2)
+        assert len({Entry(1, 2), Entry(1, 2), Entry(1, 3)}) == 2
+
+
+class TestGrouping:
+    def test_groups_by_value_preserving_order(self):
+        postings = [
+            ("b", Entry(1, 1)),
+            ("a", Entry(2, 1)),
+            ("b", Entry(3, 2)),
+        ]
+        grouped = entries_by_value(postings)
+        assert grouped == {
+            "b": [Entry(1, 1), Entry(3, 2)],
+            "a": [Entry(2, 1)],
+        }
+
+    def test_empty(self):
+        assert entries_by_value([]) == {}

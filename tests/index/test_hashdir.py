@@ -1,0 +1,37 @@
+"""Tests for the hash directory."""
+
+from repro.index.hashdir import HashDirectory
+
+
+class TestHashDirectory:
+    def test_put_get_remove(self):
+        d = HashDirectory()
+        d.put("a", 1)
+        assert d.get("a") == 1
+        assert "a" in d
+        assert d.remove("a") == 1
+        assert d.get("a") is None
+        assert d.remove("a") is None
+
+    def test_len_and_iteration(self):
+        d = HashDirectory()
+        for i in range(5):
+            d.put(f"k{i}", i)
+        assert len(d) == 5
+        assert dict(d.items()) == {f"k{i}": i for i in range(5)}
+        assert list(d.keys()) == [f"k{i}" for i in range(5)]
+        assert list(d.values()) == list(range(5))
+
+    def test_overwrite(self):
+        d = HashDirectory()
+        d.put("a", 1)
+        d.put("a", 2)
+        assert d.get("a") == 2
+        assert len(d) == 1
+
+    def test_unhashable_friendly_types(self):
+        d = HashDirectory()
+        d.put(42, "int-key")
+        d.put((1, 2), "tuple-key")
+        assert d.get(42) == "int-key"
+        assert d.get((1, 2)) == "tuple-key"

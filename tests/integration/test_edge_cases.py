@@ -1,0 +1,100 @@
+"""Edge cases: empty days, minimal windows, and extreme configurations."""
+
+import pytest
+
+from repro.core.executor import PlanExecutor
+from repro.core.records import DayBatch, Record, RecordStore
+from repro.core.schemes import ALL_SCHEMES, DelScheme, WataStarScheme
+from repro.core.wave import WaveIndex
+from repro.index.config import IndexConfig
+from repro.index.updates import UpdateTechnique
+from repro.storage.disk import SimulatedDisk
+
+
+def store_with_empty_days(last_day: int, empty: set[int]) -> RecordStore:
+    store = RecordStore()
+    rid = 0
+    for day in range(1, last_day + 1):
+        if day in empty:
+            store.add_batch(DayBatch(day=day, records=[]))
+            continue
+        rid += 1
+        store.add_records(day, [Record(rid, day, ("a", "b"))])
+    return store
+
+
+@pytest.mark.parametrize("scheme_cls", ALL_SCHEMES, ids=lambda c: c.name)
+class TestEmptyDays:
+    def test_zero_volume_days_flow_through(self, scheme_cls):
+        """Days with no records (a dead newsgroup day) must not break
+        maintenance or queries."""
+        window, n = 6, max(2, scheme_cls.min_indexes)
+        empty = {3, 7, 8, 12}
+        store = store_with_empty_days(16, empty)
+        disk = SimulatedDisk()
+        wave = WaveIndex(disk, IndexConfig(), n)
+        executor = PlanExecutor(wave, store, UpdateTechnique.SIMPLE_SHADOW)
+        scheme = scheme_cls(window, n)
+        executor.execute(scheme.start_ops())
+        for day in range(window + 1, 17):
+            executor.execute(scheme.transition_ops(day))
+            lo, hi = day - window + 1, day
+            got = sorted(wave.timed_index_probe("a", lo, hi).record_ids)
+            want = sorted(e.record_id for e in store.brute_probe("a", lo, hi))
+            assert got == want, day
+        disk.check_invariants()
+
+
+class TestMinimalWindows:
+    def test_w1_n1_del(self):
+        """The smallest possible wave index: one day, one index."""
+        store = store_with_empty_days(5, empty=set())
+        disk = SimulatedDisk()
+        wave = WaveIndex(disk, IndexConfig(), 1)
+        executor = PlanExecutor(wave, store, UpdateTechnique.PACKED_SHADOW)
+        scheme = DelScheme(1, 1)
+        executor.execute(scheme.start_ops())
+        for day in range(2, 6):
+            executor.execute(scheme.transition_ops(day))
+            assert wave.covered_days() == {day}
+
+    def test_w2_n2_wata(self):
+        store = store_with_empty_days(8, empty=set())
+        disk = SimulatedDisk()
+        wave = WaveIndex(disk, IndexConfig(), 2)
+        executor = PlanExecutor(wave, store, UpdateTechnique.IN_PLACE)
+        scheme = WataStarScheme(2, 2)
+        executor.execute(scheme.start_ops())
+        for day in range(3, 9):
+            executor.execute(scheme.transition_ops(day))
+            assert wave.covered_days() >= {day - 1, day}
+            assert len(wave.covered_days()) <= scheme.max_length_bound()
+
+
+class TestDuplicateValuesWithinRecord:
+    def test_record_with_repeated_value_counts_once_per_listing(self):
+        """values is a tuple: a repeated value yields repeated postings —
+        the caller's contract (documents deduplicate words upstream)."""
+        store = RecordStore()
+        store.add_records(1, [Record(1, 1, ("x", "x"))])
+        disk = SimulatedDisk()
+        wave = WaveIndex(disk, IndexConfig(), 1)
+        executor = PlanExecutor(wave, store, UpdateTechnique.IN_PLACE)
+        scheme = DelScheme(1, 1)
+        executor.execute(scheme.start_ops())
+        result = wave.timed_index_probe("x", 1, 1)
+        assert len(result.entries) == 2
+
+
+class TestNonStringValues:
+    def test_mixed_orderable_value_types(self):
+        """Integer keys (TPC-D) and the default hash directory coexist."""
+        store = RecordStore()
+        store.add_records(1, [Record(1, 1, (42,)), Record(2, 1, (7,))])
+        store.add_records(2, [Record(3, 2, (42,))])
+        disk = SimulatedDisk()
+        wave = WaveIndex(disk, IndexConfig(), 1)
+        executor = PlanExecutor(wave, store, UpdateTechnique.SIMPLE_SHADOW)
+        scheme = DelScheme(2, 1)
+        executor.execute(scheme.start_ops())
+        assert sorted(wave.timed_index_probe(42, 1, 2).record_ids) == [1, 3]

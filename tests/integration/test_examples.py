@@ -1,0 +1,32 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    # Examples use `if __name__ == "__main__"`; run them as main.
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_all_expected_examples_present():
+    expected = {
+        "quickstart.py",
+        "scam_copy_detection.py",
+        "web_search_engine.py",
+        "tpcd_warehouse.py",
+        "usenet_sliding_window.py",
+        "choose_a_scheme.py",
+        "stock_trades.py",
+    }
+    assert expected <= set(EXAMPLES)

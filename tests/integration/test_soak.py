@@ -1,0 +1,105 @@
+"""Soak tests: long-horizon runs guarding against slow drift.
+
+Hundreds of transitions with non-uniform volumes, checkpoint/restore mid-
+run, and full invariant checks — the kind of bug (a leaked temp index, a
+one-day bookkeeping skew, allocator fragmentation) that only appears after
+many cycles.
+"""
+
+import pytest
+
+from repro.core.checkpoint import restore, take_checkpoint
+from repro.core.executor import PlanExecutor
+from repro.core.records import RecordStore
+from repro.core.schemes import (
+    BatchedDelScheme,
+    DelScheme,
+    RataStarScheme,
+    ReindexPlusPlusScheme,
+    WataStarScheme,
+)
+from repro.core.wave import WaveIndex
+from repro.index.config import IndexConfig
+from repro.index.updates import UpdateTechnique
+from repro.storage.disk import SimulatedDisk
+from repro.workloads.text import NetnewsGenerator, TextWorkloadConfig
+from repro.workloads.usenet import weekly_volume_trace
+
+LAST_DAY = 150
+WINDOW = 7
+
+
+@pytest.fixture(scope="module")
+def store() -> RecordStore:
+    volumes = [
+        max(1, v // 12_000)  # ~3-9 docs/day with the weekly profile
+        for v in weekly_volume_trace(LAST_DAY, seed=31)
+    ]
+    store = RecordStore()
+    NetnewsGenerator(
+        TextWorkloadConfig(docs_per_day=0, words_per_doc=8, vocabulary=120, seed=3),
+        volume=volumes,
+    ).populate(store, 1, LAST_DAY)
+    return store
+
+
+@pytest.mark.parametrize(
+    "scheme_factory",
+    [
+        lambda: DelScheme(WINDOW, 3),
+        lambda: ReindexPlusPlusScheme(WINDOW, 3),
+        lambda: WataStarScheme(WINDOW, 3),
+        lambda: RataStarScheme(WINDOW, 3),
+        lambda: BatchedDelScheme(WINDOW, 3, batch_days=4),
+    ],
+    ids=["DEL", "REINDEX++", "WATA*", "RATA*", "DEL(batched)"],
+)
+def test_150_day_soak(store, scheme_factory):
+    disk = SimulatedDisk()
+    wave = WaveIndex(disk, IndexConfig(), 3)
+    executor = PlanExecutor(wave, store, UpdateTechnique.SIMPLE_SHADOW)
+    scheme = scheme_factory()
+    executor.execute(scheme.start_ops())
+    peak_bindings = 0
+    for day in range(WINDOW + 1, LAST_DAY + 1):
+        executor.execute(scheme.transition_ops(day))
+        live = set(range(day - WINDOW + 1, day + 1))
+        covered = wave.covered_days()
+        if scheme.hard_window:
+            assert covered == live, day
+        else:
+            assert covered >= live, day
+        peak_bindings = max(peak_bindings, len(wave.bindings))
+        if day % 25 == 0:
+            disk.check_invariants()
+            bound = sum(i.allocated_bytes for i in wave.bindings.values())
+            assert disk.live_bytes == bound, day
+    # No unbounded accumulation of temporaries.
+    assert peak_bindings <= 3 + WINDOW
+    # Final query sanity against the oracle.
+    lo, hi = LAST_DAY - WINDOW + 1, LAST_DAY
+    probe = wave.timed_index_probe("w1", lo, hi)
+    want = sorted(e.record_id for e in store.brute_probe("w1", lo, hi))
+    assert sorted(probe.record_ids) == want
+
+
+def test_soak_with_mid_run_recovery(store):
+    """Checkpoint at day 80, rebuild on a fresh disk, finish the run."""
+    disk = SimulatedDisk()
+    wave = WaveIndex(disk, IndexConfig(), 3)
+    executor = PlanExecutor(wave, store, UpdateTechnique.SIMPLE_SHADOW)
+    scheme = RataStarScheme(WINDOW, 3)
+    executor.execute(scheme.start_ops())
+    for day in range(WINDOW + 1, 81):
+        executor.execute(scheme.transition_ops(day))
+    checkpoint = take_checkpoint(scheme)
+
+    scheme2, wave2 = restore(checkpoint, store, SimulatedDisk(), IndexConfig())
+    executor2 = PlanExecutor(wave2, store, UpdateTechnique.SIMPLE_SHADOW)
+    for day in range(81, LAST_DAY + 1):
+        executor2.execute(scheme2.transition_ops(day))
+        live = set(range(day - WINDOW + 1, day + 1))
+        assert wave2.covered_days() == live, day
+    lo, hi = LAST_DAY - WINDOW + 1, LAST_DAY
+    want = sorted(e.record_id for e in store.brute_probe("w2", lo, hi))
+    assert sorted(wave2.timed_index_probe("w2", lo, hi).record_ids) == want

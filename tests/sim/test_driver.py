@@ -1,0 +1,82 @@
+"""Tests for the measured simulation driver."""
+
+import pytest
+
+from repro.core.schemes import DelScheme, ReindexScheme, WataStarScheme
+from repro.errors import SchemeError
+from repro.index.updates import UpdateTechnique
+from repro.sim.driver import Simulation, run_simulation
+from repro.sim.querygen import QueryWorkload
+from tests.conftest import make_store
+
+
+class TestSimulation:
+    def test_run_collects_daily_metrics(self):
+        store = make_store(20)
+        result = run_simulation(
+            lambda: DelScheme(10, 2), store, last_day=16
+        )
+        assert result.scheme_name == "DEL"
+        assert len(result.days) == 7  # start + 6 transitions
+        assert result.days[0].day == 10
+        assert result.days[-1].day == 16
+        assert result.days[-1].covered_days == frozenset(range(7, 17))
+
+    def test_start_must_come_first(self):
+        sim = Simulation(DelScheme(5, 1), make_store(10))
+        with pytest.raises(SchemeError):
+            sim.run_transition(6)
+        sim.run_start()
+        with pytest.raises(SchemeError):
+            sim.run_start()
+
+    def test_metrics_track_space_and_time(self):
+        store = make_store(20)
+        result = run_simulation(
+            lambda: ReindexScheme(10, 2), store, last_day=15
+        )
+        for metrics in result.days:
+            assert metrics.seconds.total > 0
+            assert metrics.steady_bytes > 0
+            assert metrics.peak_bytes >= metrics.steady_bytes or (
+                metrics.peak_bytes > 0
+            )
+        assert result.avg_transition_seconds() > 0
+
+    def test_query_workload_measured(self):
+        store = make_store(20)
+        result = run_simulation(
+            lambda: DelScheme(10, 2),
+            store,
+            last_day=14,
+            queries=QueryWorkload(
+                probes_per_day=5,
+                scans_per_day=1,
+                value_picker=lambda rng: rng.choice("abcdefgh"),
+                seed=1,
+            ),
+        )
+        steady = result.steady_days()
+        assert all(d.query_seconds > 0 for d in steady)
+        assert all(
+            d.total_work_seconds == d.seconds.total + d.query_seconds
+            for d in steady
+        )
+
+    def test_aggregates(self):
+        store = make_store(30)
+        result = run_simulation(
+            lambda: WataStarScheme(10, 3), store, last_day=28
+        )
+        assert result.max_length_days() >= 10
+        assert result.max_peak_bytes() >= result.avg_peak_bytes()
+        assert result.avg_precompute_seconds() >= 0.0
+
+    @pytest.mark.parametrize("technique", list(UpdateTechnique))
+    def test_all_techniques_run_clean(self, technique):
+        store = make_store(16)
+        result = run_simulation(
+            lambda: DelScheme(7, 2), store, last_day=14, technique=technique
+        )
+        assert result.technique == technique.value
+        assert result.days[-1].covered_days == frozenset(range(8, 15))

@@ -1,0 +1,142 @@
+"""Tests for the query-latency simulation under maintenance."""
+
+import pytest
+
+from repro.analysis.daycount import run_reports
+from repro.analysis.parameters import SCAM_PARAMETERS
+from repro.core.schemes import DelScheme, ReindexScheme
+from repro.errors import ReproError
+from repro.index.updates import UpdateTechnique
+from repro.sim.latency import (
+    maintenance_timeline,
+    simulate_query_latency,
+)
+
+
+def steady_report(scheme_cls, technique, n=2):
+    scheme = scheme_cls(SCAM_PARAMETERS.window, n)
+    reports = run_reports(
+        scheme, SCAM_PARAMETERS, technique, transitions=SCAM_PARAMETERS.window
+    )
+    return reports[-1]
+
+
+class TestTimeline:
+    def test_in_place_del_produces_blocking_intervals(self):
+        report = steady_report(DelScheme, UpdateTechnique.IN_PLACE)
+        intervals = maintenance_timeline(
+            report, UpdateTechnique.IN_PLACE, {"I1", "I2"}
+        )
+        assert intervals
+        for interval in intervals:
+            assert interval.end_s > interval.start_s
+            assert interval.target in {"I1", "I2"}
+
+    def test_shadowing_produces_none(self):
+        report = steady_report(DelScheme, UpdateTechnique.SIMPLE_SHADOW)
+        assert (
+            maintenance_timeline(
+                report, UpdateTechnique.SIMPLE_SHADOW, {"I1", "I2"}
+            )
+            == []
+        )
+
+    def test_transition_ops_start_at_data_arrival(self):
+        report = steady_report(DelScheme, UpdateTechnique.IN_PLACE)
+        intervals = maintenance_timeline(
+            report,
+            UpdateTechnique.IN_PLACE,
+            {"I1", "I2"},
+            data_arrival_s=10_000.0,
+        )
+        # DEL's UpdateOp charges delete to precompute (from t=0) and the
+        # add to transition (from arrival).
+        assert any(i.start_s < 10_000.0 for i in intervals)
+        assert any(i.start_s >= 10_000.0 for i in intervals)
+
+    def test_bad_schedule_rejected(self):
+        report = steady_report(DelScheme, UpdateTechnique.IN_PLACE)
+        with pytest.raises(ReproError):
+            maintenance_timeline(
+                report,
+                UpdateTechnique.IN_PLACE,
+                {"I1"},
+                precompute_start_s=100.0,
+                data_arrival_s=50.0,
+            )
+
+
+class TestLatency:
+    def test_in_place_blocks_some_queries(self):
+        report = steady_report(DelScheme, UpdateTechnique.IN_PLACE)
+        stats = simulate_query_latency(
+            report,
+            SCAM_PARAMETERS,
+            UpdateTechnique.IN_PLACE,
+            queries_per_day=2_000,
+            seed=7,
+        )
+        assert stats.queries > 0
+        assert stats.blocked_queries > 0
+        assert stats.max_s > stats.p50_s
+        assert 0 < stats.blocked_fraction < 1
+
+    def test_shadowing_never_blocks(self):
+        report = steady_report(DelScheme, UpdateTechnique.SIMPLE_SHADOW)
+        stats = simulate_query_latency(
+            report,
+            SCAM_PARAMETERS,
+            UpdateTechnique.SIMPLE_SHADOW,
+            queries_per_day=2_000,
+            seed=7,
+        )
+        assert stats.blocked_queries == 0
+        # Every latency equals the pure service time.
+        assert stats.max_s == pytest.approx(stats.p50_s)
+
+    def test_reindex_in_place_never_blocks(self):
+        """REINDEX mutates nothing queryable even in-place."""
+        report = steady_report(ReindexScheme, UpdateTechnique.IN_PLACE)
+        stats = simulate_query_latency(
+            report,
+            SCAM_PARAMETERS,
+            UpdateTechnique.IN_PLACE,
+            queries_per_day=1_000,
+            seed=3,
+        )
+        assert stats.blocked_queries == 0
+
+    def test_deterministic_given_seed(self):
+        report = steady_report(DelScheme, UpdateTechnique.IN_PLACE)
+        a = simulate_query_latency(
+            report, SCAM_PARAMETERS, UpdateTechnique.IN_PLACE, seed=11
+        )
+        b = simulate_query_latency(
+            report, SCAM_PARAMETERS, UpdateTechnique.IN_PLACE, seed=11
+        )
+        assert a == b
+
+    def test_zero_queries(self):
+        report = steady_report(DelScheme, UpdateTechnique.IN_PLACE)
+        stats = simulate_query_latency(
+            report, SCAM_PARAMETERS, UpdateTechnique.IN_PLACE,
+            queries_per_day=0,
+        )
+        assert stats.queries == 0
+        assert stats.blocked_fraction == 0.0
+
+    def test_negative_queries_rejected(self):
+        report = steady_report(DelScheme, UpdateTechnique.IN_PLACE)
+        with pytest.raises(ReproError):
+            simulate_query_latency(
+                report, SCAM_PARAMETERS, UpdateTechnique.IN_PLACE,
+                queries_per_day=-1,
+            )
+
+    def test_percentiles_ordered(self):
+        report = steady_report(DelScheme, UpdateTechnique.IN_PLACE)
+        stats = simulate_query_latency(
+            report, SCAM_PARAMETERS, UpdateTechnique.IN_PLACE,
+            queries_per_day=5_000, seed=2,
+        )
+        assert stats.p50_s <= stats.p95_s <= stats.max_s

@@ -1,0 +1,59 @@
+"""Tests for simulation metrics aggregation."""
+
+import pytest
+
+from repro.core.executor import PhaseSeconds
+from repro.sim.metrics import DayMetrics, SimulationResult
+
+
+def day(d, trans=1.0, pre=0.5, query=0.2, peak=100, length=5):
+    return DayMetrics(
+        day=d,
+        seconds=PhaseSeconds(precompute=pre, transition=trans, post=0.0),
+        query_seconds=query,
+        steady_bytes=80,
+        constituent_bytes=70,
+        peak_bytes=peak,
+        length_days=length,
+        covered_days=frozenset(range(d - 4, d + 1)),
+    )
+
+
+@pytest.fixture
+def result():
+    res = SimulationResult(window=5, n_indexes=2, scheme_name="X", technique="t")
+    res.days = [
+        day(5, trans=10.0, peak=500),  # start day
+        day(6, trans=1.0, peak=100),
+        day(7, trans=2.0, peak=200, length=6),
+        day(8, trans=3.0, peak=300),
+    ]
+    return res
+
+
+class TestSteadyDays:
+    def test_start_day_always_skipped(self, result):
+        assert [d.day for d in result.steady_days()] == [6, 7, 8]
+
+    def test_warmup_skips_more(self, result):
+        assert [d.day for d in result.steady_days(warmup=2)] == [8]
+
+
+class TestAggregates:
+    def test_avg_transition(self, result):
+        assert result.avg_transition_seconds() == pytest.approx(2.0)
+
+    def test_avg_precompute(self, result):
+        assert result.avg_precompute_seconds() == pytest.approx(0.5)
+
+    def test_total_work_includes_queries(self, result):
+        metrics = result.days[1]
+        assert metrics.total_work_seconds == pytest.approx(1.0 + 0.5 + 0.2)
+        assert result.avg_total_work_seconds() == pytest.approx(2.7)
+
+    def test_peaks(self, result):
+        assert result.avg_peak_bytes() == pytest.approx(200.0)
+        assert result.max_peak_bytes() == 500  # start day counts here
+
+    def test_max_length(self, result):
+        assert result.max_length_days() == 6

@@ -1,0 +1,98 @@
+"""Tests for the measured multi-disk executor."""
+
+import pytest
+
+from repro.core.schemes import DelScheme, ReindexScheme, WataStarScheme
+from repro.errors import ReproError
+from repro.index.updates import UpdateTechnique
+from repro.sim.multidisk_sim import MultiDiskExecutor
+from repro.storage.disk import SimulatedDisk
+from repro.core.wave import WaveIndex
+from repro.index.config import IndexConfig
+from tests.conftest import make_store
+
+WINDOW, N = 8, 4
+
+
+def run_scheme(scheme_cls, n_disks, last_day=16, technique=UpdateTechnique.SIMPLE_SHADOW):
+    store = make_store(last_day, seed=55)
+    executor = MultiDiskExecutor.create(store, N, n_disks, technique=technique)
+    scheme = scheme_cls(WINDOW, N)
+    reports = [executor.execute_parallel(scheme.start_ops())]
+    for day in range(WINDOW + 1, last_day + 1):
+        reports.append(executor.execute_parallel(scheme.transition_ops(day)))
+    executor.check_invariants()
+    return executor, reports
+
+
+class TestPlacement:
+    def test_constituents_spread_round_robin(self):
+        executor, _ = run_scheme(DelScheme, n_disks=4)
+        disks = {
+            name: executor.wave.get(name).disk
+            for name in executor.wave.constituents
+        }
+        assert len({id(d) for d in disks.values()}) == 4
+
+    def test_fewer_disks_share(self):
+        executor, _ = run_scheme(DelScheme, n_disks=2)
+        placements = [
+            executor.wave.get(name).disk for name in executor.wave.constituents
+        ]
+        assert len({id(d) for d in placements}) == 2
+
+    def test_needs_a_disk(self):
+        store = make_store(10)
+        wave = WaveIndex(SimulatedDisk(), IndexConfig(), 2)
+        with pytest.raises(ReproError):
+            MultiDiskExecutor(wave, store, disks=[])
+
+
+class TestParallelism:
+    def test_initial_build_overlaps_across_disks(self):
+        """The W-day start builds n indexes: with n disks they overlap."""
+        _, reports_1 = run_scheme(ReindexScheme, n_disks=1, last_day=WINDOW)
+        _, reports_4 = run_scheme(ReindexScheme, n_disks=4, last_day=WINDOW)
+        start_1, start_4 = reports_1[0], reports_4[0]
+        assert start_1.elapsed_seconds == pytest.approx(start_1.serial_seconds)
+        assert start_4.speedup > 2.5
+        # Total work is conserved; only elapsed time shrinks.
+        assert start_4.serial_seconds == pytest.approx(start_1.serial_seconds)
+
+    def test_single_target_day_gains_nothing(self):
+        """A steady DEL day touches one index: no overlap to exploit."""
+        _, reports = run_scheme(DelScheme, n_disks=4)
+        steady = reports[-1]
+        assert steady.speedup == pytest.approx(1.0)
+
+    def test_elapsed_never_exceeds_serial(self):
+        for scheme_cls in (DelScheme, ReindexScheme, WataStarScheme):
+            _, reports = run_scheme(scheme_cls, n_disks=3)
+            for report in reports:
+                assert (
+                    report.elapsed_seconds
+                    <= report.serial_seconds + 1e-9
+                )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n_disks", [1, 2, 4])
+    def test_queries_identical_to_single_disk(self, n_disks):
+        store = make_store(16, seed=55)
+        executor, _ = run_scheme(DelScheme, n_disks=n_disks)
+        lo, hi = 16 - WINDOW + 1, 16
+        for value in "abcdefgh":
+            got = sorted(
+                executor.wave.timed_index_probe(value, lo, hi).record_ids
+            )
+            want = sorted(
+                e.record_id for e in store.brute_probe(value, lo, hi)
+            )
+            assert got == want
+
+    def test_no_leaks_across_array(self):
+        executor, _ = run_scheme(WataStarScheme, n_disks=3)
+        bound = sum(
+            i.allocated_bytes for i in executor.wave.bindings.values()
+        )
+        assert executor.live_bytes == bound

@@ -1,0 +1,84 @@
+"""Tests for daily query workloads."""
+
+import random
+
+import pytest
+
+from repro.core.wave import WaveIndex
+from repro.errors import WorkloadError
+from repro.index.builder import build_packed_index
+from repro.index.config import IndexConfig
+from repro.sim.querygen import (
+    QueryWorkload,
+    uniform_key_picker,
+    zipf_value_picker,
+)
+from repro.storage.disk import SimulatedDisk
+from tests.conftest import make_store
+
+
+@pytest.fixture
+def wave():
+    disk = SimulatedDisk()
+    config = IndexConfig()
+    store = make_store(10)
+    wave = WaveIndex(disk, config, 2)
+    wave.bind(
+        "I1",
+        build_packed_index(disk, config, store.grouped_for(range(1, 6)), range(1, 6)),
+    )
+    wave.bind(
+        "I2",
+        build_packed_index(disk, config, store.grouped_for(range(6, 11)), range(6, 11)),
+    )
+    return wave
+
+
+class TestQueryWorkload:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            QueryWorkload(probes_per_day=-1)
+        with pytest.raises(WorkloadError):
+            QueryWorkload(probes_per_day=5)  # needs a picker
+
+    def test_run_day_charges_time(self, wave):
+        workload = QueryWorkload(
+            probes_per_day=3,
+            scans_per_day=2,
+            value_picker=lambda rng: rng.choice("abcdefgh"),
+            seed=4,
+        )
+        seconds = workload.run_day(wave, day=10, window=10)
+        assert seconds > 0
+
+    def test_deterministic_per_day(self, wave):
+        workload = QueryWorkload(
+            probes_per_day=4,
+            value_picker=lambda rng: rng.choice("abcdefgh"),
+            seed=4,
+        )
+        assert workload.run_day(wave, 10, 10) == workload.run_day(wave, 10, 10)
+
+    def test_newest_only_scans_less(self, wave):
+        full = QueryWorkload(scans_per_day=1, seed=1)
+        newest = QueryWorkload(scans_per_day=1, scan_newest_only=True, seed=1)
+        assert newest.run_day(wave, 10, 10) < full.run_day(wave, 10, 10)
+
+    def test_zero_queries_costs_nothing(self, wave):
+        assert QueryWorkload().run_day(wave, 10, 10) == 0.0
+
+
+class TestPickers:
+    def test_uniform_picker_range(self):
+        pick = uniform_key_picker(10)
+        rng = random.Random(0)
+        assert all(1 <= pick(rng) <= 10 for _ in range(100))
+        with pytest.raises(WorkloadError):
+            uniform_key_picker(0)
+
+    def test_zipf_picker_format(self):
+        pick = zipf_value_picker(100)
+        rng = random.Random(0)
+        value = pick(rng)
+        assert value.startswith("w")
+        assert 1 <= int(value[1:]) <= 100

@@ -1,0 +1,154 @@
+"""Unit and property tests for the extent allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExtentError, OutOfSpaceError
+from repro.storage.allocator import ExtentAllocator
+
+
+class TestAllocation:
+    def test_sequential_allocations_are_disjoint(self):
+        alloc = ExtentAllocator()
+        a = alloc.allocate(100)
+        b = alloc.allocate(50)
+        assert not a.overlaps(b)
+        assert alloc.live_bytes == 150
+
+    def test_zero_byte_allocation(self):
+        alloc = ExtentAllocator()
+        ext = alloc.allocate(0)
+        assert ext.size == 0
+        assert alloc.live_bytes == 0
+        alloc.free(ext)
+        assert alloc.live_extents == 0
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            ExtentAllocator().allocate(-1)
+
+    def test_bounded_capacity_enforced(self):
+        alloc = ExtentAllocator(capacity_bytes=100)
+        alloc.allocate(80)
+        with pytest.raises(OutOfSpaceError):
+            alloc.allocate(30)
+
+    def test_free_reuses_space(self):
+        alloc = ExtentAllocator(capacity_bytes=100)
+        a = alloc.allocate(60)
+        alloc.free(a)
+        b = alloc.allocate(60)  # would fail without reuse
+        assert b.offset == 0
+
+    def test_first_fit_prefers_earliest_hole(self):
+        alloc = ExtentAllocator()
+        a = alloc.allocate(50)
+        alloc.allocate(50)
+        alloc.free(a)
+        c = alloc.allocate(40)
+        assert c.offset == 0  # placed in the hole, not at the frontier
+
+    def test_high_water_tracks_peak(self):
+        alloc = ExtentAllocator()
+        a = alloc.allocate(100)
+        assert alloc.high_water_bytes == 100
+        alloc.free(a)
+        assert alloc.high_water_bytes == 100
+        alloc.allocate(40)
+        assert alloc.high_water_bytes == 100
+
+    def test_reset_high_water(self):
+        alloc = ExtentAllocator()
+        a = alloc.allocate(100)
+        alloc.free(a)
+        alloc.reset_high_water()
+        assert alloc.high_water_bytes == 0
+        alloc.allocate(10)
+        assert alloc.high_water_bytes == 10
+
+
+class TestFree:
+    def test_double_free_rejected(self):
+        alloc = ExtentAllocator()
+        ext = alloc.allocate(10)
+        alloc.free(ext)
+        with pytest.raises(ExtentError):
+            alloc.free(ext)
+
+    def test_foreign_extent_rejected(self):
+        a1 = ExtentAllocator()
+        a2 = ExtentAllocator()
+        ext = a1.allocate(10)
+        with pytest.raises(ExtentError):
+            a2.free(ext)
+
+    def test_coalescing_with_both_neighbours(self):
+        alloc = ExtentAllocator()
+        a = alloc.allocate(10)
+        b = alloc.allocate(10)
+        c = alloc.allocate(10)
+        alloc.allocate(10)  # keeps frontier away
+        alloc.free(a)
+        alloc.free(c)
+        assert len(alloc.free_ranges()) == 2
+        alloc.free(b)  # merges a+b+c into one range
+        assert alloc.free_ranges() == [(0, 30)]
+
+    def test_freeing_trailing_extent_retracts_frontier(self):
+        alloc = ExtentAllocator()
+        alloc.allocate(10)
+        b = alloc.allocate(10)
+        frontier = alloc.frontier
+        alloc.free(b)
+        assert alloc.frontier == frontier - 10
+        assert alloc.free_ranges() == []
+
+
+@st.composite
+def alloc_scripts(draw):
+    """A random interleaving of allocate/free actions."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    actions = []
+    live = 0
+    for _ in range(n):
+        if live == 0 or draw(st.booleans()):
+            actions.append(("alloc", draw(st.integers(0, 500))))
+            live += 1
+        else:
+            actions.append(("free", draw(st.integers(0, live - 1))))
+            live -= 1
+    return actions
+
+
+class TestAllocatorProperties:
+    @given(alloc_scripts())
+    @settings(max_examples=200, deadline=None)
+    def test_invariants_hold_under_any_script(self, script):
+        alloc = ExtentAllocator()
+        live = []
+        expected_bytes = 0
+        for action, arg in script:
+            if action == "alloc":
+                ext = alloc.allocate(arg)
+                live.append(ext)
+                expected_bytes += arg
+            else:
+                ext = live.pop(arg)
+                alloc.free(ext)
+                expected_bytes -= ext.size
+            alloc.check_invariants()
+            assert alloc.live_bytes == expected_bytes
+            assert alloc.high_water_bytes >= alloc.live_bytes
+
+    @given(st.lists(st.integers(1, 100), min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_free_all_then_realloc_from_zero(self, sizes):
+        alloc = ExtentAllocator()
+        extents = [alloc.allocate(s) for s in sizes]
+        for ext in extents:
+            alloc.free(ext)
+        assert alloc.live_bytes == 0
+        assert alloc.frontier == 0  # fully retracted after freeing everything
+        ext = alloc.allocate(1)
+        assert ext.offset == 0

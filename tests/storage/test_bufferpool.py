@@ -1,0 +1,104 @@
+"""Tests for the buffer-pool (memory-pressure) model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.bufferpool import BufferPoolModel
+from repro.storage.disk import SimulatedDisk
+
+
+class TestMissRate:
+    def test_fully_resident_working_set_never_misses(self):
+        pool = BufferPoolModel(memory_bytes=1000)
+        assert pool.miss_rate(500) == 0.0
+        assert pool.miss_rate(1000) == 0.0
+
+    def test_oversized_working_set_misses_proportionally(self):
+        pool = BufferPoolModel(memory_bytes=100)
+        assert pool.miss_rate(200) == pytest.approx(0.5)
+        assert pool.miss_rate(400) == pytest.approx(0.75)
+
+    def test_min_miss_rate_floor(self):
+        pool = BufferPoolModel(memory_bytes=1000, min_miss_rate=0.1)
+        assert pool.miss_rate(10) == 0.1
+        assert pool.miss_rate(0) == 0.1
+
+    def test_effective_seeks(self):
+        pool = BufferPoolModel(memory_bytes=100)
+        assert pool.effective_seeks(10, 400) == pytest.approx(7.5)
+        assert pool.effective_seeks(10, 50) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BufferPoolModel(memory_bytes=0)
+        with pytest.raises(ValueError):
+            BufferPoolModel(memory_bytes=10, min_miss_rate=1.5)
+        pool = BufferPoolModel(memory_bytes=10)
+        with pytest.raises(ValueError):
+            pool.miss_rate(-1)
+        with pytest.raises(ValueError):
+            pool.effective_seeks(-1, 10)
+
+    @given(st.floats(1, 1e9), st.floats(0, 1e9))
+    def test_miss_rate_bounded(self, memory, working_set):
+        pool = BufferPoolModel(memory_bytes=memory)
+        assert 0.0 <= pool.miss_rate(working_set) <= 1.0
+
+    @given(st.floats(1, 1e6))
+    def test_miss_rate_monotone_in_working_set(self, memory):
+        pool = BufferPoolModel(memory_bytes=memory)
+        rates = [pool.miss_rate(ws) for ws in (memory, 2 * memory, 8 * memory)]
+        assert rates == sorted(rates)
+
+
+class TestDiskIntegration:
+    def test_no_pool_means_nominal_seeks(self):
+        disk = SimulatedDisk()
+        assert disk.effective_seeks(3.0, 10_000) == 3.0
+        assert disk.effective_seeks(3.0, None) == 3.0
+
+    def test_pool_discounts_random_seeks(self):
+        disk = SimulatedDisk(buffer_pool=BufferPoolModel(memory_bytes=100))
+        assert disk.effective_seeks(2.0, 400) == pytest.approx(1.5)
+        # Streaming callers (working set None) are unaffected.
+        assert disk.effective_seeks(2.0, None) == 2.0
+
+    def test_incremental_add_cheaper_when_cached(self):
+        """The end-to-end effect: warm-cache updates skip their seeks."""
+        from repro.index.config import IndexConfig
+        from repro.index.constituent import ConstituentIndex
+        from repro.index.entry import Entry
+
+        def add_cost(pool):
+            disk = SimulatedDisk(buffer_pool=pool)
+            idx = ConstituentIndex.create_empty(disk, IndexConfig())
+            idx.insert_postings(
+                {f"v{i}": [Entry(i, 1)] for i in range(50)}, [1]
+            )
+            before = disk.clock
+            idx.insert_postings(
+                {f"v{i}": [Entry(100 + i, 2)] for i in range(50)}, [2]
+            )
+            return disk.clock - before
+
+        cold = add_cost(None)
+        warm = add_cost(BufferPoolModel(memory_bytes=10**9))
+        assert warm < cold / 5  # seeks dominate this tiny workload
+
+    def test_build_unaffected_by_pool(self):
+        """Packed builds stream; the pool must not change their cost."""
+        from repro.index.builder import build_packed_index
+        from repro.index.config import IndexConfig
+        from repro.index.entry import Entry
+
+        grouped = {f"v{i}": [Entry(i, 1)] for i in range(50)}
+
+        def build_cost(pool):
+            disk = SimulatedDisk(buffer_pool=pool)
+            build_packed_index(disk, IndexConfig(), grouped, [1])
+            return disk.clock
+
+        assert build_cost(None) == pytest.approx(
+            build_cost(BufferPoolModel(memory_bytes=10))
+        )

@@ -1,0 +1,63 @@
+"""Tests for the disk cost parameters."""
+
+import pytest
+
+from repro.storage.cost import (
+    DEFAULT_BANDWIDTH_BPS,
+    DEFAULT_SEEK_S,
+    MEGABYTE,
+    DiskParameters,
+)
+
+
+class TestDiskParameters:
+    def test_defaults_match_table12(self):
+        params = DiskParameters()
+        assert params.seek_s == pytest.approx(0.014)
+        assert params.bandwidth_bps == pytest.approx(10 * MEGABYTE)
+
+    def test_transfer_time_is_linear(self):
+        params = DiskParameters()
+        one = params.transfer_time(MEGABYTE)
+        assert params.transfer_time(5 * MEGABYTE) == pytest.approx(5 * one)
+
+    def test_transfer_time_zero_bytes(self):
+        assert DiskParameters().transfer_time(0) == 0.0
+
+    def test_io_time_includes_seeks(self):
+        params = DiskParameters(seek_s=0.01, bandwidth_bps=1_000_000)
+        assert params.io_time(1_000_000, seeks=2) == pytest.approx(1.02)
+
+    def test_io_time_zero_seeks(self):
+        params = DiskParameters(seek_s=0.01, bandwidth_bps=1_000_000)
+        assert params.io_time(500_000, seeks=0) == pytest.approx(0.5)
+
+    def test_ten_mb_transfer_is_one_second(self):
+        # Table 12: Trans = 10 MB/s, so 10 MB streams in 1 s.
+        assert DiskParameters().transfer_time(10 * MEGABYTE) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"seek_s": -0.1},
+            {"bandwidth_bps": 0},
+            {"bandwidth_bps": -5},
+            {"capacity_bytes": 0},
+            {"capacity_bytes": -1},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DiskParameters(**kwargs)
+
+    def test_negative_transfer_rejected(self):
+        with pytest.raises(ValueError):
+            DiskParameters().transfer_time(-1)
+
+    def test_negative_seeks_rejected(self):
+        with pytest.raises(ValueError):
+            DiskParameters().io_time(10, seeks=-1)
+
+    def test_defaults_exported(self):
+        assert DEFAULT_SEEK_S == pytest.approx(0.014)
+        assert DEFAULT_BANDWIDTH_BPS == 10 * MEGABYTE

@@ -1,0 +1,64 @@
+"""Tests for the benchmark-harness rendering helpers."""
+
+from pathlib import Path
+
+from repro.bench.tables import emit, render_curves, render_rows
+
+
+class TestRenderCurves:
+    def test_alignment_and_holes(self):
+        text = render_curves(
+            "Title",
+            "n",
+            [1, 2, 3],
+            {"A": [1000.0, 2000.0, None], "B": [None, 50.0, 60.0]},
+            unit="s",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Title  [s]"
+        assert "1,000" in text
+        assert "-" in lines[3]  # A's hole at n=3
+        # All rows equally wide.
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) <= 2  # header separator may differ
+
+    def test_scaling(self):
+        text = render_curves(
+            "T", "x", [1], {"A": [5_000_000.0]}, scale=1_000_000
+        )
+        assert "5" in text and "5,000,000" not in text
+
+    def test_custom_format(self):
+        text = render_curves(
+            "T", "x", [1], {"A": [0.1234]}, fmt="{:.2f}"
+        )
+        assert "0.12" in text
+
+
+class TestRenderRows:
+    def test_mixed_types(self):
+        text = render_rows(
+            "T",
+            ["name", "value"],
+            [["a", 1.5], ["b", None], ["c", "raw"]],
+        )
+        assert "1.5" in text
+        assert "-" in text
+        assert "raw" in text
+
+    def test_header_separator(self):
+        text = render_rows("T", ["x"], [[1]])
+        lines = text.splitlines()
+        assert set(lines[2]) == {"-"}
+
+
+class TestEmit:
+    def test_writes_artifact(self, tmp_path: Path, capsys):
+        emit(tmp_path, "sample", "hello table")
+        assert (tmp_path / "sample.txt").read_text() == "hello table\n"
+        assert "hello table" in capsys.readouterr().out
+
+    def test_creates_directory(self, tmp_path: Path):
+        nested = tmp_path / "deep" / "out"
+        emit(nested, "x", "y")
+        assert (nested / "x.txt").exists()

@@ -1,0 +1,161 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSchemes:
+    def test_lists_all_six(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        for name in ("DEL", "REINDEX", "REINDEX+", "REINDEX++", "WATA*", "RATA*"):
+            assert name in out
+
+
+class TestTrace:
+    def test_trace_reindex(self, capsys):
+        assert main(["trace", "REINDEX", "-w", "10", "-n", "2", "-d", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "I1 <- BuildIndex({2, 3, 4, 5, 11})" in out
+        assert "{d3, d4, d5, d11, d12}" in out
+
+    def test_default_horizon(self, capsys):
+        assert main(["trace", "DEL", "-w", "5", "-n", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "11" in out  # window + 6
+
+    def test_unknown_scheme_fails_cleanly(self, capsys):
+        assert main(["trace", "NOPE"]) == 2
+        assert "unknown scheme" in capsys.readouterr().err
+
+
+class TestFigure:
+    def test_fig11(self, capsys):
+        assert main(["figure", "fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "index-size ratio" in out
+        assert "n=4" in out
+
+    def test_fig4(self, capsys):
+        assert main(["figure", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "REINDEX" in out and "WATA*" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+
+class TestAdvise:
+    def test_wse_recommends_del_n1(self, capsys):
+        assert main(["advise", "--scenario", "WSE", "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "DEL" in out
+        assert "n=1" in out
+
+    def test_tpcd_legacy_recommends_wata(self, capsys):
+        assert (
+            main(
+                [
+                    "advise",
+                    "--scenario",
+                    "TPC-D",
+                    "--no-packed-shadow",
+                    "--candidates",
+                    "1",
+                    "2",
+                    "10",
+                    "--top",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "WATA*" in out
+
+    def test_hard_window_filter(self, capsys):
+        assert (
+            main(
+                [
+                    "advise",
+                    "--scenario",
+                    "TPC-D",
+                    "--no-packed-shadow",
+                    "--hard-window",
+                    "--top",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "WATA*" not in out
+
+
+class TestCalibrate:
+    def test_reports_constants(self, capsys):
+        assert main(["calibrate", "--scale-factor", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "Build =" in out
+        assert "Add/Build" in out
+
+    def test_with_memory_pool(self, capsys):
+        assert (
+            main(
+                [
+                    "calibrate",
+                    "--cluster-days",
+                    "2",
+                    "--memory-mb",
+                    "100",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "100.0 MB pool" in out
+
+
+class TestLatency:
+    def test_in_place_reports_blocking(self, capsys):
+        assert main(["latency", "DEL", "--queries", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "blocked by maintenance" in out
+        assert "0.0%" not in out.split("blocked")[-1]
+
+    def test_shadow_reports_no_blocking(self, capsys):
+        assert (
+            main(
+                [
+                    "latency",
+                    "DEL",
+                    "--technique",
+                    "simple_shadow",
+                    "--queries",
+                    "2000",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "0.0%" in out
+
+    def test_unknown_scheme(self, capsys):
+        assert main(["latency", "NOPE"]) == 2
+
+    def test_size_aware_scheme_not_traceable(self, capsys):
+        assert main(["trace", "WATA(size)"]) == 2
+        assert "extra configuration" in capsys.readouterr().err
+
+
+class TestSensitivity:
+    def test_reports_dominant_parameters(self, capsys):
+        assert main(["sensitivity", "REINDEX", "-n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "dominant:" in out
+        assert "build" in out
+
+    def test_unknown_scheme(self):
+        assert main(["sensitivity", "NOPE"]) == 2

@@ -1,0 +1,88 @@
+"""Tests for the TPC-D workload generator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.tpcd import (
+    TpcdConfig,
+    TpcdGenerator,
+    build_lineitem_store,
+)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            TpcdConfig(rows_per_day=-1)
+        with pytest.raises(WorkloadError):
+            TpcdConfig(suppliers=0)
+
+
+class TestGeneration:
+    def test_row_count_exact(self):
+        gen = TpcdGenerator(TpcdConfig(rows_per_day=137, seed=1))
+        _, items = gen.generate_day(1)
+        assert len(items) == 137
+
+    def test_deterministic_per_day(self):
+        a = TpcdGenerator(TpcdConfig(seed=3)).generate_day(2)
+        b = TpcdGenerator(TpcdConfig(seed=3)).generate_day(2)
+        assert a == b
+
+    def test_column_domains(self):
+        config = TpcdConfig(rows_per_day=500, suppliers=100, seed=5)
+        _, items = TpcdGenerator(config).generate_day(1)
+        for item in items:
+            assert 1 <= item.suppkey <= 100
+            assert 1 <= item.quantity <= 50
+            assert 0.0 <= item.discount <= 0.10
+            assert 0.0 <= item.tax <= 0.08
+            assert item.returnflag in ("R", "A", "N")
+            assert item.linestatus in ("O", "F")
+            assert item.shipdate == 1
+            assert item.commitdate > item.shipdate
+            assert item.receiptdate > item.shipdate
+
+    def test_suppkey_roughly_uniform(self):
+        """Uniform keys are why TPC-D uses g = 1.08 (Table 12)."""
+        config = TpcdConfig(rows_per_day=5000, suppliers=10, seed=7)
+        _, items = TpcdGenerator(config).generate_day(1)
+        counts = [0] * 11
+        for item in items:
+            counts[item.suppkey] += 1
+        expected = 500
+        assert all(abs(c - expected) < 120 for c in counts[1:])
+
+    def test_orders_reference_their_lineitems(self):
+        gen = TpcdGenerator(TpcdConfig(rows_per_day=50, seed=2))
+        orders, items = gen.generate_day(1)
+        order_keys = {o.orderkey for o in orders}
+        assert {i.orderkey for i in items} == order_keys
+        for order in orders:
+            total = sum(
+                i.extendedprice for i in items if i.orderkey == order.orderkey
+            )
+            assert order.totalprice == pytest.approx(total, abs=0.01)
+
+    def test_orderkeys_unique_across_days(self):
+        gen = TpcdGenerator(TpcdConfig(rows_per_day=20))
+        keys = set()
+        for day in (1, 2, 3):
+            orders, _ = gen.generate_day(day)
+            for order in orders:
+                assert order.orderkey not in keys
+                keys.add(order.orderkey)
+
+
+class TestIndexableBatches:
+    def test_lineitem_batch_indexes_suppkey(self):
+        gen = TpcdGenerator(TpcdConfig(rows_per_day=30, suppliers=5, seed=4))
+        batch = gen.lineitem_batch(3)
+        assert batch.day == 3
+        assert batch.entry_count == 30
+        assert all(1 <= r.values[0] <= 5 for r in batch.records)
+
+    def test_build_store(self):
+        store = build_lineitem_store(4, TpcdConfig(rows_per_day=10))
+        assert store.days == [1, 2, 3, 4]
+        assert store.batch(2).entry_count == 10

@@ -1,0 +1,93 @@
+"""Tests for TPC-D Q1 (Pricing Summary Report)."""
+
+import pytest
+
+from repro.workloads.tpcd import LineItem, TpcdConfig, TpcdGenerator
+from repro.workloads.tpcd_queries import q1_pricing_summary, q1_rows_equal
+
+
+def item(flag="R", status="O", qty=10, price=100.0, disc=0.1, tax=0.05, day=1):
+    return LineItem(
+        orderkey=1,
+        linenumber=1,
+        suppkey=1,
+        partkey=1,
+        quantity=qty,
+        extendedprice=price,
+        discount=disc,
+        tax=tax,
+        returnflag=flag,
+        linestatus=status,
+        shipdate=day,
+        commitdate=day + 10,
+        receiptdate=day + 5,
+        shipmode="RAIL",
+    )
+
+
+class TestQ1:
+    def test_single_group_aggregates(self):
+        rows = q1_pricing_summary([item(qty=10, price=100.0, disc=0.1, tax=0.05)])
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.sum_qty == 10
+        assert row.sum_base_price == pytest.approx(100.0)
+        assert row.sum_disc_price == pytest.approx(90.0)
+        assert row.sum_charge == pytest.approx(94.5)
+        assert row.avg_qty == 10
+        assert row.avg_disc == pytest.approx(0.1)
+        assert row.count_order == 1
+
+    def test_grouping_and_ordering(self):
+        rows = q1_pricing_summary(
+            [
+                item(flag="R", status="O"),
+                item(flag="A", status="F"),
+                item(flag="A", status="O"),
+                item(flag="R", status="O"),
+            ]
+        )
+        keys = [(r.returnflag, r.linestatus) for r in rows]
+        assert keys == [("A", "F"), ("A", "O"), ("R", "O")]
+        assert rows[2].count_order == 2
+
+    def test_ship_cutoff_filters(self):
+        rows = q1_pricing_summary(
+            [item(day=1), item(day=5), item(day=9)], ship_cutoff_day=5
+        )
+        assert rows[0].count_order == 2
+
+    def test_empty_input(self):
+        assert q1_pricing_summary([]) == []
+
+    def test_averages_consistent_with_sums(self):
+        gen = TpcdGenerator(TpcdConfig(rows_per_day=300, seed=8))
+        _, items = gen.generate_day(1)
+        for row in q1_pricing_summary(items):
+            assert row.avg_qty == pytest.approx(row.sum_qty / row.count_order)
+            assert row.avg_price == pytest.approx(
+                row.sum_base_price / row.count_order
+            )
+
+
+class TestRowEquality:
+    def test_equal_reports(self):
+        items = [item(), item(flag="A")]
+        assert q1_rows_equal(q1_pricing_summary(items), q1_pricing_summary(items))
+
+    def test_unequal_counts(self):
+        a = q1_pricing_summary([item()])
+        b = q1_pricing_summary([item(), item()])
+        assert not q1_rows_equal(a, b)
+
+    def test_unequal_groups(self):
+        a = q1_pricing_summary([item(flag="R")])
+        b = q1_pricing_summary([item(flag="A")])
+        assert not q1_rows_equal(a, b)
+
+    def test_order_independence_of_input(self):
+        gen = TpcdGenerator(TpcdConfig(rows_per_day=100, seed=2))
+        _, items = gen.generate_day(1)
+        forward = q1_pricing_summary(items)
+        backward = q1_pricing_summary(list(reversed(items)))
+        assert q1_rows_equal(forward, backward, rel_tol=1e-9)

@@ -1,0 +1,72 @@
+"""Tests for the stock-trades workload."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.trades import (
+    DEFAULT_SYMBOLS,
+    TradeGenerator,
+    TradesConfig,
+    build_trades_store,
+)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            TradesConfig(trades_per_day=-1)
+        with pytest.raises(WorkloadError):
+            TradesConfig(symbols=())
+        with pytest.raises(WorkloadError):
+            TradesConfig(base_price=0)
+        with pytest.raises(WorkloadError):
+            TradesConfig(volatility=-0.1)
+
+
+class TestGeneration:
+    def test_count_and_shape(self):
+        gen = TradeGenerator(TradesConfig(trades_per_day=100, seed=1))
+        batch = gen.generate_day(1)
+        assert len(batch.records) == 100
+        for record in batch.records:
+            assert record.values[0] in DEFAULT_SYMBOLS
+            assert isinstance(record.info, float)
+            assert record.info > 0
+
+    def test_deterministic(self):
+        a = TradeGenerator(TradesConfig(seed=3)).generate_day(1)
+        b = TradeGenerator(TradesConfig(seed=3)).generate_day(1)
+        assert [(r.values, r.info) for r in a.records] == [
+            (r.values, r.info) for r in b.records
+        ]
+
+    def test_trade_ids_unique_across_days(self):
+        gen = TradeGenerator(TradesConfig(trades_per_day=50))
+        ids = set()
+        for day in (1, 2, 3):
+            for record in gen.generate_day(day).records:
+                assert record.record_id not in ids
+                ids.add(record.record_id)
+
+    def test_zipf_symbol_skew(self):
+        gen = TradeGenerator(TradesConfig(trades_per_day=4000, seed=5))
+        batch = gen.generate_day(1)
+        counts: dict[str, int] = {}
+        for record in batch.records:
+            counts[record.values[0]] = counts.get(record.values[0], 0) + 1
+        top = counts.get(DEFAULT_SYMBOLS[0], 0)
+        bottom = counts.get(DEFAULT_SYMBOLS[-1], 0)
+        assert top > 3 * max(bottom, 1)
+
+    def test_prices_drift_across_days(self):
+        gen = TradeGenerator(TradesConfig(trades_per_day=20, seed=7))
+        gen.generate_day(1)
+        p1 = dict(gen._prices)
+        gen.generate_day(2)
+        assert gen._prices != p1
+
+    def test_build_store(self):
+        store = build_trades_store(5, TradesConfig(trades_per_day=10))
+        assert store.days == [1, 2, 3, 4, 5]
+        entry = next(store.batch(3).postings())[1]
+        assert isinstance(entry.info, float)  # amounts flow into entries

@@ -1,0 +1,79 @@
+"""Tests for the synthetic Usenet volume traces (Figure 2 inputs)."""
+
+import math
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.usenet import (
+    WEEKDAY_MEANS,
+    day_weights,
+    june_december_1997_volume,
+    september_1997_volume,
+    weekly_volume_trace,
+    weight_fn,
+)
+
+
+class TestWeeklyTrace:
+    def test_length_and_determinism(self):
+        a = weekly_volume_trace(30, seed=1)
+        b = weekly_volume_trace(30, seed=1)
+        assert len(a) == 30
+        assert a == b
+        assert weekly_volume_trace(30, seed=2) != a
+
+    def test_weekday_structure(self):
+        trace = weekly_volume_trace(70, first_weekday=0, jitter=0.0)
+        # Day 3 is a Wednesday (peak), day 7 a Sunday (trough).
+        assert trace[2] == WEEKDAY_MEANS[2]
+        assert trace[6] == WEEKDAY_MEANS[6]
+        assert trace[2] > 3 * trace[6]
+
+    def test_trend_grows_volume(self):
+        trace = weekly_volume_trace(100, jitter=0.0, trend=0.01)
+        assert trace[70] > trace[0]  # same weekday, later
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            weekly_volume_trace(0)
+        with pytest.raises(WorkloadError):
+            weekly_volume_trace(10, first_weekday=7)
+        with pytest.raises(WorkloadError):
+            weekly_volume_trace(10, jitter=1.0)
+
+
+class TestFigure2Trace:
+    def test_september_profile(self):
+        trace = september_1997_volume()
+        assert len(trace) == 30
+        # Paper: second Wednesday ~110k, Sundays ~30k.
+        second_wednesday = trace[9]  # Sept 10, 1997
+        assert 95_000 < second_wednesday < 120_000
+        sundays = [trace[6], trace[13], trace[20], trace[27]]
+        assert all(25_000 < s < 36_000 for s in sundays)
+
+    def test_two_hundred_day_trace(self):
+        trace = june_december_1997_volume()
+        assert len(trace) == 200
+        assert min(trace) > 0
+
+
+class TestWeights:
+    def test_weights_average_one(self):
+        weights = day_weights([10, 20, 30])
+        assert math.fsum(weights) / 3 == pytest.approx(1.0)
+        assert weights == pytest.approx([0.5, 1.0, 1.5])
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(WorkloadError):
+            day_weights([])
+
+    def test_weight_fn_is_one_based(self):
+        fn = weight_fn([10, 30])
+        assert fn(1) == pytest.approx(0.5)
+        assert fn(2) == pytest.approx(1.5)
+        with pytest.raises(WorkloadError):
+            fn(0)
+        with pytest.raises(WorkloadError):
+            fn(3)

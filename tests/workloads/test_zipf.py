@@ -1,0 +1,82 @@
+"""Tests for the Zipf sampler and Heaps-law vocabulary model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.zipf import ZipfSampler, heaps_vocabulary
+
+
+class TestZipfSampler:
+    def test_deterministic_for_same_seed(self):
+        a = ZipfSampler(100, seed=7).sample_many(50)
+        b = ZipfSampler(100, seed=7).sample_many(50)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = ZipfSampler(100, seed=1).sample_many(50)
+        b = ZipfSampler(100, seed=2).sample_many(50)
+        assert a != b
+
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(10, seed=0)
+        assert all(1 <= r <= 10 for r in sampler.sample_many(500))
+
+    def test_skew_rank1_dominates(self):
+        sampler = ZipfSampler(1000, s=1.0, seed=3)
+        samples = sampler.sample_many(5000)
+        top = sum(1 for r in samples if r == 1) / len(samples)
+        # P(1) = 1/H_1000 ≈ 0.133; allow wide sampling noise.
+        assert 0.09 < top < 0.19
+
+    def test_zero_exponent_is_uniform(self):
+        sampler = ZipfSampler(4, s=0.0, seed=5)
+        counts = [0] * 5
+        for r in sampler.sample_many(4000):
+            counts[r] += 1
+        for rank in range(1, 5):
+            assert abs(counts[rank] / 4000 - 0.25) < 0.05
+
+    def test_probability_sums_to_one(self):
+        sampler = ZipfSampler(50, s=1.2)
+        total = math.fsum(sampler.probability(r) for r in range(1, 51))
+        assert total == pytest.approx(1.0)
+
+    def test_probability_monotone_decreasing(self):
+        sampler = ZipfSampler(50, s=1.0)
+        probs = [sampler.probability(r) for r in range(1, 51)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(0)
+        with pytest.raises(WorkloadError):
+            ZipfSampler(10, s=-1)
+        with pytest.raises(WorkloadError):
+            ZipfSampler(10).sample_many(-1)
+        with pytest.raises(WorkloadError):
+            ZipfSampler(10).probability(11)
+
+    @given(st.integers(1, 500), st.integers(0, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_sample_always_valid(self, vocab, seed):
+        sampler = ZipfSampler(vocab, seed=seed)
+        assert 1 <= sampler.sample() <= vocab
+
+
+class TestHeaps:
+    def test_monotone_in_tokens(self):
+        assert heaps_vocabulary(100) < heaps_vocabulary(10_000)
+
+    def test_sublinear(self):
+        v1 = heaps_vocabulary(1_000)
+        v100 = heaps_vocabulary(100_000)
+        assert v100 < 100 * v1
+
+    def test_edge_cases(self):
+        assert heaps_vocabulary(0) == 1
+        with pytest.raises(WorkloadError):
+            heaps_vocabulary(-1)
