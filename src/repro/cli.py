@@ -10,6 +10,8 @@ Commands:
 * ``calibrate`` — measure Build/Add/S' on the simulated substrate.
 * ``latency`` — simulate a day of query latency under maintenance.
 * ``sensitivity`` — work elasticity per Table-12 cost parameter.
+* ``crash-test`` — inject crashes at transition op boundaries and verify
+  recovery against a fault-free twin run.
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ from typing import Sequence
 
 from .analysis.parameters import TABLE12
 from .core.schemes import ALL_SCHEMES, scheme_by_name
+from .errors import SchemeError
 from .core.trace import format_trace, trace_scheme
 from .index.updates import UpdateTechnique
 
@@ -104,6 +107,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--technique",
         choices=[t.value for t in _TECHNIQUES],
         default="simple_shadow",
+    )
+
+    crash = sub.add_parser(
+        "crash-test",
+        help="crash transitions at every op boundary and verify recovery",
+    )
+    crash.add_argument(
+        "schemes", nargs="*",
+        help="scheme names to test (default: all six)",
+    )
+    crash.add_argument("--window", "-w", type=int, default=6)
+    crash.add_argument("--indexes", "-n", type=int, default=3)
+    crash.add_argument("--cycles", type=int, default=3)
+    crash.add_argument("--seed", type=int, default=0)
+    crash.add_argument(
+        "--technique",
+        choices=[t.value for t in _TECHNIQUES],
+        default="simple_shadow",
+    )
+    crash.add_argument(
+        "--io-samples", type=int, default=0,
+        help="extra mid-op (after Nth I/O) crash points per transition",
+    )
+    crash.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="print every crash cell, not just failures",
     )
     return parser
 
@@ -330,6 +359,38 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_crash_test(args: argparse.Namespace) -> int:
+    from .sim.crashmatrix import DEFAULT_SCHEMES, run_crash_matrix
+
+    names = tuple(args.schemes) if args.schemes else DEFAULT_SCHEMES
+    try:
+        for name in names:
+            scheme_by_name(name)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    try:
+        result = run_crash_matrix(
+            names,
+            window=args.window,
+            n_indexes=args.indexes,
+            cycles=args.cycles,
+            seed=args.seed,
+            technique=UpdateTechnique(args.technique),
+            io_crash_samples=args.io_samples,
+        )
+    except (ValueError, SchemeError) as exc:
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
+    if args.verbose:
+        for scheme in result.schemes:
+            print(f"{scheme.scheme}:")
+            for cell in scheme.cells:
+                print(f"  {cell.describe()}")
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -347,4 +408,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_latency(args)
     if args.command == "sensitivity":
         return _cmd_sensitivity(args)
+    if args.command == "crash-test":
+        return _cmd_crash_test(args)
     raise AssertionError(f"unhandled command {args.command!r}")

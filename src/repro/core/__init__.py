@@ -9,7 +9,15 @@ from .checkpoint import (
     take_checkpoint,
 )
 from .executor import ExecutionReport, PhaseSeconds, PlanExecutor
+from .invariants import InvariantViolation, check_wave_invariants
 from .persistence import dump_wave, load_wave, wave_from_json, wave_to_json
+from .recovery import (
+    JournaledExecutor,
+    TransitionJournal,
+    recover_transition,
+    resume_scheme,
+    sweep_orphan_extents,
+)
 from .ops import (
     AddOp,
     BuildOp,
@@ -70,6 +78,8 @@ __all__ = [
     "DropOp",
     "ExecutionReport",
     "HARD_WINDOW_SCHEMES",
+    "InvariantViolation",
+    "JournaledExecutor",
     "Op",
     "Phase",
     "PhaseSeconds",
@@ -85,17 +95,22 @@ __all__ = [
     "ScanResult",
     "SymbolicState",
     "TraceRow",
+    "TransitionJournal",
     "UpdateOp",
     "WataStarScheme",
     "WataTable4Scheme",
     "WaveIndex",
     "WaveScheme",
+    "check_wave_invariants",
     "cluster_lengths",
     "constituent_names",
     "format_trace",
     "is_contiguous",
     "partition_days",
+    "recover_transition",
+    "resume_scheme",
     "scheme_by_name",
+    "sweep_orphan_extents",
     "trace_scheme",
     "validate_window",
     "window_days",

@@ -73,7 +73,19 @@ def restore(
     """
     scheme = restore_scheme(checkpoint)
     wave = WaveIndex(disk, config, scheme.n_indexes)
-    for name, days in checkpoint["scheme"]["days"].items():
+    day_sets = checkpoint["scheme"]["days"]
+    missing = {
+        day
+        for days in day_sets.values()
+        for day in days
+        if not store.has_day(day)
+    }
+    if missing:
+        raise SchemeError(
+            f"cannot restore checkpoint: record store has no batch for "
+            f"day(s) {sorted(missing)}; the checkpointed bindings need them"
+        )
+    for name, days in day_sets.items():
         index = build_packed_index(
             disk,
             config,

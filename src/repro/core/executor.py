@@ -138,15 +138,29 @@ class PlanExecutor:
         report = ExecutionReport()
         self.disk.reset_high_water()
         for op in plan:
-            before = self.disk.clock
-            if isinstance(op, UpdateOp):
-                self._apply_update(op, report)
-            else:
-                self._apply(op)
-                report.seconds.add(op.phase, self.disk.clock - before)
-            report.ops_executed += 1
+            self.execute_op(op, report)
         report.peak_bytes = self.disk.high_water_bytes
         return report
+
+    def execute_op(self, op: Op, report: ExecutionReport) -> None:
+        """Run one op, charging its time to ``report``.
+
+        When the disk carries a fault injector (:class:`~repro.storage.faults.FaultyDisk`),
+        the op is gated through it, so op-count crash points fire at op
+        boundaries even without journaling.
+        """
+        injector = getattr(self.disk, "injector", None)
+        if injector is not None:
+            injector.before_op()
+        before = self.disk.clock
+        if isinstance(op, UpdateOp):
+            self._apply_update(op, report)
+        else:
+            self._apply(op)
+            report.seconds.add(op.phase, self.disk.clock - before)
+        report.ops_executed += 1
+        if injector is not None:
+            injector.note_op_completed()
 
     def _apply(self, op: Op) -> None:
         if isinstance(op, BuildOp):

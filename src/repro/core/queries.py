@@ -5,6 +5,13 @@ and their timed variants) all reduce to the two timed forms; these result
 records carry the entries found plus the cost information the performance
 analysis needs (simulated seconds, number of constituent indexes touched —
 the paper's ``Probe_idx`` / ``Scan_idx``).
+
+Both result types also report *coverage*: which requested days the answer
+actually drew from (``covered_days``) and which were lost to offline
+constituents (``missing_days``).  In a fault-free wave index every result is
+:attr:`complete`; under degraded-mode queries (``degraded=True`` with a
+constituent knocked out by a :class:`~repro.errors.DeviceFailure`) the
+caller uses these fields to tell a partial answer from a full one.
 """
 
 from __future__ import annotations
@@ -21,11 +28,18 @@ class ProbeResult:
     entries: tuple[Entry, ...]
     seconds: float
     indexes_probed: int
+    covered_days: frozenset[int] = frozenset()
+    missing_days: frozenset[int] = frozenset()
 
     @property
     def record_ids(self) -> tuple[int, ...]:
         """Return the matching record ids in retrieval order."""
         return tuple(e.record_id for e in self.entries)
+
+    @property
+    def complete(self) -> bool:
+        """Return ``True`` when no requested day was lost to a fault."""
+        return not self.missing_days
 
 
 @dataclass(frozen=True)
@@ -35,8 +49,15 @@ class ScanResult:
     entries: tuple[Entry, ...]
     seconds: float
     indexes_scanned: int
+    covered_days: frozenset[int] = frozenset()
+    missing_days: frozenset[int] = frozenset()
 
     @property
     def record_ids(self) -> tuple[int, ...]:
         """Return the matching record ids in retrieval order."""
         return tuple(e.record_id for e in self.entries)
+
+    @property
+    def complete(self) -> bool:
+        """Return ``True`` when no requested day was lost to a fault."""
+        return not self.missing_days

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator
 
-from ..errors import WaveIndexError
+from ..errors import DegradedWindowError, FaultError, WaveIndexError
 from ..index.config import IndexConfig
 from ..index.constituent import ConstituentIndex
 from ..index.entry import Entry
@@ -55,6 +55,10 @@ class WaveIndex:
         self.constituents = constituent_names(n_indexes)
         self._constituent_set = frozenset(self.constituents)
         self.bindings: dict[str, ConstituentIndex] = {}
+        #: Constituents knocked out by a device fault.  Queries raise
+        #: :class:`~repro.errors.DegradedWindowError` when one is needed,
+        #: unless the caller opts into ``degraded=True`` partial answers.
+        self.offline: set[str] = set()
 
     # ------------------------------------------------------------------
     # Binding management (used by the executor)
@@ -97,6 +101,24 @@ class WaveIndex:
             return self.bindings.pop(name)
         except KeyError:
             raise WaveIndexError(f"no index bound to {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Fault availability (degraded windows)
+    # ------------------------------------------------------------------
+
+    def mark_offline(self, name: str) -> None:
+        """Declare a constituent unavailable (its device failed)."""
+        if name not in self._constituent_set:
+            raise WaveIndexError(f"{name!r} is not a constituent")
+        self.offline.add(name)
+
+    def mark_online(self, name: str) -> None:
+        """Bring a constituent back into service (after repair/rebuild)."""
+        self.offline.discard(name)
+
+    def is_offline(self, name: str) -> bool:
+        """Return ``True`` if ``name`` is currently marked offline."""
+        return name in self.offline
 
     # ------------------------------------------------------------------
     # Introspection
@@ -145,50 +167,120 @@ class WaveIndex:
     # Access operations (Section 2.2)
     # ------------------------------------------------------------------
 
-    def timed_index_probe(self, value: Any, t1: int, t2: int) -> ProbeResult:
+    def _relevant_days(self, index: ConstituentIndex, t1: int, t2: int) -> set[int]:
+        """Return the part of ``index``'s time-set inside ``[t1, t2]``."""
+        return {d for d in index.time_set if t1 <= d <= t2}
+
+    def _skip_offline(
+        self, name: str, relevant: set[int], degraded: bool, kind: str
+    ) -> None:
+        """Raise unless the caller accepted a partial (degraded) answer."""
+        if not degraded:
+            raise DegradedWindowError(
+                f"constituent {name} (days {sorted(relevant)}) is offline; "
+                f"pass degraded=True to {kind} the surviving window"
+            )
+
+    def timed_index_probe(
+        self, value: Any, t1: int, t2: int, *, degraded: bool = False
+    ) -> ProbeResult:
         """``TimedIndexProbe(Θ, t1, t2, value)``.
 
         Probes each constituent whose time-set intersects ``[t1, t2]`` and
         keeps entries whose insert day falls in the range.
+
+        With ``degraded=True``, constituents that are marked offline — or
+        whose device fails during the probe — are skipped instead of
+        failing the query: the result covers the surviving days and lists
+        the lost ones in ``missing_days`` (the paper's availability
+        argument, made operational under faults).
         """
         if t1 > t2:
             raise WaveIndexError(f"empty time range [{t1}, {t2}]")
         entries: list[Entry] = []
         seconds = 0.0
         probed = 0
-        for index in self.live_constituents():
-            if not any(t1 <= d <= t2 for d in index.time_set):
+        covered: set[int] = set()
+        missing: set[int] = set()
+        for name in self.constituents:
+            index = self.bindings.get(name)
+            if index is None:
+                continue
+            relevant = self._relevant_days(index, t1, t2)
+            if not relevant:
+                continue
+            if name in self.offline:
+                self._skip_offline(name, relevant, degraded, "probe")
+                missing.update(relevant)
+                continue
+            try:
+                found, cost = index.timed_probe(value, t1, t2)
+            except FaultError:
+                self.offline.add(name)
+                if not degraded:
+                    raise
+                missing.update(relevant)
                 continue
             probed += 1
-            found, cost = index.timed_probe(value, t1, t2)
             entries.extend(found)
             seconds += cost
-        return ProbeResult(tuple(entries), seconds, probed)
+            covered.update(relevant)
+        missing -= covered
+        return ProbeResult(
+            tuple(entries), seconds, probed, frozenset(covered), frozenset(missing)
+        )
 
     def index_probe(self, value: Any) -> ProbeResult:
         """``IndexProbe``: probe all constituents, no time restriction."""
         return self.timed_index_probe(value, NEG_INF, POS_INF)
 
-    def timed_segment_scan(self, t1: int, t2: int) -> ScanResult:
+    def timed_segment_scan(
+        self, t1: int, t2: int, *, degraded: bool = False
+    ) -> ScanResult:
         """``TimedSegmentScan(Θ, t1, t2)``.
 
         Scans each constituent whose time-set intersects ``[t1, t2]``; the
         whole index is transferred (packed or not) and entries outside the
         range are filtered in memory.
+
+        ``degraded=True`` behaves as for :meth:`timed_index_probe`: offline
+        or failing constituents are dropped from the answer and reported
+        via ``missing_days`` instead of failing the scan.
         """
         if t1 > t2:
             raise WaveIndexError(f"empty time range [{t1}, {t2}]")
         entries: list[Entry] = []
         seconds = 0.0
         scanned = 0
-        for index in self.live_constituents():
-            if not any(t1 <= d <= t2 for d in index.time_set):
+        covered: set[int] = set()
+        missing: set[int] = set()
+        for name in self.constituents:
+            index = self.bindings.get(name)
+            if index is None:
+                continue
+            relevant = self._relevant_days(index, t1, t2)
+            if not relevant:
+                continue
+            if name in self.offline:
+                self._skip_offline(name, relevant, degraded, "scan")
+                missing.update(relevant)
+                continue
+            try:
+                found, cost = index.timed_scan(t1, t2)
+            except FaultError:
+                self.offline.add(name)
+                if not degraded:
+                    raise
+                missing.update(relevant)
                 continue
             scanned += 1
-            found, cost = index.timed_scan(t1, t2)
             entries.extend(found)
             seconds += cost
-        return ScanResult(tuple(entries), seconds, scanned)
+            covered.update(relevant)
+        missing -= covered
+        return ScanResult(
+            tuple(entries), seconds, scanned, frozenset(covered), frozenset(missing)
+        )
 
     def segment_scan(self) -> ScanResult:
         """``SegmentScan``: scan every constituent, no time restriction."""

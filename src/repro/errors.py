@@ -25,6 +25,28 @@ class ExtentError(StorageError):
     """An extent handle was used incorrectly (double free, stale access)."""
 
 
+class FaultError(StorageError):
+    """Base class for injected device faults (see :mod:`repro.storage.faults`)."""
+
+
+class TransientIOError(FaultError):
+    """A single I/O failed but the device is healthy; retrying may succeed."""
+
+
+class DeviceFailure(FaultError):
+    """The device failed permanently; every further I/O raises this."""
+
+
+class SimulatedCrash(ReproError):
+    """The simulated process died at a configured crash point.
+
+    Raised by a :class:`~repro.storage.faults.FaultInjector` to model a
+    whole-process crash: everything already written to the simulated disk
+    survives; in-memory executor/scheme state does not.  Recovery goes
+    through :mod:`repro.core.recovery`.
+    """
+
+
 class IndexError_(ReproError):
     """Base class for constituent-index failures.
 
@@ -55,6 +77,18 @@ class SchemeError(WaveIndexError):
 
 class WindowError(WaveIndexError):
     """A query or transition referenced days outside the maintained window."""
+
+
+class DegradedWindowError(WaveIndexError):
+    """A query touched an offline constituent without opting into degraded mode.
+
+    Callers that can tolerate partial answers pass ``degraded=True`` to the
+    wave-index query methods and inspect the result's coverage fields.
+    """
+
+
+class RecoveryError(WaveIndexError):
+    """Crash recovery could not roll a journaled transition forward."""
 
 
 class WorkloadError(ReproError):

@@ -144,6 +144,19 @@ class ConstituentIndex:
         self._check_not_dropped()
         return iter(self.directory.values())
 
+    def referenced_extents(self) -> Iterator[Extent]:
+        """Iterate every extent this index pins (shared extent + private buckets).
+
+        Crash recovery treats the union of these, over all bindings, as the
+        reachable set; anything else live on the disk is an orphan.
+        """
+        self._check_not_dropped()
+        if self._shared_extent is not None:
+            yield self._shared_extent
+        for bucket in self.directory.values():
+            if not bucket.shared and bucket.extent is not None:
+                yield bucket.extent
+
     def all_entries(self) -> Iterator[Entry]:
         """Iterate every live entry in directory/bucket order."""
         for bucket in self.buckets():

@@ -1,5 +1,11 @@
 """Measured simulation: run schemes on the real substrate, day by day."""
 
+from .crashmatrix import (
+    CrashCell,
+    CrashMatrixResult,
+    SchemeMatrixResult,
+    run_crash_matrix,
+)
 from .driver import Simulation, run_simulation
 from .latency import (
     DAY_SECONDS,
@@ -14,6 +20,10 @@ from .querygen import QueryWorkload, uniform_key_picker, zipf_value_picker
 
 __all__ = [
     "BusyInterval",
+    "CrashCell",
+    "CrashMatrixResult",
+    "SchemeMatrixResult",
+    "run_crash_matrix",
     "DAY_SECONDS",
     "DayMetrics",
     "LatencyStats",

@@ -10,10 +10,22 @@ from .bufferpool import BufferPoolModel
 from .cost import DEFAULT_BANDWIDTH_BPS, DEFAULT_SEEK_S, MEGABYTE, DiskParameters
 from .disk import SimulatedDisk
 from .extent import Extent
+from .faults import (
+    CrashPoint,
+    FaultInjector,
+    FaultStats,
+    FaultyDisk,
+    RetryPolicy,
+)
 from .stats import IOSnapshot, IOStats
 
 __all__ = [
     "BufferPoolModel",
+    "CrashPoint",
+    "FaultInjector",
+    "FaultStats",
+    "FaultyDisk",
+    "RetryPolicy",
     "DEFAULT_BANDWIDTH_BPS",
     "DEFAULT_SEEK_S",
     "MEGABYTE",

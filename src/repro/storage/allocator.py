@@ -79,6 +79,14 @@ class ExtentAllocator:
         """Return the first byte address never handed out."""
         return self._frontier
 
+    def live_extent_list(self) -> list[Extent]:
+        """Return the live extents (handles, not copies), offset-ordered.
+
+        Crash recovery's mark-and-sweep uses this to find extents no index
+        binding references any more (orphans of an interrupted operation).
+        """
+        return sorted(self._live.values(), key=lambda e: e.offset)
+
     def free_ranges(self) -> list[tuple[int, int]]:
         """Return a copy of the explicit free list as ``(offset, size)`` pairs."""
         return list(self._free)

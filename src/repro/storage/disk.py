@@ -119,6 +119,10 @@ class SimulatedDisk:
         """Return the number of live extents."""
         return self._allocator.live_extents
 
+    def live_extent_list(self) -> list[Extent]:
+        """Return the live extent handles (see the allocator's method)."""
+        return self._allocator.live_extent_list()
+
     def check_invariants(self) -> None:
         """Delegate to the allocator's consistency checks."""
         self._allocator.check_invariants()

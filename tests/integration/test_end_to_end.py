@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.executor import PlanExecutor
+from repro.core.invariants import check_wave_invariants
 from repro.core.schemes import DelScheme, ReindexScheme, WataStarScheme
 from repro.core.wave import WaveIndex
 from repro.index.btree import BPlusTreeDirectory
@@ -32,8 +33,10 @@ class TestNetnewsPipeline:
         executor = PlanExecutor(wave, store, UpdateTechnique.SIMPLE_SHADOW)
         scheme = ReindexScheme(7, 4)
         executor.execute(scheme.start_ops())
+        check_wave_invariants(wave, scheme)
         for day in range(8, 15):
             executor.execute(scheme.transition_ops(day))
+            check_wave_invariants(wave, scheme)
 
         # Take a recent document and "copy-detect" it: every word probe must
         # return the original record.
@@ -68,8 +71,10 @@ class TestTpcdPipeline:
         executor = PlanExecutor(wave, store, UpdateTechnique.PACKED_SHADOW)
         scheme = DelScheme(10, 2)
         executor.execute(scheme.start_ops())
+        check_wave_invariants(wave, scheme)
         for day in range(11, 16):
             executor.execute(scheme.transition_ops(day))
+            check_wave_invariants(wave, scheme)
 
         scan = wave.timed_segment_scan(6, 15)
         scanned_items = [items_by_key[e.record_id] for e in scan.entries]

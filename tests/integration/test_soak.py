@@ -10,6 +10,7 @@ import pytest
 
 from repro.core.checkpoint import restore, take_checkpoint
 from repro.core.executor import PlanExecutor
+from repro.core.invariants import check_wave_invariants
 from repro.core.records import RecordStore
 from repro.core.schemes import (
     BatchedDelScheme,
@@ -63,6 +64,7 @@ def test_150_day_soak(store, scheme_factory):
     peak_bindings = 0
     for day in range(WINDOW + 1, LAST_DAY + 1):
         executor.execute(scheme.transition_ops(day))
+        check_wave_invariants(wave, scheme)
         live = set(range(day - WINDOW + 1, day + 1))
         covered = wave.covered_days()
         if scheme.hard_window:
@@ -98,6 +100,7 @@ def test_soak_with_mid_run_recovery(store):
     executor2 = PlanExecutor(wave2, store, UpdateTechnique.SIMPLE_SHADOW)
     for day in range(81, LAST_DAY + 1):
         executor2.execute(scheme2.transition_ops(day))
+        check_wave_invariants(wave2, scheme2)
         live = set(range(day - WINDOW + 1, day + 1))
         assert wave2.covered_days() == live, day
     lo, hi = LAST_DAY - WINDOW + 1, LAST_DAY

@@ -1,0 +1,82 @@
+"""Tests for the crash-matrix harness.
+
+The exhaustive matrix (all schemes, three cycles) runs from the CLI / CI
+smoke job; here a small configuration exercises the harness mechanics.
+"""
+
+import pytest
+
+from repro.sim.crashmatrix import (
+    CrashCell,
+    DEFAULT_SCHEMES,
+    run_crash_matrix,
+)
+from repro.storage.faults import CrashPoint
+
+WINDOW, N = 5, 2
+
+
+class TestMatrixMechanics:
+    def test_del_matrix_passes_and_every_crash_fires(self):
+        result = run_crash_matrix(
+            ("DEL",), window=WINDOW, n_indexes=N, cycles=1, seed=3
+        )
+        assert result.ok
+        assert result.failures == []
+        assert result.cells
+        assert all(cell.crashed for cell in result.cells)
+        # One cell per op boundary of each steady-state transition.
+        days = {cell.day for cell in result.cells}
+        assert days == set(range(WINDOW + 1, 2 * WINDOW + 1))
+
+    def test_io_samples_add_mid_op_cells(self):
+        with_io = run_crash_matrix(
+            ("DEL",), window=WINDOW, n_indexes=N, cycles=1, seed=3,
+            io_crash_samples=1,
+        )
+        boundary_only = run_crash_matrix(
+            ("DEL",), window=WINDOW, n_indexes=N, cycles=1, seed=3
+        )
+        assert with_io.ok
+        mid_op = [
+            c for c in with_io.cells if c.crash.after_ios is not None
+        ]
+        assert mid_op
+        assert len(with_io.cells) == len(boundary_only.cells) + len(mid_op)
+
+    def test_temporary_scheme_passes(self):
+        result = run_crash_matrix(
+            ("REINDEX+",), window=WINDOW, n_indexes=N, cycles=1, seed=3
+        )
+        assert result.ok
+
+    def test_summary_mentions_every_scheme(self):
+        result = run_crash_matrix(
+            ("DEL", "REINDEX"), window=WINDOW, n_indexes=N, cycles=1, seed=3
+        )
+        summary = result.summary()
+        assert "DEL" in summary and "REINDEX" in summary
+        assert "PASS" in summary
+
+    def test_cycles_validated(self):
+        with pytest.raises(ValueError):
+            run_crash_matrix(("DEL",), cycles=0)
+
+    def test_default_schemes_are_the_papers_six(self):
+        assert DEFAULT_SCHEMES == (
+            "DEL", "REINDEX", "REINDEX+", "REINDEX++", "WATA*", "RATA*"
+        )
+
+
+class TestCellReporting:
+    def test_describe_renders_op_and_io_forms(self):
+        ok = CrashCell("DEL", 8, CrashPoint(after_ops=2), True, True)
+        assert "after op 2" in ok.describe()
+        assert "ok" in ok.describe()
+        bad = CrashCell(
+            "DEL", 8, CrashPoint(after_ios=5), True, False, detail="diverged"
+        )
+        assert "after I/O 5" in bad.describe()
+        assert "FAIL: diverged" in bad.describe()
+        unfired = CrashCell("DEL", 8, CrashPoint(after_ops=99), False, True)
+        assert "did not fire" in unfired.describe()

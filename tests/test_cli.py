@@ -159,3 +159,26 @@ class TestSensitivity:
 
     def test_unknown_scheme(self):
         assert main(["sensitivity", "NOPE"]) == 2
+
+
+class TestCrashTest:
+    def test_small_matrix_passes(self, capsys):
+        assert main([
+            "crash-test", "DEL",
+            "-w", "5", "-n", "2", "--cycles", "1", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "crash matrix" in out
+        assert "PASS" in out
+        assert "DEL" in out
+
+    def test_verbose_lists_cells(self, capsys):
+        assert main([
+            "crash-test", "DEL",
+            "-w", "5", "-n", "2", "--cycles", "1", "--verbose",
+        ]) == 0
+        assert "after op 0" in capsys.readouterr().out
+
+    def test_unknown_scheme(self, capsys):
+        assert main(["crash-test", "NOPE"]) == 2
+        assert "unknown scheme" in capsys.readouterr().err
