@@ -12,6 +12,8 @@ Commands:
 * ``sensitivity`` — work elasticity per Table-12 cost parameter.
 * ``crash-test`` — inject crashes at transition op boundaries and verify
   recovery against a fault-free twin run.
+* ``bench-serving`` — replay a Zipf query workload against a SCAM-sized
+  window (cache on/off x batch sizes), writing ``BENCH_serving.json``.
 """
 
 from __future__ import annotations
@@ -134,6 +136,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", "-v", action="store_true",
         help="print every crash cell, not just failures",
     )
+
+    serving = sub.add_parser(
+        "bench-serving",
+        help="replay a Zipf query workload (cache x batch grid) and emit "
+        "BENCH_serving.json",
+    )
+    serving.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized replay (same grid, smaller stream)",
+    )
+    serving.add_argument(
+        "--out", default="BENCH_serving.json",
+        help="output JSON path (default: ./BENCH_serving.json)",
+    )
+    serving.add_argument("--probes", type=int, default=None)
+    serving.add_argument("--scans", type=int, default=None)
+    serving.add_argument(
+        "--batch-sizes", type=int, nargs="+", default=None,
+        help="batch sizes to grid over (default: 1 16 256)",
+    )
+    serving.add_argument(
+        "--cache-ratio", type=float, default=None,
+        help="page-cache capacity as a fraction of the index (default 0.5)",
+    )
+    serving.add_argument("--window", "-w", type=int, default=None)
+    serving.add_argument("--indexes", "-n", type=int, default=None)
+    serving.add_argument("--seed", type=int, default=None)
     return parser
 
 
@@ -391,6 +420,43 @@ def _cmd_crash_test(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_bench_serving(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .bench.serving import (
+        ServingBenchConfig,
+        quick_config,
+        render_summary,
+        run_serving_bench,
+        write_report,
+    )
+
+    config = ServingBenchConfig()
+    if args.quick:
+        config = quick_config(config)
+    overrides = {
+        "probes": args.probes,
+        "scans": args.scans,
+        "window": args.window,
+        "n_indexes": args.indexes,
+        "seed": args.seed,
+        "cache_ratio": args.cache_ratio,
+    }
+    overrides = {k: v for k, v in overrides.items() if v is not None}
+    if args.batch_sizes is not None:
+        overrides["batch_sizes"] = tuple(args.batch_sizes)
+    try:
+        config = replace(config, **overrides)
+        report = run_serving_bench(config)
+    except ValueError as exc:
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
+    path = write_report(report, args.out)
+    print(render_summary(report))
+    print(f"\nwrote {path}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -410,4 +476,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_sensitivity(args)
     if args.command == "crash-test":
         return _cmd_crash_test(args)
+    if args.command == "bench-serving":
+        return _cmd_bench_serving(args)
     raise AssertionError(f"unhandled command {args.command!r}")

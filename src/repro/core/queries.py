@@ -61,3 +61,74 @@ class ScanResult:
     def complete(self) -> bool:
         """Return ``True`` when no requested day was lost to a fault."""
         return not self.missing_days
+
+
+@dataclass(frozen=True)
+class BatchCostSummary:
+    """Device-level accounting for one batched query call.
+
+    ``seconds``/``seeks``/``bytes_read`` are measured as deltas of the
+    disk's clock and I/O counters around the batch, so they include every
+    cache effect; the remaining fields describe the amortization the batch
+    achieved (requests served per physical bucket read, constituents swept
+    once instead of per request).
+    """
+
+    requests: int
+    seconds: float
+    seeks: float
+    bytes_read: int
+    constituents_touched: int
+    buckets_read: int
+    duplicate_hits: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def seconds_per_request(self) -> float:
+        """Return mean simulated seconds per request in the batch."""
+        return self.seconds / self.requests if self.requests else 0.0
+
+
+@dataclass(frozen=True)
+class BatchProbeResult:
+    """Outcome of :meth:`~repro.core.wave.WaveIndex.probe_many`."""
+
+    results: tuple[ProbeResult, ...]
+    summary: BatchCostSummary
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, i: int) -> ProbeResult:
+        return self.results[i]
+
+    @property
+    def seconds(self) -> float:
+        """Return the batch's total simulated seconds."""
+        return self.summary.seconds
+
+
+@dataclass(frozen=True)
+class BatchScanResult:
+    """Outcome of :meth:`~repro.core.wave.WaveIndex.scan_many`."""
+
+    results: tuple[ScanResult, ...]
+    summary: BatchCostSummary
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, i: int) -> ScanResult:
+        return self.results[i]
+
+    @property
+    def seconds(self) -> float:
+        """Return the batch's total simulated seconds."""
+        return self.summary.seconds

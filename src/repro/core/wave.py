@@ -13,14 +13,20 @@ windows can hold expired days, which timestamp filtering hides).
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any, Iterator, Sequence
 
 from ..errors import DegradedWindowError, FaultError, WaveIndexError
 from ..index.config import IndexConfig
 from ..index.constituent import ConstituentIndex
 from ..index.entry import Entry
 from ..storage.disk import SimulatedDisk
-from .queries import ProbeResult, ScanResult
+from .queries import (
+    BatchCostSummary,
+    BatchProbeResult,
+    BatchScanResult,
+    ProbeResult,
+    ScanResult,
+)
 
 #: Sentinel range bounds for the untimed query forms.
 NEG_INF = -(10**9)
@@ -285,6 +291,233 @@ class WaveIndex:
     def segment_scan(self) -> ScanResult:
         """``SegmentScan``: scan every constituent, no time restriction."""
         return self.timed_segment_scan(NEG_INF, POS_INF)
+
+    # ------------------------------------------------------------------
+    # Batched serving (amortized probes and scans)
+    # ------------------------------------------------------------------
+
+    def _begin_batch(self):
+        """Snapshot the device counters a batch summary is computed from."""
+        io = self.disk.stats.snapshot()
+        cache = (
+            self.disk.page_cache.snapshot()
+            if self.disk.page_cache is not None
+            else None
+        )
+        return self.disk.clock, io, cache
+
+    def _finish_batch(
+        self,
+        begin,
+        *,
+        requests: int,
+        constituents_touched: int,
+        buckets_read: int,
+        duplicate_hits: int,
+    ) -> BatchCostSummary:
+        clock0, io0, cache0 = begin
+        io = self.disk.stats.snapshot() - io0
+        cache_hits = cache_misses = 0
+        if cache0 is not None:
+            delta = self.disk.page_cache.snapshot() - cache0
+            cache_hits, cache_misses = delta.hits, delta.misses
+        return BatchCostSummary(
+            requests=requests,
+            seconds=self.disk.clock - clock0,
+            seeks=io.seeks,
+            bytes_read=io.bytes_read,
+            constituents_touched=constituents_touched,
+            buckets_read=buckets_read,
+            duplicate_hits=duplicate_hits,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+        )
+
+    def probe_many(
+        self,
+        requests: Sequence[tuple[Any, int, int]],
+        *,
+        degraded: bool = False,
+    ) -> BatchProbeResult:
+        """Batched ``TimedIndexProbe``: serve many probes in one pass.
+
+        Each request is a ``(value, t1, t2)`` triple.  The batch visits
+        every constituent once, groups the requests that need it, dedups
+        repeated values (a Zipf-skewed query stream repeats hot values
+        constantly), and reads the needed buckets in physical offset order
+        so touches of the same extent share one seek
+        (:meth:`ConstituentIndex.probe_batch`).
+
+        Returns per-request :class:`ProbeResult`\\ s in request order —
+        each request's answer is identical to what its individual
+        :meth:`timed_index_probe` would return — plus a
+        :class:`BatchCostSummary` of what the whole batch cost the device.
+        A shared bucket read's seconds are split evenly across the requests
+        it served, so per-request latencies sum to the batch total.
+
+        ``degraded`` behaves as for :meth:`timed_index_probe`, applied
+        per constituent: offline or failing constituents are reported in
+        the affected requests' ``missing_days``.
+        """
+        specs = list(requests)
+        n = len(specs)
+        for value, t1, t2 in specs:
+            if t1 > t2:
+                raise WaveIndexError(f"empty time range [{t1}, {t2}]")
+        begin = self._begin_batch()
+        entries: list[list[Entry]] = [[] for _ in range(n)]
+        seconds = [0.0] * n
+        probed = [0] * n
+        covered: list[set[int]] = [set() for _ in range(n)]
+        missing: list[set[int]] = [set() for _ in range(n)]
+        constituents_touched = 0
+        buckets_read = 0
+        duplicate_hits = 0
+        for name in self.constituents:
+            index = self.bindings.get(name)
+            if index is None:
+                continue
+            relevant: list[tuple[int, set[int]]] = []
+            for i, (value, t1, t2) in enumerate(specs):
+                days = self._relevant_days(index, t1, t2)
+                if days:
+                    relevant.append((i, days))
+            if not relevant:
+                continue
+            all_days = set().union(*(days for _, days in relevant))
+            if name in self.offline:
+                self._skip_offline(name, all_days, degraded, "probe")
+                for i, days in relevant:
+                    missing[i].update(days)
+                continue
+            by_value: dict[Any, list[int]] = {}
+            for i, _ in relevant:
+                by_value.setdefault(specs[i][0], []).append(i)
+            try:
+                found, nbuckets = index.probe_batch(by_value)
+            except FaultError:
+                self.offline.add(name)
+                if not degraded:
+                    raise
+                for i, days in relevant:
+                    missing[i].update(days)
+                continue
+            constituents_touched += 1
+            buckets_read += nbuckets
+            for i, days in relevant:
+                probed[i] += 1
+                covered[i].update(days)
+            for value, requesters in by_value.items():
+                got = found.get(value)
+                if got is None:
+                    continue
+                duplicate_hits += len(requesters) - 1
+                bucket_entries, cost = got
+                share = cost / len(requesters)
+                for i in requesters:
+                    _, t1, t2 = specs[i]
+                    entries[i].extend(
+                        e for e in bucket_entries if t1 <= e.day <= t2
+                    )
+                    seconds[i] += share
+        results = tuple(
+            ProbeResult(
+                tuple(entries[i]),
+                seconds[i],
+                probed[i],
+                frozenset(covered[i]),
+                frozenset(missing[i] - covered[i]),
+            )
+            for i in range(n)
+        )
+        summary = self._finish_batch(
+            begin,
+            requests=n,
+            constituents_touched=constituents_touched,
+            buckets_read=buckets_read,
+            duplicate_hits=duplicate_hits,
+        )
+        return BatchProbeResult(results, summary)
+
+    def scan_many(
+        self,
+        requests: Sequence[tuple[int, int]],
+        *,
+        degraded: bool = False,
+    ) -> BatchScanResult:
+        """Batched ``TimedSegmentScan``: serve many range scans in one pass.
+
+        Each request is a ``(t1, t2)`` pair.  Every constituent relevant to
+        at least one request is transferred exactly *once*; each request
+        filters the shared sweep down to its own range.  The scan's seconds
+        are split evenly across the requests it served.
+        """
+        specs = list(requests)
+        n = len(specs)
+        for t1, t2 in specs:
+            if t1 > t2:
+                raise WaveIndexError(f"empty time range [{t1}, {t2}]")
+        begin = self._begin_batch()
+        entries: list[list[Entry]] = [[] for _ in range(n)]
+        seconds = [0.0] * n
+        scanned = [0] * n
+        covered: list[set[int]] = [set() for _ in range(n)]
+        missing: list[set[int]] = [set() for _ in range(n)]
+        constituents_touched = 0
+        duplicate_hits = 0
+        for name in self.constituents:
+            index = self.bindings.get(name)
+            if index is None:
+                continue
+            relevant = []
+            for i, (t1, t2) in enumerate(specs):
+                days = self._relevant_days(index, t1, t2)
+                if days:
+                    relevant.append((i, days))
+            if not relevant:
+                continue
+            all_days = set().union(*(days for _, days in relevant))
+            if name in self.offline:
+                self._skip_offline(name, all_days, degraded, "scan")
+                for i, days in relevant:
+                    missing[i].update(days)
+                continue
+            try:
+                found, cost = index.scan()
+            except FaultError:
+                self.offline.add(name)
+                if not degraded:
+                    raise
+                for i, days in relevant:
+                    missing[i].update(days)
+                continue
+            constituents_touched += 1
+            duplicate_hits += len(relevant) - 1
+            share = cost / len(relevant)
+            for i, days in relevant:
+                scanned[i] += 1
+                covered[i].update(days)
+                seconds[i] += share
+                t1, t2 = specs[i]
+                entries[i].extend(e for e in found if t1 <= e.day <= t2)
+        results = tuple(
+            ScanResult(
+                tuple(entries[i]),
+                seconds[i],
+                scanned[i],
+                frozenset(covered[i]),
+                frozenset(missing[i] - covered[i]),
+            )
+            for i in range(n)
+        )
+        summary = self._finish_batch(
+            begin,
+            requests=n,
+            constituents_touched=constituents_touched,
+            buckets_read=0,
+            duplicate_hits=duplicate_hits,
+        )
+        return BatchScanResult(results, summary)
 
     def cluster_aligned_probe(
         self, value: Any, t1: int, t2: int

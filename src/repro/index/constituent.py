@@ -182,8 +182,11 @@ class ConstituentIndex:
         self._check_not_dropped()
         start = self.disk.clock
         # Bucket updates hop randomly across the index; with a buffer-pool
-        # model only the missing fraction of those hops pays a seek.
-        seek = self.disk.effective_seeks(1.0, self.allocated_bytes or None)
+        # model only the missing fraction of those hops pays a seek.  The
+        # working set is passed explicitly even when it is 0 bytes — an
+        # empty index is not a streaming caller, and a warm pool absorbs
+        # its first touches instead of charging a full seek.
+        seek = self.disk.effective_seeks(1.0, float(self.allocated_bytes))
         for value, entries in grouped.items():
             if entries:
                 self._append_to_bucket(value, entries, seek)
@@ -248,7 +251,10 @@ class ConstituentIndex:
         capacity = policy.initial_capacity(needed)
         new_extent = self.disk.allocate(capacity * entry_size)
         self.disk.read(
-            self._shared_extent, bucket.live_count * entry_size, seeks=seek
+            self._shared_extent,
+            bucket.live_count * entry_size,
+            seeks=seek,
+            offset=bucket.offset_in_extent,
         )
         self.disk.write(new_extent, bucket.live_count * entry_size, seeks=seek)
         bucket.extent = new_extent
@@ -280,7 +286,9 @@ class ConstituentIndex:
         start = self.disk.clock
         entry_size = self.config.entry_size_bytes
         policy = self.config.contiguous
-        seek = self.disk.effective_seeks(1.0, self.allocated_bytes or None)
+        # As in insert_postings: the working set is explicit (0 bytes is a
+        # real working set, not a streaming marker).
+        seek = self.disk.effective_seeks(1.0, float(self.allocated_bytes))
         removed_any = False
         for value, bucket in list(self.directory.items()):
             if not any(e.day in day_set for e in bucket.entries):
@@ -289,13 +297,17 @@ class ConstituentIndex:
             before = bucket.live_count
             if bucket.shared:
                 self.disk.read(
-                    self._shared_extent, before * entry_size, seeks=seek
+                    self._shared_extent,
+                    before * entry_size,
+                    seeks=seek,
+                    offset=bucket.offset_in_extent,
                 )
                 bucket.remove_days(day_set)
                 self.disk.write(
                     self._shared_extent,
                     bucket.live_count * entry_size,
                     seeks=seek,
+                    offset=bucket.offset_in_extent,
                 )
             else:
                 self.disk.read(bucket.extent, before * entry_size, seeks=seek)
@@ -351,11 +363,61 @@ class ConstituentIndex:
         bucket = self.directory.get(value)
         if bucket is None:
             return [], 0.0
-        extent = self._shared_extent if bucket.shared else bucket.extent
-        seconds = self.disk.read(
-            extent, bucket.live_count * self.config.entry_size_bytes
-        )
+        seconds = self._read_bucket(bucket, seeks=1.0)
         return list(bucket.entries), seconds
+
+    def _bucket_position(self, bucket: Bucket) -> tuple[Extent, int]:
+        """Return the extent holding ``bucket`` and its byte offset in it."""
+        if bucket.shared:
+            return self._shared_extent, bucket.offset_in_extent
+        return bucket.extent, 0
+
+    def _read_bucket(self, bucket: Bucket, *, seeks: float) -> float:
+        extent, offset = self._bucket_position(bucket)
+        return self.disk.read(
+            extent,
+            bucket.live_count * self.config.entry_size_bytes,
+            seeks=seeks,
+            offset=offset,
+        )
+
+    def probe_batch(
+        self, values: Iterable[Any]
+    ) -> tuple[dict[Any, tuple[list[Entry], float]], int]:
+        """Probe several values in one offset-ordered sweep.
+
+        Duplicate values are read once.  Bucket touches are sorted by
+        physical position (extent offset, then offset inside a shared
+        extent): the first touch of each extent pays a seek, subsequent
+        touches of the *same* extent ride the sweep with ``seeks=0`` —
+        how a batched server amortizes positioning over a packed index.
+
+        Returns:
+            ``(found, buckets_read)`` where ``found`` maps each requested
+            value with a bucket to ``(entries, seconds)`` for its read.
+            Values with no bucket are absent (a directory miss is free).
+        """
+        self._check_not_dropped()
+        touches: list[Bucket] = []
+        for value in dict.fromkeys(values):
+            bucket = self.directory.get(value)
+            if bucket is not None:
+                touches.append(bucket)
+        touches.sort(
+            key=lambda b: (
+                self._bucket_position(b)[0].offset,
+                self._bucket_position(b)[1],
+            )
+        )
+        found: dict[Any, tuple[list[Entry], float]] = {}
+        previous_extent_id: int | None = None
+        for bucket in touches:
+            extent, _ = self._bucket_position(bucket)
+            seeks = 0.0 if extent.extent_id == previous_extent_id else 1.0
+            seconds = self._read_bucket(bucket, seeks=seeks)
+            previous_extent_id = extent.extent_id
+            found[bucket.value] = (list(bucket.entries), seconds)
+        return found, len(touches)
 
     def timed_probe(self, value: Any, t1: int, t2: int) -> tuple[list[Entry], float]:
         """Point lookup restricted to insert days in ``[t1, t2]``.

@@ -1,0 +1,25 @@
+"""Observability for the simulated serving system.
+
+Two small, dependency-free pieces:
+
+* :mod:`repro.obs.registry` — named counters and exact-quantile histograms
+  with JSON-friendly snapshots (:class:`MetricsRegistry`);
+* :mod:`repro.obs.tracing` — nested span tracing on the *simulated* clock
+  (:class:`Tracer`), so traces attribute simulated seconds to phases.
+
+The measured simulation driver (:mod:`repro.sim.driver`) and the serving
+benchmark (:mod:`repro.bench.serving`) both publish through these, feeding
+per-phase I/O, cache, and latency metrics into
+:class:`~repro.sim.metrics.DayMetrics` and ``BENCH_serving.json``.
+"""
+
+from .registry import Counter, Histogram, MetricsRegistry
+from .tracing import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+]

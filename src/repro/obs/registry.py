@@ -1,0 +1,134 @@
+"""Counter and histogram registry for simulation observability.
+
+A serving system is only as debuggable as its metrics.  This registry is
+the substrate-side analogue of a production metrics endpoint: cheap named
+counters for monotonic totals (I/Os, cache hits, queries served) and
+histograms for distributions (per-request latency, batch sizes), all
+snapshot-able into plain dicts for JSON benchmark artifacts.
+
+Everything here counts *simulated* quantities — seconds come from the
+simulated disk clock, not the wall — so runs are deterministic and the
+numbers land unchanged in ``BENCH_*.json`` files.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing named total."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: amount must be >= 0")
+        self.value += amount
+
+
+@dataclass
+class Histogram:
+    """A distribution of observed values with exact quantiles.
+
+    Observations are kept verbatim (simulation scales are modest), so
+    quantiles are exact rather than bucket-approximated.
+    """
+
+    name: str
+    values: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return math.fsum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Return the ``q``-quantile (nearest-rank) of the observations."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[rank]
+
+    def summary(self) -> dict[str, float]:
+        """Return count/mean/percentile fields for JSON artifacts."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """A flat namespace of counters and histograms.
+
+    ``counter(name)``/``histogram(name)`` create on first use and return
+    the same instance afterwards, so call sites never need to pre-declare
+    what they measure.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Return (creating if needed) the counter called ``name``."""
+        if name in self._histograms:
+            raise ValueError(f"{name!r} is already a histogram")
+        return self._counters.setdefault(name, Counter(name))
+
+    def histogram(self, name: str) -> Histogram:
+        """Return (creating if needed) the histogram called ``name``."""
+        if name in self._counters:
+            raise ValueError(f"{name!r} is already a counter")
+        return self._histograms.setdefault(name, Histogram(name))
+
+    def counters(self) -> dict[str, float]:
+        """Return counter values by name."""
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def snapshot(self) -> dict[str, object]:
+        """Return every metric as plain JSON-serialisable data."""
+        return {
+            "counters": self.counters(),
+            "histograms": {
+                name: h.summary()
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop all metrics (a fresh serving epoch)."""
+        self._counters.clear()
+        self._histograms.clear()

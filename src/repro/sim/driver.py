@@ -20,8 +20,11 @@ from ..core.wave import WaveIndex
 from ..errors import SchemeError
 from ..index.config import IndexConfig
 from ..index.updates import UpdateTechnique
+from ..obs import MetricsRegistry, Tracer
+from ..storage.bufferpool import BufferPoolModel
 from ..storage.cost import DiskParameters
 from ..storage.disk import SimulatedDisk
+from ..storage.pagecache import PageCache
 from .metrics import DayMetrics, SimulationResult
 from .querygen import QueryWorkload
 
@@ -37,6 +40,9 @@ class Simulation:
         index_config: Index layer settings (entry size, ``g``, directory).
         disk_params: Hardware cost parameters.
         queries: Optional daily query workload.
+        buffer_pool: Optional analytic residency model for the disk.
+        page_cache: Optional trace-driven page cache for the disk; its
+            per-day hit/miss deltas land in each :class:`DayMetrics`.
     """
 
     def __init__(
@@ -47,13 +53,17 @@ class Simulation:
         index_config: IndexConfig | None = None,
         disk_params: DiskParameters | None = None,
         queries: QueryWorkload | None = None,
+        buffer_pool: BufferPoolModel | None = None,
+        page_cache: PageCache | None = None,
     ) -> None:
         self.scheme = scheme
         self.store = store
-        self.disk = SimulatedDisk(disk_params)
+        self.disk = SimulatedDisk(disk_params, buffer_pool, page_cache)
         self.wave = WaveIndex(self.disk, index_config or IndexConfig(), scheme.n_indexes)
         self.executor = PlanExecutor(self.wave, store, technique)
         self.queries = queries
+        self.obs = MetricsRegistry()
+        self.tracer = Tracer(lambda: self.disk.clock)
         self.result = SimulationResult(
             window=scheme.window,
             n_indexes=scheme.n_indexes,
@@ -83,12 +93,23 @@ class Simulation:
         return self.result
 
     def _run_day(self, day: int, plan) -> DayMetrics:
-        report = self.executor.execute(plan)
-        query_seconds = 0.0
-        if self.queries is not None:
-            query_seconds = self.queries.run_day(
-                self.wave, day, self.scheme.window
-            )
+        io_before = self.disk.stats.snapshot()
+        cache = self.disk.page_cache
+        cache_before = cache.snapshot() if cache is not None else None
+        with self.tracer.span("day", day=day):
+            with self.tracer.span("maintenance", day=day):
+                report = self.executor.execute(plan)
+            query_seconds = 0.0
+            if self.queries is not None:
+                with self.tracer.span("queries", day=day):
+                    query_seconds = self.queries.run_day(
+                        self.wave, day, self.scheme.window
+                    )
+        io_delta = self.disk.stats.snapshot() - io_before
+        cache_delta = (
+            cache.snapshot() - cache_before if cache is not None else None
+        )
+        self._publish_day(io_delta, cache_delta, report.seconds, query_seconds)
         metrics = DayMetrics(
             day=day,
             seconds=report.seconds,
@@ -98,9 +119,24 @@ class Simulation:
             peak_bytes=report.peak_bytes,
             length_days=self.wave.total_length_days,
             covered_days=frozenset(self.wave.covered_days()),
+            io=io_delta,
+            cache=cache_delta,
         )
         self.result.days.append(metrics)
         return metrics
+
+    def _publish_day(self, io_delta, cache_delta, seconds, query_seconds) -> None:
+        """Feed the day's deltas into the metrics registry."""
+        self.obs.counter("days").inc()
+        self.obs.counter("io.seeks").inc(io_delta.seeks)
+        self.obs.counter("io.bytes_read").inc(io_delta.bytes_read)
+        self.obs.counter("io.bytes_written").inc(io_delta.bytes_written)
+        self.obs.histogram("day.maintenance_seconds").observe(seconds.total)
+        self.obs.histogram("day.query_seconds").observe(query_seconds)
+        if cache_delta is not None:
+            self.obs.counter("cache.hits").inc(cache_delta.hits)
+            self.obs.counter("cache.misses").inc(cache_delta.misses)
+            self.obs.counter("cache.evictions").inc(cache_delta.evictions)
 
 
 def run_simulation(
@@ -112,6 +148,8 @@ def run_simulation(
     index_config: IndexConfig | None = None,
     disk_params: DiskParameters | None = None,
     queries: QueryWorkload | None = None,
+    buffer_pool: BufferPoolModel | None = None,
+    page_cache: PageCache | None = None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`Simulation`."""
     sim = Simulation(
@@ -121,5 +159,7 @@ def run_simulation(
         index_config=index_config,
         disk_params=disk_params,
         queries=queries,
+        buffer_pool=buffer_pool,
+        page_cache=page_cache,
     )
     return sim.run(last_day)

@@ -27,6 +27,12 @@ class QueryWorkload:
         scan_newest_only: If ``True``, scans cover only the newest day
             (SCAM's registration check); otherwise the whole window.
         seed: Master seed; each day derives its own stream.
+        batch_size: Requests served per batched call.  1 (the default)
+            issues each query individually, the paper's serving model;
+            larger values group requests through
+            :meth:`~repro.core.wave.WaveIndex.probe_many` /
+            :meth:`~repro.core.wave.WaveIndex.scan_many`, amortizing seeks
+            across the batch.  The query *stream* is identical either way.
     """
 
     probes_per_day: int = 0
@@ -34,24 +40,42 @@ class QueryWorkload:
     value_picker: Callable[[random.Random], Any] | None = None
     scan_newest_only: bool = False
     seed: int = 0
+    batch_size: int = 1
 
     def __post_init__(self) -> None:
         if self.probes_per_day < 0 or self.scans_per_day < 0:
             raise WorkloadError("query counts must be >= 0")
         if self.probes_per_day > 0 and self.value_picker is None:
             raise WorkloadError("probes_per_day > 0 requires a value_picker")
+        if self.batch_size < 1:
+            raise WorkloadError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
 
     def run_day(self, wave: WaveIndex, day: int, window: int) -> float:
         """Execute the day's queries; return their simulated seconds."""
         rng = random.Random(hash((self.seed, "queries", day)) & 0x7FFFFFFF)
         lo, hi = day - window + 1, day
         seconds = 0.0
-        for _ in range(self.probes_per_day):
-            value = self.value_picker(rng)  # type: ignore[misc]
-            seconds += wave.timed_index_probe(value, lo, hi).seconds
+        values = [
+            self.value_picker(rng)  # type: ignore[misc]
+            for _ in range(self.probes_per_day)
+        ]
         scan_lo = hi if self.scan_newest_only else lo
-        for _ in range(self.scans_per_day):
-            seconds += wave.timed_segment_scan(scan_lo, hi).seconds
+        if self.batch_size == 1:
+            for value in values:
+                seconds += wave.timed_index_probe(value, lo, hi).seconds
+            for _ in range(self.scans_per_day):
+                seconds += wave.timed_segment_scan(scan_lo, hi).seconds
+            return seconds
+        for start in range(0, len(values), self.batch_size):
+            chunk = values[start : start + self.batch_size]
+            seconds += wave.probe_many(
+                [(value, lo, hi) for value in chunk]
+            ).seconds
+        for start in range(0, self.scans_per_day, self.batch_size):
+            count = min(self.batch_size, self.scans_per_day - start)
+            seconds += wave.scan_many([(scan_lo, hi)] * count).seconds
         return seconds
 
 

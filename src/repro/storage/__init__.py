@@ -17,10 +17,14 @@ from .faults import (
     FaultyDisk,
     RetryPolicy,
 )
+from .pagecache import DEFAULT_PAGE_SIZE, PageCache, PageCacheSnapshot
 from .stats import IOSnapshot, IOStats
 
 __all__ = [
     "BufferPoolModel",
+    "DEFAULT_PAGE_SIZE",
+    "PageCache",
+    "PageCacheSnapshot",
     "CrashPoint",
     "FaultInjector",
     "FaultStats",

@@ -22,6 +22,7 @@ from .allocator import ExtentAllocator
 from .bufferpool import BufferPoolModel
 from .cost import DiskParameters
 from .extent import Extent
+from .pagecache import PageCache
 from .stats import IOSnapshot, IOStats
 
 
@@ -31,15 +32,24 @@ class SimulatedDisk:
     Args:
         params: Hardware cost parameters; defaults to Table 12's disk
             (14 ms seek, 10 MB/s transfer, unbounded capacity).
+        buffer_pool: Optional *analytic* residency model — scales seek
+            counts by a closed-form miss rate (the paper's memoryless
+            Section-5 behaviour).
+        page_cache: Optional *trace-driven* LRU page cache — when present
+            it supersedes the analytic model: every extent read/write is
+            routed through it and cached page touches skip their
+            seek/transfer charges (see :mod:`repro.storage.pagecache`).
     """
 
     def __init__(
         self,
         params: DiskParameters | None = None,
         buffer_pool: "BufferPoolModel | None" = None,
+        page_cache: "PageCache | None" = None,
     ) -> None:
         self.params = params or DiskParameters()
         self.buffer_pool = buffer_pool
+        self.page_cache = page_cache
         self._allocator = ExtentAllocator(self.params.capacity_bytes)
         self.stats = IOStats()
         self._clock = 0.0
@@ -52,7 +62,14 @@ class SimulatedDisk:
         Random-access callers (CONTIGUOUS bucket updates) pass the size of
         the structure they hop around in; streaming callers pass ``None``
         and always pay their nominal seeks.
+
+        With a trace-driven :class:`PageCache` attached the nominal seeks
+        are returned unscaled: the cache itself decides, touch by touch,
+        which I/Os are memory-speed — applying the analytic discount too
+        would double-count residency.
         """
+        if self.page_cache is not None:
+            return seeks
         if self.buffer_pool is None or working_set_bytes is None:
             return seeks
         return self.buffer_pool.effective_seeks(seeks, working_set_bytes)
@@ -86,7 +103,11 @@ class SimulatedDisk:
         Freeing is instantaneous in the model, mirroring the paper's
         observation that a commercial DBMS throws away a whole index in
         milliseconds regardless of size — the heart of WATA's advantage.
+        Any cached pages of the extent are invalidated, so a recycled
+        offset can never produce a stale hit.
         """
+        if self.page_cache is not None:
+            self.page_cache.invalidate_extent(extent)
         self._allocator.free(extent)
 
     def reallocate(self, extent: Extent, nbytes: int) -> Extent:
@@ -97,6 +118,8 @@ class SimulatedDisk:
         so the transient space spike is captured by the high-water mark.
         """
         new = self._allocator.allocate(nbytes)
+        if self.page_cache is not None:
+            self.page_cache.invalidate_extent(extent)
         self._allocator.free(extent)
         return new
 
@@ -131,39 +154,70 @@ class SimulatedDisk:
     # I/O
     # ------------------------------------------------------------------
 
-    def read(self, extent: Extent, nbytes: int | None = None, *, seeks: float = 1) -> float:
+    def read(
+        self,
+        extent: Extent,
+        nbytes: int | None = None,
+        *,
+        seeks: float = 1,
+        offset: int = 0,
+    ) -> float:
         """Charge a read of ``nbytes`` (default: the whole extent).
 
         Returns the seconds the read took.  ``seeks`` defaults to one: any
         random access pays a seek, while callers streaming many adjacent
         extents (a packed segment scan) pass ``seeks=0`` for all but the
-        first extent.
+        first extent.  ``offset`` locates the touch inside the extent (a
+        bucket's slice of a shared packed extent) so the page cache tracks
+        the right pages; it does not change the charge on a cacheless disk.
         """
         extent.check_live()
         if nbytes is None:
             nbytes = extent.size
-        if not 0 <= nbytes <= extent.size:
-            raise ValueError(
-                f"read of {nbytes} bytes outside extent of {extent.size} bytes"
+        self._check_range(extent, nbytes, offset, "read")
+        if self.page_cache is not None:
+            # Resident pages are memory-speed: only the owed remainder
+            # (seek if any page missed, transfer of missed pages) reaches
+            # the device and the counters.
+            seeks, nbytes = self.page_cache.read_charges(
+                extent, nbytes, seeks, offset
             )
         seconds = self.params.io_time(nbytes, seeks=seeks)
         self.stats.record_read(nbytes, seeks, seconds)
         self._clock += seconds
         return seconds
 
-    def write(self, extent: Extent, nbytes: int | None = None, *, seeks: float = 1) -> float:
+    def write(
+        self,
+        extent: Extent,
+        nbytes: int | None = None,
+        *,
+        seeks: float = 1,
+        offset: int = 0,
+    ) -> float:
         """Charge a write of ``nbytes`` (default: the whole extent)."""
         extent.check_live()
         if nbytes is None:
             nbytes = extent.size
-        if not 0 <= nbytes <= extent.size:
-            raise ValueError(
-                f"write of {nbytes} bytes outside extent of {extent.size} bytes"
+        self._check_range(extent, nbytes, offset, "write")
+        if self.page_cache is not None:
+            # Write-through: the transfer always reaches the device, but a
+            # fully resident touch has its seek absorbed by the warm pool.
+            seeks, nbytes = self.page_cache.write_charges(
+                extent, nbytes, seeks, offset
             )
         seconds = self.params.io_time(nbytes, seeks=seeks)
         self.stats.record_write(nbytes, seeks, seconds)
         self._clock += seconds
         return seconds
+
+    @staticmethod
+    def _check_range(extent: Extent, nbytes: int, offset: int, kind: str) -> None:
+        if offset < 0 or not 0 <= nbytes or offset + nbytes > extent.size:
+            raise ValueError(
+                f"{kind} of {nbytes} bytes at offset {offset} outside "
+                f"extent of {extent.size} bytes"
+            )
 
     def stream_read(self, nbytes: int, *, seeks: float = 1) -> float:
         """Charge a sequential read of ``nbytes`` without a specific extent.

@@ -37,6 +37,7 @@ from .bufferpool import BufferPoolModel
 from .cost import DiskParameters
 from .disk import SimulatedDisk
 from .extent import Extent
+from .pagecache import PageCache
 
 
 @dataclass(frozen=True)
@@ -254,6 +255,7 @@ class FaultyDisk(SimulatedDisk):
     Args:
         params: Hardware cost parameters (as for :class:`SimulatedDisk`).
         buffer_pool: Optional buffer-pool model (as for :class:`SimulatedDisk`).
+        page_cache: Optional trace-driven page cache (as for :class:`SimulatedDisk`).
         injector: Fault policy; defaults to a no-fault injector, making
             ``FaultyDisk()`` behave exactly like ``SimulatedDisk()``.
         retry_policy: Backoff schedule for transients.
@@ -263,11 +265,12 @@ class FaultyDisk(SimulatedDisk):
         self,
         params: DiskParameters | None = None,
         buffer_pool: BufferPoolModel | None = None,
+        page_cache: PageCache | None = None,
         *,
         injector: FaultInjector | None = None,
         retry_policy: RetryPolicy | None = None,
     ) -> None:
-        super().__init__(params, buffer_pool)
+        super().__init__(params, buffer_pool, page_cache)
         self.injector = injector or FaultInjector()
         self.retry_policy = retry_policy or RetryPolicy()
 
@@ -289,16 +292,26 @@ class FaultyDisk(SimulatedDisk):
         return super().allocate(nbytes)
 
     def read(
-        self, extent: Extent, nbytes: int | None = None, *, seeks: float = 1
+        self,
+        extent: Extent,
+        nbytes: int | None = None,
+        *,
+        seeks: float = 1,
+        offset: int = 0,
     ) -> float:
         self._admit("read", nbytes if nbytes is not None else extent.size)
-        return super().read(extent, nbytes, seeks=seeks)
+        return super().read(extent, nbytes, seeks=seeks, offset=offset)
 
     def write(
-        self, extent: Extent, nbytes: int | None = None, *, seeks: float = 1
+        self,
+        extent: Extent,
+        nbytes: int | None = None,
+        *,
+        seeks: float = 1,
+        offset: int = 0,
     ) -> float:
         self._admit("write", nbytes if nbytes is not None else extent.size)
-        return super().write(extent, nbytes, seeks=seeks)
+        return super().write(extent, nbytes, seeks=seeks, offset=offset)
 
     def stream_read(self, nbytes: int, *, seeks: float = 1) -> float:
         self._admit("read", nbytes)

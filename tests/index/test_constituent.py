@@ -214,3 +214,49 @@ class TestDrop:
             idx.insert_postings({}, [])
         with pytest.raises(ConstituentIndexError):
             idx.drop()
+
+
+class TestBufferPoolWorkingSet:
+    """Regression: the working set must reach the buffer pool explicitly.
+
+    ``allocated_bytes or None`` used to turn a 0-byte index into a
+    "streaming" caller (``None``), bypassing the pool so the very first
+    bucket updates paid full seeks even with a warm, oversized pool.
+    """
+
+    @pytest.fixture
+    def warm_disk(self):
+        from repro.storage.bufferpool import BufferPoolModel
+        from repro.storage.disk import SimulatedDisk
+
+        return SimulatedDisk(buffer_pool=BufferPoolModel(memory_bytes=1 << 30))
+
+    def test_first_insert_into_empty_index_uses_pool(self, warm_disk, config):
+        idx = ConstituentIndex.create_empty(warm_disk, config)
+        before = warm_disk.stats.snapshot()
+        idx.insert_postings(grouped(("a", Entry(1, 1))), [1])
+        delta = warm_disk.stats.snapshot() - before
+        assert delta.seeks == 0  # resident working set: seek absorbed
+
+    def test_delete_from_resident_index_uses_pool(self, warm_disk, config):
+        idx = ConstituentIndex.create_empty(warm_disk, config)
+        idx.insert_postings(
+            grouped(("a", Entry(1, 1)), ("b", Entry(2, 2))), [1, 2]
+        )
+        before = warm_disk.stats.snapshot()
+        idx.delete_days([1])
+        delta = warm_disk.stats.snapshot() - before
+        assert delta.seeks == 0
+
+    def test_min_miss_rate_still_charges_floor(self, config):
+        from repro.storage.bufferpool import BufferPoolModel
+        from repro.storage.disk import SimulatedDisk
+
+        disk = SimulatedDisk(
+            buffer_pool=BufferPoolModel(memory_bytes=1 << 30, min_miss_rate=0.5)
+        )
+        idx = ConstituentIndex.create_empty(disk, config)
+        before = disk.stats.snapshot()
+        idx.insert_postings(grouped(("a", Entry(1, 1))), [1])
+        delta = disk.stats.snapshot() - before
+        assert delta.seeks == pytest.approx(0.5)

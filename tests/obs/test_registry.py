@@ -1,0 +1,90 @@
+"""Tests for the observability counter/histogram registry."""
+
+import pytest
+
+from repro.obs import Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_defaults_to_one(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestHistogram:
+    def test_empty_histogram_is_all_zero(self):
+        h = Histogram("lat")
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.quantile(0.5) == 0.0
+        assert h.summary()["p99"] == 0.0
+
+    def test_stats(self):
+        h = Histogram("lat")
+        for v in [4.0, 1.0, 3.0, 2.0]:
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 10.0
+        assert h.mean == 2.5
+        assert h.min == 1.0
+        assert h.max == 4.0
+
+    def test_nearest_rank_quantiles(self):
+        h = Histogram("lat")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(0.50) == 50.0
+        assert h.quantile(0.95) == 95.0
+        assert h.quantile(1.0) == 100.0
+
+    def test_quantile_range_validated(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").quantile(1.5)
+
+    def test_summary_keys(self):
+        h = Histogram("lat")
+        h.observe(1.0)
+        assert set(h.summary()) == {
+            "count", "total", "mean", "min", "p50", "p95", "p99", "max"
+        }
+
+
+class TestRegistry:
+    def test_create_on_first_use_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("io.seeks") is reg.counter("io.seeks")
+        assert reg.histogram("lat") is reg.histogram("lat")
+
+    def test_cross_kind_name_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+        reg.histogram("y")
+        with pytest.raises(ValueError):
+            reg.counter("y")
+
+    def test_snapshot_is_plain_data(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("io.seeks").inc(7)
+        reg.histogram("lat").observe(0.014)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"io.seeks": 7.0}
+        assert snap["histograms"]["lat"]["count"] == 1
+        json.dumps(snap)  # must be JSON-serialisable
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert reg.counters() == {}
+        assert reg.counter("x").value == 0.0

@@ -80,3 +80,51 @@ class TestSimulation:
         )
         assert result.technique == technique.value
         assert result.days[-1].covered_days == frozenset(range(8, 15))
+
+
+class TestObservability:
+    def test_page_cache_deltas_land_in_day_metrics(self):
+        from repro.storage.pagecache import PageCache
+
+        store = make_store(20)
+        result = run_simulation(
+            lambda: DelScheme(10, 2),
+            store,
+            last_day=14,
+            page_cache=PageCache(1 << 20),
+        )
+        assert all(d.io is not None and d.cache is not None for d in result.days)
+        assert result.total_cache_hits() + result.total_cache_misses() > 0
+        assert sum(d.io.seeks for d in result.days) > 0
+
+    def test_cacheless_run_records_io_but_no_cache(self):
+        store = make_store(12)
+        result = run_simulation(lambda: DelScheme(6, 2), store, last_day=8)
+        assert all(d.cache is None for d in result.days)
+        assert result.total_cache_hits() == 0
+        assert all(d.io is not None for d in result.days)
+
+    def test_registry_and_tracer_populated(self):
+        from repro.storage.pagecache import PageCache
+
+        store = make_store(12)
+        sim = Simulation(
+            DelScheme(6, 2),
+            store,
+            queries=QueryWorkload(
+                probes_per_day=3,
+                value_picker=lambda rng: rng.choice("abcdefgh"),
+                seed=1,
+            ),
+            page_cache=PageCache(1 << 20),
+        )
+        sim.run(9)
+        counters = sim.obs.counters()
+        assert counters["days"] == 4.0
+        assert counters["io.seeks"] > 0
+        assert counters["cache.hits"] + counters["cache.misses"] > 0
+        phases = sim.tracer.phase_seconds()
+        assert phases["maintenance"] > 0
+        assert "queries" in phases
+        hist = sim.obs.histogram("day.maintenance_seconds")
+        assert hist.count == 4

@@ -39,6 +39,30 @@ class TestSteadyDays:
         assert [d.day for d in result.steady_days(warmup=2)] == [8]
 
 
+class TestShortRuns:
+    """Steady-window averages on runs too short to have steady days.
+
+    Regression: these used to raise ZeroDivisionError when a run recorded
+    <= 1 + warmup days; dashboards plotting curves want 0.0 instead.
+    """
+
+    @pytest.mark.parametrize("num_days", [0, 1])
+    def test_averages_are_zero_not_an_error(self, num_days):
+        res = SimulationResult(window=5, n_indexes=2, scheme_name="X", technique="t")
+        res.days = [day(5)] * num_days
+        assert res.avg_transition_seconds() == 0.0
+        assert res.avg_precompute_seconds() == 0.0
+        assert res.avg_total_work_seconds() == 0.0
+        assert res.avg_peak_bytes() == 0.0
+
+    def test_warmup_longer_than_run(self, result):
+        assert result.avg_transition_seconds(warmup=10) == 0.0
+        assert result.avg_total_work_seconds(warmup=3) == 0.0
+
+    def test_one_steady_day_still_averages(self, result):
+        assert result.avg_transition_seconds(warmup=2) == pytest.approx(3.0)
+
+
 class TestAggregates:
     def test_avg_transition(self, result):
         assert result.avg_transition_seconds() == pytest.approx(2.0)
@@ -57,3 +81,32 @@ class TestAggregates:
 
     def test_max_length(self, result):
         assert result.max_length_days() == 6
+
+
+class TestCacheAggregates:
+    def test_days_without_cache_count_zero(self, result):
+        assert result.days[0].cache_hits == 0
+        assert result.days[0].cache_misses == 0
+        assert result.total_cache_hits() == 0
+        assert result.total_cache_misses() == 0
+
+    def test_cache_deltas_summed(self, result):
+        from repro.storage.pagecache import PageCacheSnapshot
+
+        metrics = day(9)
+        cached = DayMetrics(
+            day=9,
+            seconds=metrics.seconds,
+            query_seconds=metrics.query_seconds,
+            steady_bytes=metrics.steady_bytes,
+            constituent_bytes=metrics.constituent_bytes,
+            peak_bytes=metrics.peak_bytes,
+            length_days=metrics.length_days,
+            covered_days=metrics.covered_days,
+            cache=PageCacheSnapshot(hits=10, misses=4),
+        )
+        result.days.append(cached)
+        assert cached.cache_hits == 10
+        assert cached.cache_misses == 4
+        assert result.total_cache_hits() == 10
+        assert result.total_cache_misses() == 4

@@ -1,0 +1,127 @@
+"""Property tests tying the trace-driven cache to the analytic model.
+
+Satellite of the page-cache work: the analytic
+:class:`~repro.storage.bufferpool.BufferPoolModel` and the trace-driven
+:class:`~repro.storage.pagecache.PageCache` must agree where their domains
+overlap — uniform-random touches over a fixed working set — while the
+analytic formula itself must be monotone and respect its miss-rate floor.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.bufferpool import BufferPoolModel
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pagecache import PageCache
+
+PAGE = 64
+
+
+class TestAnalyticProperties:
+    @given(
+        memory=st.floats(min_value=1.0, max_value=1e9),
+        smaller=st.floats(min_value=0.0, max_value=1e9),
+        delta=st.floats(min_value=0.0, max_value=1e9),
+        floor=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_miss_rate_monotone_in_working_set(
+        self, memory, smaller, delta, floor
+    ):
+        """A larger working set can never miss less."""
+        pool = BufferPoolModel(memory_bytes=memory, min_miss_rate=floor)
+        assert pool.miss_rate(smaller) <= pool.miss_rate(smaller + delta)
+
+    @given(
+        memory=st.floats(min_value=1.0, max_value=1e9),
+        working_set=st.floats(min_value=0.0, max_value=1e12),
+        floor=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_min_miss_rate_respected(self, memory, working_set, floor):
+        """The configured floor bounds the miss rate from below, 1 from above."""
+        pool = BufferPoolModel(memory_bytes=memory, min_miss_rate=floor)
+        rate = pool.miss_rate(working_set)
+        assert floor <= rate <= 1.0
+
+    @given(
+        memory=st.floats(min_value=1.0, max_value=1e9),
+        working_set=st.floats(min_value=0.0, max_value=1e12),
+        seeks=st.floats(min_value=0.0, max_value=1e6),
+    )
+    def test_effective_seeks_never_exceed_nominal(
+        self, memory, working_set, seeks
+    ):
+        pool = BufferPoolModel(memory_bytes=memory)
+        assert 0.0 <= pool.effective_seeks(seeks, working_set) <= seeks
+
+
+class TestLruConvergence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        capacity_pages=st.integers(min_value=4, max_value=40),
+        extra_pages=st.integers(min_value=1, max_value=60),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_uniform_random_touches_converge_to_analytic_rate(
+        self, capacity_pages, extra_pages, seed
+    ):
+        """LRU under uniform IRM touches matches ``1 - memory/working_set``.
+
+        Once the cache is full, symmetry keeps every page of the working
+        set resident with probability ``capacity/working_set``, so the
+        steady-state miss rate is the analytic one.  We warm up for one
+        full sweep, then measure over many touches and allow for sampling
+        noise.
+        """
+        working_pages = capacity_pages + extra_pages
+        cache = PageCache(capacity_pages * PAGE, page_size=PAGE)
+        disk = SimulatedDisk(page_cache=cache)
+        extent = disk.allocate(working_pages * PAGE)
+        rng = random.Random(seed)
+
+        for page in range(working_pages):  # warm-up sweep
+            disk.read(extent, PAGE, offset=page * PAGE)
+        before = cache.snapshot()
+        touches = 4000
+        for _ in range(touches):
+            page = rng.randrange(working_pages)
+            disk.read(extent, PAGE, offset=page * PAGE)
+        delta = cache.snapshot() - before
+
+        pool = BufferPoolModel(memory_bytes=capacity_pages * PAGE)
+        expected = pool.miss_rate(working_pages * PAGE)
+        # 4000 Bernoulli trials: 4 sigma is well under 0.04; allow 0.06.
+        assert delta.miss_rate == pytest.approx(expected, abs=0.06)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        working_pages=st.integers(min_value=1, max_value=30),
+        slack_pages=st.integers(min_value=0, max_value=10),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_fitting_working_set_stops_missing(
+        self, working_pages, slack_pages, seed
+    ):
+        """A working set that fits misses only on the cold first touches.
+
+        The analytic model says ``miss_rate == min_miss_rate`` when memory
+        covers the working set; the LRU's analogue is that after one sweep
+        every further touch hits.
+        """
+        capacity_pages = working_pages + slack_pages
+        cache = PageCache(capacity_pages * PAGE, page_size=PAGE)
+        disk = SimulatedDisk(page_cache=cache)
+        extent = disk.allocate(working_pages * PAGE)
+        rng = random.Random(seed)
+
+        for page in range(working_pages):
+            disk.read(extent, PAGE, offset=page * PAGE)
+        before = cache.snapshot()
+        for _ in range(500):
+            page = rng.randrange(working_pages)
+            disk.read(extent, PAGE, offset=page * PAGE)
+        delta = cache.snapshot() - before
+        assert delta.misses == 0
+        assert delta.hit_rate == 1.0

@@ -182,3 +182,30 @@ class TestCrashTest:
     def test_unknown_scheme(self, capsys):
         assert main(["crash-test", "NOPE"]) == 2
         assert "unknown scheme" in capsys.readouterr().err
+
+
+class TestBenchServing:
+    def test_quick_run_writes_valid_report(self, capsys, tmp_path):
+        import json
+
+        from repro.bench.serving import validate_report
+
+        out_path = tmp_path / "BENCH_serving.json"
+        assert main(["bench-serving", "--quick", "--out", str(out_path)]) == 0
+        report = json.loads(out_path.read_text())
+        validate_report(report)
+        assert report["bench"] == "serving"
+        stdout = capsys.readouterr().out
+        assert "batch" in stdout
+        assert str(out_path) in stdout
+
+    def test_bad_batch_sizes_rejected(self, capsys, tmp_path):
+        code = main(
+            [
+                "bench-serving", "--quick",
+                "--out", str(tmp_path / "x.json"),
+                "--batch-sizes", "0",
+            ]
+        )
+        assert code == 2
+        assert "batch" in capsys.readouterr().err.lower()
