@@ -10,7 +10,6 @@ from repro.bench.tables import render_rows
 from repro.casestudies.sizing import (
     figure11_ratios,
     hard_window_sizes,
-    index_size_ratio,
 )
 from repro.extensions.kleinberg import offline_optimal_plan
 from repro.workloads.usenet import day_weights, june_december_1997_volume

@@ -1,0 +1,384 @@
+"""The overlap benchmark: serialized vs overlapped maintenance/serving.
+
+The paper argues (Section 3) that a wave index keeps serving while it
+reorganizes, because maintenance touches one constituent at a time.  The
+overlapped scheduler (:mod:`repro.sim.scheduler`) makes that claim
+measurable; this benchmark quantifies it.  For each scheme it runs the
+same store and the same query stream twice:
+
+* **serialized** — one device, wait policy: every query lands behind the
+  whole day's maintenance and behind every earlier query, which is the
+  classic driver's world laid on a timeline;
+* **overlapped** — a ``k``-device :class:`~repro.storage.array.DiskArray`
+  with rotating creation placement, so REINDEX-family rebuilds stream to
+  a spindle the serving constituents don't live on.
+
+The compared quantities are the day-timeline **makespan** (maintenance
+and serving overlapped vs back-to-back) and the query-latency tail
+(p50/p95/p99) split into requests that arrived *during* the transition vs
+after it.  Results go to ``BENCH_overlap.json``; the committed perf
+trajectory (CI-gated) is that for the REINDEX family the overlapped
+during-transition p95 is strictly below the serialized one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any
+
+from ..core.records import RecordStore
+from ..core.schemes import scheme_by_name
+from ..sim.querygen import QueryWorkload, zipf_value_picker
+from ..sim.scheduler import OverlapConfig, OverlappedSimulation, OverlapPolicy
+from ..workloads.text import NetnewsGenerator, TextWorkloadConfig
+from ..workloads.zipf import heaps_vocabulary
+
+#: Schema version stamped into BENCH_overlap.json.
+SCHEMA_VERSION = 1
+
+#: Top-level keys every BENCH_overlap.json must carry (CI smoke-checks).
+REQUIRED_KEYS = (
+    "bench",
+    "schema_version",
+    "workload",
+    "scheduler",
+    "schemes",
+    "headline",
+)
+
+#: Per-mode keys every scheme entry must carry for both run modes.
+REQUIRED_MODE_KEYS = (
+    "makespan_seconds",
+    "maintenance_seconds",
+    "query_seconds",
+    "queries",
+    "queries_waited",
+    "queries_degraded",
+    "latency_during_transition",
+    "latency_steady_state",
+)
+
+#: Schemes the benchmark compares — the six of Sections 3–4 plus the
+#: Table-4 WATA variant; all constructible from (window, n) alone.
+DEFAULT_SCHEMES = (
+    "DEL",
+    "REINDEX",
+    "REINDEX+",
+    "REINDEX++",
+    "WATA*",
+    "RATA*",
+    "WATA(table4)",
+)
+
+#: Schemes whose transition rebuilds whole constituents from base data —
+#: the family the paper (and our CI gate) expects to benefit most from
+#: building on a device the serving constituents don't occupy.
+REINDEX_FAMILY = ("REINDEX", "REINDEX+", "REINDEX++")
+
+
+@dataclass(frozen=True)
+class OverlapBenchConfig:
+    """Parameters of one overlap-benchmark run.
+
+    The defaults model a small text window: a Netnews-style store, a
+    Zipf-skewed probe stream plus a few scans per day, and a 3-device
+    array for the overlapped mode.
+    """
+
+    window: int = 10
+    n_indexes: int = 4
+    transitions: int = 8
+    schemes: tuple[str, ...] = DEFAULT_SCHEMES
+    docs_per_day: int = 24
+    words_per_doc: int = 12
+    probes_per_day: int = 30
+    scans_per_day: int = 3
+    zipf_s: float = 1.0
+    n_devices: int = 3
+    arrival_stretch: float = 2.0
+    seed: int = 7
+    quick: bool = False
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.transitions < 1:
+            raise ValueError(
+                f"transitions must be >= 1, got {self.transitions}"
+            )
+        if not self.schemes:
+            raise ValueError("need at least one scheme")
+        if self.n_devices < 2:
+            raise ValueError(
+                f"overlapped mode needs >= 2 devices, got {self.n_devices}"
+            )
+        if self.probes_per_day < 1:
+            raise ValueError(
+                f"probes_per_day must be >= 1, got {self.probes_per_day}"
+            )
+        for name in self.schemes:
+            scheme_by_name(name)  # raises KeyError on unknowns
+
+    @property
+    def last_day(self) -> int:
+        """Return the final simulated day."""
+        return self.window + self.transitions
+
+
+def quick_config(base: OverlapBenchConfig | None = None) -> OverlapBenchConfig:
+    """Return a CI-sized variant of ``base`` (same modes, smaller run)."""
+    base = base or OverlapBenchConfig()
+    return replace(
+        base,
+        window=7,
+        transitions=5,
+        docs_per_day=10,
+        probes_per_day=12,
+        scans_per_day=2,
+        quick=True,
+    )
+
+
+def _build_store(config: OverlapBenchConfig) -> tuple[RecordStore, int]:
+    """Return the day-batched store and its vocabulary size."""
+    tokens = config.docs_per_day * config.words_per_doc
+    vocabulary = heaps_vocabulary(tokens)
+    text = TextWorkloadConfig(
+        docs_per_day=config.docs_per_day,
+        words_per_doc=config.words_per_doc,
+        vocabulary=vocabulary,
+        zipf_s=config.zipf_s,
+        seed=config.seed,
+    )
+    store = RecordStore()
+    NetnewsGenerator(text).populate(store, 1, config.last_day)
+    return store, vocabulary
+
+
+def _workload(config: OverlapBenchConfig, vocabulary: int) -> QueryWorkload:
+    """Return the daily query stream (identical in both run modes)."""
+    return QueryWorkload(
+        probes_per_day=config.probes_per_day,
+        scans_per_day=config.scans_per_day,
+        value_picker=zipf_value_picker(vocabulary, config.zipf_s),
+        seed=config.seed + 1,
+    )
+
+
+def _run_mode(
+    config: OverlapBenchConfig,
+    scheme_name: str,
+    store: RecordStore,
+    vocabulary: int,
+    overlap: OverlapConfig,
+) -> dict[str, Any]:
+    """Run one scheme under one scheduler configuration; return measures."""
+    scheme = scheme_by_name(scheme_name)(config.window, config.n_indexes)
+    sim = OverlappedSimulation(
+        scheme,
+        store,
+        queries=_workload(config, vocabulary),
+        overlap=overlap,
+    )
+    result = sim.run(config.last_day)
+    maintenance = sum(d.seconds.total for d in result.days)
+    query_seconds = sum(d.query_seconds for d in result.days)
+    queries = sum(
+        d.overlap.queries for d in result.days if d.overlap is not None
+    )
+    return {
+        "n_devices": overlap.n_devices,
+        "policy": overlap.policy.value,
+        "placement": overlap.placement,
+        "makespan_seconds": result.total_makespan_seconds(),
+        "maintenance_seconds": maintenance,
+        "query_seconds": query_seconds,
+        "queries": queries,
+        "queries_waited": result.total_queries_waited(),
+        "queries_degraded": result.total_queries_degraded(),
+        "latency_during_transition": sim.latency_during.summary(),
+        "latency_steady_state": sim.latency_steady.summary(),
+    }
+
+
+def _ratio(overlapped: float, serialized: float) -> float | None:
+    """Return ``overlapped / serialized`` (``None`` when undefined)."""
+    return overlapped / serialized if serialized > 0 else None
+
+
+def run_overlap_bench(config: OverlapBenchConfig | None = None) -> dict[str, Any]:
+    """Run every scheme serialized and overlapped; return the JSON report.
+
+    Both modes replay the same store and the same per-day query stream
+    through the same scheduler code — the serialized mode is simply one
+    device under the wait policy (proven equivalent to the classic driver
+    by the scheduler's test suite), so every difference in the report is
+    attributable to the array and the overlap, not to measurement skew.
+    """
+    config = config or OverlapBenchConfig()
+    store, vocabulary = _build_store(config)
+    serialized_cfg = OverlapConfig(
+        n_devices=1, policy=OverlapPolicy.WAIT, placement="sticky"
+    )
+    overlapped_cfg = OverlapConfig(
+        n_devices=config.n_devices,
+        policy=OverlapPolicy.WAIT,
+        placement="rotate",
+        arrival_stretch=config.arrival_stretch,
+    )
+
+    schemes: list[dict[str, Any]] = []
+    for name in config.schemes:
+        serialized = _run_mode(config, name, store, vocabulary, serialized_cfg)
+        overlapped = _run_mode(config, name, store, vocabulary, overlapped_cfg)
+        p95_ser = serialized["latency_during_transition"]["p95"]
+        p95_ovl = overlapped["latency_during_transition"]["p95"]
+        schemes.append(
+            {
+                "scheme": name,
+                "serialized": serialized,
+                "overlapped": overlapped,
+                "ratios": {
+                    "makespan": _ratio(
+                        overlapped["makespan_seconds"],
+                        serialized["makespan_seconds"],
+                    ),
+                    "p95_during_transition": _ratio(p95_ovl, p95_ser),
+                    "p99_during_transition": _ratio(
+                        overlapped["latency_during_transition"]["p99"],
+                        serialized["latency_during_transition"]["p99"],
+                    ),
+                },
+                "p95_improved": p95_ovl < p95_ser,
+            }
+        )
+
+    makespan_ratios = [
+        s["ratios"]["makespan"]
+        for s in schemes
+        if s["ratios"]["makespan"] is not None
+    ]
+    reindex = [s for s in schemes if s["scheme"] in REINDEX_FAMILY]
+    reindex_p95 = [
+        s["ratios"]["p95_during_transition"]
+        for s in reindex
+        if s["ratios"]["p95_during_transition"] is not None
+    ]
+    headline = {
+        "makespan_ratio_mean": (
+            sum(makespan_ratios) / len(makespan_ratios)
+            if makespan_ratios
+            else None
+        ),
+        "reindex_p95_ratio_best": min(reindex_p95) if reindex_p95 else None,
+        "reindex_p95_improved": any(s["p95_improved"] for s in reindex),
+        "schemes_improved": sum(1 for s in schemes if s["p95_improved"]),
+    }
+    report = {
+        "bench": "overlap",
+        "schema_version": SCHEMA_VERSION,
+        "workload": {
+            "window": config.window,
+            "n_indexes": config.n_indexes,
+            "transitions": config.transitions,
+            "docs_per_day": config.docs_per_day,
+            "words_per_doc": config.words_per_doc,
+            "vocabulary": vocabulary,
+            "probes_per_day": config.probes_per_day,
+            "scans_per_day": config.scans_per_day,
+            "zipf_s": config.zipf_s,
+            "seed": config.seed,
+            "quick": config.quick,
+        },
+        "scheduler": {
+            "n_devices": config.n_devices,
+            "policy": overlapped_cfg.policy.value,
+            "placement": overlapped_cfg.placement,
+            "arrival_stretch": config.arrival_stretch,
+        },
+        "schemes": schemes,
+        "headline": headline,
+    }
+    validate_report(report)
+    return report
+
+
+def validate_report(report: dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``report`` matches the committed schema.
+
+    This is the assertion the CI smoke job runs against the artifact.
+    """
+    for key in REQUIRED_KEYS:
+        if key not in report:
+            raise ValueError(f"BENCH_overlap report missing key {key!r}")
+    if report["bench"] != "overlap":
+        raise ValueError(f"unexpected bench {report['bench']!r}")
+    if not report["schemes"]:
+        raise ValueError("BENCH_overlap report has no scheme entries")
+    for entry in report["schemes"]:
+        for mode in ("serialized", "overlapped"):
+            if mode not in entry:
+                raise ValueError(
+                    f"scheme {entry.get('scheme')!r} missing mode {mode!r}"
+                )
+            for key in REQUIRED_MODE_KEYS:
+                if key not in entry[mode]:
+                    raise ValueError(
+                        f"scheme {entry.get('scheme')!r} {mode} entry "
+                        f"missing key {key!r}"
+                    )
+            if entry[mode]["makespan_seconds"] < 0:
+                raise ValueError(f"negative makespan in {entry}")
+        if "ratios" not in entry or "p95_improved" not in entry:
+            raise ValueError(f"scheme entry missing ratios: {entry}")
+    if "reindex_p95_improved" not in report["headline"]:
+        raise ValueError("headline missing reindex_p95_improved")
+
+
+def write_report(report: dict[str, Any], path: str | Path) -> Path:
+    """Write ``report`` as pretty JSON; return the path."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def render_summary(report: dict[str, Any]) -> str:
+    """Return a human-readable comparison table for the CLI."""
+    w = report["workload"]
+    s = report["scheduler"]
+    lines = [
+        "Overlap bench: W={window} n={n_indexes}, {transitions} transitions, "
+        "{probes_per_day} probes + {scans_per_day} scans/day".format(**w),
+        f"overlapped mode: {s['n_devices']} devices, {s['placement']} "
+        f"placement, {s['policy']} policy",
+        "",
+        f"{'scheme':<14} {'makespan':>9} {'p95 during':>11} "
+        f"{'p99 during':>11} {'waited':>7}",
+    ]
+
+    def fmt_ratio(value: float | None) -> str:
+        return f"{value:.2f}x" if value is not None else "-"
+
+    for entry in report["schemes"]:
+        r = entry["ratios"]
+        lines.append(
+            f"{entry['scheme']:<14} "
+            f"{fmt_ratio(r['makespan']):>9} "
+            f"{fmt_ratio(r['p95_during_transition']):>11} "
+            f"{fmt_ratio(r['p99_during_transition']):>11} "
+            f"{entry['overlapped']['queries_waited']:>7}"
+        )
+    h = report["headline"]
+    lines.append("")
+    lines.append(
+        "  mean makespan ratio (overlapped/serialized): "
+        + fmt_ratio(h["makespan_ratio_mean"])
+    )
+    lines.append(
+        "  best REINDEX-family p95 ratio: "
+        + fmt_ratio(h["reindex_p95_ratio_best"])
+        + ("  (improved)" if h["reindex_p95_improved"] else "  (NOT improved)")
+    )
+    return "\n".join(lines)

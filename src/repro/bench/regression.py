@@ -1,0 +1,216 @@
+"""Bench-regression gate: compare headline metrics against a baseline.
+
+The repo commits its perf trajectory in ``BENCH_baseline.json``: one
+headline number per benchmark (the serving replay's batched+cached
+speedup, the overlap scheduler's makespan and tail-latency ratios).  CI's
+bench smoke jobs re-run the quick benchmarks, extract the same headlines
+from the fresh artifacts, and fail when any of them regresses by more
+than :data:`DEFAULT_THRESHOLD` against the committed value — with a diff
+table showing exactly which metric moved and by how much.
+
+The simulated substrate is deterministic, so on an unchanged tree the
+current value *equals* the baseline; the 25% allowance is headroom for
+intentional trade-offs, not for noise.  After an accepted perf change,
+refresh the baseline with ``repro bench-check --update``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+#: Schema version stamped into BENCH_baseline.json.
+SCHEMA_VERSION = 1
+
+#: Relative regression that fails the gate (0.25 = 25% worse than baseline).
+DEFAULT_THRESHOLD = 0.25
+
+
+@dataclass(frozen=True)
+class HeadlineMetric:
+    """One gated metric: where it lives and which direction is better."""
+
+    name: str
+    bench: str
+    higher_is_better: bool
+    description: str
+
+    def extract(self, report: dict[str, Any]) -> float | None:
+        """Pull this metric's value out of its benchmark report."""
+        if self.bench == "serving":
+            return report.get("speedups", {}).get(
+                "batch256_cached_vs_unbatched_uncached"
+            )
+        if self.name == "overlap_makespan_ratio_mean":
+            return report.get("headline", {}).get("makespan_ratio_mean")
+        if self.name == "overlap_reindex_p95_ratio_best":
+            return report.get("headline", {}).get("reindex_p95_ratio_best")
+        raise KeyError(self.name)
+
+
+#: The committed perf trajectory, one headline per benchmark dimension.
+HEADLINE_METRICS: tuple[HeadlineMetric, ...] = (
+    HeadlineMetric(
+        "serving_speedup_batch256",
+        "serving",
+        higher_is_better=True,
+        description="batched+cached serving speedup over the paper's model",
+    ),
+    HeadlineMetric(
+        "overlap_makespan_ratio_mean",
+        "overlap",
+        higher_is_better=False,
+        description="mean overlapped/serialized day-timeline makespan",
+    ),
+    HeadlineMetric(
+        "overlap_reindex_p95_ratio_best",
+        "overlap",
+        higher_is_better=False,
+        description="best REINDEX-family during-transition p95 ratio",
+    ),
+)
+
+
+@dataclass(frozen=True)
+class RegressionRow:
+    """Outcome of checking one headline metric against the baseline."""
+
+    metric: str
+    baseline: float
+    current: float | None
+    #: Signed relative change where positive means *better* (whatever the
+    #: metric's direction), e.g. +0.10 = 10% improvement.
+    change: float | None
+    regressed: bool
+    skipped: bool = False
+
+
+def extract_headlines(report: dict[str, Any]) -> dict[str, float]:
+    """Return the headline metrics found in one benchmark report."""
+    bench = report.get("bench")
+    out: dict[str, float] = {}
+    for metric in HEADLINE_METRICS:
+        if metric.bench != bench:
+            continue
+        value = metric.extract(report)
+        if value is not None:
+            out[metric.name] = value
+    return out
+
+
+def build_baseline(
+    reports: list[dict[str, Any]],
+    previous: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Return a baseline document from fresh reports.
+
+    Metrics for benchmarks not present in ``reports`` are carried over
+    from ``previous`` so a partial refresh never silently drops a gate.
+    """
+    metrics: dict[str, float] = {}
+    if previous is not None:
+        metrics.update(previous.get("metrics", {}))
+    for report in reports:
+        metrics.update(extract_headlines(report))
+    return {
+        "bench": "baseline",
+        "schema_version": SCHEMA_VERSION,
+        "threshold": DEFAULT_THRESHOLD,
+        "metrics": metrics,
+    }
+
+
+def _metric_by_name(name: str) -> HeadlineMetric | None:
+    for metric in HEADLINE_METRICS:
+        if metric.name == name:
+            return metric
+    return None
+
+
+def compare(
+    baseline: dict[str, Any],
+    reports: list[dict[str, Any]],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[RegressionRow]:
+    """Check fresh reports against ``baseline``; return one row per metric.
+
+    Baseline metrics whose benchmark has no report in ``reports`` are
+    marked *skipped* (each CI smoke job checks only its own artifact);
+    a metric whose benchmark IS present but which cannot be extracted
+    counts as regressed — a gate that silently vanishes is not passing.
+    """
+    current: dict[str, float] = {}
+    provided_benches = {r.get("bench") for r in reports}
+    for report in reports:
+        current.update(extract_headlines(report))
+    rows: list[RegressionRow] = []
+    for name, base_value in sorted(baseline.get("metrics", {}).items()):
+        metric = _metric_by_name(name)
+        if metric is None or metric.bench not in provided_benches:
+            rows.append(
+                RegressionRow(name, base_value, None, None, False, skipped=True)
+            )
+            continue
+        value = current.get(name)
+        if value is None or base_value <= 0:
+            rows.append(RegressionRow(name, base_value, value, None, True))
+            continue
+        if metric.higher_is_better:
+            change = value / base_value - 1.0
+            regressed = value < base_value * (1.0 - threshold)
+        else:
+            change = 1.0 - value / base_value
+            regressed = value > base_value * (1.0 + threshold)
+        rows.append(RegressionRow(name, base_value, value, change, regressed))
+    return rows
+
+
+def render_diff_table(rows: list[RegressionRow], threshold: float) -> str:
+    """Return the human-readable gate outcome for CI logs."""
+    lines = [
+        f"{'metric':<32} {'baseline':>10} {'current':>10} "
+        f"{'change':>8} {'gate':>8}",
+    ]
+    for row in rows:
+        if row.skipped:
+            lines.append(
+                f"{row.metric:<32} {row.baseline:>10.4f} {'-':>10} "
+                f"{'-':>8} {'skipped':>8}"
+            )
+            continue
+        current = f"{row.current:.4f}" if row.current is not None else "-"
+        change = f"{row.change:+.1%}" if row.change is not None else "-"
+        verdict = "FAIL" if row.regressed else "ok"
+        lines.append(
+            f"{row.metric:<32} {row.baseline:>10.4f} {current:>10} "
+            f"{change:>8} {verdict:>8}"
+        )
+    checked = [r for r in rows if not r.skipped]
+    failed = [r for r in checked if r.regressed]
+    lines.append("")
+    if failed:
+        names = ", ".join(r.metric for r in failed)
+        lines.append(
+            f"REGRESSION: {names} worse than baseline by more than "
+            f"{threshold:.0%}"
+        )
+    else:
+        lines.append(
+            f"gate ok: {len(checked)} metric(s) within {threshold:.0%} "
+            f"of baseline ({len(rows) - len(checked)} skipped)"
+        )
+    return "\n".join(lines)
+
+
+def load_report(path: str | Path) -> dict[str, Any]:
+    """Read one JSON artifact (a bench report or the baseline)."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def write_baseline(baseline: dict[str, Any], path: str | Path) -> Path:
+    """Write the baseline as pretty JSON; return the path."""
+    path = Path(path)
+    path.write_text(json.dumps(baseline, indent=2) + "\n", encoding="utf-8")
+    return path

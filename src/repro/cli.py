@@ -14,6 +14,13 @@ Commands:
   recovery against a fault-free twin run.
 * ``bench-serving`` — replay a Zipf query workload against a SCAM-sized
   window (cache on/off x batch sizes), writing ``BENCH_serving.json``.
+* ``bench-overlap`` — serialized vs overlapped maintenance/serving on a
+  disk array across the schemes, writing ``BENCH_overlap.json``.
+* ``bench-check`` — gate fresh bench artifacts against the committed
+  ``BENCH_baseline.json`` headline metrics.
+
+Seeded commands share one default (:data:`DEFAULT_SEED`): pass ``--seed``
+globally (``repro --seed 3 crash-test``) or per command; per-command wins.
 """
 
 from __future__ import annotations
@@ -30,12 +37,33 @@ from .index.updates import UpdateTechnique
 
 _TECHNIQUES = tuple(UpdateTechnique)
 
+#: The one RNG seed every seeded command defaults to.  Matches the
+#: serving benchmark's committed artifact so ``repro bench-serving`` with
+#: no flags reproduces ``BENCH_serving.json`` exactly.
+DEFAULT_SEED = 7
+
+
+def _resolve_seed(args: argparse.Namespace) -> int:
+    """Return the effective seed: per-command, then global, then default."""
+    per_command = getattr(args, "seed", None)
+    if per_command is not None:
+        return per_command
+    if args.seed_global is not None:
+        return args.seed_global
+    return DEFAULT_SEED
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Return the top-level argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Wave-Indices (SIGMOD 1997) reproduction toolkit",
+    )
+    # Distinct dest: a subcommand's own --seed (dest="seed") would
+    # otherwise overwrite this value with its default during parsing.
+    parser.add_argument(
+        "--seed", type=int, default=None, dest="seed_global",
+        help=f"seed for every seeded subcommand (default {DEFAULT_SEED})",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -94,7 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="in_place",
     )
     latency.add_argument("--queries", type=int, default=5_000)
-    latency.add_argument("--seed", type=int, default=0)
+    latency.add_argument("--seed", type=int, default=None)
 
     sensitivity = sub.add_parser(
         "sensitivity",
@@ -122,7 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
     crash.add_argument("--window", "-w", type=int, default=6)
     crash.add_argument("--indexes", "-n", type=int, default=3)
     crash.add_argument("--cycles", type=int, default=3)
-    crash.add_argument("--seed", type=int, default=0)
+    crash.add_argument("--seed", type=int, default=None)
     crash.add_argument(
         "--technique",
         choices=[t.value for t in _TECHNIQUES],
@@ -163,6 +191,61 @@ def build_parser() -> argparse.ArgumentParser:
     serving.add_argument("--window", "-w", type=int, default=None)
     serving.add_argument("--indexes", "-n", type=int, default=None)
     serving.add_argument("--seed", type=int, default=None)
+
+    overlap = sub.add_parser(
+        "bench-overlap",
+        help="serialized vs overlapped maintenance/serving on a disk "
+        "array and emit BENCH_overlap.json",
+    )
+    overlap.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run (same modes, smaller window and stream)",
+    )
+    overlap.add_argument(
+        "--out", default="BENCH_overlap.json",
+        help="output JSON path (default: ./BENCH_overlap.json)",
+    )
+    overlap.add_argument(
+        "--devices", "-k", type=int, default=None,
+        help="devices in the overlapped-mode array (default 3)",
+    )
+    overlap.add_argument("--window", "-w", type=int, default=None)
+    overlap.add_argument("--indexes", "-n", type=int, default=None)
+    overlap.add_argument("--transitions", type=int, default=None)
+    overlap.add_argument("--probes", type=int, default=None)
+    overlap.add_argument("--scans", type=int, default=None)
+    overlap.add_argument(
+        "--arrival-stretch", type=float, default=None,
+        help="query arrivals spread over this multiple of the "
+        "maintenance makespan (default 2.0)",
+    )
+    overlap.add_argument(
+        "--schemes", nargs="+", default=None,
+        help="scheme names to compare (default: all seven)",
+    )
+    overlap.add_argument("--seed", type=int, default=None)
+
+    check = sub.add_parser(
+        "bench-check",
+        help="gate fresh bench artifacts against BENCH_baseline.json",
+    )
+    check.add_argument(
+        "reports", nargs="+",
+        help="bench JSON artifacts to check (e.g. BENCH_overlap.json)",
+    )
+    check.add_argument(
+        "--baseline", default="BENCH_baseline.json",
+        help="committed baseline path (default: ./BENCH_baseline.json)",
+    )
+    check.add_argument(
+        "--threshold", type=float, default=None,
+        help="relative regression that fails the gate (default 0.25)",
+    )
+    check.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline from the given reports instead of "
+        "gating against it",
+    )
     return parser
 
 
@@ -348,7 +431,7 @@ def _cmd_latency(args: argparse.Namespace) -> int:
         params,
         technique,
         queries_per_day=args.queries,
-        seed=args.seed,
+        seed=_resolve_seed(args),
     )
     print(
         f"{scheme_cls.name} n={args.indexes} ({technique.value}) on "
@@ -404,7 +487,7 @@ def _cmd_crash_test(args: argparse.Namespace) -> int:
             window=args.window,
             n_indexes=args.indexes,
             cycles=args.cycles,
-            seed=args.seed,
+            seed=_resolve_seed(args),
             technique=UpdateTechnique(args.technique),
             io_crash_samples=args.io_samples,
         )
@@ -439,7 +522,7 @@ def _cmd_bench_serving(args: argparse.Namespace) -> int:
         "scans": args.scans,
         "window": args.window,
         "n_indexes": args.indexes,
-        "seed": args.seed,
+        "seed": _resolve_seed(args),
         "cache_ratio": args.cache_ratio,
     }
     overrides = {k: v for k, v in overrides.items() if v is not None}
@@ -455,6 +538,88 @@ def _cmd_bench_serving(args: argparse.Namespace) -> int:
     print(render_summary(report))
     print(f"\nwrote {path}")
     return 0
+
+
+def _cmd_bench_overlap(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .bench.overlap import (
+        OverlapBenchConfig,
+        quick_config,
+        render_summary,
+        run_overlap_bench,
+        write_report,
+    )
+
+    config = OverlapBenchConfig()
+    if args.quick:
+        config = quick_config(config)
+    overrides = {
+        "window": args.window,
+        "n_indexes": args.indexes,
+        "transitions": args.transitions,
+        "probes_per_day": args.probes,
+        "scans_per_day": args.scans,
+        "n_devices": args.devices,
+        "arrival_stretch": args.arrival_stretch,
+        "seed": _resolve_seed(args),
+    }
+    overrides = {k: v for k, v in overrides.items() if v is not None}
+    if args.schemes is not None:
+        overrides["schemes"] = tuple(args.schemes)
+    try:
+        config = replace(config, **overrides)
+        report = run_overlap_bench(config)
+    except (KeyError, ValueError) as exc:
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
+    path = write_report(report, args.out)
+    print(render_summary(report))
+    print(f"\nwrote {path}")
+    return 0
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    from .bench.regression import (
+        DEFAULT_THRESHOLD,
+        build_baseline,
+        compare,
+        load_report,
+        render_diff_table,
+        write_baseline,
+    )
+
+    try:
+        reports = [load_report(path) for path in args.reports]
+    except (OSError, ValueError) as exc:
+        print(f"cannot read report: {exc}", file=sys.stderr)
+        return 2
+    if args.update:
+        previous = None
+        try:
+            previous = load_report(args.baseline)
+        except (OSError, ValueError):
+            pass
+        baseline = build_baseline(reports, previous)
+        path = write_baseline(baseline, args.baseline)
+        for name, value in sorted(baseline["metrics"].items()):
+            print(f"  {name}: {value:.4f}")
+        print(f"wrote {path}")
+        return 0
+    try:
+        baseline = load_report(args.baseline)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read baseline: {exc}", file=sys.stderr)
+        return 2
+    threshold = (
+        args.threshold
+        if args.threshold is not None
+        else baseline.get("threshold", DEFAULT_THRESHOLD)
+    )
+    rows = compare(baseline, reports, threshold)
+    print(render_diff_table(rows, threshold))
+    regressed = any(r.regressed for r in rows)
+    return 1 if regressed else 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -478,4 +643,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_crash_test(args)
     if args.command == "bench-serving":
         return _cmd_bench_serving(args)
+    if args.command == "bench-overlap":
+        return _cmd_bench_overlap(args)
+    if args.command == "bench-check":
+        return _cmd_bench_check(args)
     raise AssertionError(f"unhandled command {args.command!r}")

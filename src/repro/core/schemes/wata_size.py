@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Callable
 
 from ...errors import SchemeError
-from ..ops import AddOp, BuildOp, DropOp, Op, Phase
+from ..ops import BuildOp, DropOp, Op, Phase
 from .wata import WataStarScheme
 
 

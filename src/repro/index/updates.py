@@ -23,9 +23,7 @@ from __future__ import annotations
 import enum
 from typing import Any, Iterable, Mapping
 
-from ..storage.disk import SimulatedDisk
 from .bucket import Bucket
-from .config import IndexConfig
 from .constituent import ConstituentIndex
 from .entry import Entry
 

@@ -14,9 +14,22 @@ from .latency import (
     maintenance_timeline,
     simulate_query_latency,
 )
-from .metrics import DayMetrics, SimulationResult
+from .metrics import DayMetrics, OverlapDayStats, SimulationResult
 from .multidisk_sim import MultiDiskExecutor, MultiDiskReport
-from .querygen import QueryWorkload, uniform_key_picker, zipf_value_picker
+from .querygen import (
+    ProbeUnit,
+    QueryWorkload,
+    ScanUnit,
+    UnitOutcome,
+    uniform_key_picker,
+    zipf_value_picker,
+)
+from .scheduler import (
+    ArrayPlanExecutor,
+    OverlapConfig,
+    OverlappedSimulation,
+    OverlapPolicy,
+)
 
 __all__ = [
     "BusyInterval",
@@ -31,9 +44,17 @@ __all__ = [
     "simulate_query_latency",
     "MultiDiskExecutor",
     "MultiDiskReport",
+    "ArrayPlanExecutor",
+    "OverlapConfig",
+    "OverlapDayStats",
+    "OverlapPolicy",
+    "OverlappedSimulation",
+    "ProbeUnit",
     "QueryWorkload",
+    "ScanUnit",
     "Simulation",
     "SimulationResult",
+    "UnitOutcome",
     "run_simulation",
     "uniform_key_picker",
     "zipf_value_picker",

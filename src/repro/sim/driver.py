@@ -11,7 +11,7 @@ measured variant, Figure 11).
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..core.executor import PlanExecutor
 from ..core.records import RecordStore
@@ -27,6 +27,9 @@ from ..storage.disk import SimulatedDisk
 from ..storage.pagecache import PageCache
 from .metrics import DayMetrics, SimulationResult
 from .querygen import QueryWorkload
+
+if TYPE_CHECKING:
+    from .scheduler import OverlapConfig
 
 
 class Simulation:
@@ -58,9 +61,10 @@ class Simulation:
     ) -> None:
         self.scheme = scheme
         self.store = store
-        self.disk = SimulatedDisk(disk_params, buffer_pool, page_cache)
-        self.wave = WaveIndex(self.disk, index_config or IndexConfig(), scheme.n_indexes)
-        self.executor = PlanExecutor(self.wave, store, technique)
+        self._init_substrate(
+            index_config, disk_params, buffer_pool, page_cache
+        )
+        self.executor = self._make_executor(technique)
         self.queries = queries
         self.obs = MetricsRegistry()
         self.tracer = Tracer(lambda: self.disk.clock)
@@ -71,6 +75,24 @@ class Simulation:
             technique=technique.value,
         )
         self._started = False
+
+    def _init_substrate(
+        self,
+        index_config: IndexConfig | None,
+        disk_params: DiskParameters | None,
+        buffer_pool: BufferPoolModel | None,
+        page_cache: PageCache | None,
+    ) -> None:
+        """Create ``self.disk`` and ``self.wave`` (overridden by the
+        overlapped scheduler, which serves from a disk array instead)."""
+        self.disk = SimulatedDisk(disk_params, buffer_pool, page_cache)
+        self.wave = WaveIndex(
+            self.disk, index_config or IndexConfig(), self.scheme.n_indexes
+        )
+
+    def _make_executor(self, technique: UpdateTechnique) -> PlanExecutor:
+        """Build the plan executor (overridden for array placement)."""
+        return PlanExecutor(self.wave, self.store, technique)
 
     def run_start(self) -> DayMetrics:
         """Execute the scheme's initial build (day ``W``)."""
@@ -150,8 +172,38 @@ def run_simulation(
     queries: QueryWorkload | None = None,
     buffer_pool: BufferPoolModel | None = None,
     page_cache: PageCache | None = None,
+    overlap: "OverlapConfig | None" = None,
 ) -> SimulationResult:
-    """One-call convenience wrapper around :class:`Simulation`."""
+    """One-call convenience wrapper around :class:`Simulation`.
+
+    With ``overlap=None`` (the default) the run is the classic serialized
+    single-disk simulation, bit-identical to what this function has always
+    produced.  Passing an :class:`~repro.sim.scheduler.OverlapConfig`
+    serves the same scheme and query stream from a
+    :class:`~repro.storage.array.DiskArray` with maintenance and query
+    batches interleaved on a shared timeline (see
+    :mod:`repro.sim.scheduler`); per-day :class:`DayMetrics` then carry
+    an :class:`~repro.sim.metrics.OverlapDayStats`.
+    """
+    if overlap is not None:
+        from .scheduler import OverlappedSimulation
+
+        if buffer_pool is not None or page_cache is not None:
+            raise SchemeError(
+                "overlap= manages per-device caches itself; use "
+                "OverlapConfig.page_cache_bytes instead of "
+                "buffer_pool/page_cache"
+            )
+        overlapped = OverlappedSimulation(
+            scheme_factory(),
+            store,
+            technique=technique,
+            index_config=index_config,
+            disk_params=disk_params,
+            queries=queries,
+            overlap=overlap,
+        )
+        return overlapped.run(last_day)
     sim = Simulation(
         scheme_factory(),
         store,

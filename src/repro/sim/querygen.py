@@ -11,9 +11,111 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from typing import Any, Callable
+from zlib import crc32
 
 from ..core.wave import WaveIndex
 from ..errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class UnitOutcome:
+    """What one executed query unit cost and lost.
+
+    ``seconds`` is exactly the quantity :meth:`QueryWorkload.run_day`
+    accumulates for the unit; ``missing_days`` is non-empty only for
+    degraded executions that skipped offline constituents.
+    """
+
+    seconds: float
+    requests: int
+    missing_days: frozenset[int] = frozenset()
+
+
+@dataclass(frozen=True)
+class ProbeUnit:
+    """One schedulable probe call: a single probe or one batched chunk.
+
+    Executing all of a day's units in order is, by construction, the same
+    sequence of wave-index calls :meth:`QueryWorkload.run_day` makes —
+    that identity is what the overlapped scheduler's serialized-equivalence
+    guarantee rests on.
+    """
+
+    values: tuple[Any, ...]
+    t1: int
+    t2: int
+    batched: bool
+
+    @property
+    def requests(self) -> int:
+        """Return how many logical query requests the unit serves."""
+        return len(self.values)
+
+    def needed_constituents(self, wave: WaveIndex) -> set[str]:
+        """Return the constituent names whose days intersect the range."""
+        return {
+            name
+            for name in wave.constituents
+            if (index := wave.bindings.get(name)) is not None
+            and any(self.t1 <= d <= self.t2 for d in index.time_set)
+        }
+
+    def execute(self, wave: WaveIndex, *, degraded: bool = False) -> UnitOutcome:
+        """Run the unit against ``wave``; return its measured outcome."""
+        if not self.batched:
+            result = wave.timed_index_probe(
+                self.values[0], self.t1, self.t2, degraded=degraded
+            )
+            return UnitOutcome(result.seconds, 1, result.missing_days)
+        batch = wave.probe_many(
+            [(value, self.t1, self.t2) for value in self.values],
+            degraded=degraded,
+        )
+        missing: set[int] = set()
+        for result in batch:
+            missing.update(result.missing_days)
+        return UnitOutcome(batch.seconds, len(self.values), frozenset(missing))
+
+
+@dataclass(frozen=True)
+class ScanUnit:
+    """One schedulable scan call: a single scan or one batched chunk."""
+
+    count: int
+    t1: int
+    t2: int
+    batched: bool
+
+    @property
+    def requests(self) -> int:
+        """Return how many logical query requests the unit serves."""
+        return self.count
+
+    def needed_constituents(self, wave: WaveIndex) -> set[str]:
+        """Return the constituent names whose days intersect the range."""
+        return {
+            name
+            for name in wave.constituents
+            if (index := wave.bindings.get(name)) is not None
+            and any(self.t1 <= d <= self.t2 for d in index.time_set)
+        }
+
+    def execute(self, wave: WaveIndex, *, degraded: bool = False) -> UnitOutcome:
+        """Run the unit against ``wave``; return its measured outcome."""
+        if not self.batched:
+            result = wave.timed_segment_scan(self.t1, self.t2, degraded=degraded)
+            return UnitOutcome(result.seconds, 1, result.missing_days)
+        batch = wave.scan_many(
+            [(self.t1, self.t2)] * self.count, degraded=degraded
+        )
+        missing: set[int] = set()
+        for result in batch:
+            missing.update(result.missing_days)
+        return UnitOutcome(batch.seconds, self.count, frozenset(missing))
+
+
+#: A schedulable day unit: one physical wave-index call.
+QueryUnit = ProbeUnit | ScanUnit
 
 
 @dataclass(frozen=True)
@@ -52,31 +154,50 @@ class QueryWorkload:
                 f"batch_size must be >= 1, got {self.batch_size}"
             )
 
-    def run_day(self, wave: WaveIndex, day: int, window: int) -> float:
-        """Execute the day's queries; return their simulated seconds."""
-        rng = random.Random(hash((self.seed, "queries", day)) & 0x7FFFFFFF)
+    def day_requests(self, day: int, window: int) -> list[QueryUnit]:
+        """Return the day's query stream as ordered, schedulable units.
+
+        Each unit is exactly one wave-index call (a probe, a scan, or one
+        batched chunk of either); executing them in order performs the
+        same call sequence as :meth:`run_day`.  The overlapped scheduler
+        (:mod:`repro.sim.scheduler`) assigns each unit an arrival time on
+        the day's shared timeline; the serialized driver just sums their
+        costs.
+        """
+        # crc32, not hash(): builtin string hashing is salted per process
+        # (PYTHONHASHSEED), which would make the stream — and every bench
+        # artifact built on it — irreproducible across runs.
+        rng = random.Random(crc32(f"{self.seed}:queries:{day}".encode()))
         lo, hi = day - window + 1, day
-        seconds = 0.0
         values = [
             self.value_picker(rng)  # type: ignore[misc]
             for _ in range(self.probes_per_day)
         ]
         scan_lo = hi if self.scan_newest_only else lo
+        units: list[QueryUnit] = []
         if self.batch_size == 1:
-            for value in values:
-                seconds += wave.timed_index_probe(value, lo, hi).seconds
-            for _ in range(self.scans_per_day):
-                seconds += wave.timed_segment_scan(scan_lo, hi).seconds
-            return seconds
+            units.extend(
+                ProbeUnit((value,), lo, hi, batched=False) for value in values
+            )
+            units.extend(
+                ScanUnit(1, scan_lo, hi, batched=False)
+                for _ in range(self.scans_per_day)
+            )
+            return units
         for start in range(0, len(values), self.batch_size):
-            chunk = values[start : start + self.batch_size]
-            seconds += wave.probe_many(
-                [(value, lo, hi) for value in chunk]
-            ).seconds
+            chunk = tuple(values[start : start + self.batch_size])
+            units.append(ProbeUnit(chunk, lo, hi, batched=True))
         for start in range(0, self.scans_per_day, self.batch_size):
             count = min(self.batch_size, self.scans_per_day - start)
-            seconds += wave.scan_many([(scan_lo, hi)] * count).seconds
-        return seconds
+            units.append(ScanUnit(count, scan_lo, hi, batched=True))
+        return units
+
+    def run_day(self, wave: WaveIndex, day: int, window: int) -> float:
+        """Execute the day's queries; return their simulated seconds."""
+        return sum(
+            (unit.execute(wave).seconds for unit in self.day_requests(day, window)),
+            0.0,
+        )
 
 
 def zipf_value_picker(vocabulary: int, s: float = 1.0) -> Callable[[random.Random], str]:

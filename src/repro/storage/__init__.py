@@ -6,6 +6,7 @@ transfer bandwidth, both of which :class:`DiskParameters` exposes.
 """
 
 from .allocator import ExtentAllocator
+from .array import DiskArray, Placement
 from .bufferpool import BufferPoolModel
 from .cost import DEFAULT_BANDWIDTH_BPS, DEFAULT_SEEK_S, MEGABYTE, DiskParameters
 from .disk import SimulatedDisk
@@ -22,6 +23,8 @@ from .stats import IOSnapshot, IOStats
 
 __all__ = [
     "BufferPoolModel",
+    "DiskArray",
+    "Placement",
     "DEFAULT_PAGE_SIZE",
     "PageCache",
     "PageCacheSnapshot",

@@ -4,7 +4,6 @@ import pytest
 
 from repro.analysis.parameters import (
     ApplicationParameters,
-    CostParameters,
     HardwareParameters,
     ImplementationParameters,
     SCAM_PARAMETERS,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.analysis.costing import AnalyticExecutor
 from repro.analysis.daycount import run_reports, steady_state
 from repro.analysis.parameters import (
     SCAM_PARAMETERS,

@@ -1,6 +1,5 @@
 """Tests for the Section-6 scheme advisor."""
 
-import pytest
 
 from repro.analysis.parameters import (
     SCAM_PARAMETERS,

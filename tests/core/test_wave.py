@@ -6,7 +6,6 @@ from repro.core.records import Record, RecordStore
 from repro.core.wave import WaveIndex, constituent_names
 from repro.errors import WaveIndexError
 from repro.index.builder import build_packed_index
-from repro.index.config import IndexConfig
 
 
 def packed(disk, config, store, days, name):

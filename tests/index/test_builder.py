@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.index.btree import BPlusTreeDirectory
 from repro.index.builder import build_empty_index, build_packed_index
 from repro.index.config import IndexConfig
 from repro.index.entry import Entry

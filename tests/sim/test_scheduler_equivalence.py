@@ -1,0 +1,163 @@
+"""Serialized-equivalence guarantee of the overlapped scheduler.
+
+With one device and the wait policy, the overlapped scheduler must
+reproduce the classic serialized driver's :class:`SimulationResult`
+*exactly* — same phase seconds, same query seconds, same space, same I/O
+counters — for every scheme and technique.  This is the invariant that
+makes the overlap benchmark's serialized/overlapped comparison a
+controlled experiment rather than two different simulators.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.schemes import scheme_by_name
+from repro.index.updates import UpdateTechnique
+from repro.sim.driver import run_simulation
+from repro.sim.querygen import QueryWorkload
+from repro.sim.scheduler import OverlapConfig, OverlapPolicy
+from tests.conftest import make_store
+
+ALL_CLI_SCHEMES = (
+    "DEL",
+    "REINDEX",
+    "REINDEX+",
+    "REINDEX++",
+    "WATA*",
+    "RATA*",
+    "WATA(table4)",
+)
+
+#: k=1 + wait + name-sticky placement: the serialized driver's world.
+SERIALIZED_EQUIVALENT = OverlapConfig(
+    n_devices=1, policy=OverlapPolicy.WAIT, placement="sticky"
+)
+
+
+def _workload() -> QueryWorkload:
+    return QueryWorkload(
+        probes_per_day=5,
+        scans_per_day=2,
+        value_picker=lambda rng: rng.choice("abcdefgh"),
+        seed=3,
+    )
+
+
+def _strip_overlap(result):
+    """Return ``result`` with the overlay-only fields removed."""
+    return dataclasses.replace(
+        result,
+        days=[dataclasses.replace(d, overlap=None) for d in result.days],
+    )
+
+
+class TestSerializedEquivalence:
+    @pytest.mark.parametrize("name", ALL_CLI_SCHEMES)
+    def test_every_scheme_reproduces_serialized_result(self, name):
+        W, n, last = 10, 4, 16
+        scheme_cls = scheme_by_name(name)
+        serialized = run_simulation(
+            lambda: scheme_cls(W, n),
+            make_store(last),
+            last_day=last,
+            queries=_workload(),
+        )
+        overlapped = run_simulation(
+            lambda: scheme_cls(W, n),
+            make_store(last),
+            last_day=last,
+            queries=_workload(),
+            overlap=SERIALIZED_EQUIVALENT,
+        )
+        assert _strip_overlap(overlapped) == serialized
+        # The overlay itself must still be present on every day.
+        assert all(d.overlap is not None for d in overlapped.days)
+
+    @pytest.mark.parametrize(
+        "technique",
+        [
+            UpdateTechnique.IN_PLACE,
+            UpdateTechnique.SIMPLE_SHADOW,
+            UpdateTechnique.PACKED_SHADOW,
+        ],
+    )
+    def test_equivalence_holds_per_technique(self, technique):
+        W, n, last = 8, 2, 13
+        scheme_cls = scheme_by_name("DEL")
+        serialized = run_simulation(
+            lambda: scheme_cls(W, n),
+            make_store(last),
+            last_day=last,
+            technique=technique,
+            queries=_workload(),
+        )
+        overlapped = run_simulation(
+            lambda: scheme_cls(W, n),
+            make_store(last),
+            last_day=last,
+            technique=technique,
+            queries=_workload(),
+            overlap=SERIALIZED_EQUIVALENT,
+        )
+        assert _strip_overlap(overlapped) == serialized
+
+    def test_equivalence_without_queries(self):
+        W, n, last = 8, 3, 12
+        scheme_cls = scheme_by_name("REINDEX+")
+        serialized = run_simulation(
+            lambda: scheme_cls(W, n), make_store(last), last_day=last
+        )
+        overlapped = run_simulation(
+            lambda: scheme_cls(W, n),
+            make_store(last),
+            last_day=last,
+            overlap=SERIALIZED_EQUIVALENT,
+        )
+        assert _strip_overlap(overlapped) == serialized
+
+    def test_degrade_policy_on_one_device_also_matches(self):
+        # With a single device nothing is ever offline under shadowing,
+        # so even the degrade policy cannot diverge from serialized.
+        W, n, last = 8, 2, 12
+        scheme_cls = scheme_by_name("REINDEX")
+        serialized = run_simulation(
+            lambda: scheme_cls(W, n),
+            make_store(last),
+            last_day=last,
+            queries=_workload(),
+        )
+        overlapped = run_simulation(
+            lambda: scheme_cls(W, n),
+            make_store(last),
+            last_day=last,
+            queries=_workload(),
+            overlap=OverlapConfig(
+                n_devices=1, policy=OverlapPolicy.DEGRADE, placement="sticky"
+            ),
+        )
+        assert _strip_overlap(overlapped) == serialized
+
+    def test_serialized_default_is_untouched_by_scheduler_import(self):
+        # run_simulation without overlap= must still use the plain driver.
+        W, n, last = 6, 2, 9
+        result = run_simulation(
+            lambda: scheme_by_name("DEL")(W, n),
+            make_store(last),
+            last_day=last,
+            queries=_workload(),
+        )
+        assert all(d.overlap is None for d in result.days)
+
+    def test_overlap_rejects_external_caches(self):
+        from repro.errors import SchemeError
+        from repro.storage.pagecache import PageCache
+
+        with pytest.raises(SchemeError):
+            run_simulation(
+                lambda: scheme_by_name("DEL")(5, 1),
+                make_store(8),
+                last_day=8,
+                page_cache=PageCache(1 << 16),
+                overlap=SERIALIZED_EQUIVALENT,
+            )

@@ -1,0 +1,107 @@
+"""Tests for the disk array and its placement policies."""
+
+import pytest
+
+from repro.storage.array import DiskArray, Placement
+from repro.storage.disk import SimulatedDisk
+from repro.storage.faults import FaultyDisk
+
+
+class TestPlacement:
+    def test_round_robin_assigns_in_arrival_order(self):
+        placement = Placement(3)
+        assert placement.device_index("I1") == 0
+        assert placement.device_index("I2") == 1
+        assert placement.device_index("I3") == 2
+        assert placement.device_index("I4") == 0  # wraps
+        assert placement.device_index("I2") == 1  # stable on re-ask
+
+    def test_hash_is_arrival_order_independent(self):
+        a = Placement(4, strategy="hash")
+        b = Placement(4, strategy="hash")
+        assert a.device_index("I2") == b.device_index("I2")
+        b.device_index("I1")  # different arrival order
+        assert a.device_index("I2") == b.device_index("I2")
+
+    def test_pinned_overrides_with_round_robin_fallback(self):
+        placement = Placement(3, strategy="pinned", pinned={"Temp": 2})
+        assert placement.device_index("Temp") == 2
+        assert placement.device_index("I1") == 0
+
+    def test_pinned_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Placement(2, strategy="pinned", pinned={"I1": 5})
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            Placement(2, strategy="striped")
+
+    def test_assignments_reports_placed_names(self):
+        placement = Placement(2, pinned={"Temp": 1})
+        placement.device_index("I1")
+        assert placement.assignments() == {"I1": 0, "Temp": 1}
+
+
+class TestDiskArray:
+    def test_create_builds_independent_devices(self):
+        array = DiskArray.create(3)
+        assert len(array) == 3
+        array.devices[0].write(array.devices[0].allocate(1000), 1000)
+        assert array.devices[0].clock > 0
+        assert array.devices[1].clock == 0
+
+    def test_disk_for_follows_placement(self):
+        array = DiskArray.create(2)
+        assert array.disk_for("I1") is array.devices[0]
+        assert array.disk_for("I2") is array.devices[1]
+        assert array.disk_for("I3") is array.devices[0]
+
+    def test_aggregates_sum_over_devices(self):
+        array = DiskArray.create(2)
+        for device in array.devices:
+            device.write(device.allocate(500), 500)
+        io = array.io_snapshot()
+        assert io.bytes_written == 1000
+        assert array.total_clock == pytest.approx(sum(array.clocks()))
+        assert array.live_bytes == 1000
+
+    def test_high_water_is_summed_and_resettable(self):
+        array = DiskArray.create(2)
+        e0 = array.devices[0].allocate(800)
+        array.devices[0].write(e0, 800)
+        array.devices[0].free(e0)
+        assert array.high_water_bytes >= 800
+        array.reset_high_water()
+        assert array.high_water_bytes == 0
+
+    def test_page_caches_are_per_device(self):
+        array = DiskArray.create(2, page_cache_bytes=1 << 16)
+        assert all(d.page_cache is not None for d in array.devices)
+        assert array.devices[0].page_cache is not array.devices[1].page_cache
+        snap = array.cache_snapshot()
+        assert snap is not None and snap.hits == 0
+
+    def test_cache_snapshot_none_without_caches(self):
+        assert DiskArray.create(2).cache_snapshot() is None
+
+    def test_device_factory_allows_faulty_members(self):
+        array = DiskArray.create(
+            2,
+            device_factory=lambda i: FaultyDisk() if i == 0 else SimulatedDisk(),
+        )
+        assert isinstance(array.devices[0], FaultyDisk)
+        assert not isinstance(array.devices[1], FaultyDisk)
+
+    def test_placement_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DiskArray([SimulatedDisk()], Placement(2))
+
+    def test_empty_array_rejected(self):
+        with pytest.raises(ValueError):
+            DiskArray([])
+
+    def test_check_invariants_covers_all_devices(self):
+        array = DiskArray.create(2)
+        for device in array.devices:
+            device.write(device.allocate(100), 100)
+        array.check_invariants()

@@ -1,0 +1,103 @@
+"""Tests for the bench-regression gate."""
+
+import pytest
+
+from repro.bench.regression import (
+    DEFAULT_THRESHOLD,
+    build_baseline,
+    compare,
+    extract_headlines,
+    render_diff_table,
+)
+
+
+def serving_report(speedup=4.0):
+    return {
+        "bench": "serving",
+        "speedups": {"batch256_cached_vs_unbatched_uncached": speedup},
+    }
+
+
+def overlap_report(makespan=0.9, p95=0.5):
+    return {
+        "bench": "overlap",
+        "headline": {
+            "makespan_ratio_mean": makespan,
+            "reindex_p95_ratio_best": p95,
+            "reindex_p95_improved": p95 < 1.0,
+        },
+    }
+
+
+class TestExtraction:
+    def test_serving_headline(self):
+        assert extract_headlines(serving_report(3.5)) == {
+            "serving_speedup_batch256": 3.5
+        }
+
+    def test_overlap_headlines(self):
+        metrics = extract_headlines(overlap_report(0.88, 0.52))
+        assert metrics == {
+            "overlap_makespan_ratio_mean": 0.88,
+            "overlap_reindex_p95_ratio_best": 0.52,
+        }
+
+    def test_baseline_merges_and_carries_over(self):
+        baseline = build_baseline([serving_report(4.0)])
+        assert baseline["metrics"] == {"serving_speedup_batch256": 4.0}
+        refreshed = build_baseline([overlap_report()], previous=baseline)
+        assert "serving_speedup_batch256" in refreshed["metrics"]
+        assert "overlap_makespan_ratio_mean" in refreshed["metrics"]
+
+
+class TestCompare:
+    def test_unchanged_values_pass(self):
+        baseline = build_baseline([serving_report(4.0), overlap_report()])
+        rows = compare(baseline, [serving_report(4.0), overlap_report()])
+        assert all(not r.regressed for r in rows)
+        assert all(not r.skipped for r in rows)
+
+    def test_higher_is_better_regression(self):
+        baseline = build_baseline([serving_report(4.0)])
+        rows = compare(baseline, [serving_report(2.0)])  # halved speedup
+        assert rows[0].regressed
+        assert rows[0].change == pytest.approx(-0.5)
+
+    def test_lower_is_better_regression(self):
+        baseline = build_baseline([overlap_report(makespan=0.8)])
+        current = [overlap_report(makespan=1.2)]  # 50% worse
+        rows = compare(baseline, current)
+        row = next(r for r in rows if r.metric == "overlap_makespan_ratio_mean")
+        assert row.regressed
+
+    def test_within_threshold_passes(self):
+        baseline = build_baseline([serving_report(4.0)])
+        rows = compare(baseline, [serving_report(3.2)])  # -20% < 25%
+        assert not rows[0].regressed
+
+    def test_absent_bench_is_skipped_not_failed(self):
+        baseline = build_baseline([serving_report(4.0), overlap_report()])
+        rows = compare(baseline, [overlap_report()])
+        serving = next(
+            r for r in rows if r.metric == "serving_speedup_batch256"
+        )
+        assert serving.skipped and not serving.regressed
+
+    def test_present_bench_missing_metric_fails(self):
+        baseline = build_baseline([overlap_report()])
+        broken = {"bench": "overlap", "headline": {}}
+        rows = compare(baseline, [broken])
+        assert all(r.regressed for r in rows if not r.skipped)
+
+    def test_diff_table_names_failures(self):
+        baseline = build_baseline([serving_report(4.0)])
+        rows = compare(baseline, [serving_report(1.0)])
+        table = render_diff_table(rows, DEFAULT_THRESHOLD)
+        assert "REGRESSION" in table
+        assert "serving_speedup_batch256" in table
+
+    def test_diff_table_reports_ok(self):
+        baseline = build_baseline([serving_report(4.0)])
+        rows = compare(baseline, [serving_report(4.0)])
+        table = render_diff_table(rows, DEFAULT_THRESHOLD)
+        assert "gate ok" in table

@@ -209,3 +209,108 @@ class TestBenchServing:
         )
         assert code == 2
         assert "batch" in capsys.readouterr().err.lower()
+
+
+class TestBenchOverlap:
+    def test_quick_run_writes_valid_report(self, capsys, tmp_path):
+        import json
+
+        from repro.bench.overlap import validate_report
+
+        out_path = tmp_path / "BENCH_overlap.json"
+        assert main(["bench-overlap", "--quick", "--out", str(out_path)]) == 0
+        report = json.loads(out_path.read_text())
+        validate_report(report)
+        assert report["bench"] == "overlap"
+        stdout = capsys.readouterr().out
+        assert "makespan" in stdout
+        assert str(out_path) in stdout
+
+    def test_unknown_scheme_rejected(self, capsys, tmp_path):
+        code = main(
+            [
+                "bench-overlap", "--quick",
+                "--out", str(tmp_path / "x.json"),
+                "--schemes", "NOPE",
+            ]
+        )
+        assert code == 2
+        assert "unknown scheme" in capsys.readouterr().err
+
+    def test_bad_devices_rejected(self, capsys, tmp_path):
+        code = main(
+            [
+                "bench-overlap", "--quick",
+                "--out", str(tmp_path / "x.json"),
+                "--devices", "1",
+            ]
+        )
+        assert code == 2
+        assert "devices" in capsys.readouterr().err
+
+
+class TestBenchCheck:
+    @staticmethod
+    def _reports(tmp_path, speedup=4.0):
+        import json
+
+        serving = tmp_path / "BENCH_serving.json"
+        serving.write_text(json.dumps({
+            "bench": "serving",
+            "speedups": {"batch256_cached_vs_unbatched_uncached": speedup},
+        }))
+        return serving
+
+    def test_update_then_pass(self, capsys, tmp_path):
+        serving = self._reports(tmp_path)
+        baseline = tmp_path / "BENCH_baseline.json"
+        assert main([
+            "bench-check", str(serving),
+            "--baseline", str(baseline), "--update",
+        ]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        assert main([
+            "bench-check", str(serving), "--baseline", str(baseline),
+        ]) == 0
+        assert "gate ok" in capsys.readouterr().out
+
+    def test_regression_fails_the_gate(self, capsys, tmp_path):
+        baseline_src = self._reports(tmp_path, speedup=4.0)
+        baseline = tmp_path / "BENCH_baseline.json"
+        main(["bench-check", str(baseline_src),
+              "--baseline", str(baseline), "--update"])
+        capsys.readouterr()
+        regressed = self._reports(tmp_path, speedup=1.0)
+        assert main([
+            "bench-check", str(regressed), "--baseline", str(baseline),
+        ]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_missing_baseline_fails_cleanly(self, capsys, tmp_path):
+        serving = self._reports(tmp_path)
+        code = main([
+            "bench-check", str(serving),
+            "--baseline", str(tmp_path / "nope.json"),
+        ])
+        assert code == 2
+        assert "baseline" in capsys.readouterr().err
+
+
+class TestGlobalSeed:
+    def test_global_seed_reaches_subcommand(self, capsys):
+        assert main([
+            "--seed", "3",
+            "crash-test", "DEL", "-w", "5", "-n", "2", "--cycles", "1",
+        ]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_subcommand_seed_wins_over_global(self, capsys):
+        # Both spellings must run; the per-command flag takes precedence,
+        # so this is the same matrix as --seed 3 in TestCrashTest.
+        assert main([
+            "--seed", "9",
+            "crash-test", "DEL",
+            "-w", "5", "-n", "2", "--cycles", "1", "--seed", "3",
+        ]) == 0
+        assert "PASS" in capsys.readouterr().out
