@@ -1,0 +1,401 @@
+"""The cluster benchmark: sharded scaling and staggered maintenance.
+
+The cluster layer (:mod:`repro.cluster`) makes two claims measurable:
+
+* **Throughput scales with shard count** — ``k`` shards on ``k`` devices
+  serve the same query stream faster than one index on one device,
+  because probes split across shards and each shard's maintenance plan
+  covers only its slice of the data.
+* **Staggered beats lockstep during transitions** — bounding how many
+  shards transition at once (``ceil(k * max_concurrent_frac)``) keeps
+  most of the cluster serving at steady-state latency while a few shards
+  reorganize, cutting the during-transition p95 against the naive
+  all-at-once schedule.
+
+For each shard count the benchmark replays the same store and the same
+daily query stream; at the largest shard count it additionally compares
+lockstep vs staggered day-boundary scheduling.  Results go to
+``BENCH_cluster.json``; both headline claims are asserted by the CI
+smoke job and gated by ``repro bench-check``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any
+
+from ..cluster import ClusterConfig, ClusterResult, run_cluster_simulation
+from ..core.records import RecordStore
+from ..core.schemes import scheme_by_name
+from ..sim.querygen import QueryWorkload, zipf_value_picker
+from ..workloads.text import NetnewsGenerator, TextWorkloadConfig
+from ..workloads.zipf import heaps_vocabulary
+
+#: Schema version stamped into BENCH_cluster.json.
+SCHEMA_VERSION = 1
+
+#: Top-level keys every BENCH_cluster.json must carry (CI smoke-checks).
+REQUIRED_KEYS = (
+    "bench",
+    "schema_version",
+    "workload",
+    "cluster",
+    "runs",
+    "headline",
+)
+
+#: Keys every per-run entry must carry.
+REQUIRED_RUN_KEYS = (
+    "n_shards",
+    "maintenance",
+    "makespan_seconds",
+    "maintenance_seconds",
+    "query_seconds",
+    "queries",
+    "queries_degraded",
+    "failovers",
+    "queries_per_second",
+    "latency_during_transition",
+    "latency_steady_state",
+)
+
+#: Headline keys the CI smoke job asserts on.
+REQUIRED_HEADLINE_KEYS = (
+    "throughput_scaling",
+    "staggered_p95_ratio",
+    "staggered_p95_improved",
+)
+
+
+@dataclass(frozen=True)
+class ClusterBenchConfig:
+    """Parameters of one cluster-benchmark run.
+
+    The defaults model a small text window served by a four-shard
+    cluster: a Netnews-style store partitioned by hash, a Zipf-skewed
+    probe stream plus a few scans per day, and a conservative stagger
+    (one shard in transition at a time at ``k = 4``).
+    """
+
+    window: int = 10
+    n_indexes: int = 4
+    transitions: int = 8
+    scheme: str = "REINDEX"
+    shard_counts: tuple[int, ...] = (1, 2, 4)
+    replication: int = 1
+    partitioner: str = "hash"
+    max_concurrent_frac: float = 0.25
+    arrival_stretch: float = 2.0
+    docs_per_day: int = 24
+    words_per_doc: int = 12
+    probes_per_day: int = 40
+    scans_per_day: int = 3
+    zipf_s: float = 1.0
+    seed: int = 7
+    quick: bool = False
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.transitions < 1:
+            raise ValueError(
+                f"transitions must be >= 1, got {self.transitions}"
+            )
+        if not self.shard_counts:
+            raise ValueError("need at least one shard count")
+        if any(k < 1 for k in self.shard_counts):
+            raise ValueError(
+                f"shard counts must be >= 1, got {self.shard_counts}"
+            )
+        if 1 not in self.shard_counts:
+            raise ValueError(
+                "shard_counts must include 1 (the single-index baseline)"
+            )
+        if max(self.shard_counts) < 2:
+            raise ValueError(
+                "shard_counts must include a multi-shard point (k >= 2)"
+            )
+        if self.replication < 1:
+            raise ValueError(
+                f"replication must be >= 1, got {self.replication}"
+            )
+        if self.probes_per_day < 1:
+            raise ValueError(
+                f"probes_per_day must be >= 1, got {self.probes_per_day}"
+            )
+        scheme_by_name(self.scheme)  # raises KeyError on unknowns
+
+    @property
+    def last_day(self) -> int:
+        """Return the final simulated day."""
+        return self.window + self.transitions
+
+
+def quick_config(base: ClusterBenchConfig | None = None) -> ClusterBenchConfig:
+    """Return a CI-sized variant of ``base`` (same shape, smaller run)."""
+    base = base or ClusterBenchConfig()
+    # The workload *mix* (probes vs scans per day) is kept at the full
+    # run's proportions: scans fan out to every shard and probes split,
+    # so the mix sets the throughput-scaling headline — shrinking it
+    # would push the quick value outside the bench-check gate's band
+    # around the committed full-run baseline.
+    return replace(
+        base,
+        window=8,
+        transitions=6,
+        shard_counts=(1, 4),
+        docs_per_day=14,
+        quick=True,
+    )
+
+
+def _build_store(config: ClusterBenchConfig) -> tuple[RecordStore, int]:
+    """Return the day-batched store and its vocabulary size."""
+    tokens = config.docs_per_day * config.words_per_doc
+    vocabulary = heaps_vocabulary(tokens)
+    text = TextWorkloadConfig(
+        docs_per_day=config.docs_per_day,
+        words_per_doc=config.words_per_doc,
+        vocabulary=vocabulary,
+        zipf_s=config.zipf_s,
+        seed=config.seed,
+    )
+    store = RecordStore()
+    NetnewsGenerator(text).populate(store, 1, config.last_day)
+    return store, vocabulary
+
+
+def _workload(config: ClusterBenchConfig, vocabulary: int) -> QueryWorkload:
+    """Return the daily query stream (identical across every run)."""
+    return QueryWorkload(
+        probes_per_day=config.probes_per_day,
+        scans_per_day=config.scans_per_day,
+        value_picker=zipf_value_picker(vocabulary, config.zipf_s),
+        seed=config.seed + 1,
+    )
+
+
+def _run_one(
+    config: ClusterBenchConfig,
+    store: RecordStore,
+    vocabulary: int,
+    n_shards: int,
+    maintenance: str,
+) -> tuple[dict[str, Any], ClusterResult]:
+    """Run one cluster configuration; return its report entry."""
+    scheme_cls = scheme_by_name(config.scheme)
+    result = run_cluster_simulation(
+        lambda: scheme_cls(config.window, config.n_indexes),
+        store,
+        last_day=config.last_day,
+        queries=_workload(config, vocabulary),
+        cluster=ClusterConfig(
+            n_shards=n_shards,
+            replication=config.replication,
+            partitioner=config.partitioner,
+            maintenance=maintenance,
+            max_concurrent_frac=config.max_concurrent_frac,
+            arrival_stretch=config.arrival_stretch,
+        ),
+    )
+    maintenance_seconds = sum(
+        d.seconds.total for shard in result.shard_results for d in shard.days
+    )
+    query_seconds = sum(
+        d.query_seconds for shard in result.shard_results for d in shard.days
+    )
+    entry = {
+        "n_shards": n_shards,
+        "replication": config.replication,
+        "maintenance": maintenance,
+        "makespan_seconds": result.total_makespan_seconds(),
+        "maintenance_seconds": maintenance_seconds,
+        "query_seconds": query_seconds,
+        "queries": result.total_requests(),
+        "queries_degraded": result.total_queries_degraded(),
+        "failovers": result.total_failovers(),
+        "queries_per_second": result.queries_per_second(),
+        "latency_during_transition": result.latency_during,
+        "latency_steady_state": result.latency_steady,
+    }
+    return entry, result
+
+
+def _ratio(a: float | None, b: float | None) -> float | None:
+    """Return ``a / b`` (``None`` when undefined)."""
+    if a is None or b is None or b <= 0:
+        return None
+    return a / b
+
+
+def run_cluster_bench(
+    config: ClusterBenchConfig | None = None,
+) -> dict[str, Any]:
+    """Run the shard-count sweep plus the stagger comparison.
+
+    Every run replays the same store and the same per-day query stream;
+    the ``k = 1`` lockstep run is bit-identical to the single-index
+    serialized driver (the cluster equivalence suite proves it), so the
+    scaling headline is measured against the paper's own baseline, not a
+    degraded strawman.
+    """
+    config = config or ClusterBenchConfig()
+    store, vocabulary = _build_store(config)
+    k_max = max(config.shard_counts)
+
+    runs: list[dict[str, Any]] = []
+    by_key: dict[tuple[int, str], dict[str, Any]] = {}
+    for n_shards in sorted(set(config.shard_counts)):
+        modes = ["lockstep"]
+        if n_shards == k_max:
+            modes.append("staggered")
+        for maintenance in modes:
+            entry, _ = _run_one(
+                config, store, vocabulary, n_shards, maintenance
+            )
+            runs.append(entry)
+            by_key[(n_shards, maintenance)] = entry
+
+    single = by_key[(1, "lockstep")]
+    lockstep = by_key[(k_max, "lockstep")]
+    staggered = by_key[(k_max, "staggered")]
+
+    def p95_during(entry: dict[str, Any]) -> float | None:
+        summary = entry.get("latency_during_transition")
+        return summary.get("p95") if summary else None
+
+    stag_p95 = p95_during(staggered)
+    lock_p95 = p95_during(lockstep)
+    headline = {
+        "k_max": k_max,
+        "throughput_scaling": _ratio(
+            staggered["queries_per_second"], single["queries_per_second"]
+        ),
+        "throughput_scaling_lockstep": _ratio(
+            lockstep["queries_per_second"], single["queries_per_second"]
+        ),
+        "staggered_p95_ratio": _ratio(stag_p95, lock_p95),
+        "staggered_p95_improved": (
+            stag_p95 is not None
+            and lock_p95 is not None
+            and stag_p95 < lock_p95
+        ),
+        "staggered_makespan_ratio": _ratio(
+            staggered["makespan_seconds"], lockstep["makespan_seconds"]
+        ),
+    }
+    report = {
+        "bench": "cluster",
+        "schema_version": SCHEMA_VERSION,
+        "workload": {
+            "window": config.window,
+            "n_indexes": config.n_indexes,
+            "transitions": config.transitions,
+            "scheme": config.scheme,
+            "docs_per_day": config.docs_per_day,
+            "words_per_doc": config.words_per_doc,
+            "vocabulary": vocabulary,
+            "probes_per_day": config.probes_per_day,
+            "scans_per_day": config.scans_per_day,
+            "zipf_s": config.zipf_s,
+            "seed": config.seed,
+            "quick": config.quick,
+        },
+        "cluster": {
+            "shard_counts": list(sorted(set(config.shard_counts))),
+            "replication": config.replication,
+            "partitioner": config.partitioner,
+            "max_concurrent_frac": config.max_concurrent_frac,
+            "arrival_stretch": config.arrival_stretch,
+        },
+        "runs": runs,
+        "headline": headline,
+    }
+    validate_report(report)
+    return report
+
+
+def validate_report(report: dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``report`` matches the committed schema.
+
+    This is the assertion the CI smoke job runs against the artifact.
+    """
+    for key in REQUIRED_KEYS:
+        if key not in report:
+            raise ValueError(f"BENCH_cluster report missing key {key!r}")
+    if report["bench"] != "cluster":
+        raise ValueError(f"unexpected bench {report['bench']!r}")
+    if not report["runs"]:
+        raise ValueError("BENCH_cluster report has no run entries")
+    for entry in report["runs"]:
+        for key in REQUIRED_RUN_KEYS:
+            if key not in entry:
+                raise ValueError(
+                    f"run k={entry.get('n_shards')} "
+                    f"{entry.get('maintenance')} missing key {key!r}"
+                )
+        if entry["makespan_seconds"] < 0:
+            raise ValueError(f"negative makespan in {entry}")
+    for key in REQUIRED_HEADLINE_KEYS:
+        if key not in report["headline"]:
+            raise ValueError(f"headline missing {key!r}")
+
+
+def write_report(report: dict[str, Any], path: str | Path) -> Path:
+    """Write ``report`` as pretty JSON; return the path."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def render_summary(report: dict[str, Any]) -> str:
+    """Return a human-readable comparison table for the CLI."""
+    w = report["workload"]
+    c = report["cluster"]
+    lines = [
+        "Cluster bench: {scheme} W={window} n={n_indexes}, "
+        "{transitions} transitions, {probes_per_day} probes + "
+        "{scans_per_day} scans/day".format(**w),
+        f"shards {c['shard_counts']}, r={c['replication']}, "
+        f"{c['partitioner']} partitioner, stagger frac "
+        f"{c['max_concurrent_frac']}",
+        "",
+        f"{'k':>3} {'maintenance':<11} {'qps':>9} {'p95 during':>11} "
+        f"{'p95 steady':>11} {'makespan':>10}",
+    ]
+
+    def p95(summary: dict[str, float] | None) -> str:
+        if not summary:
+            return "-"
+        return f"{summary['p95']:.4f}"
+
+    for entry in report["runs"]:
+        lines.append(
+            f"{entry['n_shards']:>3} {entry['maintenance']:<11} "
+            f"{entry['queries_per_second']:>9.1f} "
+            f"{p95(entry['latency_during_transition']):>11} "
+            f"{p95(entry['latency_steady_state']):>11} "
+            f"{entry['makespan_seconds']:>10.3f}"
+        )
+    h = report["headline"]
+
+    def fmt(value: float | None) -> str:
+        return f"{value:.2f}x" if value is not None else "-"
+
+    lines.append("")
+    lines.append(
+        f"  throughput scaling (k={h['k_max']} staggered / single index): "
+        + fmt(h["throughput_scaling"])
+    )
+    lines.append(
+        "  staggered/lockstep during-transition p95: "
+        + fmt(h["staggered_p95_ratio"])
+        + (
+            "  (improved)"
+            if h["staggered_p95_improved"]
+            else "  (NOT improved)"
+        )
+    )
+    return "\n".join(lines)

@@ -47,6 +47,10 @@ class HeadlineMetric:
             return report.get("headline", {}).get("makespan_ratio_mean")
         if self.name == "overlap_reindex_p95_ratio_best":
             return report.get("headline", {}).get("reindex_p95_ratio_best")
+        if self.name == "cluster_throughput_scaling":
+            return report.get("headline", {}).get("throughput_scaling")
+        if self.name == "cluster_staggered_p95_ratio":
+            return report.get("headline", {}).get("staggered_p95_ratio")
         raise KeyError(self.name)
 
 
@@ -69,6 +73,18 @@ HEADLINE_METRICS: tuple[HeadlineMetric, ...] = (
         "overlap",
         higher_is_better=False,
         description="best REINDEX-family during-transition p95 ratio",
+    ),
+    HeadlineMetric(
+        "cluster_throughput_scaling",
+        "cluster",
+        higher_is_better=True,
+        description="k-shard staggered cluster qps over the single index",
+    ),
+    HeadlineMetric(
+        "cluster_staggered_p95_ratio",
+        "cluster",
+        higher_is_better=False,
+        description="staggered/lockstep during-transition p95 at k_max",
     ),
 )
 

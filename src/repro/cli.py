@@ -16,6 +16,8 @@ Commands:
   window (cache on/off x batch sizes), writing ``BENCH_serving.json``.
 * ``bench-overlap`` — serialized vs overlapped maintenance/serving on a
   disk array across the schemes, writing ``BENCH_overlap.json``.
+* ``bench-cluster`` — sharded-cluster scaling and staggered vs lockstep
+  maintenance, writing ``BENCH_cluster.json``.
 * ``bench-check`` — gate fresh bench artifacts against the committed
   ``BENCH_baseline.json`` headline metrics.
 
@@ -224,6 +226,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="scheme names to compare (default: all seven)",
     )
     overlap.add_argument("--seed", type=int, default=None)
+
+    cluster = sub.add_parser(
+        "bench-cluster",
+        help="sharded-cluster scaling and staggered vs lockstep "
+        "maintenance, emitting BENCH_cluster.json",
+    )
+    cluster.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run (same shape, smaller window and stream)",
+    )
+    cluster.add_argument(
+        "--out", default="BENCH_cluster.json",
+        help="output JSON path (default: ./BENCH_cluster.json)",
+    )
+    cluster.add_argument(
+        "--shards", "-k", type=int, nargs="+", default=None,
+        help="shard counts to sweep; must include 1 and a k >= 2 "
+        "(default: 1 2 4)",
+    )
+    cluster.add_argument(
+        "--replication", "-r", type=int, default=None,
+        help="replicas per shard (default 1)",
+    )
+    cluster.add_argument(
+        "--scheme", default=None,
+        help="maintenance scheme every shard runs (default REINDEX)",
+    )
+    cluster.add_argument(
+        "--partitioner", choices=("hash", "range"), default=None,
+        help="key-space partitioner (default hash)",
+    )
+    cluster.add_argument(
+        "--max-concurrent-frac", type=float, default=None,
+        help="staggering bound: fraction of shards in transition at "
+        "once (default 0.25)",
+    )
+    cluster.add_argument("--window", "-w", type=int, default=None)
+    cluster.add_argument("--indexes", "-n", type=int, default=None)
+    cluster.add_argument("--transitions", type=int, default=None)
+    cluster.add_argument("--probes", type=int, default=None)
+    cluster.add_argument("--scans", type=int, default=None)
+    cluster.add_argument(
+        "--arrival-stretch", type=float, default=None,
+        help="query arrivals spread over this multiple of the "
+        "maintenance makespan (default 2.0)",
+    )
+    cluster.add_argument("--seed", type=int, default=None)
 
     check = sub.add_parser(
         "bench-check",
@@ -579,6 +628,49 @@ def _cmd_bench_overlap(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_cluster(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .bench.cluster import (
+        ClusterBenchConfig,
+        quick_config,
+        render_summary,
+        run_cluster_bench,
+        write_report,
+    )
+    from .errors import ClusterError
+
+    config = ClusterBenchConfig()
+    if args.quick:
+        config = quick_config(config)
+    overrides = {
+        "window": args.window,
+        "n_indexes": args.indexes,
+        "transitions": args.transitions,
+        "scheme": args.scheme,
+        "replication": args.replication,
+        "partitioner": args.partitioner,
+        "max_concurrent_frac": args.max_concurrent_frac,
+        "probes_per_day": args.probes,
+        "scans_per_day": args.scans,
+        "arrival_stretch": args.arrival_stretch,
+        "seed": _resolve_seed(args),
+    }
+    overrides = {k: v for k, v in overrides.items() if v is not None}
+    if args.shards is not None:
+        overrides["shard_counts"] = tuple(args.shards)
+    try:
+        config = replace(config, **overrides)
+        report = run_cluster_bench(config)
+    except (KeyError, ValueError, ClusterError) as exc:
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
+    path = write_report(report, args.out)
+    print(render_summary(report))
+    print(f"\nwrote {path}")
+    return 0
+
+
 def _cmd_bench_check(args: argparse.Namespace) -> int:
     from .bench.regression import (
         DEFAULT_THRESHOLD,
@@ -645,6 +737,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_bench_serving(args)
     if args.command == "bench-overlap":
         return _cmd_bench_overlap(args)
+    if args.command == "bench-cluster":
+        return _cmd_bench_cluster(args)
     if args.command == "bench-check":
         return _cmd_bench_check(args)
     raise AssertionError(f"unhandled command {args.command!r}")

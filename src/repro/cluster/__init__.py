@@ -1,0 +1,55 @@
+"""Sharded wave-index cluster: partitioned shards, scatter-gather
+serving, staggered maintenance, and replica failover.
+
+The paper scales one wave index in *time* (spread window maintenance
+over ``n`` constituents); this package scales it in *space*: the key
+space is split across ``k`` shards, each running its own wave index on
+its own device of a :class:`~repro.storage.array.DiskArray`, optionally
+replicated ``r`` ways.  See :mod:`repro.cluster.sim` for the timeline
+model and ``DESIGN.md`` for the architecture discussion.
+"""
+
+from .coordinator import (
+    ClusterBatchResult,
+    ClusterCoordinator,
+    ClusterCostSummary,
+)
+from .partitioner import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    make_partitioner,
+    partition_store,
+)
+from .rebalance import RebalanceReport, copy_index_to, move_replica
+from .shard import Shard, ShardReplica
+from .sim import (
+    MAINTENANCE_POLICIES,
+    ClusterConfig,
+    ClusterDayStats,
+    ClusterResult,
+    ClusterSimulation,
+    run_cluster_simulation,
+)
+
+__all__ = [
+    "MAINTENANCE_POLICIES",
+    "ClusterBatchResult",
+    "ClusterConfig",
+    "ClusterCoordinator",
+    "ClusterCostSummary",
+    "ClusterDayStats",
+    "ClusterResult",
+    "ClusterSimulation",
+    "HashPartitioner",
+    "Partitioner",
+    "RangePartitioner",
+    "RebalanceReport",
+    "Shard",
+    "ShardReplica",
+    "copy_index_to",
+    "make_partitioner",
+    "move_replica",
+    "partition_store",
+    "run_cluster_simulation",
+]

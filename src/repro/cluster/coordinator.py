@@ -1,0 +1,317 @@
+"""Scatter-gather query routing over the shard set.
+
+The :class:`ClusterCoordinator` is the cluster's query front door.  It
+speaks the same request shapes as the single wave index's batched
+serving APIs (:meth:`~repro.core.wave.WaveIndex.probe_many` /
+:meth:`~repro.core.wave.WaveIndex.scan_many`): probes are routed to the
+one shard owning each value (scatter), scans fan out to every shard, and
+per-shard answers are reassembled in request order (gather) with the
+per-shard :class:`~repro.core.queries.BatchCostSummary`\\ s merged into a
+cluster-level :class:`ClusterCostSummary`.
+
+Failover semantics: a shard is served by its primary replica; if the
+primary's device raises a :class:`~repro.errors.FaultError` mid-query the
+replica is marked failed and the request is retried on the next replica.
+When every replica of a shard is dead the coordinator does not guess —
+it returns an *empty* answer for that shard with the shard's window days
+enumerated in ``missing_days`` (a correct partial result, never a wrong
+one), and lists the shard in the summary's ``shards_unavailable``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..core.queries import BatchCostSummary, ProbeResult, ScanResult
+from ..errors import ClusterError, DegradedWindowError, FaultError
+from ..obs import MetricsRegistry
+from .partitioner import Partitioner
+from .shard import Shard, ShardReplica
+
+
+@dataclass(frozen=True)
+class ClusterCostSummary:
+    """Cluster-level accounting for one scatter-gather batch.
+
+    ``serial_seconds`` sums every shard's device time (single-device
+    equivalent work); ``elapsed_seconds`` is the slowest shard's time —
+    shards read distinct devices, so the batch completes when the last
+    one does.  ``per_shard`` keeps each shard's own
+    :class:`~repro.core.queries.BatchCostSummary` for drill-down.
+    """
+
+    requests: int
+    serial_seconds: float
+    elapsed_seconds: float
+    seeks: float
+    bytes_read: int
+    failovers: int
+    shards_queried: int
+    shards_unavailable: tuple[int, ...]
+    missing_days: frozenset[int]
+    per_shard: tuple[tuple[int, BatchCostSummary], ...]
+
+    @property
+    def complete(self) -> bool:
+        """Return ``True`` when no shard's days were lost."""
+        return not self.missing_days
+
+
+@dataclass(frozen=True)
+class ClusterBatchResult:
+    """Per-request merged results plus the cluster cost summary."""
+
+    results: tuple[Any, ...]
+    summary: ClusterCostSummary
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, i: int):
+        return self.results[i]
+
+    @property
+    def seconds(self) -> float:
+        """Return the batch's summed (serial-equivalent) seconds."""
+        return self.summary.serial_seconds
+
+
+class ClusterCoordinator:
+    """Routes queries across shards and merges their answers.
+
+    Args:
+        shards: The cluster's shards, in shard-id order.
+        partitioner: The same partitioner the stores were split with —
+            probe routing must agree with data placement.
+        metrics: Optional registry; the coordinator publishes
+            ``cluster.probes`` / ``cluster.scans`` / ``cluster.failovers``
+            / ``cluster.partial_answers`` counters into it.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[Shard],
+        partitioner: Partitioner,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if len(shards) != partitioner.n_shards:
+            raise ClusterError(
+                f"partitioner covers {partitioner.n_shards} shards, "
+                f"got {len(shards)}"
+            )
+        self.shards = list(shards)
+        self.partitioner = partitioner
+        self.obs = metrics or MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    # Failover primitive
+    # ------------------------------------------------------------------
+
+    def _serve(self, shard: Shard, call, *, degraded: bool = True):
+        """Run ``call(replica, degraded)`` on the shard, failing over on
+        faults.
+
+        Failover beats degradation: while the shard has *another* live
+        replica, the call runs strict (``degraded=False``) so a device
+        fault — which the wave index would otherwise swallow into a
+        partial answer — propagates, retires the replica, and the next
+        one serves the full window.  Only the last live replica serves
+        with the caller's ``degraded`` flag; a partial answer is the
+        end of the line, not a substitute for a healthy copy.
+
+        Returns ``(outcome, replica)`` or ``(None, None)`` when every
+        replica is dead.
+        """
+        while True:
+            replica = shard.primary
+            if replica is None:
+                return None, None
+            last = len(shard.alive_replicas()) == 1
+            try:
+                return call(replica, degraded and last), replica
+            except (DegradedWindowError, FaultError):
+                replica.failed = True
+                self.obs.counter("cluster.failovers").inc()
+                self._failovers += 1
+
+    # ------------------------------------------------------------------
+    # Batched scatter-gather
+    # ------------------------------------------------------------------
+
+    def probe_many(
+        self,
+        requests: Sequence[tuple[Any, int, int]],
+        *,
+        degraded: bool = True,
+    ) -> ClusterBatchResult:
+        """Batched ``TimedIndexProbe`` across the cluster.
+
+        Each ``(value, t1, t2)`` request is routed to the shard owning
+        ``value``; requests sharing a shard form one
+        :meth:`~repro.core.wave.WaveIndex.probe_many` batch there, so the
+        per-shard amortization (value dedup, offset-ordered bucket reads)
+        is preserved.  Results come back in request order; each is
+        exactly what the owning shard's wave index answered, or an empty
+        result with ``missing_days`` set when the shard is dark.
+        """
+        specs = list(requests)
+        self.obs.counter("cluster.probes").inc(len(specs))
+        by_shard: dict[int, list[int]] = {}
+        for i, (value, _t1, _t2) in enumerate(specs):
+            by_shard.setdefault(self.partitioner.shard_for(value), []).append(i)
+
+        self._failovers = 0
+        results: list[ProbeResult | None] = [None] * len(specs)
+        merge = _SummaryMerge()
+        for shard_id in sorted(by_shard):
+            shard = self.shards[shard_id]
+            indices = by_shard[shard_id]
+            shard_specs = [specs[i] for i in indices]
+            batch, _replica = self._serve(
+                shard,
+                lambda r, d: r.wave.probe_many(shard_specs, degraded=d),
+                degraded=degraded,
+            )
+            if batch is None:
+                merge.shard_dark(shard)
+                for i in indices:
+                    _value, t1, t2 = specs[i]
+                    missing = frozenset(shard.window_days(t1, t2))
+                    merge.missing |= missing
+                    results[i] = ProbeResult((), 0.0, 0, frozenset(), missing)
+                continue
+            merge.add(shard_id, batch.summary)
+            for i, result in zip(indices, batch.results):
+                results[i] = result
+                merge.missing |= result.missing_days
+        if merge.missing:
+            self.obs.counter("cluster.partial_answers").inc()
+        return ClusterBatchResult(
+            tuple(results), merge.finish(len(specs), self._failovers)
+        )
+
+    def scan_many(
+        self,
+        requests: Sequence[tuple[int, int]],
+        *,
+        degraded: bool = True,
+    ) -> ClusterBatchResult:
+        """Batched ``TimedSegmentScan`` across the cluster.
+
+        Scans are value-oblivious, so every request fans out to every
+        shard; each merged result concatenates the shards' entries in
+        shard order, sums their seconds, and unions their coverage.
+        """
+        specs = list(requests)
+        self.obs.counter("cluster.scans").inc(len(specs))
+        self._failovers = 0
+        merge = _SummaryMerge()
+        parts: list[list[ScanResult]] = [[] for _ in specs]
+        dark_missing: list[set[int]] = [set() for _ in specs]
+        for shard in self.shards:
+            batch, _replica = self._serve(
+                shard,
+                lambda r, d: r.wave.scan_many(specs, degraded=d),
+                degraded=degraded,
+            )
+            if batch is None:
+                merge.shard_dark(shard)
+                for i, (t1, t2) in enumerate(specs):
+                    dark_missing[i] |= shard.window_days(t1, t2)
+                continue
+            merge.add(shard.shard_id, batch.summary)
+            for i, result in zip(range(len(specs)), batch.results):
+                parts[i].append(result)
+        results = []
+        for i in range(len(specs)):
+            merged = _merge_scans(parts[i], dark_missing[i])
+            merge.missing |= merged.missing_days
+            results.append(merged)
+        if merge.missing:
+            self.obs.counter("cluster.partial_answers").inc()
+        return ClusterBatchResult(
+            tuple(results), merge.finish(len(specs), self._failovers)
+        )
+
+    # ------------------------------------------------------------------
+    # Single-request conveniences
+    # ------------------------------------------------------------------
+
+    def probe(
+        self, value: Any, t1: int, t2: int, *, degraded: bool = True
+    ) -> ProbeResult:
+        """Route one timed probe to its owning shard."""
+        return self.probe_many([(value, t1, t2)], degraded=degraded).results[0]
+
+    def scan(self, t1: int, t2: int, *, degraded: bool = True) -> ScanResult:
+        """Fan one timed scan out to every shard and merge the answers."""
+        return self.scan_many([(t1, t2)], degraded=degraded).results[0]
+
+
+class _SummaryMerge:
+    """Accumulates per-shard batch summaries into a cluster summary."""
+
+    def __init__(self) -> None:
+        self.per_shard: list[tuple[int, BatchCostSummary]] = []
+        self.unavailable: list[int] = []
+        self.missing: set[int] = set()
+
+    def add(self, shard_id: int, summary: BatchCostSummary) -> None:
+        self.per_shard.append((shard_id, summary))
+
+    def shard_dark(self, shard: Shard) -> None:
+        self.unavailable.append(shard.shard_id)
+
+    def finish(self, requests: int, failovers: int) -> ClusterCostSummary:
+        seconds = [s.seconds for _, s in self.per_shard]
+        return ClusterCostSummary(
+            requests=requests,
+            serial_seconds=sum(seconds),
+            elapsed_seconds=max(seconds, default=0.0),
+            seeks=sum(s.seeks for _, s in self.per_shard),
+            bytes_read=sum(s.bytes_read for _, s in self.per_shard),
+            failovers=failovers,
+            shards_queried=len(self.per_shard),
+            shards_unavailable=tuple(self.unavailable),
+            missing_days=frozenset(self.missing),
+            per_shard=tuple(self.per_shard),
+        )
+
+
+def _merge_scans(parts: list[ScanResult], dark_days: set[int]) -> ScanResult:
+    """Merge per-shard scan answers for one request.
+
+    Shards partition the *value* space, so every shard contributes to
+    every day: a day any shard lost (degraded or dark) stays missing in
+    the merged answer even when other shards covered it — their postings
+    for that day are present, but the day's answer is incomplete.
+    """
+    entries: list = []
+    covered: set[int] = set()
+    missing: set[int] = set(dark_days)
+    seconds = 0.0
+    scanned = 0
+    for part in parts:
+        entries.extend(part.entries)
+        covered |= part.covered_days
+        missing |= part.missing_days
+        seconds += part.seconds
+        scanned += part.indexes_scanned
+    return ScanResult(
+        tuple(entries),
+        seconds,
+        scanned,
+        frozenset(covered - missing),
+        frozenset(missing),
+    )
+
+
+__all__ = [
+    "ClusterBatchResult",
+    "ClusterCoordinator",
+    "ClusterCostSummary",
+]

@@ -1,0 +1,198 @@
+"""Key-space partitioners for the sharded wave-index cluster.
+
+A wave index keeps one sliding window fast by spreading maintenance over
+``n`` constituents; the cluster layer applies the same trick across the
+*key space*: each of ``k`` shards owns a slice of the search-field domain
+and runs its own wave index over the full window.  The partitioner is the
+contract between the two layers — a pure, stateless mapping from search
+values to shard ids that both the store splitter (at build time) and the
+coordinator (at query time) consult, so a probe for ``value`` always
+lands on the shard holding ``value``'s postings.
+
+Two implementations mirror the classic physical designs:
+
+* :class:`HashPartitioner` — stable CRC32 of the value; balanced for any
+  key distribution, but range queries fan out to every shard.
+* :class:`RangePartitioner` — ordered split points; co-locates adjacent
+  keys (and makes shard rebalancing a contiguous-range move) at the cost
+  of balance depending on the chosen splits.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Iterable, Protocol, runtime_checkable
+from zlib import crc32
+
+from ..core.records import Record, RecordStore
+from ..errors import ClusterError
+
+
+@runtime_checkable
+class Partitioner(Protocol):
+    """Maps search values to shard ids ``0 .. n_shards - 1``.
+
+    Implementations must be deterministic and stateless: the same value
+    maps to the same shard on every call, in every process (bench
+    artifacts are byte-compared across runs).
+    """
+
+    @property
+    def n_shards(self) -> int:
+        """Return the number of shards the key space is split into."""
+        ...
+
+    def shard_for(self, value: Any) -> int:
+        """Return the shard id owning ``value``."""
+        ...
+
+    def describe(self) -> dict[str, Any]:
+        """Return a JSON-friendly description (for bench reports)."""
+        ...
+
+
+class HashPartitioner:
+    """Shard by stable CRC32 of the value's string form.
+
+    CRC32 rather than builtin ``hash()``: string hashing is salted per
+    process (``PYTHONHASHSEED``), which would scatter the same store
+    differently on every run and break artifact reproducibility.
+    """
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise ClusterError(f"need at least one shard, got {n_shards}")
+        self._n_shards = n_shards
+
+    @property
+    def n_shards(self) -> int:
+        return self._n_shards
+
+    def shard_for(self, value: Any) -> int:
+        return crc32(str(value).encode("utf-8")) % self._n_shards
+
+    def describe(self) -> dict[str, Any]:
+        return {"kind": "hash", "n_shards": self._n_shards}
+
+    def __repr__(self) -> str:
+        return f"HashPartitioner(n_shards={self._n_shards})"
+
+
+class RangePartitioner:
+    """Shard by ordered split points over a comparable key domain.
+
+    ``split_points`` must be strictly increasing; values strictly less
+    than ``split_points[0]`` go to shard 0, values in
+    ``[split_points[i-1], split_points[i])`` to shard ``i``, and values
+    ``>= split_points[-1]`` to the last shard — so ``len(split_points)+1``
+    shards in total, and :meth:`shard_for` is monotone non-decreasing in
+    the value (the property the hypothesis suite asserts).
+    """
+
+    def __init__(self, split_points: Iterable[Any]) -> None:
+        splits = list(split_points)
+        if not splits:
+            raise ClusterError("range partitioning needs >= 1 split point")
+        for left, right in zip(splits, splits[1:]):
+            try:
+                ordered = left < right
+            except TypeError as exc:
+                raise ClusterError(
+                    f"split points {left!r} and {right!r} are not comparable"
+                ) from exc
+            if not ordered:
+                raise ClusterError(
+                    f"split points must be strictly increasing; "
+                    f"{left!r} >= {right!r}"
+                )
+        self.split_points = tuple(splits)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.split_points) + 1
+
+    def shard_for(self, value: Any) -> int:
+        try:
+            return bisect_right(self.split_points, value)
+        except TypeError as exc:
+            raise ClusterError(
+                f"value {value!r} is not comparable with the split points"
+            ) from exc
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "kind": "range",
+            "n_shards": self.n_shards,
+            "split_points": [str(p) for p in self.split_points],
+        }
+
+    def __repr__(self) -> str:
+        return f"RangePartitioner(split_points={self.split_points!r})"
+
+
+def make_partitioner(
+    kind: str, n_shards: int, *, range_splits: Iterable[Any] = ()
+) -> Partitioner:
+    """Build the partitioner named by ``kind`` (``"hash"``/``"range"``).
+
+    For ``"range"`` with no explicit splits, integer split points are
+    synthesized from CRC32 order statistics — callers that care about the
+    actual key distribution pass their own ``range_splits``.
+    """
+    if kind == "hash":
+        return HashPartitioner(n_shards)
+    if kind == "range":
+        splits = list(range_splits)
+        if splits:
+            if len(splits) != n_shards - 1:
+                raise ClusterError(
+                    f"{n_shards} shards need {n_shards - 1} split points, "
+                    f"got {len(splits)}"
+                )
+            return RangePartitioner(splits)
+        if n_shards == 1:
+            return HashPartitioner(1)  # one shard needs no splits
+        raise ClusterError(
+            "range partitioning needs explicit range_splits for k > 1"
+        )
+    raise ClusterError(f"unknown partitioner kind {kind!r}")
+
+
+def partition_store(
+    store: RecordStore, partitioner: Partitioner
+) -> list[RecordStore]:
+    """Split ``store`` into one :class:`RecordStore` per shard.
+
+    Every shard receives a batch for *every* day of the source store
+    (possibly empty) so schemes can rebuild any day range on any shard.
+    A record with several search values is placed on every shard owning
+    at least one of them, carrying only the owned value subset; its raw
+    ``nbytes`` are split proportionally to the values kept, so the
+    cluster-wide build cost stays comparable to the single-index build.
+
+    With one shard the original store is returned as-is — the identity
+    that makes the ``k=1`` cluster bit-identical to the single-index
+    simulation.
+    """
+    if partitioner.n_shards == 1:
+        return [store]
+    shards = [RecordStore() for _ in range(partitioner.n_shards)]
+    for day in store.days:
+        per_shard: list[list[Record]] = [[] for _ in shards]
+        for record in store.batch(day).records:
+            owned: dict[int, list[Any]] = {}
+            for value in record.values:
+                owned.setdefault(partitioner.shard_for(value), []).append(value)
+            for shard_id, values in owned.items():
+                per_shard[shard_id].append(
+                    Record(
+                        record_id=record.record_id,
+                        day=record.day,
+                        values=tuple(values),
+                        nbytes=record.nbytes * len(values) // len(record.values),
+                        info=record.info,
+                    )
+                )
+        for shard_store, records in zip(shards, per_shard):
+            shard_store.add_records(day, records)
+    return shards

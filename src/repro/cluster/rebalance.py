@@ -1,0 +1,139 @@
+"""Shard rebalancing: move a shard's window between devices.
+
+A cluster that lives long enough needs to move shards — a device fills
+up, runs hot, or is being drained.  The move is a *packed-shadow-style*
+copy (the paper's ``SMCP`` applied across devices): the source index is
+streamed off its device, written to the target as one contiguous packed
+extent, and swapped into the wave index binding — at which point the old
+extents are freed, which is exactly the moment the source device's page
+cache must drop any pages it still holds for them (covered by the
+rebalance tests).
+
+All I/O is charged to the simulated cost clocks: one sequential read of
+the source's allocated bytes on the source device, one write of the
+packed result on the target device — so rebalances show up in the same
+per-device accounting as maintenance and serving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..index.bucket import Bucket
+from ..index.constituent import ConstituentIndex
+from ..index.updates import _ordered
+from ..storage.disk import SimulatedDisk
+from .shard import ShardReplica
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """Outcome of moving one replica's indexes to another device."""
+
+    shard_id: int
+    replica_id: int
+    from_device: int
+    to_device: int
+    indexes_moved: int
+    bytes_moved: int
+    source_read_seconds: float
+    target_write_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        """Return the move's total charged device time."""
+        return self.source_read_seconds + self.target_write_seconds
+
+
+def copy_index_to(
+    index: ConstituentIndex,
+    target: SimulatedDisk,
+    *,
+    name: str | None = None,
+) -> ConstituentIndex:
+    """Smart-copy ``index`` onto ``target``; return the new index.
+
+    Cross-device variant of :func:`repro.index.updates.packed_rewrite`
+    with no inserts or deletes: the source is read sequentially on its
+    own device, and the copy lands on ``target`` as a single packed
+    extent (bucket slack is squeezed out in flight, like any smart
+    copy).  The source index is left untouched — the caller swaps it out
+    and drops it, preserving the shadow ordering every scheme relies on.
+    """
+    source = index.disk
+    config = index.config
+    entry_size = config.entry_size_bytes
+
+    source.stream_read(index.allocated_bytes)
+    clone = ConstituentIndex(target, config, name=name or index.name)
+    grouped = {b.value: list(b.entries) for b in index.buckets()}
+    total_entries = sum(len(entries) for entries in grouped.values())
+    if total_entries == 0:
+        # Nothing to lay out (an empty or fully-expired index): the copy
+        # is just the metadata.
+        clone.time_set = set(index.time_set)
+        clone.packed = False
+        return clone
+    total_bytes = total_entries * entry_size
+    extent = target.allocate(total_bytes)
+    buckets = []
+    offset = 0
+    for value in _ordered(grouped):
+        entries = grouped[value]
+        buckets.append(
+            Bucket(
+                value=value,
+                entries=entries,
+                extent=extent,
+                shared=True,
+                capacity_entries=len(entries),
+                offset_in_extent=offset,
+            )
+        )
+        offset += len(entries) * entry_size
+    target.write(extent, total_bytes)
+    clone._adopt_packed(extent, buckets, index.time_set)
+    return clone
+
+
+def move_replica(
+    replica: ShardReplica,
+    target: SimulatedDisk,
+    target_device_index: int,
+) -> RebalanceReport:
+    """Move every binding of ``replica`` onto ``target``.
+
+    Each index is smart-copied to the target device and swapped into the
+    wave index (swap-then-drop, so the old version serves until the new
+    one is bound; the drop frees the source extents and invalidates any
+    cached pages of them).  Afterwards the replica's wave index, executor
+    placement, and device bookkeeping all point at the target, so future
+    maintenance ops land there.
+    """
+    wave = replica.wave
+    from_device = replica.device_index
+    source_before = replica.device.clock
+    target_before = target.clock
+    bytes_moved = 0
+    moved = 0
+    for name in list(wave.bindings):
+        index = wave.bindings[name]
+        clone = copy_index_to(index, target, name=name)
+        bytes_moved += clone.allocated_bytes
+        wave.bind(name, clone)
+        moved += 1
+    source_read = replica.device.clock - source_before
+    target_write = target.clock - target_before
+    wave.disk = target
+    replica.device = target
+    replica.device_index = target_device_index
+    return RebalanceReport(
+        shard_id=replica.shard_id,
+        replica_id=replica.replica_id,
+        from_device=from_device,
+        to_device=target_device_index,
+        indexes_moved=moved,
+        bytes_moved=bytes_moved,
+        source_read_seconds=source_read,
+        target_write_seconds=target_write,
+    )

@@ -1,0 +1,158 @@
+"""Shards and shard replicas: one wave index per key-space slice.
+
+A :class:`Shard` owns one slice of the partitioned key space: its own
+record store (the slice's daily batches), its own scheme instance, and
+``r`` :class:`ShardReplica`\\ s — identical wave indexes on distinct
+devices of the cluster's :class:`~repro.storage.array.DiskArray`.  Every
+replica executes the same maintenance plan against its own device, so
+any replica can serve the shard's queries; the first non-failed replica
+is the *primary*, and the coordinator fails over down the replica list
+when a device dies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.executor import ExecutionReport, PlanExecutor
+from ..core.ops import AddOp, DeleteOp, Op, UpdateOp
+from ..core.records import RecordStore
+from ..core.schemes.base import WaveScheme
+from ..core.wave import WaveIndex
+from ..errors import FaultError
+from ..index.updates import UpdateTechnique
+from ..sim.scheduler import OpInterval
+from ..storage.disk import SimulatedDisk
+
+
+@dataclass
+class ShardReplica:
+    """One copy of a shard's wave index on one device of the array.
+
+    ``intervals`` / ``maintenance_start`` / ``maintenance_end`` describe
+    the replica's most recent maintenance run on the cluster's shared
+    day timeline (absolute seconds); the serving pass consults them to
+    decide whether a query waits, degrades, or is served from the
+    pre-transition state.
+    """
+
+    shard_id: int
+    replica_id: int
+    device_index: int
+    device: SimulatedDisk
+    wave: WaveIndex
+    executor: PlanExecutor
+    failed: bool = False
+    intervals: list[OpInterval] = field(default_factory=list)
+    maintenance_start: float = 0.0
+    maintenance_end: float = 0.0
+
+    @property
+    def name(self) -> str:
+        """Return a display name (``s0/r1``)."""
+        return f"s{self.shard_id}/r{self.replica_id}"
+
+    def _op_blocks_queries(self, op: Op) -> bool:
+        """Mirror the scheduler's rule: only in-place mutation of a live
+        constituent makes its target unreadable mid-op."""
+        if self.executor.technique is not UpdateTechnique.IN_PLACE:
+            return False
+        return isinstance(
+            op, (AddOp, DeleteOp, UpdateOp)
+        ) and self.wave.is_constituent(op.target)
+
+    def run_maintenance(
+        self, plan: list[Op], start: float
+    ) -> ExecutionReport:
+        """Execute ``plan`` on this replica's device, starting at ``start``.
+
+        Op for op this performs exactly what
+        :meth:`~repro.core.executor.PlanExecutor.execute` performs (reset
+        high-water, run ops in order, read the peak afterwards) — that
+        identity is what makes the ``k=1`` cluster bit-identical to the
+        serialized driver — while additionally laying each op on the
+        cluster timeline as an :class:`~repro.sim.scheduler.OpInterval`.
+
+        A :class:`~repro.errors.FaultError` (the device died mid-plan)
+        marks the replica failed and stops its plan; surviving replicas
+        of the shard keep the shard serving.
+        """
+        report = ExecutionReport()
+        self.intervals = []
+        self.maintenance_start = start
+        cursor = start
+        self.device.reset_high_water()
+        for op in plan:
+            before = self.device.clock
+            blocking = self._op_blocks_queries(op)
+            try:
+                self.executor.execute_op(op, report)
+            except FaultError:
+                self.failed = True
+                break
+            duration = self.device.clock - before
+            self.intervals.append(
+                OpInterval(
+                    op=op,
+                    target=getattr(op, "target", ""),
+                    devices=(self.device_index,),
+                    start=cursor,
+                    end=cursor + duration,
+                    blocking=blocking,
+                )
+            )
+            cursor += duration
+        report.peak_bytes = self.device.high_water_bytes
+        self.maintenance_end = cursor
+        return report
+
+
+class Shard:
+    """One key-space slice: its store, its scheme, and its replicas."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        scheme: WaveScheme,
+        store: RecordStore,
+        replicas: list[ShardReplica],
+    ) -> None:
+        if not replicas:
+            raise ValueError(f"shard {shard_id} needs at least one replica")
+        self.shard_id = shard_id
+        self.scheme = scheme
+        self.store = store
+        self.replicas = replicas
+
+    def alive_replicas(self) -> list[ShardReplica]:
+        """Return the replicas still able to serve, primary first."""
+        return [r for r in self.replicas if not r.failed]
+
+    @property
+    def primary(self) -> ShardReplica | None:
+        """Return the serving replica (``None`` when the shard is dark)."""
+        for replica in self.replicas:
+            if not replica.failed:
+                return replica
+        return None
+
+    @property
+    def available(self) -> bool:
+        """Return ``True`` while at least one replica can serve."""
+        return self.primary is not None
+
+    def window_days(self, t1: int, t2: int) -> set[int]:
+        """Return the days in ``[t1, t2]`` this shard's window covers.
+
+        Computed from the replicas' in-memory time-set metadata, which
+        survives device failure — a dark shard can still *enumerate* the
+        days its answers would have covered, which is what turns a dead
+        device into a correct partial result instead of a wrong one.
+        """
+        days: set[int] = set()
+        for replica in self.replicas:
+            for index in replica.wave.live_constituents():
+                days.update(d for d in index.time_set if t1 <= d <= t2)
+            if days:
+                break
+        return days

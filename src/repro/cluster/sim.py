@@ -1,0 +1,718 @@
+"""Day-by-day cluster simulation: staggered maintenance, shared serving.
+
+Runs one maintenance scheme per shard over a partitioned record store,
+each shard on its own device(s) of a :class:`~repro.storage.array.DiskArray`,
+and serves the day's query stream against the whole cluster on a shared
+timeline — the cluster-level analogue of
+:class:`~repro.sim.scheduler.OverlappedSimulation`.
+
+Model
+-----
+
+**Maintenance.**  Each day, every shard's scheme emits its plan and every
+alive replica executes it on its own device.  The *staggered* policy
+(Kimura et al.'s deploy-order concern applied to shard transitions) runs
+shards in batches of at most ``ceil(k * max_concurrent_frac)``: batch
+``j+1`` starts when batch ``j``'s slowest shard finishes, so the cluster
+never has more than a bounded fraction of its serving capacity in
+transition.  ``lockstep`` starts every shard at once (the naive policy
+the benchmark compares against).
+
+**Serving.**  The day's query units arrive evenly over
+``arrival_stretch x`` the cluster maintenance makespan.  A probe routes
+to the shard owning its value; a scan fans out to every shard.  Queries
+that arrive *before* a shard's maintenance window opens are served
+immediately from that shard's pre-transition index (the cost and
+coverage are measured against the post-transition substrate, one day's
+transition apart — a close proxy that keeps the single timeline
+tractable); queries arriving after the window opens queue behind it,
+exactly as in the single-index scheduler.  That asymmetry is the whole
+point of staggering: a shard whose transition has not started yet keeps
+answering at steady-state latency.
+
+**Faults.**  A device failure mid-maintenance or mid-query marks the
+replica failed; serving fails over to the next replica.  When every
+replica of a shard is dead, its answers degrade to correct partial
+results — empty, with the shard's window days enumerated as missing —
+never a wrong answer.
+
+With ``k=1, r=1`` and lockstep maintenance the whole machinery
+degenerates to the serialized driver: one store (the partition is the
+identity), one device, maintenance from time zero, every query served
+post-maintenance in order.  ``tests/cluster/test_cluster_equivalence.py``
+asserts bit-identical per-day costs and query results for all seven
+schemes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..core.executor import ExecutionReport, PlanExecutor
+from ..core.records import RecordStore
+from ..core.schemes.base import WaveScheme
+from ..core.wave import WaveIndex
+from ..errors import ClusterError, FaultError
+from ..index.config import IndexConfig
+from ..index.updates import UpdateTechnique
+from ..obs import Histogram, MetricsRegistry
+from ..sim.metrics import DayMetrics, SimulationResult
+from ..sim.querygen import ProbeUnit, QueryUnit, QueryWorkload, ScanUnit, UnitOutcome
+from ..sim.scheduler import OpInterval, OverlapPolicy
+from ..storage.array import DiskArray
+from ..storage.cost import DiskParameters
+from ..storage.disk import SimulatedDisk
+from .coordinator import ClusterCoordinator
+from .partitioner import make_partitioner, partition_store
+from .rebalance import RebalanceReport, move_replica
+from .shard import Shard, ShardReplica
+
+#: Maintenance scheduling policies accepted by :attr:`ClusterConfig.maintenance`.
+MAINTENANCE_POLICIES = ("staggered", "lockstep")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Parameters of the sharded cluster.
+
+    Args:
+        n_shards: Number of key-space shards ``k``.
+        replication: Replicas per shard ``r`` (1 = no redundancy).
+        partitioner: ``"hash"`` or ``"range"``.
+        range_splits: Split points for the range partitioner
+            (``k - 1`` values, strictly increasing).
+        maintenance: ``"staggered"`` or ``"lockstep"`` day-boundary
+            scheduling (see module docstring).
+        max_concurrent_frac: Staggering bound — at most
+            ``ceil(k * max_concurrent_frac)`` shards in transition at
+            once.  Ignored under lockstep.
+        policy: Wait-or-degrade behaviour for constituents blocked by
+            in-place maintenance (same semantics as the single-index
+            scheduler).
+        arrival_stretch: Queries arrive evenly over
+            ``arrival_stretch x`` the cluster maintenance makespan.
+        page_cache_bytes: Optional per-device LRU page-cache capacity.
+        page_size: Page size for the per-device caches.
+    """
+
+    n_shards: int = 2
+    replication: int = 1
+    partitioner: str = "hash"
+    range_splits: tuple[Any, ...] = ()
+    maintenance: str = "staggered"
+    max_concurrent_frac: float = 0.5
+    policy: OverlapPolicy = OverlapPolicy.WAIT
+    arrival_stretch: float = 2.0
+    page_cache_bytes: int | None = None
+    page_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ClusterError(f"need at least one shard, got {self.n_shards}")
+        if self.replication < 1:
+            raise ClusterError(
+                f"replication must be >= 1, got {self.replication}"
+            )
+        if self.maintenance not in MAINTENANCE_POLICIES:
+            raise ClusterError(
+                f"unknown maintenance policy {self.maintenance!r}; "
+                f"known: {', '.join(MAINTENANCE_POLICIES)}"
+            )
+        if not 0.0 < self.max_concurrent_frac <= 1.0:
+            raise ClusterError(
+                f"max_concurrent_frac must be in (0, 1], "
+                f"got {self.max_concurrent_frac}"
+            )
+        if self.arrival_stretch < 1.0:
+            raise ClusterError(
+                f"arrival_stretch must be >= 1.0, got {self.arrival_stretch}"
+            )
+        if self.page_cache_bytes is not None and self.page_cache_bytes < 1:
+            raise ClusterError(
+                f"page_cache_bytes must be >= 1, got {self.page_cache_bytes}"
+            )
+
+    @property
+    def max_concurrent_shards(self) -> int:
+        """Return how many shards may transition simultaneously."""
+        if self.maintenance == "lockstep":
+            return self.n_shards
+        return max(1, math.ceil(self.n_shards * self.max_concurrent_frac))
+
+    @property
+    def n_devices(self) -> int:
+        """Return the array size: one device per shard replica."""
+        return self.n_shards * self.replication
+
+
+@dataclass(frozen=True)
+class ClusterDayStats:
+    """Timeline outcome of one cluster day."""
+
+    day: int
+    maintenance_makespan_seconds: float
+    makespan_seconds: float
+    shard_windows: tuple[tuple[float, float], ...]
+    queries: int = 0
+    queries_waited: int = 0
+    queries_degraded: int = 0
+    failovers: int = 0
+    shards_unavailable: tuple[int, ...] = ()
+    missing_days: frozenset[int] = frozenset()
+    latency_during_transition: dict[str, float] | None = None
+    latency_steady_state: dict[str, float] | None = None
+
+
+@dataclass
+class ClusterResult:
+    """Accumulated metrics over a whole cluster run."""
+
+    window: int
+    n_indexes: int
+    scheme_name: str
+    technique: str
+    n_shards: int
+    replication: int
+    maintenance: str
+    partitioner: dict[str, Any]
+    shard_results: list[SimulationResult]
+    days: list[ClusterDayStats] = field(default_factory=list)
+    latency_during: dict[str, float] | None = None
+    latency_steady: dict[str, float] | None = None
+
+    def total_requests(self) -> int:
+        """Return query requests served over the run."""
+        return sum(d.queries for d in self.days)
+
+    def total_makespan_seconds(self) -> float:
+        """Return the summed per-day cluster timeline lengths."""
+        return sum(d.makespan_seconds for d in self.days)
+
+    def queries_per_second(self) -> float:
+        """Return run throughput: requests over cluster makespan."""
+        makespan = self.total_makespan_seconds()
+        if makespan <= 0.0:
+            return 0.0
+        return self.total_requests() / makespan
+
+    def total_failovers(self) -> int:
+        """Return replica failovers over the run."""
+        return sum(d.failovers for d in self.days)
+
+    def total_queries_degraded(self) -> int:
+        """Return queries answered partially (missing days reported)."""
+        return sum(d.queries_degraded for d in self.days)
+
+    def all_missing_days(self) -> frozenset[int]:
+        """Return every day any answer lost to faults or degradation."""
+        missing: set[int] = set()
+        for d in self.days:
+            missing |= d.missing_days
+        return frozenset(missing)
+
+
+def _blocked_until(
+    needed: set[str], arrival: float, blocking: list[OpInterval]
+) -> tuple[set[str], float]:
+    """Fixed-point release time over blocking intervals (scheduler rule)."""
+    release = arrival
+    blocked: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for interval in blocking:
+            if interval.target not in needed:
+                continue
+            if interval.start <= release < interval.end:
+                blocked.add(interval.target)
+                release = interval.end
+                changed = True
+    return blocked, release
+
+
+class ClusterSimulation:
+    """Day-by-day run of one scheme per shard over a partitioned store.
+
+    Public surface mirrors :class:`~repro.sim.driver.Simulation`:
+    ``run_start()`` / ``run_transition(day)`` / ``run(last_day)`` /
+    ``result``.  Additionally exposes :attr:`coordinator` for direct
+    scatter-gather queries against the cluster's current state and
+    :meth:`rebalance_shard` for moving a shard between devices.
+    """
+
+    def __init__(
+        self,
+        scheme_factory: Callable[[], WaveScheme],
+        store: RecordStore,
+        *,
+        technique: UpdateTechnique = UpdateTechnique.SIMPLE_SHADOW,
+        index_config: IndexConfig | None = None,
+        disk_params: DiskParameters | None = None,
+        queries: QueryWorkload | None = None,
+        cluster: ClusterConfig | None = None,
+        device_factory: Callable[[int], SimulatedDisk] | None = None,
+    ) -> None:
+        self.config = cluster or ClusterConfig()
+        cfg = self.config
+        self.partitioner = make_partitioner(
+            cfg.partitioner, cfg.n_shards, range_splits=cfg.range_splits
+        )
+        shard_stores = partition_store(store, self.partitioner)
+        self.store = store
+        self.queries = queries
+        self.technique = technique
+        self.obs = MetricsRegistry()
+        self.array = DiskArray.create(
+            cfg.n_devices,
+            params=disk_params,
+            page_cache_bytes=cfg.page_cache_bytes,
+            page_size=cfg.page_size,
+            device_factory=device_factory,
+        )
+        index_config = index_config or IndexConfig()
+        self.shards: list[Shard] = []
+        for shard_id in range(cfg.n_shards):
+            scheme = scheme_factory()
+            replicas = []
+            for replica_id in range(cfg.replication):
+                device_index = replica_id * cfg.n_shards + shard_id
+                device = self.array.devices[device_index]
+                wave = WaveIndex(device, index_config, scheme.n_indexes)
+                executor = PlanExecutor(
+                    wave, shard_stores[shard_id], technique
+                )
+                replicas.append(
+                    ShardReplica(
+                        shard_id=shard_id,
+                        replica_id=replica_id,
+                        device_index=device_index,
+                        device=device,
+                        wave=wave,
+                        executor=executor,
+                    )
+                )
+            self.shards.append(
+                Shard(shard_id, scheme, shard_stores[shard_id], replicas)
+            )
+        self.scheme = self.shards[0].scheme
+        self.coordinator = ClusterCoordinator(
+            self.shards, self.partitioner, self.obs
+        )
+        self.latency_during: Histogram = self.obs.histogram(
+            "cluster.latency.during_transition"
+        )
+        self.latency_steady: Histogram = self.obs.histogram(
+            "cluster.latency.steady_state"
+        )
+        self.result = ClusterResult(
+            window=self.scheme.window,
+            n_indexes=self.scheme.n_indexes,
+            scheme_name=self.scheme.name,
+            technique=technique.value,
+            n_shards=cfg.n_shards,
+            replication=cfg.replication,
+            maintenance=cfg.maintenance,
+            partitioner=self.partitioner.describe(),
+            shard_results=[
+                SimulationResult(
+                    window=self.scheme.window,
+                    n_indexes=self.scheme.n_indexes,
+                    scheme_name=self.scheme.name,
+                    technique=technique.value,
+                )
+                for _ in range(cfg.n_shards)
+            ],
+        )
+        self._started = False
+        self._day_failovers = 0
+
+    # ------------------------------------------------------------------
+    # Public day loop (mirrors the serialized driver)
+    # ------------------------------------------------------------------
+
+    @property
+    def window(self) -> int:
+        """Return the schemes' window ``W``."""
+        return self.scheme.window
+
+    def run_start(self) -> ClusterDayStats:
+        """Execute every shard's initial build (day ``W``)."""
+        if self._started:
+            raise ClusterError("cluster simulation already started")
+        self._started = True
+        return self._run_day(self.window, lambda scheme: scheme.start_ops())
+
+    def run_transition(self, day: int) -> ClusterDayStats:
+        """Execute one daily transition on every shard."""
+        if not self._started:
+            raise ClusterError("call run_start() first")
+        return self._run_day(day, lambda scheme: scheme.transition_ops(day))
+
+    def run(self, last_day: int) -> ClusterResult:
+        """Run start plus transitions through ``last_day``."""
+        self.run_start()
+        for day in range(self.window + 1, last_day + 1):
+            self.run_transition(day)
+        self.result.latency_during = (
+            self.latency_during.summary() if self.latency_during.count else None
+        )
+        self.result.latency_steady = (
+            self.latency_steady.summary() if self.latency_steady.count else None
+        )
+        return self.result
+
+    # ------------------------------------------------------------------
+    # Rebalancing
+    # ------------------------------------------------------------------
+
+    def rebalance_shard(
+        self, shard_id: int, to_device: int, *, replica_id: int = 0
+    ) -> RebalanceReport:
+        """Move one replica of ``shard_id`` onto array device ``to_device``.
+
+        The move is a packed-shadow-style copy charged to both devices'
+        cost clocks (see :mod:`repro.cluster.rebalance`); freed source
+        extents invalidate any cached pages.
+        """
+        if not 0 <= shard_id < len(self.shards):
+            raise ClusterError(f"no shard {shard_id}")
+        if not 0 <= to_device < len(self.array):
+            raise ClusterError(
+                f"device {to_device} outside [0, {len(self.array)})"
+            )
+        shard = self.shards[shard_id]
+        if not 0 <= replica_id < len(shard.replicas):
+            raise ClusterError(f"shard {shard_id} has no replica {replica_id}")
+        replica = shard.replicas[replica_id]
+        if self.array.devices[to_device] is replica.device:
+            raise ClusterError(
+                f"{replica.name} already lives on device {to_device}"
+            )
+        report = move_replica(
+            replica, self.array.devices[to_device], to_device
+        )
+        self.obs.counter("cluster.rebalances").inc()
+        self.obs.counter("cluster.rebalance_bytes").inc(report.bytes_moved)
+        return report
+
+    # ------------------------------------------------------------------
+    # Maintenance scheduling
+    # ------------------------------------------------------------------
+
+    def _run_maintenance(
+        self, plan_for: Callable[[WaveScheme], Any]
+    ) -> tuple[list[ExecutionReport], list[tuple[float, float]], float]:
+        """Run every shard's plan under the staggering policy.
+
+        Returns per-shard reports (from the day's metrics replica), the
+        per-shard ``(start, end)`` maintenance windows on the cluster
+        timeline, and the cluster maintenance makespan.
+        """
+        batch_size = self.config.max_concurrent_shards
+        reports: list[ExecutionReport] = [
+            ExecutionReport() for _ in self.shards
+        ]
+        windows: list[tuple[float, float]] = [(0.0, 0.0)] * len(self.shards)
+        batch_start = 0.0
+        cluster_end = 0.0
+        for first in range(0, len(self.shards), batch_size):
+            batch = self.shards[first : first + batch_size]
+            batch_end = batch_start
+            for shard in batch:
+                plan = list(plan_for(shard.scheme))
+                metrics_replica = shard.primary or shard.replicas[0]
+                shard_end = batch_start
+                for replica in shard.replicas:
+                    if replica.failed:
+                        replica.intervals = []
+                        replica.maintenance_start = batch_start
+                        replica.maintenance_end = batch_start
+                        continue
+                    report = replica.run_maintenance(plan, batch_start)
+                    if replica is metrics_replica:
+                        reports[shard.shard_id] = report
+                    shard_end = max(shard_end, replica.maintenance_end)
+                windows[shard.shard_id] = (batch_start, shard_end)
+                batch_end = max(batch_end, shard_end)
+            batch_start = batch_end
+            cluster_end = batch_end
+        return reports, windows, cluster_end
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def _split_unit(self, unit: QueryUnit) -> list[tuple[int, QueryUnit]]:
+        """Route one query unit to the shards that must serve it."""
+        if isinstance(unit, ScanUnit):
+            return [(s, unit) for s in range(len(self.shards))]
+        assert isinstance(unit, ProbeUnit)
+        if len(self.shards) == 1:
+            return [(0, unit)]
+        groups: dict[int, list[Any]] = {}
+        for value in unit.values:
+            groups.setdefault(
+                self.partitioner.shard_for(value), []
+            ).append(value)
+        routed: list[tuple[int, QueryUnit]] = []
+        for shard_id in sorted(groups):
+            values = groups[shard_id]
+            if len(values) == len(unit.values):
+                routed.append((shard_id, unit))
+            else:
+                routed.append(
+                    (
+                        shard_id,
+                        ProbeUnit(
+                            tuple(values), unit.t1, unit.t2, unit.batched
+                        ),
+                    )
+                )
+        return routed
+
+    def _serve_on_shard(
+        self,
+        shard: Shard,
+        unit: QueryUnit,
+        arrival: float,
+        avail_pre: list[float],
+        avail_post: list[float],
+    ) -> tuple[UnitOutcome, float, float, float, bool]:
+        """Execute ``unit`` on ``shard`` with failover.
+
+        Returns ``(outcome, end, service_seconds, wait, degraded)``; a
+        dark shard yields a synthesized empty outcome whose missing days
+        enumerate what the shard would have covered.
+        """
+        wait_policy = self.config.policy is OverlapPolicy.WAIT
+        while True:
+            replica = shard.primary
+            if replica is None:
+                missing = shard.window_days(unit.t1, unit.t2)
+                outcome = UnitOutcome(
+                    0.0, unit.requests, frozenset(missing)
+                )
+                return outcome, arrival, 0.0, 0.0, True
+            wave = replica.wave
+            needed = unit.needed_constituents(wave)
+            blocking = [iv for iv in replica.intervals if iv.blocking]
+            blocked, release = _blocked_until(needed, arrival, blocking)
+            if wait_policy:
+                wait = release - arrival
+                degraded_names: set[str] = set()
+            else:
+                wait = 0.0
+                degraded_names = blocked
+            pre_offline = frozenset(wave.offline)
+            added_offline = degraded_names - wave.offline
+            wave.offline |= added_offline
+            clock_before = replica.device.clock
+            try:
+                outcome = unit.execute(wave, degraded=bool(degraded_names))
+            except FaultError:
+                replica.failed = True
+                self._day_failovers += 1
+                self.obs.counter("cluster.failovers").inc()
+                continue
+            finally:
+                wave.offline -= added_offline
+            if wave.offline - pre_offline and len(shard.alive_replicas()) > 1:
+                # A degraded call swallows device faults into a partial
+                # answer, but the wave retires the constituent it lost;
+                # with another live replica, failover beats degradation —
+                # discard the partial answer and re-serve there.
+                replica.failed = True
+                self._day_failovers += 1
+                self.obs.counter("cluster.failovers").inc()
+                continue
+            delta = replica.device.clock - clock_before
+            device = replica.device_index
+            ready = arrival + wait
+            if arrival < replica.maintenance_start:
+                # The shard's transition has not begun: serve from the
+                # pre-transition window immediately (the staggering win).
+                start = max(ready, avail_pre[device])
+                avail_pre[device] = start + delta
+            else:
+                start = max(ready, avail_post[device])
+                avail_post[device] = start + delta
+            end = start + delta
+            return outcome, end, delta, wait, bool(degraded_names)
+
+    # ------------------------------------------------------------------
+    # Day loop
+    # ------------------------------------------------------------------
+
+    def _run_day(
+        self, day: int, plan_for: Callable[[WaveScheme], Any]
+    ) -> ClusterDayStats:
+        self._day_failovers = 0
+        snapshots = []
+        for shard in self.shards:
+            replica = shard.primary or shard.replicas[0]
+            cache = replica.device.page_cache
+            snapshots.append(
+                (
+                    replica,
+                    replica.device.stats.snapshot(),
+                    cache.snapshot() if cache is not None else None,
+                )
+            )
+
+        reports, windows, cluster_end = self._run_maintenance(plan_for)
+
+        day_during = Histogram("cluster.latency.during")
+        day_steady = Histogram("cluster.latency.steady")
+        query_seconds = [0.0] * len(self.shards)
+        queries = waited = degraded_count = 0
+        last_completion = 0.0
+        missing_all: set[int] = set()
+        if self.queries is not None:
+            units = self.queries.day_requests(day, self.window)
+            if units:
+                horizon = cluster_end * self.config.arrival_stretch
+                avail_pre = [0.0] * len(self.array)
+                avail_post = [0.0] * len(self.array)
+                for shard in self.shards:
+                    for replica in shard.replicas:
+                        avail_post[replica.device_index] = (
+                            replica.maintenance_end
+                        )
+                for i, unit in enumerate(units):
+                    arrival = horizon * i / len(units)
+                    ends: list[float] = []
+                    services: list[float] = []
+                    unit_missing: set[int] = set()
+                    unit_degraded = False
+                    for shard_id, subunit in self._split_unit(unit):
+                        (
+                            outcome,
+                            end,
+                            service,
+                            _wait,
+                            was_degraded,
+                        ) = self._serve_on_shard(
+                            self.shards[shard_id],
+                            subunit,
+                            arrival,
+                            avail_pre,
+                            avail_post,
+                        )
+                        query_seconds[shard_id] += outcome.seconds
+                        ends.append(end)
+                        services.append(service)
+                        unit_missing |= outcome.missing_days
+                        unit_degraded = unit_degraded or was_degraded
+                    completion = max(ends) if ends else arrival
+                    latency = completion - arrival
+                    service_parallel = max(services, default=0.0)
+                    queries += unit.requests
+                    last_completion = max(last_completion, completion)
+                    if latency > service_parallel + 1e-12:
+                        waited += unit.requests
+                    if unit_missing:
+                        degraded_count += unit.requests
+                        missing_all |= unit_missing
+                    elif unit_degraded:
+                        degraded_count += unit.requests
+                    day_hist = (
+                        day_during if arrival < cluster_end else day_steady
+                    )
+                    run_hist = (
+                        self.latency_during
+                        if arrival < cluster_end
+                        else self.latency_steady
+                    )
+                    for _ in range(unit.requests):
+                        day_hist.observe(latency)
+                        run_hist.observe(latency)
+
+        for shard_id, shard in enumerate(self.shards):
+            replica, io_before, cache_before = snapshots[shard_id]
+            io_delta = replica.device.stats.snapshot() - io_before
+            cache = replica.device.page_cache
+            cache_delta = (
+                cache.snapshot() - cache_before
+                if cache is not None and cache_before is not None
+                else None
+            )
+            report = reports[shard_id]
+            wave = replica.wave
+            self.result.shard_results[shard_id].days.append(
+                DayMetrics(
+                    day=day,
+                    seconds=report.seconds,
+                    query_seconds=query_seconds[shard_id],
+                    steady_bytes=replica.device.live_bytes,
+                    constituent_bytes=wave.constituent_bytes,
+                    peak_bytes=report.peak_bytes,
+                    length_days=wave.total_length_days,
+                    covered_days=frozenset(wave.covered_days()),
+                    io=io_delta,
+                    cache=cache_delta,
+                )
+            )
+
+        makespan = max(cluster_end, last_completion)
+        stats = ClusterDayStats(
+            day=day,
+            maintenance_makespan_seconds=cluster_end,
+            makespan_seconds=makespan,
+            shard_windows=tuple(windows),
+            queries=queries,
+            queries_waited=waited,
+            queries_degraded=degraded_count,
+            failovers=self._day_failovers,
+            shards_unavailable=tuple(
+                shard.shard_id
+                for shard in self.shards
+                if not shard.available
+            ),
+            missing_days=frozenset(missing_all),
+            latency_during_transition=(
+                day_during.summary() if day_during.count else None
+            ),
+            latency_steady_state=(
+                day_steady.summary() if day_steady.count else None
+            ),
+        )
+        self.result.days.append(stats)
+        self.obs.counter("cluster.days").inc()
+        self.obs.counter("cluster.queries").inc(queries)
+        self.obs.counter("cluster.queries_degraded").inc(degraded_count)
+        self.obs.histogram("cluster.day.makespan_seconds").observe(makespan)
+        return stats
+
+
+def run_cluster_simulation(
+    scheme_factory: Callable[[], WaveScheme],
+    store: RecordStore,
+    *,
+    last_day: int,
+    technique: UpdateTechnique = UpdateTechnique.SIMPLE_SHADOW,
+    index_config: IndexConfig | None = None,
+    disk_params: DiskParameters | None = None,
+    queries: QueryWorkload | None = None,
+    cluster: ClusterConfig | None = None,
+    device_factory: Callable[[int], SimulatedDisk] | None = None,
+) -> ClusterResult:
+    """One-call convenience wrapper around :class:`ClusterSimulation`.
+
+    The cluster analogue of :func:`repro.sim.driver.run_simulation`: the
+    store is partitioned per the config, each shard runs its own scheme
+    instance on its own device(s), and the day's query stream is served
+    by the whole cluster on a shared timeline.
+    """
+    sim = ClusterSimulation(
+        scheme_factory,
+        store,
+        technique=technique,
+        index_config=index_config,
+        disk_params=disk_params,
+        queries=queries,
+        cluster=cluster,
+        device_factory=device_factory,
+    )
+    return sim.run(last_day)

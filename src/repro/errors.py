@@ -95,5 +95,11 @@ class WorkloadError(ReproError):
     """A workload generator was configured incorrectly."""
 
 
+class ClusterError(ReproError):
+    """A sharded cluster (:mod:`repro.cluster`) was configured or driven
+    incorrectly — bad partitioner arguments, mismatched shard layouts, or
+    an operation that needs a replica no shard can provide."""
+
+
 # Public alias: ``IndexError_`` reads poorly at call sites.
 ConstituentIndexError = IndexError_

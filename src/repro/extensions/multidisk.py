@@ -12,6 +12,17 @@ This module models the first-order effects the paper anticipates:
 
 Indexes are assigned to disks round-robin; heavier layouts (size-balanced)
 are available for experimentation.
+
+.. deprecated::
+    These closed-form estimates predate the measured multi-device path.
+    For anything beyond a quick analytic sanity check, prefer the single
+    measured code path: :class:`~repro.storage.array.DiskArray` with
+    :class:`~repro.sim.scheduler.ArrayPlanExecutor` /
+    :class:`~repro.sim.scheduler.OverlappedSimulation` (day-level API:
+    :class:`~repro.sim.multidisk_sim.MultiDiskExecutor`, now a thin
+    wrapper over the same array), or the sharded cluster layer in
+    :mod:`repro.cluster`.  The functions here remain for the analysis
+    notebooks and their tests.
 """
 
 from __future__ import annotations

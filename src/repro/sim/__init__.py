@@ -31,6 +31,18 @@ from .scheduler import (
     OverlapPolicy,
 )
 
+
+def run_cluster_simulation(*args, **kwargs):
+    """Run a sharded cluster simulation (see :mod:`repro.cluster.sim`).
+
+    Thin re-export kept lazy because :mod:`repro.cluster` builds on this
+    package (importing it at module scope would be circular).
+    """
+    from ..cluster.sim import run_cluster_simulation as _run
+
+    return _run(*args, **kwargs)
+
+
 __all__ = [
     "BusyInterval",
     "CrashCell",
@@ -55,6 +67,7 @@ __all__ = [
     "Simulation",
     "SimulationResult",
     "UnitOutcome",
+    "run_cluster_simulation",
     "run_simulation",
     "uniform_key_picker",
     "zipf_value_picker",

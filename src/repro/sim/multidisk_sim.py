@@ -3,26 +3,35 @@
 The analytic multi-disk model (:mod:`repro.extensions.multidisk`) overlaps
 op costs arithmetically.  This module runs plans on *actual separate
 simulated disks*: each constituent (and each temporary) lives on the device
-its name hashes to, every byte is charged to that device, and a day's
+its name is placed on, every byte is charged to that device, and a day's
 elapsed maintenance time is the busiest device's delta — ops on different
 devices overlap, contention on the same device serialises, exactly the
 behaviour the paper anticipates from "building new constituent indices on
 separate disks".
+
+Since the overlapped scheduler landed, the array mechanics live in
+:class:`~repro.storage.array.DiskArray` +
+:class:`~repro.sim.scheduler.ArrayPlanExecutor`; this module is a thin
+compatibility wrapper over that one multi-device code path, kept for its
+simpler day-at-a-time API.  New code should use the scheduler (or the
+cluster layer, :mod:`repro.cluster`) directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.executor import ExecutionReport, PlanExecutor
-from ..core.ops import Op, UpdateOp
+from ..core.executor import ExecutionReport
+from ..core.ops import Op
 from ..core.records import RecordStore
 from ..core.wave import WaveIndex
 from ..errors import ReproError
 from ..index.config import IndexConfig
 from ..index.updates import UpdateTechnique
+from ..storage.array import DiskArray
 from ..storage.cost import DiskParameters
 from ..storage.disk import SimulatedDisk
+from .scheduler import ArrayPlanExecutor
 
 
 @dataclass
@@ -50,12 +59,12 @@ class MultiDiskReport:
         return self.serial_seconds / self.elapsed_seconds
 
 
-class MultiDiskExecutor(PlanExecutor):
+class MultiDiskExecutor(ArrayPlanExecutor):
     """A plan executor spreading bindings across a disk array.
 
-    Index placement is by stable assignment: the first distinct target name
-    seen goes to disk 0, the next to disk 1, round-robin — so ``I1..In``
-    land on distinct devices whenever ``n_disks >= n``.
+    Index placement is the array's round-robin rule: the first distinct
+    target name seen goes to disk 0, the next to disk 1, and so on — so
+    ``I1..In`` land on distinct devices whenever ``n_disks >= n``.
 
     Shadow copies are created on the *same* device as the index they
     shadow (the swap must be local); temporaries follow the same placement
@@ -72,9 +81,12 @@ class MultiDiskExecutor(PlanExecutor):
     ) -> None:
         if not disks:
             raise ReproError("need at least one disk")
-        super().__init__(wave, store, technique)
-        self.disks = disks
-        self._placement: dict[str, int] = {}
+        super().__init__(wave, store, technique, array=DiskArray(list(disks)))
+
+    @property
+    def disks(self) -> list[SimulatedDisk]:
+        """Return the array's devices, in device-index order."""
+        return self.array.devices
 
     @classmethod
     def create(
@@ -92,48 +104,24 @@ class MultiDiskExecutor(PlanExecutor):
         wave = WaveIndex(disks[0], index_config or IndexConfig(), n_indexes)
         return cls(wave, store, technique, disks=disks)
 
-    def _disk_for(self, target: str) -> SimulatedDisk:
-        if target not in self._placement:
-            self._placement[target] = len(self._placement) % len(self.disks)
-        return self.disks[self._placement[target]]
-
     # ------------------------------------------------------------------
     # Execution with per-device accounting
     # ------------------------------------------------------------------
 
     def execute_parallel(self, plan: list[Op]) -> MultiDiskReport:
         """Run ``plan``; return per-device busy time and the elapsed max."""
-        report = MultiDiskReport()
-        before = [disk.clock for disk in self.disks]
-        for disk in self.disks:
-            disk.reset_high_water()
-        for op in plan:
-            if isinstance(op, UpdateOp):
-                self._apply_update(op, report.serial)
-            else:
-                clock_before = self._total_clock()
-                self._apply(op)
-                report.serial.seconds.add(
-                    op.phase, self._total_clock() - clock_before
-                )
-            report.serial.ops_executed += 1
+        before = self.array.clocks()
+        report = MultiDiskReport(serial=self.execute(plan))
         report.per_disk_busy_s = [
-            disk.clock - start for disk, start in zip(self.disks, before)
+            clock - start for clock, start in zip(self.array.clocks(), before)
         ]
-        report.serial.peak_bytes = sum(
-            disk.high_water_bytes for disk in self.disks
-        )
         return report
-
-    def _total_clock(self) -> float:
-        return sum(disk.clock for disk in self.disks)
 
     @property
     def live_bytes(self) -> int:
         """Return live bytes across the whole array."""
-        return sum(disk.live_bytes for disk in self.disks)
+        return self.array.live_bytes
 
     def check_invariants(self) -> None:
         """Check every device's allocator."""
-        for disk in self.disks:
-            disk.check_invariants()
+        self.array.check_invariants()

@@ -1,0 +1,110 @@
+"""Scatter-gather correctness of the cluster coordinator.
+
+Probes routed across shards must return exactly what one big index
+would have returned (checked against the record store's brute-force
+oracle), scans must reassemble the full window from per-shard pieces,
+and the merged cost summaries must add up.
+"""
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterCoordinator,
+    ClusterSimulation,
+    HashPartitioner,
+)
+from repro.core.schemes import scheme_by_name
+from repro.errors import ClusterError
+from tests.conftest import make_store
+
+W, N, LAST = 10, 4, 16
+VALUES = "abcdefgh"
+
+
+@pytest.fixture(scope="module")
+def sim():
+    store = make_store(LAST)
+    scheme_cls = scheme_by_name("REINDEX")
+    sim = ClusterSimulation(
+        lambda: scheme_cls(W, N),
+        store,
+        cluster=ClusterConfig(n_shards=3, replication=1),
+    )
+    sim.run(LAST)
+    sim.source_store = store
+    return sim
+
+
+class TestProbeRouting:
+    def test_probe_many_matches_brute_oracle_in_request_order(self, sim):
+        lo, hi = LAST - W + 1, LAST
+        specs = [(v, lo, hi) for v in VALUES] + [("a", lo, hi)]
+        batch = sim.coordinator.probe_many(specs)
+        assert len(batch) == len(specs)
+        for (value, t1, t2), result in zip(specs, batch):
+            want = sorted(
+                e.record_id for e in sim.source_store.brute_probe(value, t1, t2)
+            )
+            assert sorted(result.record_ids) == want
+            assert result.missing_days == frozenset()
+        assert batch.summary.requests == len(specs)
+        assert batch.summary.complete
+        assert batch.summary.shards_unavailable == ()
+
+    def test_summary_merges_per_shard_costs(self, sim):
+        lo, hi = LAST - W + 1, LAST
+        batch = sim.coordinator.probe_many([(v, lo, hi) for v in VALUES])
+        s = batch.summary
+        shard_ids = [sid for sid, _ in s.per_shard]
+        assert shard_ids == sorted(shard_ids)
+        assert s.shards_queried == len(s.per_shard)
+        assert s.serial_seconds == pytest.approx(
+            sum(part.seconds for _, part in s.per_shard)
+        )
+        assert s.elapsed_seconds == pytest.approx(
+            max(part.seconds for _, part in s.per_shard)
+        )
+        assert s.elapsed_seconds <= s.serial_seconds + 1e-12
+        assert s.seeks == pytest.approx(
+            sum(part.seeks for _, part in s.per_shard)
+        )
+        assert batch.seconds == pytest.approx(s.serial_seconds)
+
+    def test_probe_convenience_routes_to_owner(self, sim):
+        lo, hi = LAST - W + 1, LAST
+        result = sim.coordinator.probe("c", lo, hi)
+        want = sorted(
+            e.record_id for e in sim.source_store.brute_probe("c", lo, hi)
+        )
+        assert sorted(result.record_ids) == want
+
+
+class TestScanFanout:
+    def test_scan_reassembles_full_window(self, sim):
+        lo, hi = LAST - W + 1, LAST
+        result = sim.coordinator.scan(lo, hi)
+        want = sorted(e.record_id for e in sim.source_store.brute_scan(lo, hi))
+        assert sorted(e.record_id for e in result.entries) == want
+        assert result.covered_days == frozenset(range(lo, hi + 1))
+        assert result.missing_days == frozenset()
+
+    def test_scan_many_queries_every_shard(self, sim):
+        lo, hi = LAST - W + 1, LAST
+        batch = sim.coordinator.scan_many([(lo, hi), (lo, lo + 1)])
+        assert len(batch) == 2
+        assert batch.summary.shards_queried == 3
+        short = batch[1]
+        assert short.covered_days == frozenset({lo, lo + 1})
+
+
+class TestValidationAndObs:
+    def test_shard_partitioner_mismatch_rejected(self, sim):
+        with pytest.raises(ClusterError):
+            ClusterCoordinator(sim.shards, HashPartitioner(2))
+
+    def test_counters_published(self, sim):
+        lo, hi = LAST - W + 1, LAST
+        before = sim.obs.counter("cluster.probes").value
+        sim.coordinator.probe("a", lo, hi)
+        assert sim.obs.counter("cluster.probes").value == before + 1

@@ -1,0 +1,183 @@
+"""Partitioner unit + property tests.
+
+The hypothesis suites pin the two partitioners' contracts: the hash
+partitioner keeps shard loads balanced for arbitrary key sets (no shard
+ever carries more than a constant factor of the mean), and the range
+partitioner's mapping is monotone non-decreasing in the key with split
+points landing exactly on shard boundaries.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    make_partitioner,
+    partition_store,
+)
+from repro.errors import ClusterError
+from tests.conftest import make_store
+
+
+class TestHashPartitioner:
+    def test_is_a_partitioner(self):
+        assert isinstance(HashPartitioner(4), Partitioner)
+
+    def test_deterministic_and_in_range(self):
+        p = HashPartitioner(5)
+        for v in ["a", "b", 7, ("x", 1)]:
+            s = p.shard_for(v)
+            assert 0 <= s < 5
+            assert p.shard_for(v) == s
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ClusterError):
+            HashPartitioner(0)
+
+    def test_describe_is_json_friendly(self):
+        import json
+
+        assert json.dumps(HashPartitioner(3).describe())
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        k=st.integers(min_value=2, max_value=8),
+    )
+    def test_balance_bound_over_random_key_sets(self, seed, k):
+        # Max shard load stays within 1.5x the mean for a 500-key set —
+        # CRC32 spreads arbitrary string keys evenly enough that no
+        # shard becomes a hotspot.
+        p = HashPartitioner(k)
+        n_keys = 500
+        loads = [0] * k
+        for i in range(n_keys):
+            loads[p.shard_for(f"k{seed}:{i}")] += 1
+        assert sum(loads) == n_keys
+        assert max(loads) <= 1.5 * (n_keys / k)
+
+
+class TestRangePartitioner:
+    def test_split_points_are_boundaries(self):
+        p = RangePartitioner([10, 20])
+        assert p.n_shards == 3
+        assert p.shard_for(9) == 0
+        assert p.shard_for(10) == 1
+        assert p.shard_for(19) == 1
+        assert p.shard_for(20) == 2
+        assert p.shard_for(10**9) == 2
+
+    def test_rejects_unordered_or_empty_splits(self):
+        with pytest.raises(ClusterError):
+            RangePartitioner([])
+        with pytest.raises(ClusterError):
+            RangePartitioner([3, 3])
+        with pytest.raises(ClusterError):
+            RangePartitioner([5, 2])
+        with pytest.raises(ClusterError):
+            RangePartitioner([1, "b"])
+
+    def test_incomparable_value_raises(self):
+        p = RangePartitioner(["m"])
+        with pytest.raises(ClusterError):
+            p.shard_for(object())
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        splits=st.lists(
+            st.integers(min_value=-(10**6), max_value=10**6),
+            min_size=1,
+            max_size=7,
+            unique=True,
+        ),
+        values=st.lists(
+            st.integers(min_value=-(10**6) - 10, max_value=10**6 + 10),
+            min_size=2,
+            max_size=50,
+        ),
+    )
+    def test_shard_for_is_monotone_in_the_key(self, splits, values):
+        p = RangePartitioner(sorted(splits))
+        shards = [p.shard_for(v) for v in sorted(values)]
+        assert all(a <= b for a, b in zip(shards, shards[1:]))
+        assert all(0 <= s < p.n_shards for s in shards)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        splits=st.lists(
+            st.integers(min_value=-100, max_value=100),
+            min_size=2,
+            max_size=6,
+            unique=True,
+        )
+    )
+    def test_non_monotone_splits_always_rejected(self, splits):
+        ordered = sorted(splits)
+        shuffled = list(reversed(ordered))
+        assert shuffled != ordered
+        with pytest.raises(ClusterError):
+            RangePartitioner(shuffled)
+
+
+class TestMakePartitioner:
+    def test_hash_kind(self):
+        assert isinstance(make_partitioner("hash", 4), HashPartitioner)
+
+    def test_range_kind_needs_matching_splits(self):
+        p = make_partitioner("range", 3, range_splits=["h", "p"])
+        assert isinstance(p, RangePartitioner)
+        with pytest.raises(ClusterError):
+            make_partitioner("range", 3, range_splits=["h"])
+        with pytest.raises(ClusterError):
+            make_partitioner("range", 3)
+
+    def test_single_shard_range_needs_no_splits(self):
+        assert make_partitioner("range", 1).n_shards == 1
+
+    def test_unknown_kind(self):
+        with pytest.raises(ClusterError):
+            make_partitioner("modulo", 2)
+
+
+class TestPartitionStore:
+    def test_single_shard_is_identity(self):
+        store = make_store(6)
+        assert partition_store(store, HashPartitioner(1)) == [store]
+
+    def test_every_shard_sees_every_day(self):
+        store = make_store(8)
+        shards = partition_store(store, HashPartitioner(3))
+        assert len(shards) == 3
+        for shard_store in shards:
+            assert shard_store.days == store.days
+
+    def test_values_land_on_their_owning_shard_only(self):
+        store = make_store(8)
+        p = HashPartitioner(3)
+        shards = partition_store(store, p)
+        for shard_id, shard_store in enumerate(shards):
+            for day in shard_store.days:
+                for record in shard_store.batch(day).records:
+                    assert record.values
+                    assert all(
+                        p.shard_for(v) == shard_id for v in record.values
+                    )
+
+    def test_union_of_shards_covers_every_posting(self):
+        store = make_store(8)
+        shards = partition_store(store, HashPartitioner(4))
+        want = set()
+        for day in store.days:
+            for record in store.batch(day).records:
+                for v in record.values:
+                    want.add((record.record_id, day, v))
+        got = set()
+        for shard_store in shards:
+            for day in shard_store.days:
+                for record in shard_store.batch(day).records:
+                    for v in record.values:
+                        got.add((record.record_id, day, v))
+        assert got == want

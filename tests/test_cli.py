@@ -249,6 +249,44 @@ class TestBenchOverlap:
         assert "devices" in capsys.readouterr().err
 
 
+class TestBenchCluster:
+    def test_quick_run_writes_valid_report(self, capsys, tmp_path):
+        import json
+
+        from repro.bench.cluster import validate_report
+
+        out_path = tmp_path / "BENCH_cluster.json"
+        assert main(["bench-cluster", "--quick", "--out", str(out_path)]) == 0
+        report = json.loads(out_path.read_text())
+        validate_report(report)
+        assert report["bench"] == "cluster"
+        stdout = capsys.readouterr().out
+        assert "throughput scaling" in stdout
+        assert str(out_path) in stdout
+
+    def test_unknown_scheme_rejected(self, capsys, tmp_path):
+        code = main(
+            [
+                "bench-cluster", "--quick",
+                "--out", str(tmp_path / "x.json"),
+                "--scheme", "NOPE",
+            ]
+        )
+        assert code == 2
+        assert "NOPE" in capsys.readouterr().err
+
+    def test_missing_baseline_shard_count_rejected(self, capsys, tmp_path):
+        code = main(
+            [
+                "bench-cluster", "--quick",
+                "--out", str(tmp_path / "x.json"),
+                "--shards", "2", "4",
+            ]
+        )
+        assert code == 2
+        assert "shard" in capsys.readouterr().err.lower()
+
+
 class TestBenchCheck:
     @staticmethod
     def _reports(tmp_path, speedup=4.0):
