@@ -1,75 +1,28 @@
 """Ablation: multiple disks (the paper's Section-8 future work).
 
-With constituents spread over D disks, probes/scans and per-index
-maintenance overlap.  The table reports, for SCAM at n = 4, the query and
-maintenance speed-ups as D grows — approaching n when work is balanced,
-exactly as the paper anticipates.
+With constituents spread over D disks, per-index maintenance overlaps.
+The table reports, for REINDEX at n = 4, the measured build speedup on a
+real simulated disk array as D grows — approaching n when work is
+balanced, exactly as the paper anticipates.  (The closed-form analytic
+model this bench once carried lived in ``repro.extensions.multidisk``,
+removed in favour of the measured executor.)
 """
 
 import pytest
 
-from repro.analysis.daycount import run_reports
-from repro.analysis.parameters import SCAM_PARAMETERS
 from repro.bench.tables import render_rows
 from repro.core.schemes import ReindexScheme
-from repro.extensions.multidisk import maintenance_speedup, query_speedup
 from repro.index.updates import UpdateTechnique
+from repro.sim.multidisk_sim import MultiDiskExecutor
+from repro.workloads.text import TextWorkloadConfig, build_store
 
 N_INDEXES = 4
 DISKS = (1, 2, 4, 8)
 
 
 def compute_rows():
-    scheme = ReindexScheme(SCAM_PARAMETERS.window, N_INDEXES)
-    reports = run_reports(
-        scheme,
-        SCAM_PARAMETERS,
-        UpdateTechnique.SIMPLE_SHADOW,
-        transitions=SCAM_PARAMETERS.window,
-    )
-    start, steady = reports[0], reports[-1]
-    rows = []
-    for disks in DISKS:
-        rows.append(
-            [
-                disks,
-                query_speedup(steady, SCAM_PARAMETERS, disks),
-                maintenance_speedup(start, disks),
-                maintenance_speedup(steady, disks),
-            ]
-        )
-    return rows
-
-
-def test_ablation_multidisk(benchmark, report):
-    rows = benchmark(compute_rows)
-    report(
-        "ablation_multidisk",
-        render_rows(
-            "Ablation: multi-disk speed-ups (SCAM, REINDEX, n=4, analytic)",
-            [
-                "disks",
-                "query speedup",
-                "initial-build speedup",
-                "steady maintenance speedup",
-            ],
-            rows,
-        ),
-    )
-    # Query speedup approaches n with n disks; never exceeds it.
-    assert rows[0][1] == 1.0
-    assert 2.5 < rows[2][1] <= N_INDEXES + 1e-9
-    # A single daily REINDEX rebuild touches one index: no steady speedup.
-    assert rows[2][3] == 1.0
-
-
-def compute_measured_rows():
-    """Same question, answered on the real substrate: a disk array."""
-    from repro.index.updates import UpdateTechnique as UT
-    from repro.sim.multidisk_sim import MultiDiskExecutor
-    from repro.workloads.text import TextWorkloadConfig, build_store
-
-    window, n = 8, 4
+    """Measure the initial n-cluster build on arrays of growing width."""
+    window = 8
     store = build_store(
         window,
         TextWorkloadConfig(docs_per_day=30, words_per_doc=12, vocabulary=300, seed=3),
@@ -77,9 +30,9 @@ def compute_measured_rows():
     rows = []
     for disks in DISKS:
         executor = MultiDiskExecutor.create(
-            store, n, disks, technique=UT.SIMPLE_SHADOW
+            store, N_INDEXES, disks, technique=UpdateTechnique.SIMPLE_SHADOW
         )
-        scheme = ReindexScheme(window, n)
+        scheme = ReindexScheme(window, N_INDEXES)
         start = executor.execute_parallel(scheme.start_ops())
         rows.append(
             [
@@ -93,7 +46,7 @@ def compute_measured_rows():
 
 
 def test_ablation_multidisk_measured(benchmark, report):
-    rows = benchmark(compute_measured_rows)
+    rows = benchmark(compute_rows)
     report(
         "ablation_multidisk_measured",
         render_rows(
@@ -105,4 +58,5 @@ def test_ablation_multidisk_measured(benchmark, report):
     )
     assert rows[0][3] == pytest.approx(1.0)
     assert rows[2][3] > 2.5  # 4 disks overlap the 4 cluster builds
-
+    # Disks beyond n add nothing: the build has only n independent targets.
+    assert rows[3][3] == pytest.approx(rows[2][3], rel=0.2)

@@ -51,6 +51,10 @@ class HeadlineMetric:
             return report.get("headline", {}).get("throughput_scaling")
         if self.name == "cluster_staggered_p95_ratio":
             return report.get("headline", {}).get("staggered_p95_ratio")
+        if self.name == "chaos_recovery_makespan":
+            return report.get("headline", {}).get(
+                "recovery_makespan_seconds"
+            )
         raise KeyError(self.name)
 
 
@@ -85,6 +89,12 @@ HEADLINE_METRICS: tuple[HeadlineMetric, ...] = (
         "cluster",
         higher_is_better=False,
         description="staggered/lockstep during-transition p95 at k_max",
+    ),
+    HeadlineMetric(
+        "chaos_recovery_makespan",
+        "chaos",
+        higher_is_better=False,
+        description="worst per-day replica-rebuild span in the chaos soak",
     ),
 )
 

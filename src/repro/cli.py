@@ -18,6 +18,9 @@ Commands:
   disk array across the schemes, writing ``BENCH_overlap.json``.
 * ``bench-cluster`` — sharded-cluster scaling and staggered vs lockstep
   maintenance, writing ``BENCH_cluster.json``.
+* ``chaos-soak`` — randomized fault schedules against the self-healing
+  cluster, invariants checked against a fault-free twin, writing
+  ``BENCH_chaos.json``.
 * ``bench-check`` — gate fresh bench artifacts against the committed
   ``BENCH_baseline.json`` headline metrics.
 
@@ -273,6 +276,61 @@ def build_parser() -> argparse.ArgumentParser:
         "maintenance makespan (default 2.0)",
     )
     cluster.add_argument("--seed", type=int, default=None)
+
+    chaos = sub.add_parser(
+        "chaos-soak",
+        help="soak the self-healing cluster under randomized fault "
+        "schedules, emitting BENCH_chaos.json",
+    )
+    chaos.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run (same fault mix, one seed, shorter soak)",
+    )
+    chaos.add_argument(
+        "--out", default="BENCH_chaos.json",
+        help="output JSON path (default: ./BENCH_chaos.json)",
+    )
+    chaos.add_argument(
+        "--seeds", type=int, nargs="+", default=None,
+        help="fault-schedule seeds to soak (default: 7 8 9)",
+    )
+    chaos.add_argument(
+        "--shards", "-k", type=int, default=None,
+        help="number of shards (default 4)",
+    )
+    chaos.add_argument(
+        "--replication", "-r", type=int, default=None,
+        help="replicas per shard; >= 2 when kills are scheduled "
+        "(default 2)",
+    )
+    chaos.add_argument(
+        "--scheme", default=None,
+        help="maintenance scheme every shard runs (default REINDEX)",
+    )
+    chaos.add_argument(
+        "--kills-per-shard", type=int, default=None,
+        help="permanent device losses per shard (default 1)",
+    )
+    chaos.add_argument(
+        "--kill-points", nargs="+", default=None,
+        choices=("transition", "serving", "rebuild"),
+        help="injection points kills are drawn from (default: all three)",
+    )
+    chaos.add_argument(
+        "--burst-days", type=int, default=None,
+        help="days that get a transient read-error burst (default 2)",
+    )
+    chaos.add_argument(
+        "--transient-rate", type=float, default=None,
+        help="read-error probability during a burst (default 0.9)",
+    )
+    chaos.add_argument("--window", "-w", type=int, default=None)
+    chaos.add_argument("--indexes", "-n", type=int, default=None)
+    chaos.add_argument("--transitions", type=int, default=None)
+    chaos.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero when any invariant fails (the CI soak mode)",
+    )
 
     check = sub.add_parser(
         "bench-check",
@@ -671,6 +729,54 @@ def _cmd_bench_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos_soak(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .bench.chaos import (
+        ChaosSoakConfig,
+        quick_config,
+        render_summary,
+        run_chaos_soak,
+        write_report,
+    )
+    from .errors import ClusterError
+
+    config = ChaosSoakConfig()
+    if args.quick:
+        config = quick_config(config)
+    overrides = {
+        "window": args.window,
+        "n_indexes": args.indexes,
+        "transitions": args.transitions,
+        "scheme": args.scheme,
+        "n_shards": args.shards,
+        "replication": args.replication,
+        "kills_per_shard": args.kills_per_shard,
+        "transient_burst_days": args.burst_days,
+        "transient_rate": args.transient_rate,
+    }
+    overrides = {k: v for k, v in overrides.items() if v is not None}
+    if args.seeds is not None:
+        overrides["seeds"] = tuple(args.seeds)
+    elif args.seed_global is not None:
+        overrides["seeds"] = (args.seed_global,)
+    if args.kill_points is not None:
+        overrides["kill_points"] = tuple(args.kill_points)
+    try:
+        config = replace(config, **overrides)
+        report = run_chaos_soak(config)
+    except (KeyError, ValueError, ClusterError) as exc:
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
+    path = write_report(report, args.out)
+    print(render_summary(report))
+    print(f"\nwrote {path}")
+    if args.strict and not report["headline"]["all_invariants_pass"]:
+        print("chaos soak FAILED: invariant violations", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench_check(args: argparse.Namespace) -> int:
     from .bench.regression import (
         DEFAULT_THRESHOLD,
@@ -739,6 +845,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_bench_overlap(args)
     if args.command == "bench-cluster":
         return _cmd_bench_cluster(args)
+    if args.command == "chaos-soak":
+        return _cmd_chaos_soak(args)
     if args.command == "bench-check":
         return _cmd_bench_check(args)
     raise AssertionError(f"unhandled command {args.command!r}")

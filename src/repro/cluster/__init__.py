@@ -22,6 +22,16 @@ from .partitioner import (
     partition_store,
 )
 from .rebalance import RebalanceReport, copy_index_to, move_replica
+from .selfheal import (
+    BreakerConfig,
+    BreakerState,
+    RebuildAborted,
+    RebuildReport,
+    ReplicaHealth,
+    ReplicaHealthMonitor,
+    SelfHealConfig,
+    rebuild_replica,
+)
 from .shard import Shard, ShardReplica
 from .sim import (
     MAINTENANCE_POLICIES,
@@ -34,6 +44,8 @@ from .sim import (
 
 __all__ = [
     "MAINTENANCE_POLICIES",
+    "BreakerConfig",
+    "BreakerState",
     "ClusterBatchResult",
     "ClusterConfig",
     "ClusterCoordinator",
@@ -45,11 +57,17 @@ __all__ = [
     "Partitioner",
     "RangePartitioner",
     "RebalanceReport",
+    "RebuildAborted",
+    "RebuildReport",
+    "ReplicaHealth",
+    "ReplicaHealthMonitor",
+    "SelfHealConfig",
     "Shard",
     "ShardReplica",
     "copy_index_to",
     "make_partitioner",
     "move_replica",
     "partition_store",
+    "rebuild_replica",
     "run_cluster_simulation",
 ]

@@ -21,13 +21,21 @@ one), and lists the shard in the summary's ``shards_unavailable``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from ..core.queries import BatchCostSummary, ProbeResult, ScanResult
-from ..errors import ClusterError, DegradedWindowError, FaultError
+from ..errors import (
+    ClusterError,
+    DegradedWindowError,
+    FaultError,
+    TransientIOError,
+)
 from ..obs import MetricsRegistry
 from .partitioner import Partitioner
 from .shard import Shard, ShardReplica
+
+if TYPE_CHECKING:
+    from .selfheal import ReplicaHealthMonitor
 
 
 @dataclass(frozen=True)
@@ -37,7 +45,12 @@ class ClusterCostSummary:
     ``serial_seconds`` sums every shard's device time (single-device
     equivalent work); ``elapsed_seconds`` is the slowest shard's time —
     shards read distinct devices, so the batch completes when the last
-    one does.  ``per_shard`` keeps each shard's own
+    one does.  Both include failover overhead: ``aborted_seconds`` is
+    the device time the batch spent on attempts that died mid-answer
+    (the dying replica's charged reads plus any retry backoff), which a
+    real client waits through before the surviving replica's answer
+    lands, so it counts toward the shard's elapsed contribution too.
+    ``per_shard`` keeps each shard's own
     :class:`~repro.core.queries.BatchCostSummary` for drill-down.
     """
 
@@ -51,6 +64,7 @@ class ClusterCostSummary:
     shards_unavailable: tuple[int, ...]
     missing_days: frozenset[int]
     per_shard: tuple[tuple[int, BatchCostSummary], ...]
+    aborted_seconds: float = 0.0
 
     @property
     def complete(self) -> bool:
@@ -90,6 +104,10 @@ class ClusterCoordinator:
         metrics: Optional registry; the coordinator publishes
             ``cluster.probes`` / ``cluster.scans`` / ``cluster.failovers``
             / ``cluster.partial_answers`` counters into it.
+        monitor: Optional :class:`~repro.cluster.selfheal.ReplicaHealthMonitor`.
+            With one, replica selection honours the circuit breakers and
+            escaped transients are retried under the monitor's retry
+            policy instead of immediately retiring the replica.
     """
 
     def __init__(
@@ -97,6 +115,8 @@ class ClusterCoordinator:
         shards: Sequence[Shard],
         partitioner: Partitioner,
         metrics: MetricsRegistry | None = None,
+        *,
+        monitor: "ReplicaHealthMonitor | None" = None,
     ) -> None:
         if len(shards) != partitioner.n_shards:
             raise ClusterError(
@@ -106,6 +126,7 @@ class ClusterCoordinator:
         self.shards = list(shards)
         self.partitioner = partitioner
         self.obs = metrics or MetricsRegistry()
+        self.monitor = monitor
 
     # ------------------------------------------------------------------
     # Failover primitive
@@ -123,20 +144,72 @@ class ClusterCoordinator:
         with the caller's ``degraded`` flag; a partial answer is the
         end of the line, not a substitute for a healthy copy.
 
-        Returns ``(outcome, replica)`` or ``(None, None)`` when every
-        replica is dead.
+        Returns ``(outcome, replica, aborted_seconds)`` — the third item
+        is the device time spent on attempts that died mid-answer (plus
+        retry backoff and breaker waits), which the summary merge charges
+        to both the serial and elapsed cost clocks — or
+        ``(None, None, aborted_seconds)`` when every replica is dead.
         """
+        monitor = self.monitor
+        aborted = 0.0
+        attempts: dict[int, int] = {}
+        exhausted: set[int] = set()
         while True:
-            replica = shard.primary
+            if monitor is None:
+                replica = shard.primary
+            else:
+                replica, breaker_wait = monitor.serving_replica(
+                    shard, now=monitor.now, exclude=exhausted
+                )
+                aborted += breaker_wait
             if replica is None:
-                return None, None
-            last = len(shard.alive_replicas()) == 1
+                return None, None, aborted
+            candidates = [
+                r
+                for r in shard.alive_replicas()
+                if r.replica_id not in exhausted
+            ]
+            last = len(candidates) == 1
+            before = replica.device.clock
+            before_offline = frozenset(replica.wave.offline)
             try:
-                return call(replica, degraded and last), replica
+                outcome = call(replica, degraded and last)
+            except TransientIOError:
+                aborted += replica.device.clock - before
+                # A strict call marks the faulted constituent offline
+                # before re-raising; the transient left the data intact,
+                # so clear the mark before the retry.
+                replica.wave.offline &= before_offline
+                if monitor is None:
+                    self._fail_over(replica)
+                    continue
+                monitor.on_transient(replica, now=monitor.now)
+                n = attempts.get(replica.replica_id, 0) + 1
+                attempts[replica.replica_id] = n
+                if n >= monitor.retry.max_attempts:
+                    exhausted.add(replica.replica_id)
+                else:
+                    delay = monitor.retry.delay_before_retry(n)
+                    replica.device.advance(delay)
+                    aborted += delay
+                    monitor.note_retry(n)
+                continue
             except (DegradedWindowError, FaultError):
-                replica.failed = True
-                self.obs.counter("cluster.failovers").inc()
-                self._failovers += 1
+                aborted += replica.device.clock - before
+                self._fail_over(replica)
+                continue
+            if monitor is not None:
+                monitor.record_success(replica)
+            return outcome, replica, aborted
+
+    def _fail_over(self, replica: ShardReplica) -> None:
+        """Retire a replica whose answer died; count the failover."""
+        if self.monitor is None:
+            replica.failed = True
+        else:
+            self.monitor.retire(replica, reason="query-fault")
+        self.obs.counter("cluster.failovers").inc()
+        self._failovers += 1
 
     # ------------------------------------------------------------------
     # Batched scatter-gather
@@ -171,11 +244,12 @@ class ClusterCoordinator:
             shard = self.shards[shard_id]
             indices = by_shard[shard_id]
             shard_specs = [specs[i] for i in indices]
-            batch, _replica = self._serve(
+            batch, _replica, aborted = self._serve(
                 shard,
                 lambda r, d: r.wave.probe_many(shard_specs, degraded=d),
                 degraded=degraded,
             )
+            merge.charge_aborted(shard_id, aborted)
             if batch is None:
                 merge.shard_dark(shard)
                 for i in indices:
@@ -213,11 +287,12 @@ class ClusterCoordinator:
         parts: list[list[ScanResult]] = [[] for _ in specs]
         dark_missing: list[set[int]] = [set() for _ in specs]
         for shard in self.shards:
-            batch, _replica = self._serve(
+            batch, _replica, aborted = self._serve(
                 shard,
                 lambda r, d: r.wave.scan_many(specs, degraded=d),
                 degraded=degraded,
             )
+            merge.charge_aborted(shard.shard_id, aborted)
             if batch is None:
                 merge.shard_dark(shard)
                 for i, (t1, t2) in enumerate(specs):
@@ -259,6 +334,7 @@ class _SummaryMerge:
         self.per_shard: list[tuple[int, BatchCostSummary]] = []
         self.unavailable: list[int] = []
         self.missing: set[int] = set()
+        self.aborted: dict[int, float] = {}
 
     def add(self, shard_id: int, summary: BatchCostSummary) -> None:
         self.per_shard.append((shard_id, summary))
@@ -266,12 +342,29 @@ class _SummaryMerge:
     def shard_dark(self, shard: Shard) -> None:
         self.unavailable.append(shard.shard_id)
 
+    def charge_aborted(self, shard_id: int, seconds: float) -> None:
+        """Charge a shard's aborted-attempt device time to the batch."""
+        if seconds > 0.0:
+            self.aborted[shard_id] = (
+                self.aborted.get(shard_id, 0.0) + seconds
+            )
+
     def finish(self, requests: int, failovers: int) -> ClusterCostSummary:
-        seconds = [s.seconds for _, s in self.per_shard]
+        # Aborted attempts are sequential with the surviving replica's
+        # answer on the same shard, so they stretch that shard's elapsed
+        # contribution as well as the serial total; a dark shard's futile
+        # attempts still occupy elapsed time.
+        totals = [
+            s.seconds + self.aborted.get(sid, 0.0)
+            for sid, s in self.per_shard
+        ]
+        totals.extend(self.aborted.get(sid, 0.0) for sid in self.unavailable)
+        aborted_total = sum(self.aborted.values())
         return ClusterCostSummary(
             requests=requests,
-            serial_seconds=sum(seconds),
-            elapsed_seconds=max(seconds, default=0.0),
+            serial_seconds=sum(s.seconds for _, s in self.per_shard)
+            + aborted_total,
+            elapsed_seconds=max(totals, default=0.0),
             seeks=sum(s.seeks for _, s in self.per_shard),
             bytes_read=sum(s.bytes_read for _, s in self.per_shard),
             failovers=failovers,
@@ -279,6 +372,7 @@ class _SummaryMerge:
             shards_unavailable=tuple(self.unavailable),
             missing_days=frozenset(self.missing),
             per_shard=tuple(self.per_shard),
+            aborted_seconds=aborted_total,
         )
 
 

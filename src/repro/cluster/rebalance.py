@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..core.recovery import sweep_orphan_extents
+from ..errors import FaultError
 from ..index.bucket import Bucket
 from ..index.constituent import ConstituentIndex
 from ..index.updates import _ordered
@@ -103,22 +105,40 @@ def move_replica(
 ) -> RebalanceReport:
     """Move every binding of ``replica`` onto ``target``.
 
-    Each index is smart-copied to the target device and swapped into the
-    wave index (swap-then-drop, so the old version serves until the new
-    one is bound; the drop frees the source extents and invalidates any
-    cached pages of them).  Afterwards the replica's wave index, executor
-    placement, and device bookkeeping all point at the target, so future
-    maintenance ops land there.
+    Two phases, so the move is fault-safe: first every index is
+    smart-copied to the target device; only once *all* copies have landed
+    are they swapped into the wave index (swap-then-drop, so the old
+    version serves until the new one is bound; the drop frees the source
+    extents and invalidates any cached pages of them).  A fault anywhere
+    in the copy phase leaves the source replica fully intact — the
+    completed clones are dropped, any half-written extent of the
+    interrupted copy is swept off the target, and the fault propagates.
+    Afterwards the replica's wave index, executor placement, and device
+    bookkeeping all point at the target, so future maintenance ops land
+    there.
     """
     wave = replica.wave
     from_device = replica.device_index
     source_before = replica.device.clock
     target_before = target.clock
+    clones: dict[str, ConstituentIndex] = {}
+    try:
+        for name in list(wave.bindings):
+            clones[name] = copy_index_to(wave.bindings[name], target, name=name)
+    except BaseException:
+        for clone in clones.values():
+            try:
+                clone.drop()
+            except FaultError:
+                pass
+        try:
+            sweep_orphan_extents(wave, extra_disks=(target,))
+        except FaultError:
+            pass
+        raise
     bytes_moved = 0
     moved = 0
-    for name in list(wave.bindings):
-        index = wave.bindings[name]
-        clone = copy_index_to(index, target, name=name)
+    for name, clone in clones.items():
         bytes_moved += clone.allocated_bytes
         wave.bind(name, clone)
         moved += 1

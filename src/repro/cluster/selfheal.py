@@ -1,0 +1,540 @@
+"""Cluster self-healing: health monitoring, circuit breakers, re-replication.
+
+PR 4's cluster honors the paper's "index always available" requirement
+only until the first permanent replica loss: after failover the shard
+runs unreplicated forever, and a second fault turns it dark.  This
+module closes that gap with three pieces:
+
+* :class:`ReplicaHealthMonitor` — classifies faults per replica.
+  :class:`~repro.errors.TransientIOError`\\ s that escape the device's own
+  retry loop are retried at the *cluster* level under the same
+  :class:`~repro.storage.faults.RetryPolicy`, with backoff charged to the
+  replica's simulated clock; a per-replica **circuit breaker**
+  (live → suspect → open after ``failure_threshold`` consecutive
+  failures → half-open probe after a clocked cooldown → live/retired)
+  stops the router from hammering a flaky device; and
+  :class:`~repro.errors.DeviceFailure` retires the replica outright.
+
+* :func:`rebuild_replica` — the re-replication pipeline.  When a shard
+  drops below its replication target the simulation provisions a fresh
+  spare device, smart-copies the donor's bindings onto it with
+  :func:`~repro.cluster.rebalance.copy_index_to` (packed extents, all
+  I/O charged to both devices' clocks), then **catches up** the day's
+  arrivals by running the day plan through a
+  :class:`~repro.core.recovery.JournaledExecutor` — so a simulated crash
+  mid-rebuild rolls forward (orphan sweep + journal recovery) instead of
+  corrupting the copy, and a dead or undersized spare aborts cleanly,
+  leaving the donor untouched for a retry on the next day.
+
+* The configuration surface (:class:`SelfHealConfig` /
+  :class:`BreakerConfig`) hung off
+  :class:`~repro.cluster.sim.ClusterConfig`.  Self-healing is **off by
+  default**: with no config the cluster behaves bit-identically to PR 4
+  (the ``k=1`` serialized-driver equivalence suite rests on that).
+
+Healing activity is published as ``cluster.heal.*`` counters on the
+simulation's metrics registry — breaker opens, cluster-level retries,
+retired replicas, rebuilds and their bytes — which is what the chaos
+soak harness (:mod:`repro.bench.chaos`) asserts against.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.ops import Op
+from ..core.recovery import (
+    JournaledExecutor,
+    recover_transition,
+    sweep_orphan_extents,
+)
+from ..core.wave import WaveIndex
+from ..errors import (
+    ClusterError,
+    DeviceFailure,
+    FaultError,
+    OutOfSpaceError,
+    SimulatedCrash,
+    TransientIOError,
+)
+from ..index.updates import UpdateTechnique
+from ..obs import MetricsRegistry
+from ..storage.disk import SimulatedDisk
+from ..storage.faults import RetryPolicy
+from .rebalance import copy_index_to
+from .shard import Shard, ShardReplica
+
+
+class BreakerState(enum.Enum):
+    """Per-replica circuit-breaker states (see DESIGN.md for the diagram)."""
+
+    LIVE = "live"
+    SUSPECT = "suspect"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+    RETIRED = "retired"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Circuit-breaker tuning.
+
+    Args:
+        failure_threshold: Consecutive failures before the breaker opens.
+        cooldown_s: Simulated seconds an open breaker refuses traffic
+            before allowing one half-open probe.
+        cooldown_multiplier: Escalation factor applied when a half-open
+            probe fails (the breaker reopens with a longer cooldown).
+        max_cooldown_s: Cap on the escalated cooldown.
+    """
+
+    failure_threshold: int = 3
+    cooldown_s: float = 0.5
+    cooldown_multiplier: float = 2.0
+    max_cooldown_s: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ClusterError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.cooldown_s < 0.0:
+            raise ClusterError(
+                f"cooldown_s must be >= 0, got {self.cooldown_s}"
+            )
+        if self.cooldown_multiplier < 1.0:
+            raise ClusterError(
+                f"cooldown_multiplier must be >= 1, "
+                f"got {self.cooldown_multiplier}"
+            )
+        if self.max_cooldown_s < self.cooldown_s:
+            raise ClusterError(
+                f"max_cooldown_s ({self.max_cooldown_s}) must be >= "
+                f"cooldown_s ({self.cooldown_s})"
+            )
+
+
+@dataclass(frozen=True)
+class SelfHealConfig:
+    """Switchboard for the cluster's self-healing behaviour.
+
+    Args:
+        breaker: Per-replica circuit-breaker tuning.
+        retry: Cluster-level retry/backoff policy for transients that
+            escape the device's own retry loop.  Backoff is charged to
+            the replica's device clock, same as device-level retries.
+        rebuild: Re-replicate under-replicated shards automatically
+            (one rebuild per shard per day).
+        target_replication: Replicas per shard the healer restores to;
+            defaults to the cluster's configured ``replication``.
+        spare_factory: Optional ``ordinal -> device`` factory for rebuild
+            targets (the chaos harness's hook for arming faults on
+            spares).  Defaults to the simulation's device factory.
+    """
+
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    rebuild: bool = True
+    target_replication: int | None = None
+    spare_factory: Callable[[int], SimulatedDisk] | None = None
+
+    def __post_init__(self) -> None:
+        if (
+            self.target_replication is not None
+            and self.target_replication < 1
+        ):
+            raise ClusterError(
+                f"target_replication must be >= 1, "
+                f"got {self.target_replication}"
+            )
+
+
+class RebuildAborted(ClusterError):
+    """A replica rebuild could not complete; the donor is untouched.
+
+    Carries ``reason`` (``"device-failure"``, ``"space"``, ``"flaky"``,
+    ``"flaky-catchup"``) so the simulation's day stats can say why.  The
+    healer retries with a fresh spare on the next day.
+    """
+
+    def __init__(self, message: str, *, reason: str) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+@dataclass
+class ReplicaHealth:
+    """One replica's breaker state and failure bookkeeping."""
+
+    state: BreakerState = BreakerState.LIVE
+    consecutive_failures: int = 0
+    opened_at: float = 0.0
+    cooldown_s: float = 0.0
+    opens: int = 0
+    transients: int = 0
+
+    def reopen_at(self) -> float:
+        """Return the simulated time an open breaker half-opens."""
+        return self.opened_at + self.cooldown_s
+
+
+@dataclass(frozen=True)
+class RebuildReport:
+    """Outcome of one replica rebuild (copy + catch-up replay)."""
+
+    shard_id: int
+    replica_id: int
+    donor_replica_id: int
+    device_index: int
+    day: int
+    indexes_copied: int
+    bytes_copied: int
+    copy_read_seconds: float
+    copy_write_seconds: float
+    catchup_seconds: float
+    crash_recoveries: int
+    start: float
+    copy_read_end: float
+    end: float
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Return the rebuild's span on the cluster timeline."""
+        return self.end - self.start
+
+
+class ReplicaHealthMonitor:
+    """Classifies per-replica faults and drives the circuit breakers.
+
+    One monitor per :class:`~repro.cluster.sim.ClusterSimulation`, keyed
+    by ``(shard_id, replica_id)`` so rebuilt replicas (which get fresh
+    replica ids) start with clean health.  ``now`` is the cluster clock
+    base — the simulation advances it by each day's makespan, so breaker
+    cooldowns are measured on the same simulated timeline as everything
+    else.
+    """
+
+    def __init__(
+        self, config: SelfHealConfig, obs: MetricsRegistry | None = None
+    ) -> None:
+        self.config = config
+        self.retry = config.retry
+        self.breaker = config.breaker
+        self.obs = obs or MetricsRegistry()
+        self.now = 0.0
+        #: High-water mark of cluster-level retries charged to any
+        #: single operation — the chaos harness asserts it never exceeds
+        #: ``retry.max_attempts - 1``.
+        self.max_op_retries = 0
+        self._health: dict[tuple[int, int], ReplicaHealth] = {}
+
+    def health_of(self, replica: ShardReplica) -> ReplicaHealth:
+        """Return (creating if needed) the replica's health record."""
+        key = (replica.shard_id, replica.replica_id)
+        health = self._health.get(key)
+        if health is None:
+            health = ReplicaHealth(cooldown_s=self.breaker.cooldown_s)
+            self._health[key] = health
+        return health
+
+    # ------------------------------------------------------------------
+    # Fault classification
+    # ------------------------------------------------------------------
+
+    def on_transient(self, replica: ShardReplica, *, now: float) -> None:
+        """Record one escaped transient against the replica's breaker."""
+        health = self.health_of(replica)
+        health.transients += 1
+        self.obs.counter("cluster.heal.transients").inc()
+        if health.state is BreakerState.RETIRED:
+            return
+        if health.state is BreakerState.HALF_OPEN:
+            # The probe failed: reopen with an escalated cooldown.
+            health.cooldown_s = min(
+                health.cooldown_s * self.breaker.cooldown_multiplier,
+                self.breaker.max_cooldown_s,
+            )
+            self._open(health, now)
+            return
+        health.consecutive_failures += 1
+        if health.consecutive_failures >= self.breaker.failure_threshold:
+            self._open(health, now)
+        else:
+            health.state = BreakerState.SUSPECT
+
+    def _open(self, health: ReplicaHealth, now: float) -> None:
+        health.state = BreakerState.OPEN
+        health.opened_at = now
+        health.opens += 1
+        health.consecutive_failures = 0
+        self.obs.counter("cluster.heal.breaker_opens").inc()
+
+    def record_success(self, replica: ShardReplica) -> None:
+        """A call on the replica succeeded: close suspect/half-open state."""
+        health = self.health_of(replica)
+        if health.state is BreakerState.RETIRED:
+            return
+        if health.state is BreakerState.HALF_OPEN:
+            health.cooldown_s = self.breaker.cooldown_s
+            self.obs.counter("cluster.heal.breaker_closes").inc()
+        health.state = BreakerState.LIVE
+        health.consecutive_failures = 0
+
+    def retire(self, replica: ShardReplica, *, reason: str) -> None:
+        """Permanently remove the replica from service."""
+        health = self.health_of(replica)
+        if replica.failed and health.state is BreakerState.RETIRED:
+            return
+        replica.failed = True
+        health.state = BreakerState.RETIRED
+        self.obs.counter("cluster.heal.retired").inc()
+        self.obs.counter(f"cluster.heal.retired.{reason}").inc()
+
+    def note_retry(self, attempt: int) -> None:
+        """Record one cluster-level retry (the ``attempt``-th for its op)."""
+        self.obs.counter("cluster.heal.retries").inc()
+        self.max_op_retries = max(self.max_op_retries, attempt)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def serving_replica(
+        self,
+        shard: Shard,
+        *,
+        now: float,
+        exclude: set[int] = frozenset(),
+    ) -> tuple[ShardReplica | None, float]:
+        """Pick the replica a request should run on.
+
+        Returns ``(replica, wait_seconds)``.  Replicas whose breakers are
+        closed (live/suspect) or already half-open are preferred, in
+        replica order; an open breaker past its cooldown half-opens and
+        serves as the probe.  When every candidate's breaker is open, the
+        request *waits out* the soonest cooldown (the wait is returned so
+        the caller charges it to request latency, not to any device) and
+        probes that replica.  ``None`` when no replica can serve —
+        everything failed or is in ``exclude`` (retry-exhausted for this
+        request).
+        """
+        best: ShardReplica | None = None
+        best_ready = float("inf")
+        for replica in shard.replicas:
+            if replica.failed or replica.replica_id in exclude:
+                continue
+            health = self.health_of(replica)
+            if health.state in (
+                BreakerState.LIVE,
+                BreakerState.SUSPECT,
+                BreakerState.HALF_OPEN,
+            ):
+                return replica, 0.0
+            if health.state is BreakerState.OPEN:
+                ready = health.reopen_at()
+                if ready <= now:
+                    health.state = BreakerState.HALF_OPEN
+                    self.obs.counter("cluster.heal.breaker_half_opens").inc()
+                    return replica, 0.0
+                if ready < best_ready:
+                    best, best_ready = replica, ready
+        if best is not None:
+            health = self.health_of(best)
+            health.state = BreakerState.HALF_OPEN
+            self.obs.counter("cluster.heal.breaker_half_opens").inc()
+            return best, best_ready - now
+        return None, 0.0
+
+    def breaker_state(self, replica: ShardReplica) -> BreakerState:
+        """Return the replica's current breaker state."""
+        return self.health_of(replica).state
+
+
+# ----------------------------------------------------------------------
+# Re-replication pipeline
+# ----------------------------------------------------------------------
+
+
+def _disarm_crash(*devices: SimulatedDisk) -> None:
+    """Disarm any crash points on the devices (the process 'restarted')."""
+    for device in devices:
+        injector = getattr(device, "injector", None)
+        if injector is not None:
+            injector.disarm()
+
+
+def _discard_partial(wave: WaveIndex) -> None:
+    """Drop everything a failed rebuild left on the spare."""
+    for name in list(wave.bindings):
+        index = wave.unbind(name)
+        try:
+            index.drop()
+        except FaultError:
+            pass
+    try:
+        sweep_orphan_extents(wave)
+    except FaultError:
+        pass
+
+
+def rebuild_replica(
+    shard: Shard,
+    donor: ShardReplica,
+    spare: SimulatedDisk,
+    device_index: int,
+    *,
+    plan: list[Op],
+    day: int,
+    technique: UpdateTechnique,
+    monitor: ReplicaHealthMonitor,
+    start: float = 0.0,
+) -> tuple[ShardReplica, RebuildReport]:
+    """Rebuild one replica of ``shard`` from ``donor`` onto ``spare``.
+
+    Two phases, both on the simulated cost clocks:
+
+    1. **Copy** — every binding of the donor's wave index is smart-copied
+       onto the spare (:func:`~repro.cluster.rebalance.copy_index_to`:
+       sequential read on the donor's device, one packed extent written
+       on the spare).  The donor's pre-transition state is what gets
+       copied — the donor has not run today's plan yet.
+    2. **Catch-up** — the new replica replays today's plan through a
+       :class:`~repro.core.recovery.JournaledExecutor`, bringing it to
+       the same post-transition state every other replica reaches via
+       normal maintenance.
+
+    Fault handling: a :class:`~repro.errors.SimulatedCrash` in either
+    phase rolls forward (orphan sweep + re-copy, or journal recovery);
+    escaped transients are retried under the monitor's
+    :class:`~repro.storage.faults.RetryPolicy` with backoff charged to
+    the spare's clock; a dead donor is retired and a dead or undersized
+    spare aborts the rebuild — in every abort case the donor is left
+    intact and partial work on the spare is swept, so the healer can try
+    again with a fresh spare next day.
+
+    Raises:
+        RebuildAborted: The rebuild could not complete.
+    """
+    retry = monitor.retry
+    new_wave = WaveIndex(
+        spare, donor.wave.config, len(donor.wave.constituents)
+    )
+    donor_before = donor.device.clock
+    spare_before = spare.clock
+    crash_recoveries = 0
+    bytes_copied = 0
+    copied = 0
+
+    def abort(reason: str, message: str) -> RebuildAborted:
+        _discard_partial(new_wave)
+        return RebuildAborted(
+            f"rebuild of shard {shard.shard_id} aborted: {message}",
+            reason=reason,
+        )
+
+    for name in list(donor.wave.bindings):
+        index = donor.wave.bindings[name]
+        attempts = 0
+        while True:
+            try:
+                clone = copy_index_to(index, spare, name=name)
+                new_wave.bind(name, clone)
+                bytes_copied += clone.allocated_bytes
+                copied += 1
+                break
+            except SimulatedCrash:
+                # Disk state survives a process crash; roll the copy
+                # forward: sweep the half-written clone, re-copy.
+                _disarm_crash(spare, donor.device)
+                sweep_orphan_extents(new_wave)
+                crash_recoveries += 1
+                monitor.obs.counter(
+                    "cluster.heal.rebuild_crash_recoveries"
+                ).inc()
+            except TransientIOError as exc:
+                attempts += 1
+                if attempts >= retry.max_attempts:
+                    raise abort("flaky", str(exc)) from exc
+                spare.advance(retry.delay_before_retry(attempts))
+                monitor.note_retry(attempts)
+                sweep_orphan_extents(new_wave)
+            except OutOfSpaceError as exc:
+                raise abort("space", str(exc)) from exc
+            except DeviceFailure as exc:
+                donor_injector = getattr(donor.device, "injector", None)
+                if donor_injector is not None and donor_injector.device_failed:
+                    monitor.retire(donor, reason="died-during-rebuild")
+                raise abort("device-failure", str(exc)) from exc
+
+    copy_read = donor.device.clock - donor_before
+    copy_write = spare.clock - spare_before
+
+    executor = JournaledExecutor(new_wave, shard.store, technique)
+    try:
+        executor.execute_journaled(plan, day=day)
+    except SimulatedCrash:
+        _disarm_crash(spare)
+        crash_recoveries += 1
+        monitor.obs.counter("cluster.heal.rebuild_crash_recoveries").inc()
+        try:
+            recover_transition(
+                executor.journal, new_wave, shard.store, technique
+            )
+        except FaultError as exc:
+            raise abort("device-failure", str(exc)) from exc
+    except TransientIOError as exc:
+        raise abort("flaky-catchup", str(exc)) from exc
+    except OutOfSpaceError as exc:
+        raise abort("space", str(exc)) from exc
+    except DeviceFailure as exc:
+        raise abort("device-failure", str(exc)) from exc
+
+    # The rebuild process exits here: any crash point armed against it
+    # that never fired dies with it instead of ambushing the replica's
+    # first normal maintenance pass.
+    _disarm_crash(spare)
+    catchup = spare.clock - spare_before - copy_write
+    end = start + copy_read + (spare.clock - spare_before)
+    replica_id = max(r.replica_id for r in shard.replicas) + 1
+    replica = ShardReplica(
+        shard_id=shard.shard_id,
+        replica_id=replica_id,
+        device_index=device_index,
+        device=spare,
+        wave=new_wave,
+        executor=executor,
+        caught_up_day=day,
+        maintenance_start=start,
+        maintenance_end=end,
+    )
+    report = RebuildReport(
+        shard_id=shard.shard_id,
+        replica_id=replica_id,
+        donor_replica_id=donor.replica_id,
+        device_index=device_index,
+        day=day,
+        indexes_copied=copied,
+        bytes_copied=bytes_copied,
+        copy_read_seconds=copy_read,
+        copy_write_seconds=copy_write,
+        catchup_seconds=catchup,
+        crash_recoveries=crash_recoveries,
+        start=start,
+        copy_read_end=start + copy_read,
+        end=end,
+    )
+    return replica, report
+
+
+__all__ = [
+    "BreakerConfig",
+    "BreakerState",
+    "RebuildAborted",
+    "RebuildReport",
+    "ReplicaHealth",
+    "ReplicaHealthMonitor",
+    "SelfHealConfig",
+    "rebuild_replica",
+]

@@ -14,15 +14,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 from ..core.executor import ExecutionReport, PlanExecutor
 from ..core.ops import AddOp, DeleteOp, Op, UpdateOp
 from ..core.records import RecordStore
+from ..core.recovery import restore_op_target, sweep_orphan_extents
 from ..core.schemes.base import WaveScheme
 from ..core.wave import WaveIndex
-from ..errors import FaultError
+from ..errors import DeviceFailure, FaultError, TransientIOError
 from ..index.updates import UpdateTechnique
 from ..sim.scheduler import OpInterval
 from ..storage.disk import SimulatedDisk
+
+if TYPE_CHECKING:
+    from .selfheal import ReplicaHealthMonitor
 
 
 @dataclass
@@ -46,6 +52,10 @@ class ShardReplica:
     intervals: list[OpInterval] = field(default_factory=list)
     maintenance_start: float = 0.0
     maintenance_end: float = 0.0
+    #: Day a rebuilt replica already incorporated via catch-up replay
+    #: (its rebuild included the day's plan); the maintenance pass skips
+    #: it for that day.  ``None`` for replicas built the normal way.
+    caught_up_day: int | None = None
 
     @property
     def name(self) -> str:
@@ -62,7 +72,11 @@ class ShardReplica:
         ) and self.wave.is_constituent(op.target)
 
     def run_maintenance(
-        self, plan: list[Op], start: float
+        self,
+        plan: list[Op],
+        start: float,
+        *,
+        monitor: "ReplicaHealthMonitor | None" = None,
     ) -> ExecutionReport:
         """Execute ``plan`` on this replica's device, starting at ``start``.
 
@@ -73,9 +87,15 @@ class ShardReplica:
         serialized driver — while additionally laying each op on the
         cluster timeline as an :class:`~repro.sim.scheduler.OpInterval`.
 
-        A :class:`~repro.errors.FaultError` (the device died mid-plan)
-        marks the replica failed and stops its plan; surviving replicas
-        of the shard keep the shard serving.
+        Without a ``monitor``, any :class:`~repro.errors.FaultError` (the
+        device died mid-plan) marks the replica failed and stops its
+        plan; surviving replicas of the shard keep the shard serving.
+        With one, faults are classified: escaped transients are retried
+        under the monitor's retry policy (the op's partially-mutated
+        target is first restored from the record store so the re-run is
+        idempotent, with repair I/O and backoff charged to this device's
+        clock); exhaustion or a :class:`~repro.errors.DeviceFailure`
+        retires the replica through the monitor.
         """
         report = ExecutionReport()
         self.intervals = []
@@ -85,11 +105,17 @@ class ShardReplica:
         for op in plan:
             before = self.device.clock
             blocking = self._op_blocks_queries(op)
-            try:
-                self.executor.execute_op(op, report)
-            except FaultError:
-                self.failed = True
-                break
+            if monitor is None:
+                try:
+                    self.executor.execute_op(op, report)
+                except FaultError:
+                    self.failed = True
+                    break
+            else:
+                if not self._execute_op_healed(
+                    op, report, monitor, now=monitor.now + cursor
+                ):
+                    break
             duration = self.device.clock - before
             self.intervals.append(
                 OpInterval(
@@ -105,6 +131,51 @@ class ShardReplica:
         report.peak_bytes = self.device.high_water_bytes
         self.maintenance_end = cursor
         return report
+
+    def _execute_op_healed(
+        self,
+        op: Op,
+        report: ExecutionReport,
+        monitor: "ReplicaHealthMonitor",
+        *,
+        now: float,
+    ) -> bool:
+        """Run one op with cluster-level retry; return ``False`` if the
+        replica was retired.
+
+        Maintenance ops are not idempotent, so a blind re-run after a
+        mid-op transient would double-apply: each retry first sweeps any
+        orphaned partial work and restores the op's target from the
+        record store over its pre-op day-set (the same repair rule
+        journal recovery uses), making the re-run safe.
+        """
+        retry = monitor.retry
+        pre_days = self.wave.days_by_name()
+        attempts = 0
+        while True:
+            try:
+                self.executor.execute_op(op, report)
+                monitor.record_success(self)
+                return True
+            except TransientIOError:
+                attempts += 1
+                monitor.on_transient(self, now=now)
+                if attempts >= retry.max_attempts:
+                    monitor.retire(self, reason="flaky-maintenance")
+                    return False
+                self.device.advance(retry.delay_before_retry(attempts))
+                monitor.note_retry(attempts)
+                try:
+                    sweep_orphan_extents(self.wave)
+                    restore_op_target(
+                        self.wave, self.executor.store, op, pre_days
+                    )
+                except FaultError:
+                    monitor.retire(self, reason="repair-failed")
+                    return False
+            except DeviceFailure:
+                monitor.retire(self, reason="device-failure")
+                return False
 
 
 class Shard:

@@ -51,10 +51,16 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..core.executor import ExecutionReport, PlanExecutor
+from ..core.ops import Op
 from ..core.records import RecordStore
 from ..core.schemes.base import WaveScheme
 from ..core.wave import WaveIndex
-from ..errors import ClusterError, FaultError
+from ..errors import (
+    ClusterError,
+    DegradedWindowError,
+    FaultError,
+    TransientIOError,
+)
 from ..index.config import IndexConfig
 from ..index.updates import UpdateTechnique
 from ..obs import Histogram, MetricsRegistry
@@ -64,9 +70,17 @@ from ..sim.scheduler import OpInterval, OverlapPolicy
 from ..storage.array import DiskArray
 from ..storage.cost import DiskParameters
 from ..storage.disk import SimulatedDisk
+from ..storage.pagecache import PageCache
 from .coordinator import ClusterCoordinator
 from .partitioner import make_partitioner, partition_store
 from .rebalance import RebalanceReport, move_replica
+from .selfheal import (
+    RebuildAborted,
+    RebuildReport,
+    ReplicaHealthMonitor,
+    SelfHealConfig,
+    rebuild_replica,
+)
 from .shard import Shard, ShardReplica
 
 #: Maintenance scheduling policies accepted by :attr:`ClusterConfig.maintenance`.
@@ -95,6 +109,10 @@ class ClusterConfig:
             ``arrival_stretch x`` the cluster maintenance makespan.
         page_cache_bytes: Optional per-device LRU page-cache capacity.
         page_size: Page size for the per-device caches.
+        selfheal: Optional self-healing configuration (retry/backoff,
+            per-replica circuit breakers, automatic re-replication — see
+            :mod:`repro.cluster.selfheal`).  ``None`` (the default)
+            keeps the PR 4 behaviour: failed replicas stay failed.
     """
 
     n_shards: int = 2
@@ -107,6 +125,7 @@ class ClusterConfig:
     arrival_stretch: float = 2.0
     page_cache_bytes: int | None = None
     page_size: int | None = None
+    selfheal: SelfHealConfig | None = None
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -163,6 +182,13 @@ class ClusterDayStats:
     missing_days: frozenset[int] = frozenset()
     latency_during_transition: dict[str, float] | None = None
     latency_steady_state: dict[str, float] | None = None
+    #: Self-healing activity (all zero when self-healing is disabled).
+    rebuilds: int = 0
+    rebuilds_failed: int = 0
+    rebuild_seconds: float = 0.0
+    rebuild_spans: tuple[float, ...] = ()
+    retries: int = 0
+    breaker_opens: int = 0
 
 
 @dataclass
@@ -211,6 +237,24 @@ class ClusterResult:
         for d in self.days:
             missing |= d.missing_days
         return frozenset(missing)
+
+    def total_rebuilds(self) -> int:
+        """Return completed replica rebuilds over the run."""
+        return sum(d.rebuilds for d in self.days)
+
+    def total_rebuilds_failed(self) -> int:
+        """Return aborted rebuild attempts over the run."""
+        return sum(d.rebuilds_failed for d in self.days)
+
+    def max_rebuild_seconds(self) -> float:
+        """Return the longest single replica rebuild (copy + catch-up)
+        span — the recovery-makespan headline the chaos soak gates on.
+        A per-day *sum* would scale with how many kills happen to land
+        on the same day, which is schedule noise, not recovery speed."""
+        return max(
+            (span for d in self.days for span in d.rebuild_spans),
+            default=0.0,
+        )
 
 
 def _blocked_until(
@@ -264,6 +308,19 @@ class ClusterSimulation:
         self.queries = queries
         self.technique = technique
         self.obs = MetricsRegistry()
+        self._disk_params = disk_params
+        self._device_factory = device_factory
+        self._monitor: ReplicaHealthMonitor | None = (
+            ReplicaHealthMonitor(cfg.selfheal, self.obs)
+            if cfg.selfheal is not None
+            else None
+        )
+        self._clock_base = 0.0
+        self._spares_created = 0
+        #: Optional hook called after maintenance/healing and before the
+        #: day's serving pass — the chaos harness's injection point for
+        #: mid-serve faults.  Signature: ``hook(sim, day)``.
+        self.on_serving_start: Callable[["ClusterSimulation", int], None] | None = None
         self.array = DiskArray.create(
             cfg.n_devices,
             params=disk_params,
@@ -298,7 +355,7 @@ class ClusterSimulation:
             )
         self.scheme = self.shards[0].scheme
         self.coordinator = ClusterCoordinator(
-            self.shards, self.partitioner, self.obs
+            self.shards, self.partitioner, self.obs, monitor=self._monitor
         )
         self.latency_during: Histogram = self.obs.histogram(
             "cluster.latency.during_transition"
@@ -398,13 +455,93 @@ class ClusterSimulation:
         return report
 
     # ------------------------------------------------------------------
+    # Self-healing (re-replication)
+    # ------------------------------------------------------------------
+
+    def _make_spare(self) -> SimulatedDisk:
+        """Provision a fresh device for a replica rebuild."""
+        selfheal = self.config.selfheal
+        ordinal = self._spares_created
+        self._spares_created += 1
+        if selfheal is not None and selfheal.spare_factory is not None:
+            return selfheal.spare_factory(ordinal)
+        if self._device_factory is not None:
+            return self._device_factory(len(self.array))
+        cache = None
+        if self.config.page_cache_bytes is not None:
+            cache = (
+                PageCache(self.config.page_cache_bytes, self.config.page_size)
+                if self.config.page_size is not None
+                else PageCache(self.config.page_cache_bytes)
+            )
+        return SimulatedDisk(self._disk_params, page_cache=cache)
+
+    def _run_healing(
+        self, day: int, plans: list[list[Op]]
+    ) -> tuple[list[float], list[RebuildReport], int]:
+        """Re-replicate under-replicated shards (one rebuild each per day).
+
+        Returns per-shard maintenance start delays (the donor's device is
+        busy feeding the copy until then — rebuild I/O contends with the
+        day's maintenance and serving), the completed rebuild reports,
+        and the number of aborted attempts.
+        """
+        delays = [0.0] * len(self.shards)
+        reports: list[RebuildReport] = []
+        failed = 0
+        monitor = self._monitor
+        selfheal = self.config.selfheal
+        if monitor is None or selfheal is None or not selfheal.rebuild:
+            return delays, reports, failed
+        target = selfheal.target_replication or self.config.replication
+        for shard in self.shards:
+            donor = shard.primary
+            if donor is None or len(shard.alive_replicas()) >= target:
+                continue
+            spare = self._make_spare()
+            device_index = self.array.add_device(spare)
+            try:
+                replica, report = rebuild_replica(
+                    shard,
+                    donor,
+                    spare,
+                    device_index,
+                    plan=plans[shard.shard_id],
+                    day=day,
+                    technique=self.technique,
+                    monitor=monitor,
+                )
+            except RebuildAborted:
+                # The donor is intact and partial work was swept; the
+                # dead/undersized spare stays in the array as a retired
+                # member and a fresh one is provisioned next day.
+                failed += 1
+                self.obs.counter("cluster.heal.rebuilds_failed").inc()
+                continue
+            shard.replicas.append(replica)
+            reports.append(report)
+            delays[shard.shard_id] = max(
+                delays[shard.shard_id], report.copy_read_end
+            )
+            self.obs.counter("cluster.heal.rebuilds").inc()
+            self.obs.counter("cluster.heal.rebuild_bytes").inc(
+                report.bytes_copied
+            )
+        return delays, reports, failed
+
+    # ------------------------------------------------------------------
     # Maintenance scheduling
     # ------------------------------------------------------------------
 
     def _run_maintenance(
-        self, plan_for: Callable[[WaveScheme], Any]
+        self, day: int, plans: list[list[Op]], delays: list[float]
     ) -> tuple[list[ExecutionReport], list[tuple[float, float]], float]:
         """Run every shard's plan under the staggering policy.
+
+        ``delays`` pushes a shard's start past its batch start (a rebuild
+        was reading the donor's device until then).  Replicas already
+        caught up to ``day`` by a rebuild keep their rebuild timeline
+        instead of re-running the plan.
 
         Returns per-shard reports (from the day's metrics replica), the
         per-shard ``(start, end)`` maintenance windows on the cluster
@@ -421,20 +558,29 @@ class ClusterSimulation:
             batch = self.shards[first : first + batch_size]
             batch_end = batch_start
             for shard in batch:
-                plan = list(plan_for(shard.scheme))
+                plan = plans[shard.shard_id]
+                start = max(batch_start, delays[shard.shard_id])
                 metrics_replica = shard.primary or shard.replicas[0]
-                shard_end = batch_start
+                shard_end = start
                 for replica in shard.replicas:
                     if replica.failed:
                         replica.intervals = []
-                        replica.maintenance_start = batch_start
-                        replica.maintenance_end = batch_start
+                        replica.maintenance_start = start
+                        replica.maintenance_end = start
                         continue
-                    report = replica.run_maintenance(plan, batch_start)
+                    if replica.caught_up_day == day:
+                        shard_end = max(shard_end, replica.maintenance_end)
+                        continue
+                    if self._monitor is None:
+                        report = replica.run_maintenance(plan, start)
+                    else:
+                        report = replica.run_maintenance(
+                            plan, start, monitor=self._monitor
+                        )
                     if replica is metrics_replica:
                         reports[shard.shard_id] = report
                     shard_end = max(shard_end, replica.maintenance_end)
-                windows[shard.shard_id] = (batch_start, shard_end)
+                windows[shard.shard_id] = (start, shard_end)
                 batch_end = max(batch_end, shard_end)
             batch_start = batch_end
             cluster_end = batch_end
@@ -472,6 +618,15 @@ class ClusterSimulation:
                 )
         return routed
 
+    def _fail_replica(self, replica: ShardReplica, reason: str) -> None:
+        """Retire a replica a serving-time fault killed (failover)."""
+        if self._monitor is None:
+            replica.failed = True
+        else:
+            self._monitor.retire(replica, reason=reason)
+        self._day_failovers += 1
+        self.obs.counter("cluster.failovers").inc()
+
     def _serve_on_shard(
         self,
         shard: Shard,
@@ -485,16 +640,39 @@ class ClusterSimulation:
         Returns ``(outcome, end, service_seconds, wait, degraded)``; a
         dark shard yields a synthesized empty outcome whose missing days
         enumerate what the shard would have covered.
+
+        With self-healing enabled, replica selection honours the circuit
+        breakers (an open breaker is skipped, or its cooldown waited out
+        and charged to latency when nothing else can serve) and escaped
+        transients are retried on the same replica under the retry
+        policy — backoff charged to its device clock — before the
+        request fails over.  Aborted-attempt device time and breaker
+        waits are carried into the request's latency.
         """
         wait_policy = self.config.policy is OverlapPolicy.WAIT
+        monitor = self._monitor
+        carried = 0.0
+        attempts: dict[int, int] = {}
+        exhausted: set[int] = set()
+        force_degraded: set[int] = set()
         while True:
-            replica = shard.primary
+            if monitor is None:
+                replica = shard.primary
+            else:
+                replica, breaker_wait = monitor.serving_replica(
+                    shard,
+                    now=self._clock_base + arrival + carried,
+                    exclude=exhausted,
+                )
+                carried += breaker_wait
             if replica is None:
+                # Dark shard — or every candidate retry-exhausted for
+                # this request: an honest empty answer, days enumerated.
                 missing = shard.window_days(unit.t1, unit.t2)
                 outcome = UnitOutcome(
                     0.0, unit.requests, frozenset(missing)
                 )
-                return outcome, arrival, 0.0, 0.0, True
+                return outcome, arrival + carried, 0.0, carried, True
             wave = replica.wave
             needed = unit.needed_constituents(wave)
             blocking = [iv for iv in replica.intervals if iv.blocking]
@@ -508,28 +686,75 @@ class ClusterSimulation:
             pre_offline = frozenset(wave.offline)
             added_offline = degraded_names - wave.offline
             wave.offline |= added_offline
+            degraded_call = (
+                bool(degraded_names)
+                or replica.replica_id in force_degraded
+            )
             clock_before = replica.device.clock
             try:
-                outcome = unit.execute(wave, degraded=bool(degraded_names))
+                outcome = unit.execute(wave, degraded=degraded_call)
+            except TransientIOError:
+                carried += replica.device.clock - clock_before
+                # A strict call marks the faulted constituent offline
+                # before re-raising; the transient left the data intact,
+                # so clear the mark before the retry.
+                wave.offline &= pre_offline | added_offline
+                if monitor is None:
+                    self._fail_replica(replica, "serving-fault")
+                    continue
+                if self._retry_transient(
+                    replica, attempts, exhausted,
+                    now=self._clock_base + arrival + carried,
+                ):
+                    carried += monitor.retry.delay_before_retry(
+                        attempts[replica.replica_id]
+                    )
+                continue
+            except DegradedWindowError:
+                # A strict call tripped on a constituent an earlier
+                # swallowed fault left offline: re-serve degraded for an
+                # honest labeled partial answer.
+                carried += replica.device.clock - clock_before
+                force_degraded.add(replica.replica_id)
+                continue
             except FaultError:
-                replica.failed = True
-                self._day_failovers += 1
-                self.obs.counter("cluster.failovers").inc()
+                carried += replica.device.clock - clock_before
+                self._fail_replica(replica, "serving-fault")
                 continue
             finally:
                 wave.offline -= added_offline
-            if wave.offline - pre_offline and len(shard.alive_replicas()) > 1:
+            newly_offline = wave.offline - pre_offline
+            if newly_offline:
                 # A degraded call swallows device faults into a partial
-                # answer, but the wave retires the constituent it lost;
-                # with another live replica, failover beats degradation —
-                # discard the partial answer and re-serve there.
-                replica.failed = True
-                self._day_failovers += 1
-                self.obs.counter("cluster.failovers").inc()
-                continue
+                # answer, but the wave retires the constituent it lost.
+                injector = getattr(replica.device, "injector", None)
+                device_dead = injector is not None and injector.device_failed
+                if monitor is not None and not device_dead:
+                    # Transient swallowed mid-degraded-call: the data is
+                    # intact — bring the constituents back online and
+                    # retry under the retry policy.
+                    wave.offline -= newly_offline
+                    carried += replica.device.clock - clock_before
+                    if self._retry_transient(
+                        replica, attempts, exhausted,
+                        now=self._clock_base + arrival + carried,
+                    ):
+                        carried += monitor.retry.delay_before_retry(
+                            attempts[replica.replica_id]
+                        )
+                    continue
+                if len(shard.alive_replicas()) > 1:
+                    # With another live replica, failover beats
+                    # degradation — discard the partial answer and
+                    # re-serve there.
+                    carried += replica.device.clock - clock_before
+                    self._fail_replica(replica, "serving-fault")
+                    continue
+            if monitor is not None:
+                monitor.record_success(replica)
             delta = replica.device.clock - clock_before
             device = replica.device_index
-            ready = arrival + wait
+            ready = arrival + wait + carried
             if arrival < replica.maintenance_start:
                 # The shard's transition has not begun: serve from the
                 # pre-transition window immediately (the staggering win).
@@ -539,7 +764,30 @@ class ClusterSimulation:
                 start = max(ready, avail_post[device])
                 avail_post[device] = start + delta
             end = start + delta
-            return outcome, end, delta, wait, bool(degraded_names)
+            return outcome, end, delta, wait + carried, degraded_call
+
+    def _retry_transient(
+        self,
+        replica: ShardReplica,
+        attempts: dict[int, int],
+        exhausted: set[int],
+        *,
+        now: float,
+    ) -> bool:
+        """Account one serving-time transient; return ``True`` to retry
+        the same replica (backoff charged to its device), ``False`` once
+        its per-request retry budget is spent (it joins ``exhausted``)."""
+        monitor = self._monitor
+        assert monitor is not None
+        monitor.on_transient(replica, now=now)
+        n = attempts.get(replica.replica_id, 0) + 1
+        attempts[replica.replica_id] = n
+        if n >= monitor.retry.max_attempts:
+            exhausted.add(replica.replica_id)
+            return False
+        replica.device.advance(monitor.retry.delay_before_retry(n))
+        monitor.note_retry(n)
+        return True
 
     # ------------------------------------------------------------------
     # Day loop
@@ -549,6 +797,11 @@ class ClusterSimulation:
         self, day: int, plan_for: Callable[[WaveScheme], Any]
     ) -> ClusterDayStats:
         self._day_failovers = 0
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.now = self._clock_base
+        retries_before = self.obs.counter("cluster.heal.retries").value
+        opens_before = self.obs.counter("cluster.heal.breaker_opens").value
         snapshots = []
         for shard in self.shards:
             replica = shard.primary or shard.replicas[0]
@@ -561,7 +814,16 @@ class ClusterSimulation:
                 )
             )
 
-        reports, windows, cluster_end = self._run_maintenance(plan_for)
+        plans = [list(plan_for(shard.scheme)) for shard in self.shards]
+        delays, rebuild_reports, rebuilds_failed = self._run_healing(
+            day, plans
+        )
+        reports, windows, cluster_end = self._run_maintenance(
+            day, plans, delays
+        )
+
+        if self.on_serving_start is not None:
+            self.on_serving_start(self, day)
 
         day_during = Histogram("cluster.latency.during")
         day_steady = Histogram("cluster.latency.steady")
@@ -677,8 +939,25 @@ class ClusterSimulation:
             latency_steady_state=(
                 day_steady.summary() if day_steady.count else None
             ),
+            rebuilds=len(rebuild_reports),
+            rebuilds_failed=rebuilds_failed,
+            rebuild_seconds=sum(
+                r.makespan_seconds for r in rebuild_reports
+            ),
+            rebuild_spans=tuple(
+                r.makespan_seconds for r in rebuild_reports
+            ),
+            retries=int(
+                self.obs.counter("cluster.heal.retries").value
+                - retries_before
+            ),
+            breaker_opens=int(
+                self.obs.counter("cluster.heal.breaker_opens").value
+                - opens_before
+            ),
         )
         self.result.days.append(stats)
+        self._clock_base += makespan
         self.obs.counter("cluster.days").inc()
         self.obs.counter("cluster.queries").inc(queries)
         self.obs.counter("cluster.queries_degraded").inc(degraded_count)

@@ -30,7 +30,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable
 
 from ..errors import RecoveryError
 from ..index.builder import build_packed_index
@@ -258,15 +258,20 @@ class JournaledExecutor(PlanExecutor):
 # ----------------------------------------------------------------------
 
 
-def sweep_orphan_extents(wave: WaveIndex) -> int:
+def sweep_orphan_extents(
+    wave: WaveIndex, extra_disks: Iterable[SimulatedDisk] = ()
+) -> int:
     """Free every live extent no binding references; return the count freed.
 
     Mark-and-sweep over the wave index's reachable set: an interrupted op's
     partial work (a half-built shadow, an abandoned temporary) is exactly
-    the set of live extents not referenced by any binding.
+    the set of live extents not referenced by any binding.  ``extra_disks``
+    widens the sweep to devices the bindings do not (yet) reference — e.g.
+    a rebalance or rebuild target that an interrupted cross-device copy
+    left partial extents on.
     """
     referenced: set[int] = set()
-    disks: set[SimulatedDisk] = {wave.disk}
+    disks: set[SimulatedDisk] = {wave.disk, *extra_disks}
     for index in wave.bindings.values():
         disks.add(index.disk)
         for extent in index.referenced_extents():
@@ -290,36 +295,35 @@ def _days_before_op(journal: TransitionJournal, op_index: int) -> SymbolicState:
     return sym
 
 
-def _repair_in_flight(
-    journal: TransitionJournal, wave: WaveIndex, store: RecordStore
-) -> None:
-    """Restore the in-flight op's target to its pre-op content.
+def restore_op_target(
+    wave: WaveIndex,
+    store: RecordStore,
+    op: Op,
+    pre_days: dict[str, set[int]],
+) -> bool:
+    """Restore ``op``'s target to its pre-op content; return whether it acted.
 
-    The interrupted op may have partially mutated its target in place (an
+    An interrupted op may have partially mutated its target in place (an
     ``AddToIndex`` under the in-place technique, say), so the binding cannot
-    be trusted; rebuilding it from the record store over its journaled
-    pre-op day-set makes re-running the op idempotent.  Rename/Drop do no
-    I/O and therefore cannot be interrupted mid-op.
+    be trusted; rebuilding it from the record store over its pre-op day-set
+    (``pre_days``, e.g. a :meth:`~repro.core.wave.WaveIndex.days_by_name`
+    snapshot taken before the op) makes re-running the op idempotent.
+    Rename/Drop do no I/O and therefore cannot be interrupted mid-op; a
+    target that did not exist before the op leaves only unreferenced
+    partial work, which :func:`sweep_orphan_extents` reclaims.
+
+    The rebuild's I/O is charged to the target's device — repair is real
+    work on the same cost clocks as everything else.
     """
-    i = journal.in_flight
-    if i is None or i < journal.completed:
-        return
-    if i >= len(journal.plan):
-        raise RecoveryError(
-            f"journal in_flight={i} is outside the plan of {len(journal.plan)} ops"
-        )
-    op = journal.plan[i]
     if isinstance(op, (RenameOp, DropOp)):
-        return
+        return False
     target = getattr(op, "target", None)
     if target is None:
-        return
-    expected = _days_before_op(journal, i).bindings.get(target)
+        return False
+    expected = pre_days.get(target)
     current = wave.get_optional(target)
     if expected is None:
-        # The target did not exist before the op; any partial work is
-        # unreferenced and the orphan sweep reclaims it.
-        return
+        return False
     disk = current.disk if current is not None else wave.disk
     if current is not None:
         wave.unbind(target)
@@ -334,6 +338,25 @@ def _repair_in_flight(
         source_bytes=store.data_bytes_for(days),
     )
     wave.bind(target, rebuilt)
+    return True
+
+
+def _repair_in_flight(
+    journal: TransitionJournal, wave: WaveIndex, store: RecordStore
+) -> None:
+    """Restore the in-flight op's target to its journaled pre-op content."""
+    i = journal.in_flight
+    if i is None or i < journal.completed:
+        return
+    if i >= len(journal.plan):
+        raise RecoveryError(
+            f"journal in_flight={i} is outside the plan of {len(journal.plan)} ops"
+        )
+    pre = {
+        name: set(days)
+        for name, days in _days_before_op(journal, i).bindings.items()
+    }
+    restore_op_target(wave, store, journal.plan[i], pre)
 
 
 def recover_transition(

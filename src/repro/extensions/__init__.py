@@ -1,5 +1,5 @@
 """Extensions beyond the paper's core: Kleinberg-style WATA optimisation
-(offline optimum, known-horizon online) and Section-8 multi-disk modelling."""
+(offline optimum, known-horizon online)."""
 
 from .kleinberg import (
     KnownHorizonOnlineWata,
@@ -11,32 +11,14 @@ from .kleinberg import (
     theoretical_max_length,
     wata_star_competitive_check,
 )
-from .multidisk import (
-    DiskAssignment,
-    balanced_assignment,
-    maintenance_speedup,
-    parallel_maintenance_seconds,
-    parallel_probe_seconds,
-    parallel_scan_seconds,
-    query_speedup,
-    round_robin_assignment,
-)
 
 __all__ = [
-    "DiskAssignment",
     "KnownHorizonOnlineWata",
     "SegmentationPlan",
-    "balanced_assignment",
     "brute_force_optimal_plan",
-    "maintenance_speedup",
-    "parallel_maintenance_seconds",
     "offline_optimal_plan",
-    "parallel_probe_seconds",
-    "parallel_scan_seconds",
     "plan_cost",
     "plan_feasible",
-    "query_speedup",
-    "round_robin_assignment",
     "theoretical_max_length",
     "wata_star_competitive_check",
 ]

@@ -1,8 +1,8 @@
 """Measured multi-disk execution (the paper's Section-8 future work).
 
-The analytic multi-disk model (:mod:`repro.extensions.multidisk`) overlaps
-op costs arithmetically.  This module runs plans on *actual separate
-simulated disks*: each constituent (and each temporary) lives on the device
+This module runs plans on *actual separate simulated disks* (the analytic
+closed-form model that once lived in ``repro.extensions.multidisk`` has
+been removed in its favour): each constituent (and each temporary) lives on the device
 its name is placed on, every byte is charged to that device, and a day's
 elapsed maintenance time is the busiest device's delta — ops on different
 devices overlap, contention on the same device serialises, exactly the

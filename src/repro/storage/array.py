@@ -183,6 +183,18 @@ class DiskArray:
         """Return the device index hosting binding ``name``."""
         return self.placement.device_index(name)
 
+    def add_device(self, device: SimulatedDisk) -> int:
+        """Append ``device`` to the array; return its device index.
+
+        Used by the cluster's self-healing layer to provision a fresh
+        spare for a replica rebuild.  Existing placements are unaffected
+        (round-robin assignments already made keep their devices); the
+        new device simply becomes addressable.
+        """
+        self.devices.append(device)
+        self.placement.n_devices = len(self.devices)
+        return len(self.devices) - 1
+
     def disk_for(self, name: str) -> SimulatedDisk:
         """Return the device hosting binding ``name``."""
         return self.devices[self.placement.device_index(name)]

@@ -204,6 +204,50 @@ class TestMidTransitionFailureTimeline:
         assert sim.result.all_missing_days() == frozenset()
 
 
+class TestFailoverCostAccounting:
+    """Regression: failover is not free.  The attempt that died
+    mid-answer consumed real device time before the fault fired, and a
+    real client waits through it before the survivor's answer lands —
+    so it must be charged to both the serial and elapsed cost clocks,
+    not silently dropped with the dead replica."""
+
+    def test_aborted_attempt_charges_serial_and_elapsed(self):
+        injectors = {}
+        sim = _build("hash", OverlapPolicy.WAIT, 2, injectors=injectors)
+        twin = _build("hash", OverlapPolicy.WAIT, 2)
+        sim.run(LAST)
+        twin.run(LAST)
+        victim = sim.shards[0].primary
+        inj = injectors[victim.device_index]
+        # A counted failure: the dying attempt performs three charged
+        # I/Os before the device gives out mid-batch.
+        inj.fail_device_after_ios = inj.stats.ios + 3
+        probes, _scan = _final_answers(sim)
+        twin_probes, _twin_scan = _final_answers(twin)
+        summary = probes.summary
+        assert summary.failovers >= 1
+        assert summary.aborted_seconds > 0.0
+        # Serial time = the per-shard answers' work plus the dead
+        # attempt's charged reads — exactly the fault-free cost plus
+        # the failover overhead, nothing lost and nothing double-billed.
+        per_shard = sum(s.seconds for _, s in summary.per_shard)
+        assert summary.serial_seconds == pytest.approx(
+            per_shard + summary.aborted_seconds
+        )
+        healthy = twin_probes.summary
+        assert summary.serial_seconds == pytest.approx(
+            healthy.serial_seconds + summary.aborted_seconds
+        )
+        # The aborted attempt is sequential with the survivor's answer
+        # on the same shard, so it stretches elapsed time too.
+        assert summary.elapsed_seconds >= healthy.elapsed_seconds
+        assert summary.elapsed_seconds >= summary.aborted_seconds
+        # And the overhead never bought a worse answer.
+        for mine, theirs in zip(probes, twin_probes):
+            assert sorted(mine.record_ids) == sorted(theirs.record_ids)
+            assert mine.missing_days == frozenset()
+
+
 class TestServingTimeFailoverBeatsDegradation:
     """Regression: a device fault during *serving* must fail over, not
     degrade, while a healthy replica exists.

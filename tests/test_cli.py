@@ -287,6 +287,38 @@ class TestBenchCluster:
         assert "shard" in capsys.readouterr().err.lower()
 
 
+class TestChaosSoak:
+    def test_quick_strict_run_writes_valid_report(self, capsys, tmp_path):
+        import json
+
+        from repro.bench.chaos import validate_report
+
+        out_path = tmp_path / "BENCH_chaos.json"
+        assert (
+            main(["chaos-soak", "--quick", "--strict", "--out", str(out_path)])
+            == 0
+        )
+        report = json.loads(out_path.read_text())
+        validate_report(report)
+        assert report["bench"] == "chaos"
+        assert report["headline"]["all_invariants_pass"] is True
+        stdout = capsys.readouterr().out
+        assert "recovery" in stdout
+        assert str(out_path) in stdout
+
+    def test_unknown_kill_point_rejected(self, capsys, tmp_path):
+        code = main(
+            [
+                "chaos-soak", "--quick",
+                "--out", str(tmp_path / "x.json"),
+                "--kill-points", "transition",
+                "--replication", "1",
+            ]
+        )
+        assert code == 2
+        assert "replication" in capsys.readouterr().err
+
+
 class TestBenchCheck:
     @staticmethod
     def _reports(tmp_path, speedup=4.0):
