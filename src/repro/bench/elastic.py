@@ -1,0 +1,467 @@
+"""The elastic-resharding benchmark: throughput recovery after a load spike.
+
+The elastic engine (:mod:`repro.cluster.elastic`) claims a cluster hit
+by a sustained load spike on one partition range recovers its
+throughput by *splitting the hot shard online* — no downtime, no manual
+repartitioning.  This bench makes the claim measurable:
+
+* A range-partitioned cluster (integer keys, one shard per device)
+  serves a steady query stream; from ``spike_day`` on, probe traffic on
+  one partition range is multiplied ``spike_factor x``
+  (:class:`~repro.sim.querygen.SpikedWorkload`).
+* The autoscaler sees the imbalance at the end of the spike day,
+  queues a split of the hot shard, and the engine executes it at the
+  start of the next day — copy, catch-up, atomic routing swap — while
+  the day's queries keep being served.
+* A **static control** run (identical store, identical stream, no
+  elasticity) shows what the spike does to a frozen topology.
+
+The headline, ``throughput_recovery_makespan``, is the summed cluster
+makespan from the spike day until daily throughput is back above
+``recovery_fraction x`` the pre-spike baseline — the elastic analogue
+of the chaos soak's recovery makespan.  ``repro bench-elastic`` writes
+``BENCH_elastic.json``; ``repro bench-check`` gates the headline.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any
+
+from ..cluster import ClusterConfig, ClusterSimulation, ElasticConfig
+from ..core.records import Record, RecordStore
+from ..core.schemes import scheme_by_name
+from ..sim.querygen import QueryWorkload, SpikedWorkload, uniform_key_picker
+
+#: Schema version stamped into BENCH_elastic.json.
+SCHEMA_VERSION = 1
+
+#: Top-level keys every BENCH_elastic.json must carry (CI smoke-checks).
+REQUIRED_KEYS = (
+    "bench",
+    "schema_version",
+    "workload",
+    "cluster",
+    "timeline",
+    "static",
+    "headline",
+)
+
+#: Keys every per-day timeline entry must carry.
+REQUIRED_DAY_KEYS = (
+    "day",
+    "queries",
+    "makespan_seconds",
+    "qps",
+    "n_shards",
+    "reshards",
+    "reshards_aborted",
+)
+
+#: Headline keys the CI smoke job asserts on.
+REQUIRED_HEADLINE_KEYS = (
+    "throughput_recovery_makespan",
+    "recovered",
+    "recovery_days",
+    "spike_day",
+    "baseline_qps",
+    "post_recovery_qps",
+    "splits_applied",
+    "static_spiked_qps",
+    "claim",
+)
+
+
+@dataclass(frozen=True)
+class ElasticBenchConfig:
+    """Parameters of the spike-recovery benchmark.
+
+    The defaults model the acceptance scenario: a three-shard
+    range-partitioned cluster, a sustained 4x probe spike confined to
+    the middle partition range, and the autoscaler left to react.
+    """
+
+    window: int = 7
+    n_indexes: int = 3
+    transitions: int = 10
+    scheme: str = "REINDEX"
+    n_shards: int = 3
+    replication: int = 1
+    domain: int = 600
+    range_splits: tuple[int, ...] = (200, 400)
+    records_per_day: int = 24
+    record_bytes: int = 64
+    #: Probe-only stream: segment scans cost the same on every shard
+    #: and would flatten the per-shard skew the spike creates.
+    probes_per_day: int = 60
+    scans_per_day: int = 0
+    #: Days after the initial build before the spike lands.
+    spike_after: int = 3
+    spike_factor: float = 4.0
+    #: The hot partition range [hot_lo, hot_hi] the spike probes.
+    hot_lo: int = 200
+    hot_hi: int = 399
+    #: A day counts as recovered when its qps is back above this
+    #: fraction of the pre-spike baseline.
+    recovery_fraction: float = 0.9
+    split_load_factor: float = 2.0
+    merge_load_factor: float = 0.2
+    max_shards: int = 6
+    cooldown_days: int = 1
+    seed: int = 7
+    quick: bool = False
+
+    def __post_init__(self) -> None:
+        if self.transitions < self.spike_after + 3:
+            raise ValueError(
+                "transitions must leave at least two days after the "
+                f"spike for the split and the recovery, got "
+                f"{self.transitions} with spike_after={self.spike_after}"
+            )
+        if self.spike_after < 1:
+            raise ValueError(
+                f"spike_after must be >= 1, got {self.spike_after}"
+            )
+        if not 1 <= self.hot_lo <= self.hot_hi <= self.domain:
+            raise ValueError(
+                f"hot range [{self.hot_lo}, {self.hot_hi}] outside "
+                f"domain [1, {self.domain}]"
+            )
+        if not 0.0 < self.recovery_fraction <= 1.0:
+            raise ValueError(
+                f"recovery_fraction must be in (0, 1], "
+                f"got {self.recovery_fraction}"
+            )
+        if len(self.range_splits) != self.n_shards - 1:
+            raise ValueError(
+                f"range_splits needs {self.n_shards - 1} points for "
+                f"{self.n_shards} shards, got {len(self.range_splits)}"
+            )
+        scheme_by_name(self.scheme)  # raises KeyError on unknowns
+
+    @property
+    def last_day(self) -> int:
+        """Return the final simulated day."""
+        return self.window + self.transitions
+
+    @property
+    def spike_day(self) -> int:
+        """Return the day the spike lands."""
+        return self.window + self.spike_after
+
+
+def quick_config(base: ElasticBenchConfig | None = None) -> ElasticBenchConfig:
+    """Return a CI-sized variant of ``base``.
+
+    The store shape, query rates, and spike are kept at the full run's
+    size — the recovery headline is a sum of spike-to-recovery day
+    makespans, which all of those feed — so the quick value stays inside
+    the bench-check gate's band.  Only the post-recovery tail shrinks.
+    """
+    base = base or ElasticBenchConfig()
+    return replace(base, transitions=base.spike_after + 4, quick=True)
+
+
+def _build_store(config: ElasticBenchConfig) -> RecordStore:
+    """Build the seeded integer-keyed store every run shares."""
+    rng = random.Random(config.seed)
+    store = RecordStore()
+    record_id = 0
+    for day in range(1, config.last_day + 1):
+        records = []
+        for _ in range(config.records_per_day):
+            records.append(
+                Record(
+                    record_id=record_id,
+                    day=day,
+                    values=(rng.randint(1, config.domain),),
+                    nbytes=config.record_bytes,
+                )
+            )
+            record_id += 1
+        store.add_records(day, records)
+    return store
+
+
+def _workload(config: ElasticBenchConfig) -> SpikedWorkload:
+    """Return one instance of the spiked daily query stream."""
+    base = QueryWorkload(
+        probes_per_day=config.probes_per_day,
+        scans_per_day=config.scans_per_day,
+        value_picker=uniform_key_picker(config.domain),
+        seed=config.seed + 1,
+    )
+    hot_lo, hot_hi = config.hot_lo, config.hot_hi
+
+    def hot_picker(rng: random.Random) -> int:
+        return rng.randint(hot_lo, hot_hi)
+
+    return SpikedWorkload(
+        base=base,
+        spike_day=config.spike_day,
+        hot_picker=hot_picker,
+        spike_factor=config.spike_factor,
+    )
+
+
+def _make_sim(
+    config: ElasticBenchConfig, store: RecordStore, *, elastic: bool
+) -> ClusterSimulation:
+    scheme_cls = scheme_by_name(config.scheme)
+    cluster = ClusterConfig(
+        n_shards=config.n_shards,
+        replication=config.replication,
+        partitioner="range",
+        range_splits=config.range_splits,
+        elastic=(
+            ElasticConfig(
+                autoscale=True,
+                split_load_factor=config.split_load_factor,
+                merge_load_factor=config.merge_load_factor,
+                min_shards=2,
+                max_shards=config.max_shards,
+                cooldown_days=config.cooldown_days,
+            )
+            if elastic
+            else None
+        ),
+    )
+    return ClusterSimulation(
+        lambda: scheme_cls(config.window, config.n_indexes),
+        store,
+        queries=_workload(config),
+        cluster=cluster,
+    )
+
+
+def _timeline(sim: ClusterSimulation) -> list[dict[str, Any]]:
+    """Return the run's per-day throughput timeline."""
+    out = []
+    for stats in sim.result.days:
+        # Throughput against the serving bottleneck: the busiest
+        # shard's serving time bounds the rate the cluster can absorb,
+        # and it is what a hot-range spike saturates.  Whole-day
+        # makespan would mix in maintenance, which the spike and the
+        # split barely move.
+        bottleneck = max(stats.query_seconds, default=0.0)
+        qps = stats.queries / bottleneck if bottleneck > 0 else 0.0
+        entry: dict[str, Any] = {
+            "day": stats.day,
+            "queries": stats.queries,
+            "makespan_seconds": stats.makespan_seconds,
+            "serving_bottleneck_seconds": bottleneck,
+            "qps": qps,
+            "n_shards": stats.n_shards,
+            "reshards": stats.reshards,
+            "reshards_aborted": stats.reshards_aborted,
+            "reshard_kinds": list(stats.reshard_kinds),
+            "reshard_seconds": stats.reshard_seconds,
+            "topology_version": stats.topology_version,
+        }
+        if stats.reshard_deferred:
+            entry["reshard_deferred"] = stats.reshard_deferred
+        if stats.autoscaler and (
+            stats.autoscaler["queued"] or stats.autoscaler["deferred_reason"]
+        ):
+            entry["autoscaler"] = stats.autoscaler
+        out.append(entry)
+    return out
+
+
+def run_elastic_bench(
+    config: ElasticBenchConfig | None = None,
+) -> dict[str, Any]:
+    """Run the spiked cluster and its static control; return the report."""
+    config = config or ElasticBenchConfig()
+    store = _build_store(config)
+    sim = _make_sim(config, store, elastic=True)
+    sim.run(config.last_day)
+    static = _make_sim(config, store, elastic=False)
+    static.run(config.last_day)
+
+    timeline = _timeline(sim)
+    static_timeline = _timeline(static)
+    spike_day = config.spike_day
+
+    baseline_days = [
+        e for e in timeline if config.window < e["day"] < spike_day
+    ]
+    baseline_qps = sum(e["qps"] for e in baseline_days) / len(baseline_days)
+    threshold = config.recovery_fraction * baseline_qps
+
+    recovery_day: int | None = None
+    recovery_makespan = 0.0
+    for entry in timeline:
+        if entry["day"] < spike_day:
+            continue
+        recovery_makespan += entry["makespan_seconds"]
+        if entry["qps"] >= threshold:
+            recovery_day = entry["day"]
+            break
+    recovered = recovery_day is not None
+
+    post_days = [
+        e for e in timeline
+        if recovery_day is not None and e["day"] >= recovery_day
+    ]
+    post_recovery_qps = (
+        sum(e["qps"] for e in post_days) / len(post_days)
+        if post_days
+        else 0.0
+    )
+    # The static control over the same calendar slice: what the spike
+    # does to a topology that cannot adapt.
+    static_spiked = [e for e in static_timeline if e["day"] >= spike_day]
+    static_spiked_qps = (
+        sum(e["qps"] for e in static_spiked) / len(static_spiked)
+        if static_spiked
+        else 0.0
+    )
+
+    splits_applied = sum(
+        e["reshard_kinds"].count("split") for e in timeline
+    )
+    claim = {
+        "recovered": recovered,
+        "split_applied": splits_applied >= 1,
+        "beats_static": post_recovery_qps > static_spiked_qps,
+    }
+    claim["pass"] = all(claim.values())
+
+    headline = {
+        "throughput_recovery_makespan": recovery_makespan,
+        "recovered": recovered,
+        "recovery_days": (
+            recovery_day - spike_day + 1 if recovery_day is not None else None
+        ),
+        "spike_day": spike_day,
+        "baseline_qps": baseline_qps,
+        "recovery_threshold_qps": threshold,
+        "post_recovery_qps": post_recovery_qps,
+        "splits_applied": splits_applied,
+        "reshards_aborted": sum(e["reshards_aborted"] for e in timeline),
+        "final_n_shards": timeline[-1]["n_shards"],
+        "static_spiked_qps": static_spiked_qps,
+        "claim": claim,
+    }
+    report = {
+        "bench": "elastic",
+        "schema_version": SCHEMA_VERSION,
+        "workload": {
+            "window": config.window,
+            "n_indexes": config.n_indexes,
+            "transitions": config.transitions,
+            "scheme": config.scheme,
+            "domain": config.domain,
+            "records_per_day": config.records_per_day,
+            "probes_per_day": config.probes_per_day,
+            "scans_per_day": config.scans_per_day,
+            "spike_day": spike_day,
+            "spike_factor": config.spike_factor,
+            "hot_range": [config.hot_lo, config.hot_hi],
+            "recovery_fraction": config.recovery_fraction,
+            "seed": config.seed,
+            "quick": config.quick,
+        },
+        "cluster": {
+            "n_shards": config.n_shards,
+            "replication": config.replication,
+            "partitioner": "range",
+            "range_splits": list(config.range_splits),
+            "split_load_factor": config.split_load_factor,
+            "merge_load_factor": config.merge_load_factor,
+            "max_shards": config.max_shards,
+            "cooldown_days": config.cooldown_days,
+        },
+        "timeline": timeline,
+        "static": static_timeline,
+        "headline": headline,
+    }
+    validate_report(report)
+    return report
+
+
+def validate_report(report: dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``report`` matches the committed schema.
+
+    This is the assertion the CI smoke job runs against the artifact.
+    """
+    for key in REQUIRED_KEYS:
+        if key not in report:
+            raise ValueError(f"BENCH_elastic report missing key {key!r}")
+    if report["bench"] != "elastic":
+        raise ValueError(f"unexpected bench {report['bench']!r}")
+    if not report["timeline"]:
+        raise ValueError("BENCH_elastic report has no timeline entries")
+    for entry in report["timeline"]:
+        for key in REQUIRED_DAY_KEYS:
+            if key not in entry:
+                raise ValueError(
+                    f"timeline day={entry.get('day')} missing key {key!r}"
+                )
+    headline = report["headline"]
+    for key in REQUIRED_HEADLINE_KEYS:
+        if key not in headline:
+            raise ValueError(f"headline missing {key!r}")
+    if headline["throughput_recovery_makespan"] < 0:
+        raise ValueError("negative throughput_recovery_makespan")
+
+
+def write_report(report: dict[str, Any], path: str | Path) -> Path:
+    """Write ``report`` as pretty JSON; return the path."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def render_summary(report: dict[str, Any]) -> str:
+    """Return a human-readable bench summary for the CLI."""
+    w = report["workload"]
+    c = report["cluster"]
+    h = report["headline"]
+    lines = [
+        "Elastic resharding: {scheme} W={window} n={n_indexes}, "
+        "{transitions} transitions".format(**w),
+        f"k={c['n_shards']} range-partitioned, "
+        f"{w['spike_factor']}x spike on "
+        f"[{w['hot_range'][0]}, {w['hot_range'][1]}] from day "
+        f"{w['spike_day']}",
+        "",
+        f"{'day':>4} {'queries':>8} {'makespan':>9} {'qps':>8} "
+        f"{'k':>3} {'reshards':>9} {'static qps':>11}",
+    ]
+    static_by_day = {e["day"]: e for e in report["static"]}
+    for entry in report["timeline"]:
+        kinds = ",".join(entry["reshard_kinds"]) or "-"
+        if entry.get("reshard_deferred"):
+            kinds = f"({entry['reshard_deferred']})"
+        marker = " <- spike" if entry["day"] == w["spike_day"] else ""
+        static_qps = static_by_day.get(entry["day"], {}).get("qps", 0.0)
+        lines.append(
+            f"{entry['day']:>4} {entry['queries']:>8} "
+            f"{entry['makespan_seconds']:>9.3f} {entry['qps']:>8.2f} "
+            f"{entry['n_shards']:>3} {kinds:>9} {static_qps:>11.2f}"
+            f"{marker}"
+        )
+    lines.append("")
+    recovery = (
+        f"{h['recovery_days']} day(s)" if h["recovered"] else "NEVER"
+    )
+    lines.append(
+        f"  baseline {h['baseline_qps']:.2f} qps; recovered in {recovery} "
+        f"(makespan {h['throughput_recovery_makespan']:.3f} s) after "
+        f"{h['splits_applied']} split(s)"
+    )
+    lines.append(
+        f"  post-recovery {h['post_recovery_qps']:.2f} qps vs static "
+        f"spiked {h['static_spiked_qps']:.2f} qps "
+        f"({'beats' if h['claim']['beats_static'] else 'DOES NOT beat'} "
+        f"the frozen topology)"
+    )
+    lines.append(
+        f"  claim: {'PASS' if h['claim']['pass'] else 'FAIL'}"
+    )
+    return "\n".join(lines)

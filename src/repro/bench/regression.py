@@ -55,6 +55,10 @@ class HeadlineMetric:
             return report.get("headline", {}).get(
                 "recovery_makespan_seconds"
             )
+        if self.name == "throughput_recovery_makespan":
+            return report.get("headline", {}).get(
+                "throughput_recovery_makespan"
+            )
         raise KeyError(self.name)
 
 
@@ -96,6 +100,12 @@ HEADLINE_METRICS: tuple[HeadlineMetric, ...] = (
         higher_is_better=False,
         description="worst per-day replica-rebuild span in the chaos soak",
     ),
+    HeadlineMetric(
+        "throughput_recovery_makespan",
+        "elastic",
+        higher_is_better=False,
+        description="spike-to-recovery makespan of the elastic reshard bench",
+    ),
 )
 
 
@@ -104,13 +114,18 @@ class RegressionRow:
     """Outcome of checking one headline metric against the baseline."""
 
     metric: str
-    baseline: float
+    #: ``None`` for a metric the baseline has not adopted yet (``new``).
+    baseline: float | None
     current: float | None
     #: Signed relative change where positive means *better* (whatever the
     #: metric's direction), e.g. +0.10 = 10% improvement.
     change: float | None
     regressed: bool
     skipped: bool = False
+    #: The metric is measured by a provided report but absent from the
+    #: baseline — informational, never failing; adopt it with
+    #: ``repro bench-check --update``.
+    new: bool = False
 
 
 def extract_headlines(report: dict[str, Any]) -> dict[str, float]:
@@ -166,13 +181,17 @@ def compare(
     marked *skipped* (each CI smoke job checks only its own artifact);
     a metric whose benchmark IS present but which cannot be extracted
     counts as regressed — a gate that silently vanishes is not passing.
+    A measured metric the baseline has not adopted yet becomes a
+    non-failing *NEW* row pointing at ``repro bench-check --update``
+    (first run of a fresh benchmark against an older baseline).
     """
     current: dict[str, float] = {}
     provided_benches = {r.get("bench") for r in reports}
     for report in reports:
         current.update(extract_headlines(report))
     rows: list[RegressionRow] = []
-    for name, base_value in sorted(baseline.get("metrics", {}).items()):
+    baseline_metrics = baseline.get("metrics", {})
+    for name, base_value in sorted(baseline_metrics.items()):
         metric = _metric_by_name(name)
         if metric is None or metric.bench not in provided_benches:
             rows.append(
@@ -190,6 +209,11 @@ def compare(
             change = 1.0 - value / base_value
             regressed = value > base_value * (1.0 + threshold)
         rows.append(RegressionRow(name, base_value, value, change, regressed))
+    for name, value in sorted(current.items()):
+        if name not in baseline_metrics:
+            rows.append(
+                RegressionRow(name, None, value, None, False, new=True)
+            )
     return rows
 
 
@@ -200,21 +224,25 @@ def render_diff_table(rows: list[RegressionRow], threshold: float) -> str:
         f"{'change':>8} {'gate':>8}",
     ]
     for row in rows:
+        baseline = (
+            f"{row.baseline:.4f}" if row.baseline is not None else "-"
+        )
         if row.skipped:
             lines.append(
-                f"{row.metric:<32} {row.baseline:>10.4f} {'-':>10} "
+                f"{row.metric:<32} {baseline:>10} {'-':>10} "
                 f"{'-':>8} {'skipped':>8}"
             )
             continue
         current = f"{row.current:.4f}" if row.current is not None else "-"
         change = f"{row.change:+.1%}" if row.change is not None else "-"
-        verdict = "FAIL" if row.regressed else "ok"
+        verdict = "NEW" if row.new else "FAIL" if row.regressed else "ok"
         lines.append(
-            f"{row.metric:<32} {row.baseline:>10.4f} {current:>10} "
+            f"{row.metric:<32} {baseline:>10} {current:>10} "
             f"{change:>8} {verdict:>8}"
         )
-    checked = [r for r in rows if not r.skipped]
+    checked = [r for r in rows if not r.skipped and not r.new]
     failed = [r for r in checked if r.regressed]
+    fresh = [r for r in rows if r.new]
     lines.append("")
     if failed:
         names = ", ".join(r.metric for r in failed)
@@ -225,7 +253,13 @@ def render_diff_table(rows: list[RegressionRow], threshold: float) -> str:
     else:
         lines.append(
             f"gate ok: {len(checked)} metric(s) within {threshold:.0%} "
-            f"of baseline ({len(rows) - len(checked)} skipped)"
+            f"of baseline ({len(rows) - len(checked) - len(fresh)} skipped)"
+        )
+    if fresh:
+        names = ", ".join(r.metric for r in fresh)
+        lines.append(
+            f"new metric(s) not in baseline: {names} — run "
+            f"`repro bench-check --update` to adopt them into the gate"
         )
     return "\n".join(lines)
 

@@ -169,6 +169,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", "-v", action="store_true",
         help="print every crash cell, not just failures",
     )
+    crash.add_argument(
+        "--no-rebalance", action="store_true",
+        help="omit the replica-move (copy/rebalance) crash cells",
+    )
 
     serving = sub.add_parser(
         "bench-serving",
@@ -330,6 +334,75 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--strict", action="store_true",
         help="exit nonzero when any invariant fails (the CI soak mode)",
+    )
+
+    elastic = sub.add_parser(
+        "bench-elastic",
+        help="spike one partition range 4x, let the autoscaler split the "
+        "hot shard online, and emit BENCH_elastic.json",
+    )
+    elastic.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run (same spike and store, shorter tail)",
+    )
+    elastic.add_argument(
+        "--out", default="BENCH_elastic.json",
+        help="output JSON path (default: ./BENCH_elastic.json)",
+    )
+    elastic.add_argument("--window", "-w", type=int, default=None)
+    elastic.add_argument("--indexes", "-n", type=int, default=None)
+    elastic.add_argument("--transitions", type=int, default=None)
+    elastic.add_argument(
+        "--scheme", default=None,
+        help="maintenance scheme every shard runs (default REINDEX)",
+    )
+    elastic.add_argument(
+        "--spike-factor", type=float, default=None,
+        help="hot-range load multiplier from the spike day on (default 4)",
+    )
+    elastic.add_argument(
+        "--probes", type=int, default=None,
+        help="base probes per day before the spike (default 60)",
+    )
+    elastic.add_argument("--seed", type=int, default=None)
+    elastic.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero unless the recovery claim holds (CI mode)",
+    )
+
+    topo = sub.add_parser(
+        "topology-chaos",
+        help="fault every step of the split/merge pipelines and verify "
+        "abort/roll-forward against a static fault-free twin",
+    )
+    topo.add_argument(
+        "--quick", action="store_true",
+        help="PR-sized matrix: crash faults only, one seed",
+    )
+    topo.add_argument(
+        "--out", default="BENCH_topology_chaos.json",
+        help="output JSON path (default: ./BENCH_topology_chaos.json)",
+    )
+    topo.add_argument(
+        "--seeds", type=int, nargs="+", default=None,
+        help="store/workload seeds to run the matrix under (default: 1)",
+    )
+    topo.add_argument(
+        "--kinds", nargs="+", default=None, choices=("split", "merge"),
+        help="reshard pipelines to walk (default: both)",
+    )
+    topo.add_argument(
+        "--faults", nargs="+", default=None,
+        choices=("crash", "kill", "space"),
+        help="fault kinds armed per step (default: all three)",
+    )
+    topo.add_argument(
+        "--scheme", default=None,
+        help="maintenance scheme every shard runs (default REINDEX)",
+    )
+    topo.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero when any invariant fails (the CI mode)",
     )
 
     check = sub.add_parser(
@@ -597,6 +670,7 @@ def _cmd_crash_test(args: argparse.Namespace) -> int:
             seed=_resolve_seed(args),
             technique=UpdateTechnique(args.technique),
             io_crash_samples=args.io_samples,
+            include_rebalance=not args.no_rebalance,
         )
     except (ValueError, SchemeError) as exc:
         print(f"invalid configuration: {exc}", file=sys.stderr)
@@ -777,6 +851,87 @@ def _cmd_chaos_soak(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_elastic(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .bench.elastic import (
+        ElasticBenchConfig,
+        quick_config,
+        render_summary,
+        run_elastic_bench,
+        write_report,
+    )
+    from .errors import ClusterError
+
+    config = ElasticBenchConfig()
+    if args.quick:
+        config = quick_config(config)
+    overrides = {
+        "window": args.window,
+        "n_indexes": args.indexes,
+        "transitions": args.transitions,
+        "scheme": args.scheme,
+        "spike_factor": args.spike_factor,
+        "probes_per_day": args.probes,
+        "seed": args.seed,
+    }
+    overrides = {k: v for k, v in overrides.items() if v is not None}
+    try:
+        config = replace(config, **overrides)
+        report = run_elastic_bench(config)
+    except (KeyError, ValueError, ClusterError) as exc:
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
+    path = write_report(report, args.out)
+    print(render_summary(report))
+    print(f"\nwrote {path}")
+    if args.strict and not report["headline"]["claim"]["pass"]:
+        print("elastic bench FAILED: recovery claim violated", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_topology_chaos(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .bench.topology_chaos import (
+        TopologyChaosConfig,
+        quick_config,
+        render_summary,
+        run_topology_chaos,
+        write_report,
+    )
+    from .errors import ClusterError
+
+    config = TopologyChaosConfig()
+    if args.quick:
+        config = quick_config(config)
+    overrides: dict = {}
+    if args.seeds is not None:
+        overrides["seeds"] = tuple(args.seeds)
+    if args.kinds is not None:
+        overrides["kinds"] = tuple(args.kinds)
+    if args.faults is not None:
+        overrides["faults"] = tuple(args.faults)
+    if args.scheme is not None:
+        overrides["scheme"] = args.scheme
+    try:
+        config = replace(config, **overrides)
+        report = run_topology_chaos(config)
+    except (KeyError, ValueError, ClusterError) as exc:
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
+    path = write_report(report, args.out)
+    print(render_summary(report))
+    print(f"\nwrote {path}")
+    if args.strict and not report["headline"]["pass"]:
+        print(
+            "topology chaos FAILED: invariant violations", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
 def _cmd_bench_check(args: argparse.Namespace) -> int:
     from .bench.regression import (
         DEFAULT_THRESHOLD,
@@ -847,6 +1002,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_bench_cluster(args)
     if args.command == "chaos-soak":
         return _cmd_chaos_soak(args)
+    if args.command == "bench-elastic":
+        return _cmd_bench_elastic(args)
+    if args.command == "topology-chaos":
+        return _cmd_topology_chaos(args)
     if args.command == "bench-check":
         return _cmd_bench_check(args)
     raise AssertionError(f"unhandled command {args.command!r}")

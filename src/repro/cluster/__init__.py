@@ -5,8 +5,10 @@ The paper scales one wave index in *time* (spread window maintenance
 over ``n`` constituents); this package scales it in *space*: the key
 space is split across ``k`` shards, each running its own wave index on
 its own device of a :class:`~repro.storage.array.DiskArray`, optionally
-replicated ``r`` ways.  See :mod:`repro.cluster.sim` for the timeline
-model and ``DESIGN.md`` for the architecture discussion.
+replicated ``r`` ways.  The topology itself can evolve online — shard
+splits and merges under traffic via :mod:`repro.cluster.elastic`.  See
+:mod:`repro.cluster.sim` for the timeline model and ``DESIGN.md`` for
+the architecture discussion.
 """
 
 from .coordinator import (
@@ -14,14 +16,31 @@ from .coordinator import (
     ClusterCoordinator,
     ClusterCostSummary,
 )
+from .elastic import (
+    Autoscaler,
+    AutoscalerDecision,
+    ElasticConfig,
+    ReshardAborted,
+    ReshardReport,
+    ReshardStep,
+    ScaleAction,
+    TopologyChangeEngine,
+)
 from .partitioner import (
     HashPartitioner,
     Partitioner,
     RangePartitioner,
+    SlotHashPartitioner,
     make_partitioner,
     partition_store,
+    reshard_id_mapping,
 )
-from .rebalance import RebalanceReport, copy_index_to, move_replica
+from .rebalance import (
+    RebalanceReport,
+    copy_index_to,
+    merge_indexes_to,
+    move_replica,
+)
 from .selfheal import (
     BreakerConfig,
     BreakerState,
@@ -39,11 +58,14 @@ from .sim import (
     ClusterDayStats,
     ClusterResult,
     ClusterSimulation,
+    SparePool,
     run_cluster_simulation,
 )
 
 __all__ = [
     "MAINTENANCE_POLICIES",
+    "Autoscaler",
+    "AutoscalerDecision",
     "BreakerConfig",
     "BreakerState",
     "ClusterBatchResult",
@@ -53,6 +75,7 @@ __all__ = [
     "ClusterDayStats",
     "ClusterResult",
     "ClusterSimulation",
+    "ElasticConfig",
     "HashPartitioner",
     "Partitioner",
     "RangePartitioner",
@@ -61,13 +84,22 @@ __all__ = [
     "RebuildReport",
     "ReplicaHealth",
     "ReplicaHealthMonitor",
+    "ReshardAborted",
+    "ReshardReport",
+    "ReshardStep",
+    "ScaleAction",
     "SelfHealConfig",
     "Shard",
     "ShardReplica",
+    "SlotHashPartitioner",
+    "SparePool",
+    "TopologyChangeEngine",
     "copy_index_to",
     "make_partitioner",
+    "merge_indexes_to",
     "move_replica",
     "partition_store",
     "rebuild_replica",
+    "reshard_id_mapping",
     "run_cluster_simulation",
 ]

@@ -127,6 +127,41 @@ class ClusterCoordinator:
         self.partitioner = partitioner
         self.obs = metrics or MetricsRegistry()
         self.monitor = monitor
+        self.topology_version = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def swap_topology(
+        self, shards: Sequence[Shard], partitioner: Partitioner
+    ) -> int:
+        """Atomically install a new shard list and routing table.
+
+        The elastic engine's commit point: every query batch routed after
+        this call sees the new partitioner and shard set together (the
+        two are validated against each other first, so a torn swap —
+        routing table for ``k+1`` shards over a ``k``-shard list — is
+        impossible).  Returns the new :attr:`topology_version`; the
+        version is monotonic, so bench reports can correlate per-day
+        stats with the routing table that served them.
+        """
+        if len(shards) != partitioner.n_shards:
+            raise ClusterError(
+                f"partitioner covers {partitioner.n_shards} shards, "
+                f"got {len(shards)}"
+            )
+        for i, shard in enumerate(shards):
+            if shard.shard_id != i:
+                raise ClusterError(
+                    f"shard at position {i} carries id {shard.shard_id}; "
+                    f"ids must be renumbered before the swap"
+                )
+        self.shards = list(shards)
+        self.partitioner = partitioner
+        self.topology_version += 1
+        self.obs.counter("cluster.topology.swaps").inc()
+        return self.topology_version
 
     # ------------------------------------------------------------------
     # Failover primitive

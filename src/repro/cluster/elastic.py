@@ -1,0 +1,990 @@
+"""Crash-consistent elastic resharding: online shard split/merge + autoscaling.
+
+A cluster whose topology is frozen at construction cannot survive its own
+workload: a hot partition range stays hot forever and a mis-sized cluster
+never recovers.  This module makes the topology itself *evolve* — the
+cluster-level analogue of the paper's wave transitions — while keeping
+the window serving throughout:
+
+* :class:`TopologyChangeEngine` — a journaled split/merge pipeline built
+  from the proven PR 4/5 primitives.  A **split** of a hot shard plans
+  the new partition boundary
+  (:meth:`~repro.cluster.partitioner.RangePartitioner.split` /
+  :meth:`~repro.cluster.partitioner.SlotHashPartitioner.split`),
+  smart-copies the affected constituents onto freshly provisioned
+  devices (:func:`~repro.cluster.rebalance.copy_index_to` with a
+  child-ownership filter), replays the in-flight day plan through a
+  :class:`~repro.core.recovery.JournaledExecutor` catch-up, and finally
+  **atomically swaps** the coordinator's partitioner/routing table
+  (:meth:`~repro.cluster.coordinator.ClusterCoordinator.swap_topology`).
+  A **merge** of two cold neighbours runs the same pipeline with a
+  merge-copy (:func:`~repro.cluster.rebalance.merge_indexes_to`).
+
+* Every step is journaled in a :class:`~repro.core.recovery.ReshardJournal`.
+  The swap record is the commit point: a
+  :class:`~repro.errors.SimulatedCrash` (or kill, or space exhaustion) at
+  any boundary **before** the swap aborts cleanly — partial children are
+  dropped, orphan extents swept off the target devices, and the old
+  topology keeps serving untouched (no dark shards from a failed split);
+  a crash **at or after** the swap rolls forward (the new topology is
+  already routing, recovery finishes the parents' cleanup).  The
+  topology-chaos harness (:mod:`repro.bench.topology_chaos`) drives a
+  fault into every step and byte-compares answers against a
+  static-topology fault-free twin.
+
+* :class:`Autoscaler` — watches per-shard routed requests, busy seconds,
+  and under-replication each day and emits split/merge actions through
+  the same engine, sequenced **one at a time** (Kimura et al.'s
+  deploy-order concern applied to topology changes) with its proposals
+  surfaced as an inspectable :class:`AutoscalerDecision` before anything
+  executes (the semi-automatic tuning posture).
+
+Elasticity is **off by default**: with ``ClusterConfig.elastic = None``
+the simulation behaves bit-identically to PR 5 — the ``k=1, r=1``
+serialized-driver equivalence suite rests on that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..core.checkpoint import CHECKPOINT_VERSION, restore_scheme
+from ..core.records import Record, RecordStore
+from ..core.recovery import (
+    JournaledExecutor,
+    ReshardJournal,
+    ReshardPhase,
+    sweep_orphan_extents,
+)
+from ..core.wave import WaveIndex
+from ..core.executor import PlanExecutor
+from ..errors import (
+    ClusterError,
+    DeviceFailure,
+    FaultError,
+    OutOfSpaceError,
+    SimulatedCrash,
+    TransientIOError,
+)
+from ..storage.disk import SimulatedDisk
+from ..storage.faults import RetryPolicy
+from .partitioner import RangePartitioner, reshard_id_mapping
+from .rebalance import copy_index_to, merge_indexes_to
+from .selfheal import _disarm_crash, _discard_partial
+from .shard import Shard, ShardReplica
+
+#: Everything the reshard pipeline absorbs into an abort/roll-forward.
+#: ``OutOfSpaceError`` is a :class:`~repro.errors.StorageError` sibling
+#: of ``FaultError``, not a subclass — it must be listed explicitly.
+_RESHARD_FAULTS = (FaultError, OutOfSpaceError, SimulatedCrash)
+
+#: Device-level faults swallowed by best-effort cleanup paths.
+_CLEANUP_FAULTS = (FaultError, OutOfSpaceError)
+
+if TYPE_CHECKING:
+    from .sim import ClusterSimulation
+
+
+@dataclass(frozen=True)
+class ElasticConfig:
+    """Switchboard for elastic resharding and the autoscaler.
+
+    Args:
+        autoscale: Watch per-shard load each day and queue split/merge
+            actions automatically.  With ``False`` the engine only runs
+            actions requested explicitly
+            (:meth:`~repro.cluster.sim.ClusterSimulation.request_split` /
+            ``request_merge``).
+        split_load_factor: A shard whose busy-seconds exceed this factor
+            times the mean proposes a split.
+        merge_load_factor: An adjacent pair whose *combined* busy-seconds
+            fall below this factor times the mean proposes a merge.
+        min_shards: Never merge below this shard count.
+        max_shards: Never split above this shard count.
+        cooldown_days: Days to wait after an applied action before
+            proposing another (bounds churn; actions already run one at
+            a time regardless).
+        spare_budget_per_day: Optional cap on fresh spare devices
+            provisioned per day, shared between replica rebuilds and
+            resharding — the contention the self-heal interplay tests
+            pin down.  ``None`` (default) is unlimited, preserving the
+            PR 5 healing behaviour exactly.
+    """
+
+    autoscale: bool = True
+    split_load_factor: float = 2.0
+    merge_load_factor: float = 0.4
+    min_shards: int = 2
+    max_shards: int = 8
+    cooldown_days: int = 1
+    spare_budget_per_day: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.split_load_factor <= 1.0:
+            raise ClusterError(
+                f"split_load_factor must be > 1, got {self.split_load_factor}"
+            )
+        if not 0.0 < self.merge_load_factor < 1.0:
+            raise ClusterError(
+                f"merge_load_factor must be in (0, 1), "
+                f"got {self.merge_load_factor}"
+            )
+        if self.min_shards < 1:
+            raise ClusterError(
+                f"min_shards must be >= 1, got {self.min_shards}"
+            )
+        if self.max_shards < self.min_shards:
+            raise ClusterError(
+                f"max_shards ({self.max_shards}) must be >= "
+                f"min_shards ({self.min_shards})"
+            )
+        if self.cooldown_days < 0:
+            raise ClusterError(
+                f"cooldown_days must be >= 0, got {self.cooldown_days}"
+            )
+        if (
+            self.spare_budget_per_day is not None
+            and self.spare_budget_per_day < 0
+        ):
+            raise ClusterError(
+                f"spare_budget_per_day must be >= 0, "
+                f"got {self.spare_budget_per_day}"
+            )
+
+
+class ReshardAborted(ClusterError):
+    """A topology change could not complete; the old topology still serves.
+
+    Carries ``reason`` (``"no-spare"``, ``"under-replicated"``,
+    ``"dark-source"``, ``"no-split-key"``, ``"crash"``, ``"flaky"``,
+    ``"space"``, ``"device-failure"``) so day stats can say why.  The
+    simulation keeps the action queued and retries on the next day.
+    """
+
+    def __init__(self, message: str, *, reason: str) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class ScaleAction:
+    """One proposed topology change (the autoscaler's unit of work)."""
+
+    kind: str  # "split" | "merge"
+    shard_id: int
+    split_key: Any = None
+    reason: str = ""
+
+    def describe(self) -> dict[str, Any]:
+        """Return a JSON-friendly description (for day stats / reports)."""
+        return {
+            "kind": self.kind,
+            "shard_id": self.shard_id,
+            "split_key": None if self.split_key is None else str(self.split_key),
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class AutoscalerDecision:
+    """What the autoscaler saw and decided on one day — the inspectable
+    plan surfaced *before* anything executes."""
+
+    day: int
+    proposed: tuple[ScaleAction, ...]
+    queued: ScaleAction | None
+    deferred_reason: str | None
+
+    def describe(self) -> dict[str, Any]:
+        """Return a JSON-friendly description."""
+        return {
+            "day": self.day,
+            "proposed": [a.describe() for a in self.proposed],
+            "queued": None if self.queued is None else self.queued.describe(),
+            "deferred_reason": self.deferred_reason,
+        }
+
+
+@dataclass(frozen=True)
+class ReshardStep:
+    """One boundary of the reshard pipeline, exposed to the step hook.
+
+    The topology-chaos harness counts steps on a fault-free dry run and
+    then arms exactly one fault (crash / device kill / space exhaustion)
+    per enumerated step; ``devices`` lists the devices the step is about
+    to touch, target first.
+    """
+
+    name: str
+    ordinal: int
+    devices: tuple[SimulatedDisk, ...] = ()
+
+
+@dataclass(frozen=True)
+class ReshardReport:
+    """Outcome of one completed topology change."""
+
+    kind: str
+    day: int
+    source_shards: tuple[int, ...]
+    child_shards: tuple[int, ...]
+    n_shards_after: int
+    split_key: Any
+    indexes_copied: int
+    bytes_copied: int
+    copy_seconds: float
+    catchup_seconds: float
+    crash_recoveries: int
+    topology_version: int
+    makespan_seconds: float
+
+
+class Autoscaler:
+    """Per-day load watcher emitting split/merge proposals.
+
+    Policy (deliberately simple and fully deterministic):
+
+    1. An under-replicated shard defers everything — restoring
+       redundancy (the healer's job) outranks rebalancing load, and the
+       deterministic ordering is what keeps the healer and the engine
+       from fighting over spares.
+    2. Within ``cooldown_days`` of the last applied action, observe only.
+    3. Otherwise, if the hottest shard's busy-seconds exceed
+       ``split_load_factor x`` the mean (and it saw real traffic, and
+       ``k < max_shards``), propose splitting it.
+    4. Otherwise, if the coldest adjacent pair's *combined* busy-seconds
+       fall below ``merge_load_factor x`` the mean (and
+       ``k > min_shards``), propose merging the pair.
+
+    Proposals are returned as an :class:`AutoscalerDecision`; the
+    simulation queues at most the first one (one in-flight topology
+    change at a time, Kimura-style) and records the whole decision in
+    the day's stats.
+    """
+
+    def __init__(self, config: ElasticConfig) -> None:
+        self.config = config
+        self.decisions: list[AutoscalerDecision] = []
+
+    def propose(
+        self,
+        *,
+        day: int,
+        busy_seconds: list[float],
+        requests: list[int],
+        under_replicated: bool,
+        last_action_day: int | None,
+    ) -> AutoscalerDecision:
+        """Evaluate one day's per-shard load; return the decision."""
+        cfg = self.config
+        decision = self._decide(
+            day=day,
+            busy_seconds=busy_seconds,
+            requests=requests,
+            under_replicated=under_replicated,
+            last_action_day=last_action_day,
+        )
+        self.decisions.append(decision)
+        return decision
+
+    def _decide(
+        self,
+        *,
+        day: int,
+        busy_seconds: list[float],
+        requests: list[int],
+        under_replicated: bool,
+        last_action_day: int | None,
+    ) -> AutoscalerDecision:
+        cfg = self.config
+        k = len(busy_seconds)
+        if under_replicated:
+            return AutoscalerDecision(day, (), None, "under-replicated")
+        if (
+            last_action_day is not None
+            and day < last_action_day + cfg.cooldown_days
+        ):
+            return AutoscalerDecision(day, (), None, "cooldown")
+        total = sum(busy_seconds)
+        if total <= 0.0 or k == 0:
+            return AutoscalerDecision(day, (), None, "no-load")
+        mean = total / k
+        hot = max(range(k), key=lambda s: (busy_seconds[s], -s))
+        if (
+            busy_seconds[hot] > cfg.split_load_factor * mean
+            and requests[hot] > 0
+            and k < cfg.max_shards
+        ):
+            action = ScaleAction(
+                kind="split",
+                shard_id=hot,
+                reason=(
+                    f"shard {hot} busy {busy_seconds[hot]:.3f}s > "
+                    f"{cfg.split_load_factor}x mean {mean:.3f}s"
+                ),
+            )
+            return AutoscalerDecision(day, (action,), action, None)
+        if k > cfg.min_shards:
+            cold = min(
+                range(k - 1),
+                key=lambda s: (busy_seconds[s] + busy_seconds[s + 1], s),
+            )
+            combined = busy_seconds[cold] + busy_seconds[cold + 1]
+            if combined < cfg.merge_load_factor * mean:
+                action = ScaleAction(
+                    kind="merge",
+                    shard_id=cold,
+                    reason=(
+                        f"shards {cold}+{cold + 1} combined busy "
+                        f"{combined:.3f}s < {cfg.merge_load_factor}x "
+                        f"mean {mean:.3f}s"
+                    ),
+                )
+                return AutoscalerDecision(day, (action,), action, None)
+        return AutoscalerDecision(day, (), None, None)
+
+
+class TopologyChangeEngine:
+    """Journaled online split/merge over a running :class:`ClusterSimulation`.
+
+    One engine per simulation.  :meth:`execute` runs one
+    :class:`ScaleAction` at the start of a day — before the day's plans
+    are drawn — and either commits the new topology (children caught up
+    to the day, coordinator swapped, parents cleaned up and their
+    devices drained) or raises :class:`ReshardAborted` with the old
+    topology fully intact.
+
+    ``on_step`` is the chaos hook: called with a :class:`ReshardStep` at
+    every pipeline boundary, it may raise
+    :class:`~repro.errors.SimulatedCrash` or arm device faults; the
+    engine classifies whatever escapes and resolves it per the journal's
+    commit point.  ``journal_sink`` mirrors the executor's journal sink
+    (a stand-in for durable journal storage); every journal is also kept
+    on :attr:`journals`.
+    """
+
+    def __init__(self, sim: "ClusterSimulation") -> None:
+        self.sim = sim
+        self.on_step: Callable[[ReshardStep], None] | None = None
+        self.journal_sink: Callable[[ReshardJournal], None] | None = None
+        self.journals: list[ReshardJournal] = []
+        self._ordinal = 0
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _journal(self, journal: ReshardJournal) -> None:
+        if self.journal_sink is not None:
+            self.journal_sink(journal)
+
+    def _step(self, name: str, devices: tuple[SimulatedDisk, ...] = ()) -> None:
+        """Fire the step hook at one pipeline boundary."""
+        step = ReshardStep(name=name, ordinal=self._ordinal, devices=devices)
+        self._ordinal += 1
+        if self.on_step is not None:
+            self.on_step(step)
+
+    @property
+    def retry(self) -> RetryPolicy:
+        monitor = self.sim._monitor
+        return monitor.retry if monitor is not None else RetryPolicy()
+
+    # ------------------------------------------------------------------
+    # Public entry
+    # ------------------------------------------------------------------
+
+    def execute(self, action: ScaleAction, *, day: int) -> ReshardReport:
+        """Run one topology change for ``day``; commit or abort cleanly."""
+        self._ordinal = 0
+        if action.kind == "split":
+            return self._split(action.shard_id, day=day, split_key=action.split_key)
+        if action.kind == "merge":
+            return self._merge(action.shard_id, day=day)
+        raise ClusterError(f"unknown scale action kind {action.kind!r}")
+
+    # ------------------------------------------------------------------
+    # Shared pipeline pieces
+    # ------------------------------------------------------------------
+
+    def _elastic_partitioner(self):
+        part = self.sim.partitioner
+        if not hasattr(part, "split") or not hasattr(part, "merge_with_next"):
+            raise ClusterError(
+                f"partitioner {part!r} does not support topology changes; "
+                f"use kind 'slot-hash' or 'range'"
+            )
+        return part
+
+    def _choose_split_key(self, parent: Shard, part, shard_id: int) -> Any:
+        """Pick the median owned key strictly inside the shard's range."""
+        if not isinstance(part, RangePartitioner):
+            return None  # slot-hash splits deterministically, no key
+        splits = part.split_points
+        lo = splits[shard_id - 1] if shard_id > 0 else None
+        hi = splits[shard_id] if shard_id < len(splits) else None
+        values: set[Any] = set()
+        for day in parent.store.days:
+            for record in parent.store.batch(day).records:
+                values.update(record.values)
+        candidates = sorted(
+            v
+            for v in values
+            if (lo is None or v > lo) and (hi is None or v < hi)
+        )
+        if not candidates:
+            raise ReshardAborted(
+                f"shard {shard_id} has no key strictly inside its range "
+                f"(single-value or empty range) — cannot split",
+                reason="no-split-key",
+            )
+        return candidates[len(candidates) // 2]
+
+    def _route_store(
+        self, stores: list[RecordStore], partitioner, child_ids: tuple[int, ...]
+    ) -> dict[int, RecordStore]:
+        """Re-partition the parents' records among the child shard ids.
+
+        Same value-subset / proportional-``nbytes`` rule as
+        :func:`~repro.cluster.partitioner.partition_store`; the child
+        partitioner only ever routes a parent's keys to the child ids
+        (the split/merge locality property), so nothing is lost.
+        """
+        out = {gid: RecordStore() for gid in child_ids}
+        days = sorted({day for store in stores for day in store.days})
+        for day in days:
+            per: dict[int, list[Record]] = {gid: [] for gid in child_ids}
+            for store in stores:
+                if not store.has_day(day):
+                    continue
+                for record in store.batch(day).records:
+                    owned: dict[int, list[Any]] = {}
+                    for value in record.values:
+                        gid = partitioner.shard_for(value)
+                        if gid in per:
+                            owned.setdefault(gid, []).append(value)
+                    for gid, values in owned.items():
+                        per[gid].append(
+                            Record(
+                                record_id=record.record_id,
+                                day=record.day,
+                                values=tuple(values),
+                                nbytes=record.nbytes
+                                * len(values)
+                                // len(record.values),
+                                info=record.info,
+                            )
+                        )
+            for gid in child_ids:
+                out[gid].add_records(day, per[gid])
+        return out
+
+    def _acquire_targets(
+        self, journal: ReshardJournal, n: int
+    ) -> list[tuple[int, SimulatedDisk]]:
+        """Provision ``n`` fresh devices through the shared spare pool."""
+        sim = self.sim
+        spares = sim.spares.acquire(n)
+        if spares is None:
+            journal.advance(ReshardPhase.ABORTED)
+            self._journal(journal)
+            sim.obs.counter("cluster.elastic.no_spare").inc()
+            raise ReshardAborted(
+                f"spare budget exhausted: needed {n} device(s)",
+                reason="no-spare",
+            )
+        targets = [(sim.array.add_device(s), s) for s in spares]
+        journal.target_devices = [i for i, _ in targets]
+        return targets
+
+    def _copy_with_retry(
+        self,
+        source_indexes,
+        target: SimulatedDisk,
+        name: str,
+        *,
+        keep: Callable[[Any], bool] | None,
+        scratch_wave: WaveIndex,
+    ):
+        """One constituent copy (split filter or merge union) with the
+        cluster retry policy for escaped transients."""
+        retry = self.retry
+        attempts = 0
+        while True:
+            try:
+                if len(source_indexes) == 1:
+                    return copy_index_to(
+                        source_indexes[0], target, name=name, keep=keep
+                    )
+                return merge_indexes_to(source_indexes, target, name=name)
+            except TransientIOError:
+                attempts += 1
+                if attempts >= retry.max_attempts:
+                    raise
+                target.advance(retry.delay_before_retry(attempts))
+                monitor = self.sim._monitor
+                if monitor is not None:
+                    monitor.note_retry(attempts)
+                sweep_orphan_extents(scratch_wave)
+
+    def _abort(
+        self,
+        journal: ReshardJournal,
+        *,
+        reason: str,
+        message: str,
+        child_waves: list[WaveIndex],
+        donors: list[ShardReplica],
+        targets: list[tuple[int, SimulatedDisk]],
+        cause: BaseException | None = None,
+    ) -> ReshardAborted:
+        """Discard all partial child state; leave the old topology intact.
+
+        The reverse of commit: disarm any surviving crash points (the
+        reshard 'process' is dead), drop every binding the children
+        accumulated, and mark-and-sweep the target devices so no orphan
+        extents outlive the attempt.  The parents were never mutated —
+        copies only *read* them — so the old topology serves on,
+        unchanged.  The provisioned devices stay in the array as retired
+        members (same convention as aborted rebuilds); a retry
+        provisions fresh ones.
+        """
+        devices = [d for _, d in targets] + [r.device for r in donors]
+        _disarm_crash(*devices)
+        for wave in child_waves:
+            _discard_partial(wave)
+        if donors:
+            try:
+                sweep_orphan_extents(
+                    donors[0].wave, extra_disks=tuple(d for _, d in targets)
+                )
+            except _CLEANUP_FAULTS:
+                pass
+        if not journal.terminal:
+            journal.advance(ReshardPhase.ABORTED)
+            self._journal(journal)
+        self.sim.obs.counter("cluster.elastic.aborted").inc()
+        error = ReshardAborted(
+            f"{journal.kind} of shard(s) {journal.source_shards} aborted: "
+            f"{message}",
+            reason=reason,
+        )
+        if cause is not None:
+            error.__cause__ = cause
+        return error
+
+    @staticmethod
+    def _classify(exc: BaseException) -> tuple[str, str]:
+        """Map an escaped fault to an abort reason."""
+        if isinstance(exc, SimulatedCrash):
+            return "crash", str(exc)
+        if isinstance(exc, OutOfSpaceError):
+            return "space", str(exc)
+        if isinstance(exc, DeviceFailure):
+            return "device-failure", str(exc)
+        if isinstance(exc, TransientIOError):
+            return "flaky", str(exc)
+        raise exc  # not a fault: bookkeeping bug, propagate loudly
+
+    def _clone_scheme(self, parent: Shard):
+        """Clone the parent's planner pre-planning (planning mutates it)."""
+        return restore_scheme(
+            {"version": CHECKPOINT_VERSION, "scheme": parent.scheme.get_state()}
+        )
+
+    def _cleanup_parents(
+        self, parents: list[Shard], journal: ReshardJournal
+    ) -> None:
+        """Drop the parents' indexes and drain their devices (idempotent)."""
+        sim = self.sim
+        for parent in parents:
+            for replica in parent.replicas:
+                for name in list(replica.wave.bindings):
+                    index = replica.wave.unbind(name)
+                    try:
+                        index.drop()
+                    except _CLEANUP_FAULTS:
+                        pass
+                try:
+                    sweep_orphan_extents(replica.wave)
+                except _CLEANUP_FAULTS:
+                    pass
+                if not sim.array.is_drained(replica.device_index):
+                    sim.array.drain_device(replica.device_index)
+                    sim.obs.counter("cluster.elastic.devices_drained").inc()
+
+    def _commit_swap(
+        self,
+        *,
+        kind: str,
+        shard_id: int,
+        new_partitioner,
+        children: list[Shard],
+        journal: ReshardJournal,
+    ) -> tuple[int, dict[int, int]]:
+        """Install the new shard list + routing table atomically."""
+        sim = self.sim
+        old = sim.shards
+        mapping = reshard_id_mapping(kind, shard_id, len(old))
+        removed = 2 if kind == "merge" else 1
+        new_shards = old[:shard_id] + children + old[shard_id + removed:]
+        for new_id, shard in enumerate(new_shards):
+            shard.shard_id = new_id
+            for replica in shard.replicas:
+                replica.shard_id = new_id
+        if sim._monitor is not None:
+            sim._monitor.remap_shards(mapping)
+        sim.shards = new_shards
+        sim.partitioner = new_partitioner
+        version = sim.coordinator.swap_topology(new_shards, new_partitioner)
+        sim._on_topology_changed(mapping)
+        return version, mapping
+
+    # ------------------------------------------------------------------
+    # Split
+    # ------------------------------------------------------------------
+
+    def _split(
+        self, shard_id: int, *, day: int, split_key: Any = None
+    ) -> ReshardReport:
+        sim = self.sim
+        if not 0 <= shard_id < len(sim.shards):
+            raise ClusterError(f"no shard {shard_id}")
+        part = self._elastic_partitioner()
+        parent = sim.shards[shard_id]
+        donor = parent.primary
+        if donor is None:
+            raise ReshardAborted(
+                f"shard {shard_id} is dark — nothing to copy from",
+                reason="dark-source",
+            )
+        if split_key is None:
+            split_key = self._choose_split_key(parent, part, shard_id)
+        new_part = part.split(shard_id, key=split_key)
+        journal = ReshardJournal(
+            kind="split",
+            day=day,
+            source_shards=[shard_id],
+            partitioner_before=part.describe(),
+            partitioner_after=new_part.describe(),
+            split_key=None if split_key is None else str(split_key),
+        )
+        self.journals.append(journal)
+        self._journal(journal)
+        try:
+            self._step("plan", devices=(donor.device,))
+        except _RESHARD_FAULTS as exc:
+            reason, message = self._classify(exc)
+            raise self._abort(
+                journal, reason=reason, message=message,
+                child_waves=[], donors=[donor], targets=[], cause=exc,
+            ) from None
+
+        child_ids = (shard_id, shard_id + 1)
+        child_stores = self._route_store([parent.store], new_part, child_ids)
+        repl = sim.config.replication
+        targets = self._acquire_targets(journal, 2 * repl)
+
+        return self._build_children(
+            journal=journal,
+            day=day,
+            parents=[parent],
+            donors=[donor],
+            child_specs=[
+                {
+                    "gid": gid,
+                    "store": child_stores[gid],
+                    "sources": lambda name, g=gid: [donor.wave.bindings[name]],
+                    "keep": (lambda v, g=gid: new_part.shard_for(v) == g),
+                    "targets": targets[i * repl: (i + 1) * repl],
+                }
+                for i, gid in enumerate(child_ids)
+            ],
+            new_partitioner=new_part,
+            kind="split",
+            shard_id=shard_id,
+            split_key=split_key,
+        )
+
+    # ------------------------------------------------------------------
+    # Merge
+    # ------------------------------------------------------------------
+
+    def _merge(self, shard_id: int, *, day: int) -> ReshardReport:
+        sim = self.sim
+        if not 0 <= shard_id < len(sim.shards) - 1:
+            raise ClusterError(
+                f"shard {shard_id} has no next neighbour to merge with"
+            )
+        part = self._elastic_partitioner()
+        left, right = sim.shards[shard_id], sim.shards[shard_id + 1]
+        donor_left, donor_right = left.primary, right.primary
+        if donor_left is None or donor_right is None:
+            raise ReshardAborted(
+                f"merge of shards {shard_id}+{shard_id + 1}: a source "
+                f"shard is dark",
+                reason="dark-source",
+            )
+        new_part = part.merge_with_next(shard_id)
+        journal = ReshardJournal(
+            kind="merge",
+            day=day,
+            source_shards=[shard_id, shard_id + 1],
+            partitioner_before=part.describe(),
+            partitioner_after=new_part.describe(),
+        )
+        self.journals.append(journal)
+        self._journal(journal)
+        try:
+            self._step(
+                "plan", devices=(donor_left.device, donor_right.device)
+            )
+        except _RESHARD_FAULTS as exc:
+            reason, message = self._classify(exc)
+            raise self._abort(
+                journal, reason=reason, message=message,
+                child_waves=[], donors=[donor_left, donor_right],
+                targets=[], cause=exc,
+            ) from None
+
+        child_stores = self._route_store(
+            [left.store, right.store], new_part, (shard_id,)
+        )
+        repl = sim.config.replication
+        targets = self._acquire_targets(journal, repl)
+
+        def sources(name: str):
+            out = [donor_left.wave.bindings[name]]
+            other = donor_right.wave.bindings.get(name)
+            if other is not None:
+                out.append(other)
+            return out
+
+        return self._build_children(
+            journal=journal,
+            day=day,
+            parents=[left, right],
+            donors=[donor_left, donor_right],
+            child_specs=[
+                {
+                    "gid": shard_id,
+                    "store": child_stores[shard_id],
+                    "sources": sources,
+                    "keep": None,
+                    "targets": targets,
+                }
+            ],
+            new_partitioner=new_part,
+            kind="merge",
+            shard_id=shard_id,
+            split_key=None,
+        )
+
+    # ------------------------------------------------------------------
+    # The shared copy → catch-up → swap → cleanup pipeline
+    # ------------------------------------------------------------------
+
+    def _build_children(
+        self,
+        *,
+        journal: ReshardJournal,
+        day: int,
+        parents: list[Shard],
+        donors: list[ShardReplica],
+        child_specs: list[dict],
+        new_partitioner,
+        kind: str,
+        shard_id: int,
+        split_key: Any,
+    ) -> ReshardReport:
+        sim = self.sim
+        all_targets = [t for spec in child_specs for t in spec["targets"]]
+        donor_before = sum(d.device.clock for d in donors)
+        target_before = {i: dev.clock for i, dev in all_targets}
+        child_waves: list[WaveIndex] = []
+        children: list[Shard] = []
+        bytes_copied = 0
+        indexes_copied = 0
+        catchup_seconds = 0.0
+        crash_recoveries = 0
+
+        def abort(exc: BaseException) -> ReshardAborted:
+            reason, message = self._classify(exc)
+            return self._abort(
+                journal,
+                reason=reason,
+                message=message,
+                child_waves=child_waves,
+                donors=donors,
+                targets=all_targets,
+                cause=exc,
+            )
+
+        # -- copy phase -------------------------------------------------
+        journal.advance(ReshardPhase.COPYING)
+        self._journal(journal)
+        try:
+            binding_names = list(donors[0].wave.bindings)
+            child_replicas: list[list[ShardReplica]] = []
+            child_schemes = []
+            for spec in child_specs:
+                gid = spec["gid"]
+                scheme = self._clone_scheme(parents[0])
+                child_schemes.append(scheme)
+                replicas: list[ShardReplica] = []
+                for ri, (device_index, device) in enumerate(spec["targets"]):
+                    wave = WaveIndex(
+                        device,
+                        donors[0].wave.config,
+                        len(donors[0].wave.constituents),
+                    )
+                    child_waves.append(wave)
+                    for name in binding_names:
+                        self._step(
+                            f"copy:s{gid}/r{ri}:{name}",
+                            devices=(device, *[d.device for d in donors]),
+                        )
+                        clone = self._copy_with_retry(
+                            spec["sources"](name),
+                            device,
+                            name,
+                            keep=spec["keep"],
+                            scratch_wave=wave,
+                        )
+                        wave.bind(name, clone)
+                        bytes_copied += clone.allocated_bytes
+                        indexes_copied += 1
+                        journal.copies_done += 1
+                        self._journal(journal)
+                    replicas.append(
+                        ShardReplica(
+                            shard_id=gid,
+                            replica_id=ri,
+                            device_index=device_index,
+                            device=device,
+                            wave=wave,
+                            executor=PlanExecutor(
+                                wave, spec["store"], sim.technique
+                            ),
+                            caught_up_day=day,
+                        )
+                    )
+                child_replicas.append(replicas)
+            journal.advance(ReshardPhase.COPIED)
+            self._journal(journal)
+
+            # -- catch-up phase -----------------------------------------
+            journal.advance(ReshardPhase.CATCHUP)
+            self._journal(journal)
+            catchup_before = {i: dev.clock for i, dev in all_targets}
+            for spec, scheme, replicas in zip(
+                child_specs, child_schemes, child_replicas
+            ):
+                plan = list(scheme.transition_ops(day))
+                state = scheme.get_state()
+                for replica in replicas:
+                    self._step(
+                        f"catchup:s{spec['gid']}/r{replica.replica_id}",
+                        devices=(replica.device,),
+                    )
+                    executor = JournaledExecutor(
+                        replica.wave, spec["store"], sim.technique
+                    )
+                    executor.execute_journaled(
+                        plan, day=day, scheme_state=state
+                    )
+                    journal.catchup.append(executor.journal.to_dict())
+                    self._journal(journal)
+                    replica.executor = PlanExecutor(
+                        replica.wave, spec["store"], sim.technique
+                    )
+            catchup_seconds = sum(
+                dev.clock - catchup_before[i] for i, dev in all_targets
+            )
+
+            # -- swap (the commit point) --------------------------------
+            self._step("swap")
+        except _RESHARD_FAULTS as exc:
+            raise abort(exc) from None
+
+        journal.advance(ReshardPhase.SWAPPED)
+        self._journal(journal)
+        for spec, scheme, replicas in zip(
+            child_specs, child_schemes, child_replicas
+        ):
+            shard = Shard(spec["gid"], scheme, spec["store"], replicas)
+            children.append(shard)
+            sim._preplanned[id(scheme)] = []  # day's plan already applied
+        version, _mapping = self._commit_swap(
+            kind=kind,
+            shard_id=shard_id,
+            new_partitioner=new_partitioner,
+            children=children,
+            journal=journal,
+        )
+
+        # -- cleanup (roll-forward territory) ---------------------------
+        try:
+            self._step(
+                "cleanup",
+                devices=tuple(d.device for d in donors),
+            )
+            self._cleanup_parents(parents, journal)
+        except _RESHARD_FAULTS:
+            # Past the commit point every fault rolls *forward*: disarm
+            # the dead process's crash points and finish the idempotent
+            # cleanup under the already-swapped topology.
+            _disarm_crash(*[d.device for d in donors])
+            crash_recoveries += 1
+            sim.obs.counter("cluster.elastic.crash_recoveries").inc()
+            self._cleanup_parents(parents, journal)
+        journal.advance(ReshardPhase.DONE)
+        self._journal(journal)
+
+        # -- timeline + report ------------------------------------------
+        donor_read = sum(d.device.clock for d in donors) - donor_before
+        copy_seconds = 0.0
+        makespan = 0.0
+        for shard in children:
+            for replica in shard.replicas:
+                delta = replica.device.clock - target_before[replica.device_index]
+                span = donor_read + delta
+                replica.maintenance_start = 0.0
+                replica.maintenance_end = span
+                makespan = max(makespan, span)
+        copy_seconds = (
+            sum(dev.clock - target_before[i] for i, dev in all_targets)
+            - catchup_seconds
+            + donor_read
+        )
+        counter = "cluster.elastic.splits" if kind == "split" else "cluster.elastic.merges"
+        sim.obs.counter(counter).inc()
+        sim.obs.counter("cluster.elastic.bytes_copied").inc(bytes_copied)
+        return ReshardReport(
+            kind=kind,
+            day=day,
+            source_shards=tuple(journal.source_shards),
+            child_shards=tuple(s.shard_id for s in children),
+            n_shards_after=len(sim.shards),
+            split_key=split_key,
+            indexes_copied=indexes_copied,
+            bytes_copied=bytes_copied,
+            copy_seconds=copy_seconds,
+            catchup_seconds=catchup_seconds,
+            crash_recoveries=crash_recoveries,
+            topology_version=version,
+            makespan_seconds=makespan,
+        )
+
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerDecision",
+    "ElasticConfig",
+    "ReshardAborted",
+    "ReshardReport",
+    "ReshardStep",
+    "ScaleAction",
+    "TopologyChangeEngine",
+]

@@ -9,13 +9,22 @@ values to shard ids that both the store splitter (at build time) and the
 coordinator (at query time) consult, so a probe for ``value`` always
 lands on the shard holding ``value``'s postings.
 
-Two implementations mirror the classic physical designs:
+Three implementations mirror the classic physical designs:
 
 * :class:`HashPartitioner` — stable CRC32 of the value; balanced for any
   key distribution, but range queries fan out to every shard.
 * :class:`RangePartitioner` — ordered split points; co-locates adjacent
   keys (and makes shard rebalancing a contiguous-range move) at the cost
   of balance depending on the chosen splits.
+* :class:`SlotHashPartitioner` — CRC32 into a fixed slot ring with an
+  explicit slot-to-shard table; routing-compatible with elastic topology
+  changes, because splitting a shard only reassigns *that shard's* slots.
+
+For online resharding (:mod:`repro.cluster.elastic`) the range and
+slot-hash partitioners support :meth:`split` / :meth:`merge_with_next`,
+both returning a *new* partitioner that changes the routing of keys in
+the affected shard(s) only — every other key keeps its shard, modulo the
+uniform id renumbering described by :func:`reshard_id_mapping`.
 """
 
 from __future__ import annotations
@@ -119,6 +128,72 @@ class RangePartitioner:
                 f"value {value!r} is not comparable with the split points"
             ) from exc
 
+    def split(self, shard_id: int, *, key: Any = None) -> "RangePartitioner":
+        """Return a new partitioner with shard ``shard_id`` split at ``key``.
+
+        ``key`` becomes a new split point strictly inside the shard's
+        range, producing children ``shard_id`` (``[lo, key)``) and
+        ``shard_id + 1`` (``[key, hi)``); shards above shift up by one.
+        The edge cases split/merge exposed are rejected explicitly:
+
+        * ``key`` equal to the shard's *lower* boundary would leave the
+          left child empty;
+        * ``key`` equal to (or past) the shard's *upper* boundary would
+          leave the right child empty — including the single-value range
+          ``[b, b+1)`` over integers, which has no interior split point;
+        * duplicate split points would break strict monotonicity.
+        """
+        if not 0 <= shard_id < self.n_shards:
+            raise ClusterError(
+                f"shard {shard_id} outside [0, {self.n_shards})"
+            )
+        if key is None:
+            raise ClusterError("range split needs an explicit key")
+        splits = self.split_points
+        try:
+            if shard_id > 0 and not splits[shard_id - 1] < key:
+                raise ClusterError(
+                    f"split key {key!r} is not above the shard's lower "
+                    f"boundary {splits[shard_id - 1]!r} — the left child "
+                    f"range would be empty"
+                )
+            if shard_id < len(splits) and not key < splits[shard_id]:
+                raise ClusterError(
+                    f"split key {key!r} is not below the shard's upper "
+                    f"boundary {splits[shard_id]!r} — the right child "
+                    f"range would be empty"
+                )
+        except TypeError as exc:
+            raise ClusterError(
+                f"split key {key!r} is not comparable with the split points"
+            ) from exc
+        return RangePartitioner(
+            splits[:shard_id] + (key,) + splits[shard_id:]
+        )
+
+    def merge_with_next(self, shard_id: int) -> "RangePartitioner":
+        """Return a new partitioner merging ``shard_id`` with ``shard_id+1``.
+
+        The inverse of :meth:`split`: removing the boundary between the
+        two shards re-fuses their ranges, and
+        ``p.split(s, key=k).merge_with_next(s)`` routes every value
+        exactly as ``p`` does (the hypothesis suite asserts the identity).
+        A range partitioner always has >= 2 shards, so merging is only
+        possible down to 2.
+        """
+        if not 0 <= shard_id < self.n_shards - 1:
+            raise ClusterError(
+                f"shard {shard_id} has no next neighbour to merge with "
+                f"(n_shards={self.n_shards})"
+            )
+        if len(self.split_points) == 1:
+            raise ClusterError(
+                "cannot merge a 2-shard range partitioner down to one "
+                "shard (a range partitioner needs >= 1 split point)"
+            )
+        splits = self.split_points
+        return RangePartitioner(splits[:shard_id] + splits[shard_id + 1:])
+
     def describe(self) -> dict[str, Any]:
         return {
             "kind": "range",
@@ -130,17 +205,178 @@ class RangePartitioner:
         return f"RangePartitioner(split_points={self.split_points!r})"
 
 
+class SlotHashPartitioner:
+    """Hash into a fixed slot ring with an explicit slot-to-shard table.
+
+    Plain ``crc32 % k`` cannot split one shard without rerouting almost
+    every key (changing ``k`` changes every residue).  The classic fix is
+    a level of indirection: hash into ``n_slots`` fixed slots and keep a
+    table mapping slots to shards.  Splitting a shard then moves half of
+    *its own* slots to the new shard; every other key keeps its slot and
+    its shard.  This is the elastic-capable hash partitioner the
+    resharding engine uses (``kind="slot-hash"``).
+
+    Args:
+        slot_to_shard: Shard id per slot; shard ids must cover
+            ``0 .. max`` contiguously (every shard owns >= 1 slot).
+    """
+
+    def __init__(self, slot_to_shard: Iterable[int]) -> None:
+        table = tuple(slot_to_shard)
+        if not table:
+            raise ClusterError("slot-hash partitioning needs >= 1 slot")
+        shards = set(table)
+        n_shards = max(shards) + 1
+        if shards != set(range(n_shards)):
+            missing = sorted(set(range(n_shards)) - shards)
+            raise ClusterError(
+                f"slot table must cover shards 0..{n_shards - 1} "
+                f"contiguously; missing {missing}"
+            )
+        self.slot_to_shard = table
+        self._n_shards = n_shards
+
+    @classmethod
+    def balanced(cls, n_shards: int, n_slots: int = 64) -> "SlotHashPartitioner":
+        """Build a table spreading ``n_slots`` round-robin over shards."""
+        if n_shards < 1:
+            raise ClusterError(f"need at least one shard, got {n_shards}")
+        if n_slots < n_shards:
+            raise ClusterError(
+                f"need at least one slot per shard; "
+                f"{n_slots} slots < {n_shards} shards"
+            )
+        return cls(tuple(slot % n_shards for slot in range(n_slots)))
+
+    @property
+    def n_shards(self) -> int:
+        return self._n_shards
+
+    @property
+    def n_slots(self) -> int:
+        return len(self.slot_to_shard)
+
+    def shard_for(self, value: Any) -> int:
+        slot = crc32(str(value).encode("utf-8")) % len(self.slot_to_shard)
+        return self.slot_to_shard[slot]
+
+    def owned_slots(self, shard_id: int) -> tuple[int, ...]:
+        """Return the slots routed to ``shard_id``, in ring order."""
+        return tuple(
+            slot
+            for slot, shard in enumerate(self.slot_to_shard)
+            if shard == shard_id
+        )
+
+    def split(self, shard_id: int, *, key: Any = None) -> "SlotHashPartitioner":
+        """Return a new partitioner splitting ``shard_id`` into two.
+
+        The second half of the shard's slots (in ring order) moves to a
+        new shard inserted at ``shard_id + 1``; shards above shift up by
+        one.  ``key`` is accepted for API symmetry with
+        :meth:`RangePartitioner.split` and ignored — slot moves are
+        deterministic.  A shard that owns a single slot cannot be split.
+        """
+        if not 0 <= shard_id < self._n_shards:
+            raise ClusterError(
+                f"shard {shard_id} outside [0, {self._n_shards})"
+            )
+        owned = self.owned_slots(shard_id)
+        if len(owned) < 2:
+            raise ClusterError(
+                f"shard {shard_id} owns a single slot and cannot be "
+                f"split further (add slots or merge first)"
+            )
+        moved = set(owned[len(owned) // 2:])
+        table = []
+        for slot, shard in enumerate(self.slot_to_shard):
+            if shard > shard_id:
+                table.append(shard + 1)
+            elif shard == shard_id and slot in moved:
+                table.append(shard_id + 1)
+            else:
+                table.append(shard)
+        return SlotHashPartitioner(table)
+
+    def merge_with_next(self, shard_id: int) -> "SlotHashPartitioner":
+        """Return a new partitioner folding ``shard_id + 1`` into ``shard_id``.
+
+        The next shard's slots join ``shard_id``; shards above shift down
+        by one.  Inverse of :meth:`split` when applied to the same shard.
+        """
+        if not 0 <= shard_id < self._n_shards - 1:
+            raise ClusterError(
+                f"shard {shard_id} has no next neighbour to merge with "
+                f"(n_shards={self._n_shards})"
+            )
+        table = []
+        for shard in self.slot_to_shard:
+            if shard == shard_id + 1:
+                table.append(shard_id)
+            elif shard > shard_id + 1:
+                table.append(shard - 1)
+            else:
+                table.append(shard)
+        return SlotHashPartitioner(table)
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "kind": "slot-hash",
+            "n_shards": self._n_shards,
+            "n_slots": len(self.slot_to_shard),
+            "slot_to_shard": list(self.slot_to_shard),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SlotHashPartitioner(n_shards={self._n_shards}, "
+            f"n_slots={len(self.slot_to_shard)})"
+        )
+
+
+def reshard_id_mapping(
+    kind: str, shard_id: int, old_n_shards: int
+) -> dict[int, int]:
+    """Return the old-to-new shard-id mapping a split/merge implies.
+
+    Covers the shards that *survive* the change: a split of ``shard_id``
+    shifts every shard above it up by one (the split shard itself is
+    replaced by two children and is absent); a merge of ``shard_id`` with
+    ``shard_id + 1`` shifts every shard above the pair down by one (the
+    merged pair is replaced by one child and both parents are absent).
+    The elastic engine uses this to renumber surviving shards and the
+    health monitor uses it to carry breaker state across the swap.
+    """
+    if kind == "split":
+        return {
+            old: old if old < shard_id else old + 1
+            for old in range(old_n_shards)
+            if old != shard_id
+        }
+    if kind == "merge":
+        return {
+            old: old if old < shard_id else old - 1
+            for old in range(old_n_shards)
+            if old not in (shard_id, shard_id + 1)
+        }
+    raise ClusterError(f"unknown reshard kind {kind!r}")
+
+
 def make_partitioner(
     kind: str, n_shards: int, *, range_splits: Iterable[Any] = ()
 ) -> Partitioner:
-    """Build the partitioner named by ``kind`` (``"hash"``/``"range"``).
+    """Build the partitioner named by ``kind``.
 
+    Kinds: ``"hash"`` (static CRC32), ``"slot-hash"`` (elastic-capable
+    CRC32 through a slot ring), ``"range"`` (explicit split points).
     For ``"range"`` with no explicit splits, integer split points are
     synthesized from CRC32 order statistics — callers that care about the
     actual key distribution pass their own ``range_splits``.
     """
     if kind == "hash":
         return HashPartitioner(n_shards)
+    if kind == "slot-hash":
+        return SlotHashPartitioner.balanced(n_shards)
     if kind == "range":
         splits = list(range_splits)
         if splits:

@@ -18,9 +18,10 @@ per-device accounting as maintenance and serving.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Callable, Sequence
 
 from ..core.recovery import sweep_orphan_extents
-from ..errors import FaultError
+from ..errors import ClusterError, FaultError
 from ..index.bucket import Bucket
 from ..index.constituent import ConstituentIndex
 from ..index.updates import _ordered
@@ -47,33 +48,19 @@ class RebalanceReport:
         return self.source_read_seconds + self.target_write_seconds
 
 
-def copy_index_to(
-    index: ConstituentIndex,
+def _lay_out_packed(
+    clone: ConstituentIndex,
     target: SimulatedDisk,
-    *,
-    name: str | None = None,
+    grouped: dict[Any, list],
+    time_set: set[int],
 ) -> ConstituentIndex:
-    """Smart-copy ``index`` onto ``target``; return the new index.
-
-    Cross-device variant of :func:`repro.index.updates.packed_rewrite`
-    with no inserts or deletes: the source is read sequentially on its
-    own device, and the copy lands on ``target`` as a single packed
-    extent (bucket slack is squeezed out in flight, like any smart
-    copy).  The source index is left untouched — the caller swaps it out
-    and drops it, preserving the shadow ordering every scheme relies on.
-    """
-    source = index.disk
-    config = index.config
-    entry_size = config.entry_size_bytes
-
-    source.stream_read(index.allocated_bytes)
-    clone = ConstituentIndex(target, config, name=name or index.name)
-    grouped = {b.value: list(b.entries) for b in index.buckets()}
+    """Write ``grouped`` onto ``target`` as one packed extent of ``clone``."""
+    entry_size = clone.config.entry_size_bytes
     total_entries = sum(len(entries) for entries in grouped.values())
     if total_entries == 0:
-        # Nothing to lay out (an empty or fully-expired index): the copy
-        # is just the metadata.
-        clone.time_set = set(index.time_set)
+        # Nothing to lay out (an empty, fully-expired, or fully-filtered
+        # index): the copy is just the metadata.
+        clone.time_set = set(time_set)
         clone.packed = False
         return clone
     total_bytes = total_entries * entry_size
@@ -94,8 +81,73 @@ def copy_index_to(
         )
         offset += len(entries) * entry_size
     target.write(extent, total_bytes)
-    clone._adopt_packed(extent, buckets, index.time_set)
+    clone._adopt_packed(extent, buckets, time_set)
     return clone
+
+
+def copy_index_to(
+    index: ConstituentIndex,
+    target: SimulatedDisk,
+    *,
+    name: str | None = None,
+    keep: Callable[[Any], bool] | None = None,
+) -> ConstituentIndex:
+    """Smart-copy ``index`` onto ``target``; return the new index.
+
+    Cross-device variant of :func:`repro.index.updates.packed_rewrite`
+    with no inserts or deletes: the source is read sequentially on its
+    own device, and the copy lands on ``target`` as a single packed
+    extent (bucket slack is squeezed out in flight, like any smart
+    copy).  The source index is left untouched — the caller swaps it out
+    and drops it, preserving the shadow ordering every scheme relies on.
+
+    ``keep`` optionally filters by search value: only buckets whose value
+    satisfies the predicate land on the target (the elastic engine's
+    shard split passes the child's ownership test here).  The full source
+    is still read — a split streams the parent once per child — but only
+    the kept bytes are written.  The clone keeps the source's *complete*
+    ``time_set`` either way: a shard covers every day of the window, even
+    days where it happens to own no postings.
+    """
+    source = index.disk
+
+    source.stream_read(index.allocated_bytes)
+    clone = ConstituentIndex(target, index.config, name=name or index.name)
+    grouped = {
+        b.value: list(b.entries)
+        for b in index.buckets()
+        if keep is None or keep(b.value)
+    }
+    return _lay_out_packed(clone, target, grouped, set(index.time_set))
+
+
+def merge_indexes_to(
+    indexes: Sequence[ConstituentIndex],
+    target: SimulatedDisk,
+    *,
+    name: str,
+) -> ConstituentIndex:
+    """Merge-copy several source indexes into one packed index on ``target``.
+
+    The shard-merge counterpart of :func:`copy_index_to`: each source is
+    read sequentially on its own device, buckets for the same value are
+    concatenated in source order, and the union lands on ``target`` as a
+    single packed extent.  Sources are disjoint by construction (each
+    shard owns a disjoint key slice), so concatenation is a true merge.
+    The merged ``time_set`` is the union of the sources'.
+    """
+    if not indexes:
+        raise ClusterError("merge_indexes_to needs >= 1 source index")
+    config = indexes[0].config
+    clone = ConstituentIndex(target, config, name=name)
+    grouped: dict[Any, list] = {}
+    time_set: set[int] = set()
+    for index in indexes:
+        index.disk.stream_read(index.allocated_bytes)
+        for bucket in index.buckets():
+            grouped.setdefault(bucket.value, []).extend(bucket.entries)
+        time_set.update(index.time_set)
+    return _lay_out_packed(clone, target, grouped, time_set)
 
 
 def move_replica(

@@ -351,6 +351,24 @@ class ReplicaHealthMonitor:
         """Return the replica's current breaker state."""
         return self.health_of(replica).state
 
+    def remap_shards(self, mapping: dict[int, int]) -> None:
+        """Renumber health records after a topology change.
+
+        ``mapping`` is old-to-new shard ids for the shards that *survive*
+        a split or merge (:func:`~repro.cluster.partitioner.reshard_id_mapping`);
+        their breaker state — open cooldowns, retirement, failure counts —
+        must follow them across the renumbering.  Records for shards
+        absent from the mapping (the replaced parents) are dropped;
+        the reshard's children start with fresh health, same as rebuilt
+        replicas.
+        """
+        remapped: dict[tuple[int, int], ReplicaHealth] = {}
+        for (shard_id, replica_id), health in self._health.items():
+            new_shard = mapping.get(shard_id)
+            if new_shard is not None:
+                remapped[(new_shard, replica_id)] = health
+        self._health = remapped
+
 
 # ----------------------------------------------------------------------
 # Re-replication pipeline

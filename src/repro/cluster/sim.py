@@ -72,7 +72,16 @@ from ..storage.cost import DiskParameters
 from ..storage.disk import SimulatedDisk
 from ..storage.pagecache import PageCache
 from .coordinator import ClusterCoordinator
-from .partitioner import make_partitioner, partition_store
+from .elastic import (
+    Autoscaler,
+    AutoscalerDecision,
+    ElasticConfig,
+    ReshardAborted,
+    ReshardReport,
+    ScaleAction,
+    TopologyChangeEngine,
+)
+from .partitioner import SlotHashPartitioner, make_partitioner, partition_store
 from .rebalance import RebalanceReport, move_replica
 from .selfheal import (
     RebuildAborted,
@@ -113,6 +122,12 @@ class ClusterConfig:
             per-replica circuit breakers, automatic re-replication — see
             :mod:`repro.cluster.selfheal`).  ``None`` (the default)
             keeps the PR 4 behaviour: failed replicas stay failed.
+        elastic: Optional elastic-resharding configuration (online shard
+            split/merge plus the per-day autoscaler — see
+            :mod:`repro.cluster.elastic`).  ``None`` (the default) keeps
+            the topology frozen; with it set and ``partitioner="hash"``,
+            the plain hash partitioner is silently upgraded to the
+            slot-based one so splits are even possible.
     """
 
     n_shards: int = 2
@@ -126,6 +141,7 @@ class ClusterConfig:
     page_cache_bytes: int | None = None
     page_size: int | None = None
     selfheal: SelfHealConfig | None = None
+    elastic: ElasticConfig | None = None
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -189,6 +205,18 @@ class ClusterDayStats:
     rebuild_spans: tuple[float, ...] = ()
     retries: int = 0
     breaker_opens: int = 0
+    #: Elastic resharding activity (all zero/None when elasticity is off).
+    reshards: int = 0
+    reshards_aborted: int = 0
+    reshard_deferred: str | None = None
+    reshard_kinds: tuple[str, ...] = ()
+    reshard_seconds: float = 0.0
+    topology_version: int = 0
+    n_shards: int = 0
+    autoscaler: dict[str, Any] | None = None
+    #: Per-shard serving busy time; ``max()`` of it is the serving
+    #: bottleneck the elastic bench measures throughput against.
+    query_seconds: tuple[float, ...] = ()
 
 
 @dataclass
@@ -207,6 +235,11 @@ class ClusterResult:
     days: list[ClusterDayStats] = field(default_factory=list)
     latency_during: dict[str, float] | None = None
     latency_steady: dict[str, float] | None = None
+    #: Per-shard series of shards retired by a topology change (their
+    #: history stops on the day the split/merge replaced them).
+    retired_shard_results: list[SimulationResult] = field(
+        default_factory=list
+    )
 
     def total_requests(self) -> int:
         """Return query requests served over the run."""
@@ -256,6 +289,20 @@ class ClusterResult:
             default=0.0,
         )
 
+    def total_reshards(self) -> int:
+        """Return completed topology changes (splits + merges)."""
+        return sum(d.reshards for d in self.days)
+
+    def total_reshards_aborted(self) -> int:
+        """Return aborted topology-change attempts over the run."""
+        return sum(d.reshards_aborted for d in self.days)
+
+    def final_n_shards(self) -> int:
+        """Return the shard count at the end of the run."""
+        if self.days:
+            return self.days[-1].n_shards or self.n_shards
+        return self.n_shards
+
 
 def _blocked_until(
     needed: set[str], arrival: float, blocking: list[OpInterval]
@@ -274,6 +321,52 @@ def _blocked_until(
                 release = interval.end
                 changed = True
     return blocked, release
+
+
+class SparePool:
+    """Per-day budgeted provisioning of spare devices.
+
+    Replica rebuilds (:meth:`ClusterSimulation._run_healing`) and the
+    elastic engine draw spares from one pool, so a
+    ``spare_budget_per_day`` makes their competition explicit and
+    deterministic: the engine runs at the start of the day but *defers*
+    whenever a shard is under-replicated, so on a contended day the
+    rebuild takes the spare and the topology change retries the next
+    day.  ``acquire`` is all-or-nothing — a split needing ``2r`` devices
+    either gets them all or leaves the budget untouched.
+
+    With no budget (the default) acquisition always succeeds and the
+    pool is a pass-through over the simulation's spare factory,
+    preserving its behaviour (and spare ordinals) exactly.
+    """
+
+    def __init__(
+        self,
+        make: Callable[[], SimulatedDisk],
+        *,
+        budget_per_day: int | None = None,
+    ) -> None:
+        self._make = make
+        self.budget_per_day = budget_per_day
+        self._used_today = 0
+        self.denied = 0
+
+    def new_day(self) -> None:
+        """Reset the day's budget."""
+        self._used_today = 0
+
+    def acquire(self, n: int = 1) -> list[SimulatedDisk] | None:
+        """Provision ``n`` fresh devices, or ``None`` if over budget."""
+        if n < 1:
+            raise ClusterError(f"must acquire >= 1 spare, got {n}")
+        if (
+            self.budget_per_day is not None
+            and self._used_today + n > self.budget_per_day
+        ):
+            self.denied += 1
+            return None
+        self._used_today += n
+        return [self._make() for _ in range(n)]
 
 
 class ClusterSimulation:
@@ -300,9 +393,16 @@ class ClusterSimulation:
     ) -> None:
         self.config = cluster or ClusterConfig()
         cfg = self.config
-        self.partitioner = make_partitioner(
-            cfg.partitioner, cfg.n_shards, range_splits=cfg.range_splits
-        )
+        if cfg.elastic is not None and cfg.partitioner == "hash":
+            # A plain modulo-hash table cannot split one shard without
+            # re-routing every key; the slot table can.
+            self.partitioner: Any = SlotHashPartitioner.balanced(
+                cfg.n_shards
+            )
+        else:
+            self.partitioner = make_partitioner(
+                cfg.partitioner, cfg.n_shards, range_splits=cfg.range_splits
+            )
         shard_stores = partition_store(store, self.partitioner)
         self.store = store
         self.queries = queries
@@ -317,6 +417,28 @@ class ClusterSimulation:
         )
         self._clock_base = 0.0
         self._spares_created = 0
+        self.spares = SparePool(
+            self._make_spare,
+            budget_per_day=(
+                cfg.elastic.spare_budget_per_day
+                if cfg.elastic is not None
+                else None
+            ),
+        )
+        self.elastic: TopologyChangeEngine | None = (
+            TopologyChangeEngine(self) if cfg.elastic is not None else None
+        )
+        self._autoscaler: Autoscaler | None = (
+            Autoscaler(cfg.elastic)
+            if cfg.elastic is not None and cfg.elastic.autoscale
+            else None
+        )
+        self._pending_action: ScaleAction | None = None
+        self._last_action_day: int | None = None
+        #: Day plans pre-applied by the elastic engine's catch-up, keyed
+        #: by ``id(scheme)`` — popped (instead of re-planning) when the
+        #: day loop reaches that shard.
+        self._preplanned: dict[int, list[Op]] = {}
         #: Optional hook called after maintenance/healing and before the
         #: day's serving pass — the chaos harness's injection point for
         #: mid-serve faults.  Signature: ``hook(sim, day)``.
@@ -455,6 +577,127 @@ class ClusterSimulation:
         return report
 
     # ------------------------------------------------------------------
+    # Elastic resharding
+    # ------------------------------------------------------------------
+
+    def request_split(
+        self,
+        shard_id: int,
+        *,
+        split_key: Any = None,
+        reason: str = "manual",
+    ) -> ScaleAction:
+        """Queue a split of ``shard_id`` for the next transition day.
+
+        With ``split_key=None`` the engine picks the median owned key
+        (range partitioner) or halves the slot set (slot-hash).  At most
+        one topology change is in flight at a time; a new request
+        replaces any queued one.
+        """
+        if self.elastic is None:
+            raise ClusterError(
+                "elastic resharding is not enabled "
+                "(set ClusterConfig.elastic)"
+            )
+        action = ScaleAction(
+            kind="split", shard_id=shard_id, split_key=split_key,
+            reason=reason,
+        )
+        self._pending_action = action
+        return action
+
+    def request_merge(
+        self, shard_id: int, *, reason: str = "manual"
+    ) -> ScaleAction:
+        """Queue a merge of ``shard_id`` with its next neighbour."""
+        if self.elastic is None:
+            raise ClusterError(
+                "elastic resharding is not enabled "
+                "(set ClusterConfig.elastic)"
+            )
+        action = ScaleAction(kind="merge", shard_id=shard_id, reason=reason)
+        self._pending_action = action
+        return action
+
+    @property
+    def pending_action(self) -> ScaleAction | None:
+        """Return the queued topology change, if any."""
+        return self._pending_action
+
+    def _under_replicated(self) -> bool:
+        """Return whether any healable shard is below target replication."""
+        selfheal = self.config.selfheal
+        if self._monitor is None or selfheal is None or not selfheal.rebuild:
+            return False
+        target = selfheal.target_replication or self.config.replication
+        return any(
+            shard.primary is not None
+            and len(shard.alive_replicas()) < target
+            for shard in self.shards
+        )
+
+    def _run_elastic(
+        self, day: int
+    ) -> tuple[list[ReshardReport], int, str | None]:
+        """Execute the queued topology change, if it may run today.
+
+        Runs *before* the day's plans are drawn, so a committed change
+        hands the day loop an already-caught-up topology.  An
+        under-replicated shard defers the change (healing outranks
+        rebalancing — the deterministic spare-contention rule); an abort
+        keeps the action queued for a retry tomorrow.
+        """
+        reports: list[ReshardReport] = []
+        aborted = 0
+        deferred: str | None = None
+        if (
+            self.elastic is None
+            or self._pending_action is None
+            or day <= self.window
+        ):
+            return reports, aborted, deferred
+        if self._under_replicated():
+            self.obs.counter("cluster.elastic.deferred").inc()
+            return reports, aborted, "under-replicated"
+        action = self._pending_action
+        try:
+            report = self.elastic.execute(action, day=day)
+        except ReshardAborted as exc:
+            return reports, 1, exc.reason
+        self._pending_action = None
+        self._last_action_day = day
+        reports.append(report)
+        return reports, aborted, deferred
+
+    def _on_topology_changed(self, mapping: dict[int, int]) -> None:
+        """Re-align per-shard bookkeeping after a committed swap.
+
+        ``mapping`` is old shard id → new shard id for the survivors;
+        parents absent from it retire (their day series moves to
+        :attr:`ClusterResult.retired_shard_results`) and brand-new child
+        shards start fresh series.
+        """
+        old = self.result.shard_results
+        inverse = {new_id: old_id for old_id, new_id in mapping.items()}
+        self.result.shard_results = [
+            old[inverse[new_id]]
+            if new_id in inverse
+            else SimulationResult(
+                window=self.scheme.window,
+                n_indexes=self.scheme.n_indexes,
+                scheme_name=self.scheme.name,
+                technique=self.technique.value,
+            )
+            for new_id in range(len(self.shards))
+        ]
+        self.result.retired_shard_results.extend(
+            old[old_id] for old_id in range(len(old)) if old_id not in mapping
+        )
+        self.result.n_shards = len(self.shards)
+        self.result.partitioner = self.partitioner.describe()
+        self.scheme = self.shards[0].scheme
+
+    # ------------------------------------------------------------------
     # Self-healing (re-replication)
     # ------------------------------------------------------------------
 
@@ -498,7 +741,14 @@ class ClusterSimulation:
             donor = shard.primary
             if donor is None or len(shard.alive_replicas()) >= target:
                 continue
-            spare = self._make_spare()
+            acquired = self.spares.acquire(1)
+            if acquired is None:
+                # Spare budget spent (e.g. by a same-day topology change
+                # that outran a kill landing later in the day): the
+                # shard stays under-replicated and retries tomorrow.
+                self.obs.counter("cluster.heal.rebuilds_deferred").inc()
+                continue
+            spare = acquired[0]
             device_index = self.array.add_device(spare)
             try:
                 replica, report = rebuild_replica(
@@ -802,6 +1052,12 @@ class ClusterSimulation:
             monitor.now = self._clock_base
         retries_before = self.obs.counter("cluster.heal.retries").value
         opens_before = self.obs.counter("cluster.heal.breaker_opens").value
+        self.spares.new_day()
+        # Topology changes run first: snapshots, plans, and serving all
+        # see the post-swap shard list (children arrive caught up).
+        reshard_reports, reshards_aborted, reshard_deferred = (
+            self._run_elastic(day)
+        )
         snapshots = []
         for shard in self.shards:
             replica = shard.primary or shard.replicas[0]
@@ -814,7 +1070,14 @@ class ClusterSimulation:
                 )
             )
 
-        plans = [list(plan_for(shard.scheme)) for shard in self.shards]
+        plans = []
+        for shard in self.shards:
+            preplanned = self._preplanned.pop(id(shard.scheme), None)
+            plans.append(
+                preplanned
+                if preplanned is not None
+                else list(plan_for(shard.scheme))
+            )
         delays, rebuild_reports, rebuilds_failed = self._run_healing(
             day, plans
         )
@@ -828,6 +1091,7 @@ class ClusterSimulation:
         day_during = Histogram("cluster.latency.during")
         day_steady = Histogram("cluster.latency.steady")
         query_seconds = [0.0] * len(self.shards)
+        shard_requests = [0] * len(self.shards)
         queries = waited = degraded_count = 0
         last_completion = 0.0
         missing_all: set[int] = set()
@@ -863,6 +1127,7 @@ class ClusterSimulation:
                             avail_post,
                         )
                         query_seconds[shard_id] += outcome.seconds
+                        shard_requests[shard_id] += subunit.requests
                         ends.append(end)
                         services.append(service)
                         unit_missing |= outcome.missing_days
@@ -917,6 +1182,19 @@ class ClusterSimulation:
                 )
             )
 
+        decision: AutoscalerDecision | None = None
+        if self._autoscaler is not None:
+            decision = self._autoscaler.propose(
+                day=day,
+                busy_seconds=list(query_seconds),
+                requests=list(shard_requests),
+                under_replicated=self._under_replicated(),
+                last_action_day=self._last_action_day,
+            )
+            if decision.queued is not None and self._pending_action is None:
+                self._pending_action = decision.queued
+                self.obs.counter("cluster.elastic.proposed").inc()
+
         makespan = max(cluster_end, last_completion)
         stats = ClusterDayStats(
             day=day,
@@ -955,6 +1233,17 @@ class ClusterSimulation:
                 self.obs.counter("cluster.heal.breaker_opens").value
                 - opens_before
             ),
+            reshards=len(reshard_reports),
+            reshards_aborted=reshards_aborted,
+            reshard_deferred=reshard_deferred,
+            reshard_kinds=tuple(r.kind for r in reshard_reports),
+            reshard_seconds=sum(
+                r.makespan_seconds for r in reshard_reports
+            ),
+            topology_version=self.coordinator.topology_version,
+            n_shards=len(self.shards),
+            autoscaler=decision.describe() if decision is not None else None,
+            query_seconds=tuple(query_seconds),
         )
         self.result.days.append(stats)
         self._clock_base += makespan

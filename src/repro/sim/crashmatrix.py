@@ -268,6 +268,113 @@ def _scheme_factory(
     return lambda: scheme_cls(window, n)
 
 
+def _rebalance_cells(
+    *,
+    window: int,
+    n_indexes: int,
+    technique: UpdateTechnique,
+    store: RecordStore,
+    probes: list[Any],
+) -> SchemeMatrixResult:
+    """Crash cells for the cross-device move path (``copy_index_to``).
+
+    The scheme matrix only enumerates scheme-transition op boundaries;
+    rebalances (and the elastic engine's split/merge copies built on the
+    same primitive) have their own boundaries: each constituent's
+    stream-read off the source and packed write onto the target.  One
+    :class:`~repro.storage.faults.FaultInjector` is shared by the source
+    *and* target devices so ``after_ios`` counts the move's global I/O
+    sequence; a fault-free dry run counts the I/Os, then one cell per
+    I/O point crashes there and asserts the move's contract: the source
+    replica still serves its pre-move snapshot bit-identically, the
+    target carries zero orphan bytes, and an immediate retry completes
+    and serves identically.
+    """
+    from ..cluster.rebalance import move_replica
+    from ..cluster.shard import ShardReplica
+    from ..core.executor import PlanExecutor
+
+    factory = _scheme_factory("WATA*", window, n_indexes)
+    period = factory().maintenance_period
+    last_day = window + period
+    result = SchemeMatrixResult(scheme="REBALANCE")
+
+    def build():
+        injector = FaultInjector()
+        source = FaultyDisk(injector=injector)
+        target = FaultyDisk(injector=injector)
+        wave = WaveIndex(source, IndexConfig(), n_indexes)
+        executor = JournaledExecutor(wave, store, technique)
+        scheme = factory()
+        executor.execute(scheme.start_ops())
+        for day in range(window + 1, last_day + 1):
+            executor.execute(scheme.transition_ops(day))
+        replica = ShardReplica(
+            shard_id=0,
+            replica_id=0,
+            device_index=0,
+            device=source,
+            wave=wave,
+            executor=PlanExecutor(wave, store, technique),
+        )
+        return injector, target, wave, scheme, replica
+
+    # Fault-free dry run: count the move's I/Os — those are the cells.
+    injector, target, wave, scheme, replica = build()
+    pre = _snapshot(wave, last_day, window, probes)
+    before = injector.stats.ios
+    move_replica(replica, target, 1)
+    move_ios = injector.stats.ios - before
+    if _snapshot(wave, last_day, window, probes) != pre:
+        result.cells.append(
+            CrashCell(
+                "REBALANCE", last_day, CrashPoint(after_ops=0), False,
+                False, "fault-free move changed query results",
+            )
+        )
+        return result
+
+    for m in range(move_ios):
+        crash = CrashPoint(after_ios=m)
+        injector, target, wave, scheme, replica = build()
+        pre = _snapshot(wave, last_day, window, probes)
+        injector.arm_crash(crash)
+        crashed = False
+        ok, detail = True, ""
+        try:
+            move_replica(replica, target, 1)
+        except SimulatedCrash:
+            crashed = True
+        injector.disarm()
+        try:
+            check_wave_invariants(wave, scheme)
+            if _snapshot(wave, last_day, window, probes) != pre:
+                ok, detail = False, (
+                    "post-crash query results diverge from the pre-move "
+                    "snapshot"
+                )
+            elif crashed and target.live_bytes != 0:
+                ok, detail = False, (
+                    f"{target.live_bytes} orphan bytes left on the move "
+                    f"target"
+                )
+            elif crashed:
+                # The retry: a fresh move of the intact source must now
+                # complete and serve bit-identically.
+                move_replica(replica, target, 1)
+                if _snapshot(wave, last_day, window, probes) != pre:
+                    ok, detail = False, (
+                        "post-retry query results diverge from the "
+                        "pre-move snapshot"
+                    )
+        except InvariantViolation as exc:
+            ok, detail = False, str(exc)
+        result.cells.append(
+            CrashCell("REBALANCE", last_day, crash, crashed, ok, detail)
+        )
+    return result
+
+
 def run_crash_matrix(
     scheme_names: tuple[str, ...] | list[str] | None = None,
     *,
@@ -277,6 +384,7 @@ def run_crash_matrix(
     seed: int = 0,
     technique: UpdateTechnique = UpdateTechnique.SIMPLE_SHADOW,
     io_crash_samples: int = 0,
+    include_rebalance: bool = True,
 ) -> CrashMatrixResult:
     """Run the crash matrix.
 
@@ -295,6 +403,9 @@ def run_crash_matrix(
         technique: Update technique for constituents.
         io_crash_samples: Mid-op crash points sampled per transition (0
             disables; these exercise the in-flight repair path).
+        include_rebalance: Also run the ``REBALANCE`` pseudo-scheme —
+            one crash cell per I/O boundary of a cross-device replica
+            move (the primitive shard splits/merges copy with).
 
     Returns:
         A :class:`CrashMatrixResult`; ``result.ok`` is the verdict.
@@ -335,4 +446,14 @@ def run_crash_matrix(
                     )
                 )
         result.schemes.append(scheme_result)
+    if include_rebalance:
+        result.schemes.append(
+            _rebalance_cells(
+                window=window,
+                n_indexes=n_indexes,
+                technique=technique,
+                store=store,
+                probes=probes,
+            )
+        )
     return result

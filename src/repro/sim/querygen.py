@@ -200,6 +200,74 @@ class QueryWorkload:
         )
 
 
+@dataclass(frozen=True)
+class SpikedWorkload:
+    """A base workload with a sudden localized hot spot layered on top.
+
+    From ``spike_day`` on (inclusive, until ``spike_until`` if set), each
+    day's stream gains ``(spike_factor - 1) x probes_per_day`` extra
+    probes drawn from ``hot_picker`` — a 4x spike on one partition range
+    is ``spike_factor=4`` with a picker confined to that range.  The
+    base stream is untouched and the extra probes are appended after it,
+    so pre-spike days are bit-identical to the base workload and the
+    elastic benchmark's control run shares the exact same stream.
+
+    Duck-types the :meth:`QueryWorkload.day_requests` surface the
+    cluster simulation consumes.
+    """
+
+    base: QueryWorkload
+    spike_day: int
+    hot_picker: Callable[[random.Random], Any]
+    spike_factor: float = 4.0
+    spike_until: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.spike_factor < 1.0:
+            raise WorkloadError(
+                f"spike_factor must be >= 1, got {self.spike_factor}"
+            )
+        if self.spike_until is not None and self.spike_until < self.spike_day:
+            raise WorkloadError(
+                f"spike_until ({self.spike_until}) precedes "
+                f"spike_day ({self.spike_day})"
+            )
+
+    @property
+    def seed(self) -> int:
+        """Return the base workload's master seed."""
+        return self.base.seed
+
+    def extra_probes(self, day: int) -> int:
+        """Return how many hot-spot probes the spike adds on ``day``."""
+        if day < self.spike_day:
+            return 0
+        if self.spike_until is not None and day > self.spike_until:
+            return 0
+        return round((self.spike_factor - 1.0) * self.base.probes_per_day)
+
+    def day_requests(self, day: int, window: int) -> list[QueryUnit]:
+        """Return the base stream plus the day's hot-spot probes."""
+        units = self.base.day_requests(day, window)
+        extra = self.extra_probes(day)
+        if extra == 0:
+            return units
+        rng = random.Random(crc32(f"{self.base.seed}:spike:{day}".encode()))
+        lo, hi = day - window + 1, day
+        batch = self.base.batch_size
+        values = [self.hot_picker(rng) for _ in range(extra)]
+        if batch == 1:
+            units.extend(
+                ProbeUnit((value,), lo, hi, batched=False)
+                for value in values
+            )
+            return units
+        for start in range(0, len(values), batch):
+            chunk = tuple(values[start : start + batch])
+            units.append(ProbeUnit(chunk, lo, hi, batched=True))
+        return units
+
+
 def zipf_value_picker(vocabulary: int, s: float = 1.0) -> Callable[[random.Random], str]:
     """Return a picker drawing word values the way the text workload does.
 

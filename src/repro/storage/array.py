@@ -133,6 +133,7 @@ class DiskArray:
         if not devices:
             raise ValueError("need at least one device")
         self.devices: list[SimulatedDisk] = list(devices)
+        self.drained: set[int] = set()
         self.placement = placement or Placement(len(self.devices))
         if self.placement.n_devices != len(self.devices):
             raise ValueError(
@@ -194,6 +195,30 @@ class DiskArray:
         self.devices.append(device)
         self.placement.n_devices = len(self.devices)
         return len(self.devices) - 1
+
+    def drain_device(self, index: int) -> None:
+        """Mark device ``index`` drained — retired from active service.
+
+        Devices are never removed from the array (indexes are stable ids
+        that replicas and metrics reference), so retiring one is a flag:
+        the caller is responsible for having moved or dropped its data
+        first (the elastic engine drops the old shard's indexes before
+        draining its devices).  Drained devices keep their clocks and
+        counters for the run's aggregate accounting.
+        """
+        if not 0 <= index < len(self.devices):
+            raise ValueError(
+                f"device index {index} outside [0, {len(self.devices)})"
+            )
+        self.drained.add(index)
+
+    def is_drained(self, index: int) -> bool:
+        """Return whether device ``index`` has been drained."""
+        return index in self.drained
+
+    def active_indexes(self) -> list[int]:
+        """Return the indexes of devices still in active service."""
+        return [i for i in range(len(self.devices)) if i not in self.drained]
 
     def disk_for(self, name: str) -> SimulatedDisk:
         """Return the device hosting binding ``name``."""

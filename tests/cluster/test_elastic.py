@@ -1,0 +1,393 @@
+"""Elastic resharding: engine, autoscaler, and crash semantics.
+
+The split/merge pipeline's contract — atomic swap, clean abort with the
+old topology intact, roll-forward after the commit point — is pinned
+here at unit scale; the exhaustive per-step fault matrix lives in
+:mod:`repro.bench.topology_chaos`.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster import (
+    Autoscaler,
+    ClusterConfig,
+    ClusterSimulation,
+    ElasticConfig,
+    ReshardAborted,
+    ScaleAction,
+)
+from repro.core.records import Record, RecordStore
+from repro.core.schemes import scheme_by_name
+from repro.errors import ClusterError, SimulatedCrash
+from repro.sim.querygen import QueryWorkload, uniform_key_picker
+from repro.storage.faults import FaultInjector, FaultyDisk
+
+WINDOW = 4
+N_INDEXES = 2
+DOMAIN = 600
+SPLITS = (200, 400)
+
+
+def int_store(last_day: int, *, per_day: int = 10, seed: int = 3) -> RecordStore:
+    rng = random.Random(seed)
+    store = RecordStore()
+    rid = 0
+    for day in range(1, last_day + 1):
+        records = [
+            Record(rid := rid + 1, day, (rng.randint(1, DOMAIN),), nbytes=60)
+            for _ in range(per_day)
+        ]
+        store.add_records(day, records)
+    return store
+
+
+def make_sim(
+    store: RecordStore,
+    *,
+    elastic: ElasticConfig | None = None,
+    faulty: bool = False,
+    replication: int = 1,
+    selfheal=None,
+) -> ClusterSimulation:
+    scheme_cls = scheme_by_name("REINDEX")
+    serial = [0]
+
+    def device(_: int) -> FaultyDisk:
+        serial[0] += 1
+        return FaultyDisk(injector=FaultInjector(900 + serial[0]))
+
+    return ClusterSimulation(
+        lambda: scheme_cls(WINDOW, N_INDEXES),
+        store,
+        queries=QueryWorkload(
+            probes_per_day=8,
+            value_picker=uniform_key_picker(DOMAIN),
+            seed=21,
+        ),
+        cluster=ClusterConfig(
+            n_shards=3,
+            replication=replication,
+            partitioner="range",
+            range_splits=SPLITS,
+            elastic=elastic,
+            selfheal=selfheal,
+        ),
+        device_factory=device if faulty else None,
+    )
+
+
+def run_to(sim: ClusterSimulation, day: int) -> None:
+    sim.run_start()
+    for d in range(WINDOW + 1, day + 1):
+        sim.run_transition(d)
+
+
+class TestRequestAPI:
+    def test_requests_require_elastic(self):
+        sim = make_sim(int_store(WINDOW))
+        with pytest.raises(ClusterError):
+            sim.request_split(1)
+        with pytest.raises(ClusterError):
+            sim.request_merge(1)
+
+    def test_pending_action_is_visible(self):
+        sim = make_sim(
+            int_store(WINDOW), elastic=ElasticConfig(autoscale=False)
+        )
+        assert sim.pending_action is None
+        sim.request_split(1, reason="manual")
+        assert sim.pending_action.kind == "split"
+        assert sim.pending_action.shard_id == 1
+
+
+class TestSplitUnderTraffic:
+    def test_split_applies_and_serves_complete_answers(self):
+        store = int_store(WINDOW + 3)
+        sim = make_sim(store, elastic=ElasticConfig(autoscale=False))
+        run_to(sim, WINDOW + 1)
+        sim.request_split(1)
+        sim.run_transition(WINDOW + 2)
+        stats = sim.result.days[-1]
+        assert stats.reshards == 1
+        assert stats.reshard_kinds == ("split",)
+        assert stats.n_shards == 4
+        assert stats.topology_version == 1
+        assert stats.queries_degraded == 0
+        assert not stats.shards_unavailable
+        # The routing table and the shard list agree after the swap.
+        assert sim.partitioner.n_shards == 4
+        assert [s.shard_id for s in sim.shards] == [0, 1, 2, 3]
+        sim.run_transition(WINDOW + 3)
+        assert sim.result.days[-1].queries_degraded == 0
+        counters = sim.obs.counters()
+        assert counters["cluster.elastic.splits"] == 1
+        assert counters["cluster.topology.swaps"] == 1
+        assert counters["cluster.elastic.bytes_copied"] > 0
+
+    def test_split_children_own_disjoint_key_ranges(self):
+        store = int_store(WINDOW + 2)
+        sim = make_sim(store, elastic=ElasticConfig(autoscale=False))
+        run_to(sim, WINDOW + 1)
+        sim.request_split(1)
+        sim.run_transition(WINDOW + 2)
+        part = sim.partitioner
+        journal = sim.elastic.journals[-1]
+        assert journal.phase == "done"
+        # The journal records the chosen key (stringified for the JSON
+        # mirror); it separates the two children exactly.
+        key = int(journal.split_key)
+        assert part.shard_for(key - 1) == 1
+        assert part.shard_for(key) == 2
+
+    def test_retired_parent_series_preserved(self):
+        store = int_store(WINDOW + 2)
+        sim = make_sim(store, elastic=ElasticConfig(autoscale=False))
+        run_to(sim, WINDOW + 1)
+        n_days_before = len(sim.result.shard_results[1].days)
+        sim.request_split(1)
+        sim.run_transition(WINDOW + 2)
+        assert len(sim.result.retired_shard_results) == 1
+        assert len(sim.result.retired_shard_results[0].days) == n_days_before
+
+
+class TestMergeUnderTraffic:
+    def test_merge_applies_cleanly(self):
+        store = int_store(WINDOW + 2)
+        sim = make_sim(store, elastic=ElasticConfig(autoscale=False))
+        run_to(sim, WINDOW + 1)
+        sim.request_merge(1)
+        sim.run_transition(WINDOW + 2)
+        stats = sim.result.days[-1]
+        assert stats.reshards == 1
+        assert stats.reshard_kinds == ("merge",)
+        assert stats.n_shards == 2
+        assert stats.queries_degraded == 0
+        assert sim.partitioner.n_shards == 2
+        assert sim.obs.counters()["cluster.elastic.merges"] == 1
+
+
+class TestCrashSemantics:
+    def _crash_at(self, match, last_day: int):
+        store = int_store(last_day)
+        sim = make_sim(
+            store, elastic=ElasticConfig(autoscale=False), faulty=True
+        )
+        run_to(sim, WINDOW + 1)
+        sim.request_split(1)
+
+        def hook(step):
+            if match(step):
+                raise SimulatedCrash(f"test crash at {step.name}")
+
+        sim.elastic.on_step = hook
+        sim.run_transition(WINDOW + 2)
+        sim.elastic.on_step = None
+        return sim
+
+    def test_crash_before_swap_aborts_with_old_topology_serving(self):
+        # The first copy step is strictly before the commit point.
+        sim = self._crash_at(
+            lambda s: s.name.startswith("copy:"), WINDOW + 3
+        )
+        stats = sim.result.days[-1]
+        assert stats.reshards == 0
+        assert stats.reshards_aborted == 1
+        assert stats.n_shards == 3
+        assert stats.topology_version == 0
+        assert stats.queries_degraded == 0
+        assert not stats.shards_unavailable
+        journal = sim.elastic.journals[-1]
+        assert journal.phase == "aborted"
+        # No orphan extents leak onto the provisioned target devices.
+        for index in journal.target_devices:
+            assert sim.array.devices[index].live_bytes == 0
+        # The action stays queued and lands on the retry.
+        assert sim.pending_action is not None
+        sim.run_transition(WINDOW + 3)
+        assert sim.result.days[-1].reshards == 1
+        assert sim.result.days[-1].n_shards == 4
+        assert sim.pending_action is None
+
+    def test_crash_at_cleanup_rolls_forward_same_day(self):
+        # The cleanup step runs after the SWAPPED commit point: the new
+        # topology is already routing, so the crash must not undo it.
+        sim = self._crash_at(lambda s: s.name == "cleanup", WINDOW + 2)
+        stats = sim.result.days[-1]
+        assert stats.reshards == 1
+        assert stats.n_shards == 4
+        assert stats.queries_degraded == 0
+        journal = sim.elastic.journals[-1]
+        assert journal.phase == "done"
+        counters = sim.obs.counters()
+        assert counters["cluster.elastic.crash_recoveries"] == 1
+
+
+class TestAbortReasons:
+    def test_no_spare_budget_aborts_and_retries(self):
+        store = int_store(WINDOW + 2)
+        sim = make_sim(
+            store,
+            elastic=ElasticConfig(
+                autoscale=False, spare_budget_per_day=0
+            ),
+        )
+        run_to(sim, WINDOW + 1)
+        sim.request_split(1)
+        sim.run_transition(WINDOW + 2)
+        stats = sim.result.days[-1]
+        assert stats.reshards_aborted == 1
+        assert stats.n_shards == 3
+        assert sim.pending_action is not None
+        assert sim.elastic.journals[-1].phase == "aborted"
+        assert sim.obs.counters()["cluster.elastic.no_spare"] == 1
+
+    def test_dark_source_aborts(self):
+        store = int_store(WINDOW + 1)
+        sim = make_sim(store, elastic=ElasticConfig(autoscale=False))
+        run_to(sim, WINDOW + 1)
+        for replica in sim.shards[1].replicas:
+            replica.failed = True
+        with pytest.raises(ReshardAborted) as excinfo:
+            sim.elastic.execute(
+                ScaleAction(kind="split", shard_id=1), day=WINDOW + 2
+            )
+        assert excinfo.value.reason == "dark-source"
+
+    def test_abort_reason_surfaces_in_day_stats(self):
+        # The day-stats `reshard_deferred` field carries the abort
+        # reason, so operators can see *why* a queued change is waiting.
+        store = int_store(WINDOW + 2)
+        sim = make_sim(
+            store,
+            elastic=ElasticConfig(
+                autoscale=False, spare_budget_per_day=0
+            ),
+        )
+        run_to(sim, WINDOW + 1)
+        sim.request_split(1)
+        sim.run_transition(WINDOW + 2)
+        assert sim.result.days[-1].reshard_deferred == "no-spare"
+
+
+class TestAutoscalerPolicy:
+    def test_proposes_split_of_hot_shard(self):
+        scaler = Autoscaler(ElasticConfig(split_load_factor=2.0))
+        decision = scaler.propose(
+            day=9,
+            busy_seconds=[1.0, 10.0, 1.0],
+            requests=[5, 50, 5],
+            under_replicated=False,
+            last_action_day=None,
+        )
+        assert decision.queued is not None
+        assert decision.queued.kind == "split"
+        assert decision.queued.shard_id == 1
+
+    def test_under_replication_defers_everything(self):
+        scaler = Autoscaler(ElasticConfig())
+        decision = scaler.propose(
+            day=9,
+            busy_seconds=[1.0, 10.0, 1.0],
+            requests=[5, 50, 5],
+            under_replicated=True,
+            last_action_day=None,
+        )
+        assert decision.queued is None
+        assert decision.deferred_reason == "under-replicated"
+
+    def test_cooldown_observes_only(self):
+        scaler = Autoscaler(ElasticConfig(cooldown_days=2))
+        decision = scaler.propose(
+            day=9,
+            busy_seconds=[1.0, 10.0, 1.0],
+            requests=[5, 50, 5],
+            under_replicated=False,
+            last_action_day=8,
+        )
+        assert decision.queued is None
+        assert decision.deferred_reason == "cooldown"
+
+    def test_max_shards_caps_splits(self):
+        scaler = Autoscaler(ElasticConfig(max_shards=3))
+        decision = scaler.propose(
+            day=9,
+            busy_seconds=[1.0, 10.0, 1.0],
+            requests=[5, 50, 5],
+            under_replicated=False,
+            last_action_day=None,
+        )
+        assert decision.queued is None
+
+    def test_proposes_merge_of_coldest_pair(self):
+        scaler = Autoscaler(
+            ElasticConfig(merge_load_factor=0.4, min_shards=2)
+        )
+        decision = scaler.propose(
+            day=9,
+            busy_seconds=[0.05, 0.05, 5.0, 5.0],
+            requests=[1, 1, 40, 40],
+            under_replicated=False,
+            last_action_day=None,
+        )
+        assert decision.queued is not None
+        assert decision.queued.kind == "merge"
+        assert decision.queued.shard_id == 0
+
+    def test_min_shards_blocks_merges(self):
+        # The (0, 1) pair is cold enough to merge, but k == min_shards;
+        # max_shards == k keeps the hot shard from proposing a split so
+        # the merge guard is the one being exercised.
+        scaler = Autoscaler(
+            ElasticConfig(
+                merge_load_factor=0.9, min_shards=3, max_shards=3
+            )
+        )
+        decision = scaler.propose(
+            day=9,
+            busy_seconds=[0.05, 0.05, 1.0],
+            requests=[1, 1, 10],
+            under_replicated=False,
+            last_action_day=None,
+        )
+        assert decision.queued is None
+        scaler_loose = Autoscaler(
+            ElasticConfig(
+                merge_load_factor=0.9, min_shards=2, max_shards=3
+            )
+        )
+        relaxed = scaler_loose.propose(
+            day=9,
+            busy_seconds=[0.05, 0.05, 1.0],
+            requests=[1, 1, 10],
+            under_replicated=False,
+            last_action_day=None,
+        )
+        assert relaxed.queued is not None
+        assert relaxed.queued.kind == "merge"
+
+    def test_split_tiebreak_is_deterministic(self):
+        scaler = Autoscaler(ElasticConfig(split_load_factor=1.5))
+        decision = scaler.propose(
+            day=9,
+            busy_seconds=[8.0, 8.0, 0.1, 0.1],
+            requests=[10, 10, 1, 1],
+            under_replicated=False,
+            last_action_day=None,
+        )
+        # Equal busy-seconds: the lower shard id wins, every run.
+        assert decision.queued.shard_id == 0
+
+
+class TestElasticOffByDefault:
+    def test_day_stats_stay_inert_without_elastic(self):
+        store = int_store(WINDOW + 2)
+        sim = make_sim(store)
+        run_to(sim, WINDOW + 2)
+        stats = sim.result.days[-1]
+        assert stats.reshards == 0
+        assert stats.reshards_aborted == 0
+        assert stats.reshard_deferred is None
+        assert stats.autoscaler is None
+        assert sim.elastic is None

@@ -15,8 +15,10 @@ from repro.cluster import (
     HashPartitioner,
     Partitioner,
     RangePartitioner,
+    SlotHashPartitioner,
     make_partitioner,
     partition_store,
+    reshard_id_mapping,
 )
 from repro.errors import ClusterError
 from tests.conftest import make_store
@@ -120,6 +122,179 @@ class TestRangePartitioner:
         assert shuffled != ordered
         with pytest.raises(ClusterError):
             RangePartitioner(shuffled)
+
+
+class TestRangeSplitMerge:
+    def test_split_inserts_a_boundary(self):
+        p = RangePartitioner([10, 20]).split(1, key=15)
+        assert p.n_shards == 4
+        assert p.shard_for(14) == 1
+        assert p.shard_for(15) == 2
+        assert p.shard_for(20) == 3
+
+    def test_split_rejects_key_on_lower_boundary(self):
+        # key == lo would leave the left child with an empty range.
+        with pytest.raises(ClusterError):
+            RangePartitioner([10, 20]).split(1, key=10)
+
+    def test_split_rejects_key_at_or_past_upper_boundary(self):
+        with pytest.raises(ClusterError):
+            RangePartitioner([10, 20]).split(1, key=20)
+        with pytest.raises(ClusterError):
+            RangePartitioner([10, 20]).split(1, key=25)
+
+    def test_single_value_integer_range_cannot_split(self):
+        # [7, 8) holds exactly one integer: no interior split point.
+        p = RangePartitioner([7, 8])
+        for key in (7, 8):
+            with pytest.raises(ClusterError):
+                p.split(1, key=key)
+
+    def test_split_requires_a_key(self):
+        with pytest.raises(ClusterError):
+            RangePartitioner([10]).split(0)
+
+    def test_split_rejects_bad_shard_id(self):
+        with pytest.raises(ClusterError):
+            RangePartitioner([10]).split(2, key=20)
+
+    def test_merge_removes_the_boundary(self):
+        p = RangePartitioner([10, 20]).merge_with_next(0)
+        assert p.n_shards == 2
+        assert p.shard_for(5) == 0
+        assert p.shard_for(15) == 0
+        assert p.shard_for(20) == 1
+
+    def test_merge_below_two_shards_rejected(self):
+        p = RangePartitioner([10])
+        assert p.n_shards == 2
+        with pytest.raises(ClusterError):
+            p.merge_with_next(0)
+
+    def test_merge_needs_a_next_neighbour(self):
+        with pytest.raises(ClusterError):
+            RangePartitioner([10, 20]).merge_with_next(2)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        splits=st.lists(
+            st.integers(min_value=-1000, max_value=1000),
+            min_size=1,
+            max_size=6,
+            unique=True,
+        ),
+        shard_id=st.integers(min_value=0, max_value=6),
+        offset=st.integers(min_value=-1500, max_value=1500),
+        values=st.lists(
+            st.integers(min_value=-1100, max_value=1100),
+            min_size=4,
+            max_size=40,
+        ),
+    )
+    def test_split_then_inverse_merge_is_identity(
+        self, splits, shard_id, offset, values
+    ):
+        # For any legal split, merging the two children back routes every
+        # value exactly as before, and routing stays monotone throughout.
+        p = RangePartitioner(sorted(splits))
+        shard_id %= p.n_shards
+        key = offset
+        try:
+            split = p.split(shard_id, key=key)
+        except ClusterError:
+            return  # key outside the shard's open interval: rejected
+        assert split.n_shards == p.n_shards + 1
+        shards = [split.shard_for(v) for v in sorted(values)]
+        assert all(a <= b for a, b in zip(shards, shards[1:]))
+        merged = split.merge_with_next(shard_id)
+        for v in values:
+            assert merged.shard_for(v) == p.shard_for(v)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        splits=st.lists(
+            st.integers(min_value=-1000, max_value=1000),
+            min_size=2,
+            max_size=6,
+            unique=True,
+        ),
+        shard_id=st.integers(min_value=0, max_value=5),
+        values=st.lists(
+            st.integers(min_value=-1100, max_value=1100),
+            min_size=4,
+            max_size=40,
+        ),
+    )
+    def test_merge_routes_monotone_and_fuses_neighbours(
+        self, splits, shard_id, values
+    ):
+        p = RangePartitioner(sorted(splits))
+        shard_id %= p.n_shards - 1
+        merged = p.merge_with_next(shard_id)
+        assert merged.n_shards == p.n_shards - 1
+        shards = [merged.shard_for(v) for v in sorted(values)]
+        assert all(a <= b for a, b in zip(shards, shards[1:]))
+        for v in values:
+            old = p.shard_for(v)
+            want = old if old <= shard_id else old - 1
+            assert merged.shard_for(v) == want
+
+
+class TestSlotHashPartitioner:
+    def test_balanced_covers_all_shards(self):
+        p = SlotHashPartitioner.balanced(3, n_slots=8)
+        assert p.n_shards == 3
+        owned = [p.owned_slots(s) for s in range(3)]
+        assert sorted(slot for slots in owned for slot in slots) == list(
+            range(8)
+        )
+
+    def test_split_moves_only_own_slots(self):
+        p = SlotHashPartitioner.balanced(3, n_slots=12)
+        before = {v: p.shard_for(v) for v in range(500)}
+        split = p.split(1)
+        assert split.n_shards == 4
+        for v, old in before.items():
+            new = split.shard_for(v)
+            if old == 1:
+                assert new in (1, 2)
+            elif old > 1:
+                assert new == old + 1  # shifted, not rerouted
+            else:
+                assert new == old
+
+    def test_split_single_slot_shard_rejected(self):
+        p = SlotHashPartitioner((0, 1))
+        with pytest.raises(ClusterError):
+            p.split(0)
+
+    def test_merge_is_split_inverse(self):
+        p = SlotHashPartitioner.balanced(4, n_slots=16)
+        round_trip = p.split(2).merge_with_next(2)
+        for v in range(500):
+            assert round_trip.shard_for(v) == p.shard_for(v)
+
+    def test_merge_needs_neighbour(self):
+        p = SlotHashPartitioner.balanced(2, n_slots=4)
+        with pytest.raises(ClusterError):
+            p.merge_with_next(1)
+
+    def test_make_partitioner_kind(self):
+        p = make_partitioner("slot-hash", 4)
+        assert isinstance(p, SlotHashPartitioner)
+        assert p.describe()["kind"] == "slot-hash"
+
+
+class TestReshardIdMapping:
+    def test_split_shifts_up_above(self):
+        assert reshard_id_mapping("split", 1, 4) == {0: 0, 2: 3, 3: 4}
+
+    def test_merge_shifts_down_above(self):
+        assert reshard_id_mapping("merge", 1, 4) == {0: 0, 3: 2}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ClusterError):
+            reshard_id_mapping("rotate", 0, 3)
 
 
 class TestMakePartitioner:

@@ -38,11 +38,17 @@ class TestMatrixMechanics:
             ("DEL",), window=WINDOW, n_indexes=N, cycles=1, seed=3
         )
         assert with_io.ok
+        # The REBALANCE pseudo-scheme's cells are all mid-I/O by design;
+        # the sampling claim is about the scheme matrix, so scope to it.
+        scheme_cells = [c for c in with_io.cells if c.scheme == "DEL"]
+        baseline_cells = [
+            c for c in boundary_only.cells if c.scheme == "DEL"
+        ]
         mid_op = [
-            c for c in with_io.cells if c.crash.after_ios is not None
+            c for c in scheme_cells if c.crash.after_ios is not None
         ]
         assert mid_op
-        assert len(with_io.cells) == len(boundary_only.cells) + len(mid_op)
+        assert len(scheme_cells) == len(baseline_cells) + len(mid_op)
 
     def test_temporary_scheme_passes(self):
         result = run_crash_matrix(
@@ -80,3 +86,29 @@ class TestCellReporting:
         assert "FAIL: diverged" in bad.describe()
         unfired = CrashCell("DEL", 8, CrashPoint(after_ops=99), False, True)
         assert "did not fire" in unfired.describe()
+
+class TestRebalanceMatrix:
+    def test_rebalance_cells_pass_at_every_io_boundary(self):
+        result = run_crash_matrix(
+            ("DEL",), window=WINDOW, n_indexes=N, cycles=1, seed=3,
+            include_rebalance=True,
+        )
+        assert result.ok
+        rebalance = [
+            c for c in result.cells if c.scheme == "REBALANCE"
+        ]
+        assert rebalance
+        # Every cell crashes mid-move at a distinct I/O point and the
+        # move's contract holds (source serves, no orphans, retry ok).
+        assert all(c.crashed for c in rebalance)
+        assert all(c.ok for c in rebalance)
+        points = {c.crash.after_ios for c in rebalance}
+        assert len(points) == len(rebalance)
+
+    def test_rebalance_opt_out(self):
+        result = run_crash_matrix(
+            ("DEL",), window=WINDOW, n_indexes=N, cycles=1, seed=3,
+            include_rebalance=False,
+        )
+        assert result.ok
+        assert all(c.scheme != "REBALANCE" for c in result.cells)

@@ -101,3 +101,52 @@ class TestCompare:
         rows = compare(baseline, [serving_report(4.0)])
         table = render_diff_table(rows, DEFAULT_THRESHOLD)
         assert "gate ok" in table
+
+
+def elastic_report(makespan=1.2):
+    return {
+        "bench": "elastic",
+        "headline": {"throughput_recovery_makespan": makespan},
+    }
+
+
+class TestNewMetric:
+    def test_measured_metric_absent_from_baseline_is_new_not_failing(self):
+        # First run of a fresh benchmark against an older baseline: the
+        # gate reports the metric instead of ignoring it or crashing.
+        baseline = build_baseline([serving_report(4.0)])
+        rows = compare(baseline, [serving_report(4.0), elastic_report()])
+        fresh = next(
+            r for r in rows if r.metric == "throughput_recovery_makespan"
+        )
+        assert fresh.new
+        assert fresh.baseline is None
+        assert fresh.current == pytest.approx(1.2)
+        assert not fresh.regressed
+
+    def test_diff_table_marks_new_and_points_at_update(self):
+        baseline = build_baseline([serving_report(4.0)])
+        rows = compare(baseline, [serving_report(4.0), elastic_report()])
+        table = render_diff_table(rows, DEFAULT_THRESHOLD)
+        assert "NEW" in table
+        assert "--update" in table
+        assert "gate ok" in table  # a NEW row never fails the gate
+
+    def test_update_adopts_the_metric_into_the_gate(self):
+        baseline = build_baseline([serving_report(4.0)])
+        refreshed = build_baseline([elastic_report(1.2)], previous=baseline)
+        assert refreshed["metrics"]["throughput_recovery_makespan"] == 1.2
+        assert refreshed["metrics"]["serving_speedup_batch256"] == 4.0
+        rows = compare(
+            refreshed, [serving_report(4.0), elastic_report(1.2)]
+        )
+        assert not any(r.new for r in rows)
+        assert not any(r.regressed for r in rows)
+
+    def test_adopted_metric_regresses_like_any_other(self):
+        baseline = build_baseline([elastic_report(1.0)])
+        rows = compare(baseline, [elastic_report(1.5)])  # 50% worse
+        row = next(
+            r for r in rows if r.metric == "throughput_recovery_makespan"
+        )
+        assert row.regressed and not row.new

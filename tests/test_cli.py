@@ -384,3 +384,87 @@ class TestGlobalSeed:
             "-w", "5", "-n", "2", "--cycles", "1", "--seed", "3",
         ]) == 0
         assert "PASS" in capsys.readouterr().out
+
+
+class TestCrashTestRebalance:
+    def test_rebalance_rows_included_by_default(self, capsys):
+        assert main([
+            "crash-test", "DEL",
+            "-w", "5", "-n", "2", "--cycles", "1", "--seed", "3",
+        ]) == 0
+        assert "REBALANCE" in capsys.readouterr().out
+
+    def test_no_rebalance_flag_drops_the_rows(self, capsys):
+        assert main([
+            "crash-test", "DEL",
+            "-w", "5", "-n", "2", "--cycles", "1", "--seed", "3",
+            "--no-rebalance",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "REBALANCE" not in out
+        assert "PASS" in out
+
+
+class TestBenchElastic:
+    def test_quick_run_writes_valid_report(self, capsys, tmp_path):
+        import json
+
+        from repro.bench.elastic import validate_report
+
+        out_path = tmp_path / "BENCH_elastic.json"
+        assert main([
+            "bench-elastic", "--quick", "--out", str(out_path),
+        ]) == 0
+        report = json.loads(out_path.read_text())
+        validate_report(report)
+        assert report["bench"] == "elastic"
+        stdout = capsys.readouterr().out
+        assert "recovery" in stdout
+        assert str(out_path) in stdout
+
+    def test_strict_quick_run_passes(self, tmp_path):
+        out_path = tmp_path / "BENCH_elastic.json"
+        assert main([
+            "bench-elastic", "--quick", "--strict",
+            "--out", str(out_path),
+        ]) == 0
+
+    def test_unknown_scheme_fails_cleanly(self, capsys, tmp_path):
+        assert main([
+            "bench-elastic", "--quick", "--scheme", "NOPE",
+            "--out", str(tmp_path / "x.json"),
+        ]) == 2
+        assert capsys.readouterr().err
+
+
+class TestTopologyChaos:
+    def test_quick_run_writes_valid_report(self, capsys, tmp_path):
+        import json
+
+        from repro.bench.topology_chaos import validate_report
+
+        out_path = tmp_path / "BENCH_topology_chaos.json"
+        assert main([
+            "topology-chaos", "--quick", "--strict",
+            "--out", str(out_path),
+        ]) == 0
+        report = json.loads(out_path.read_text())
+        validate_report(report)
+        assert report["bench"] == "topology_chaos"
+        assert report["headline"]["pass"] is True
+        stdout = capsys.readouterr().out
+        assert "cells" in stdout
+        assert str(out_path) in stdout
+
+    def test_fault_and_kind_filters(self, tmp_path):
+        import json
+
+        out_path = tmp_path / "BENCH_topology_chaos.json"
+        assert main([
+            "topology-chaos", "--quick",
+            "--kinds", "merge", "--faults", "crash",
+            "--out", str(out_path),
+        ]) == 0
+        report = json.loads(out_path.read_text())
+        assert set(report["steps"]) == {"merge"}
+        assert {c["fault"] for c in report["cells"]} == {"crash"}
