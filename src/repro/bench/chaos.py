@@ -653,8 +653,10 @@ def run_chaos_soak(config: ChaosSoakConfig | None = None) -> dict[str, Any]:
         "all_invariants_pass": all(
             all(run["invariants"].values()) for run in runs
         ),
-        "recovery_makespan_seconds": max(makespans),
-        "recovery_makespan_mean": sum(makespans) / len(makespans),
+        "recovery_makespan_seconds": max(makespans, default=0.0),
+        "recovery_makespan_mean": (
+            sum(makespans) / len(makespans) if makespans else 0.0
+        ),
         "total_rebuilds": sum(run["rebuilds"] for run in runs),
         "total_rebuilds_failed": sum(
             run["rebuilds_failed"] for run in runs

@@ -271,6 +271,23 @@ def _timeline(sim: ClusterSimulation) -> list[dict[str, Any]]:
     return out
 
 
+def _baseline_qps(
+    timeline: list[dict[str, Any]], window: int, spike_day: int
+) -> float:
+    """Return the mean pre-spike qps over post-warmup days.
+
+    A spike on (or before) the first post-warmup day leaves no baseline
+    days; rate convention: 0.0, making the recovery threshold trivially
+    met rather than dividing by zero.
+    """
+    baseline_days = [
+        e for e in timeline if window < e["day"] < spike_day
+    ]
+    if not baseline_days:
+        return 0.0
+    return sum(e["qps"] for e in baseline_days) / len(baseline_days)
+
+
 def run_elastic_bench(
     config: ElasticBenchConfig | None = None,
 ) -> dict[str, Any]:
@@ -286,10 +303,7 @@ def run_elastic_bench(
     static_timeline = _timeline(static)
     spike_day = config.spike_day
 
-    baseline_days = [
-        e for e in timeline if config.window < e["day"] < spike_day
-    ]
-    baseline_qps = sum(e["qps"] for e in baseline_days) / len(baseline_days)
+    baseline_qps = _baseline_qps(timeline, config.window, spike_day)
     threshold = config.recovery_fraction * baseline_qps
 
     recovery_day: int | None = None

@@ -36,13 +36,20 @@ class HeadlineMetric:
     bench: str
     higher_is_better: bool
     description: str
+    #: An optional metric's section may be absent from a fresh report of
+    #: its benchmark (e.g. the flag-gated wall-clock section); absence
+    #: skips the gate instead of failing it.
+    optional: bool = False
 
     def extract(self, report: dict[str, Any]) -> float | None:
         """Pull this metric's value out of its benchmark report."""
-        if self.bench == "serving":
+        if self.name == "serving_speedup_batch256":
             return report.get("speedups", {}).get(
                 "batch256_cached_vs_unbatched_uncached"
             )
+        if self.name == "serving_wallclock_probe_speedup":
+            wallclock = report.get("wallclock") or {}
+            return (wallclock.get("probe_replay") or {}).get("speedup")
         if self.name == "overlap_makespan_ratio_mean":
             return report.get("headline", {}).get("makespan_ratio_mean")
         if self.name == "overlap_reindex_p95_ratio_best":
@@ -69,6 +76,13 @@ HEADLINE_METRICS: tuple[HeadlineMetric, ...] = (
         "serving",
         higher_is_better=True,
         description="batched+cached serving speedup over the paper's model",
+    ),
+    HeadlineMetric(
+        "serving_wallclock_probe_speedup",
+        "serving",
+        higher_is_better=True,
+        description="wall-clock probe replay: vectorized over object path",
+        optional=True,
     ),
     HeadlineMetric(
         "overlap_makespan_ratio_mean",
@@ -180,7 +194,9 @@ def compare(
     Baseline metrics whose benchmark has no report in ``reports`` are
     marked *skipped* (each CI smoke job checks only its own artifact);
     a metric whose benchmark IS present but which cannot be extracted
-    counts as regressed — a gate that silently vanishes is not passing.
+    counts as regressed — a gate that silently vanishes is not passing —
+    unless the metric is *optional* (flag-gated sections like the
+    wall-clock timings), in which case absence skips it.
     A measured metric the baseline has not adopted yet becomes a
     non-failing *NEW* row pointing at ``repro bench-check --update``
     (first run of a fresh benchmark against an older baseline).
@@ -199,6 +215,13 @@ def compare(
             )
             continue
         value = current.get(name)
+        if value is None and metric.optional:
+            # Flag-gated section not produced by this run (e.g. a report
+            # without --wallclock): skip rather than fail the gate.
+            rows.append(
+                RegressionRow(name, base_value, None, None, False, skipped=True)
+            )
+            continue
         if value is None or base_value <= 0:
             rows.append(RegressionRow(name, base_value, value, None, True))
             continue

@@ -269,8 +269,11 @@ class ClusterCoordinator:
         specs = list(requests)
         self.obs.counter("cluster.probes").inc(len(specs))
         by_shard: dict[int, list[int]] = {}
-        for i, (value, _t1, _t2) in enumerate(specs):
-            by_shard.setdefault(self.partitioner.shard_for(value), []).append(i)
+        shard_ids = self.partitioner.shards_for_many(
+            [value for value, _t1, _t2 in specs]
+        )
+        for i, shard_id in enumerate(shard_ids):
+            by_shard.setdefault(shard_id, []).append(i)
 
         self._failovers = 0
         results: list[ProbeResult | None] = [None] * len(specs)

@@ -30,7 +30,7 @@ uniform id renumbering described by :func:`reshard_id_mapping`.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Any, Iterable, Protocol, runtime_checkable
+from typing import Any, Iterable, Protocol, Sequence, runtime_checkable
 from zlib import crc32
 
 from ..core.records import Record, RecordStore
@@ -55,6 +55,15 @@ class Partitioner(Protocol):
         """Return the shard id owning ``value``."""
         ...
 
+    def shards_for_many(self, values: Sequence[Any]) -> list[int]:
+        """Return the shard id per value, in input order.
+
+        Semantically ``[self.shard_for(v) for v in values]``; batched so
+        implementations can amortize per-value work (hashing, string
+        conversion) across a whole scatter.
+        """
+        ...
+
     def describe(self) -> dict[str, Any]:
         """Return a JSON-friendly description (for bench reports)."""
         ...
@@ -72,6 +81,9 @@ class HashPartitioner:
         if n_shards < 1:
             raise ClusterError(f"need at least one shard, got {n_shards}")
         self._n_shards = n_shards
+        #: Value -> shard memo.  The mapping is pure, so caching it is
+        #: invisible; bounded by the number of distinct search values.
+        self._memo: dict[Any, int] = {}
 
     @property
     def n_shards(self) -> int:
@@ -79,6 +91,9 @@ class HashPartitioner:
 
     def shard_for(self, value: Any) -> int:
         return crc32(str(value).encode("utf-8")) % self._n_shards
+
+    def shards_for_many(self, values: Sequence[Any]) -> list[int]:
+        return _shards_for_many_memo(self, values, self._memo)
 
     def describe(self) -> dict[str, Any]:
         return {"kind": "hash", "n_shards": self._n_shards}
@@ -127,6 +142,9 @@ class RangePartitioner:
             raise ClusterError(
                 f"value {value!r} is not comparable with the split points"
             ) from exc
+
+    def shards_for_many(self, values: Sequence[Any]) -> list[int]:
+        return [self.shard_for(value) for value in values]
 
     def split(self, shard_id: int, *, key: Any = None) -> "RangePartitioner":
         """Return a new partitioner with shard ``shard_id`` split at ``key``.
@@ -235,6 +253,7 @@ class SlotHashPartitioner:
             )
         self.slot_to_shard = table
         self._n_shards = n_shards
+        self._memo: dict[Any, int] = {}
 
     @classmethod
     def balanced(cls, n_shards: int, n_slots: int = 64) -> "SlotHashPartitioner":
@@ -259,6 +278,9 @@ class SlotHashPartitioner:
     def shard_for(self, value: Any) -> int:
         slot = crc32(str(value).encode("utf-8")) % len(self.slot_to_shard)
         return self.slot_to_shard[slot]
+
+    def shards_for_many(self, values: Sequence[Any]) -> list[int]:
+        return _shards_for_many_memo(self, values, self._memo)
 
     def owned_slots(self, shard_id: int) -> tuple[int, ...]:
         """Return the slots routed to ``shard_id``, in ring order."""
@@ -332,6 +354,31 @@ class SlotHashPartitioner:
             f"SlotHashPartitioner(n_shards={self._n_shards}, "
             f"n_slots={len(self.slot_to_shard)})"
         )
+
+
+def _shards_for_many_memo(
+    partitioner: Partitioner, values: Sequence[Any], memo: dict[Any, int]
+) -> list[int]:
+    """Batched routing through a per-partitioner value-to-shard memo.
+
+    CRC32 routing re-hashes ``str(value)`` on every call; a scatter of a
+    few thousand probes touches the same hot values over and over, so
+    memoizing the (pure) mapping removes the hash from the hot path.
+    Unhashable values fall back to the direct computation.
+    """
+    shard_for = partitioner.shard_for
+    out = []
+    for value in values:
+        try:
+            shard = memo.get(value)
+        except TypeError:
+            out.append(shard_for(value))
+            continue
+        if shard is None:
+            shard = shard_for(value)
+            memo[value] = shard
+        out.append(shard)
+    return out
 
 
 def reshard_id_mapping(
@@ -417,8 +464,9 @@ def partition_store(
         per_shard: list[list[Record]] = [[] for _ in shards]
         for record in store.batch(day).records:
             owned: dict[int, list[Any]] = {}
-            for value in record.values:
-                owned.setdefault(partitioner.shard_for(value), []).append(value)
+            shard_ids = partitioner.shards_for_many(record.values)
+            for value, shard_id in zip(record.values, shard_ids):
+                owned.setdefault(shard_id, []).append(value)
             for shard_id, values in owned.items():
                 per_shard[shard_id].append(
                     Record(

@@ -848,10 +848,9 @@ class ClusterSimulation:
         if len(self.shards) == 1:
             return [(0, unit)]
         groups: dict[int, list[Any]] = {}
-        for value in unit.values:
-            groups.setdefault(
-                self.partitioner.shard_for(value), []
-            ).append(value)
+        shard_ids = self.partitioner.shards_for_many(unit.values)
+        for value, shard_id in zip(unit.values, shard_ids):
+            groups.setdefault(shard_id, []).append(value)
         routed: list[tuple[int, QueryUnit]] = []
         for shard_id in sorted(groups):
             values = groups[shard_id]

@@ -11,14 +11,24 @@ it is.
 The format is a plain JSON-compatible dict (version-marked); entry ``info``
 payloads must themselves be JSON-representable (int/float/str/None — the
 same domain :class:`~repro.index.entry.Entry` documents).
+
+For large indexes the JSON form serialises every entry as a Python list —
+exactly the per-entry object churn the vectorized kernels remove from the
+query path.  :func:`wave_to_bytes` / :func:`wave_from_bytes` are the batch
+counterpart: bucket entries are encoded as contiguous fixed-width blocks
+through :mod:`repro.index.codec` (one buffer op per bucket instead of one
+list per entry), framed by a small JSON directory of bindings and block
+offsets.  Both forms restore byte-identical query results.
 """
 
 from __future__ import annotations
 
 import json
+import struct
 from typing import Any
 
 from ..errors import WaveIndexError
+from ..index import codec
 from ..index.builder import build_packed_index
 from ..index.config import IndexConfig
 from ..index.constituent import ConstituentIndex
@@ -28,6 +38,12 @@ from .wave import WaveIndex
 
 #: Format marker for forward compatibility.
 SNAPSHOT_VERSION = 1
+
+#: Magic leading a binary wave snapshot.
+BINARY_MAGIC = b"WSNP"
+
+#: Binary framing: magic, version, directory length.
+_BIN_HEADER = struct.Struct("<4sIQ")
 
 
 def _encode_value(value: Any) -> list:
@@ -103,16 +119,126 @@ def load_wave(
                 Entry(record_id, day, info)
                 for record_id, day, info in bucket["entries"]
             ]
-        days = binding["days"]
-        if binding["packed"]:
-            index = build_packed_index(
-                disk, config, grouped, days, name=name
+        _bind_restored(
+            wave, name, grouped, binding["days"], binding["packed"]
+        )
+    return wave
+
+
+def _bind_restored(
+    wave: WaveIndex,
+    name: str,
+    grouped: dict[Any, list[Entry]],
+    days: list[int],
+    packed: bool,
+) -> None:
+    """Rebuild one binding from restored postings and bind it."""
+    if packed:
+        index = build_packed_index(
+            wave.disk, wave.config, grouped, days, name=name
+        )
+    else:
+        index = ConstituentIndex.create_empty(
+            wave.disk, wave.config, name=name
+        )
+        index.insert_postings(grouped, days)
+        index.time_set = set(days)  # preserve empty-day coverage
+    wave.bind(name, index)
+
+
+def wave_to_bytes(wave: WaveIndex) -> bytes:
+    """Serialise ``wave`` to the binary snapshot format.
+
+    Layout: a fixed header (magic, version, directory length), a JSON
+    directory mapping each binding to its days, packedness, and bucket
+    ``(value, offset, length)`` triples, then the concatenated
+    fixed-width entry blocks (:func:`repro.index.codec.encode_entries`),
+    offsets relative to the start of the block section.  Compared to
+    :func:`wave_to_json` the entries move as whole buffers — no
+    per-entry Python lists — and ``float`` infos round-trip exactly.
+    """
+    blocks: list[bytes] = []
+    pos = 0
+    bindings: dict[str, Any] = {}
+    for name, index in wave.bindings.items():
+        buckets = []
+        for bucket in index.buckets():
+            try:
+                block = codec.encode_entries(bucket.entries)
+            except codec.EntryCodecError as exc:
+                raise WaveIndexError(
+                    f"cannot persist bucket {bucket.value!r} of "
+                    f"{name}: {exc}"
+                ) from exc
+            buckets.append(
+                {
+                    "value": _encode_value(bucket.value),
+                    "offset": pos,
+                    "length": len(block),
+                }
             )
-        else:
-            index = ConstituentIndex.create_empty(disk, config, name=name)
-            index.insert_postings(grouped, days)
-            index.time_set = set(days)  # preserve empty-day coverage
-        wave.bind(name, index)
+            blocks.append(block)
+            pos += len(block)
+        bindings[name] = {
+            "days": sorted(index.time_set),
+            "packed": index.packed,
+            "buckets": buckets,
+        }
+    directory = json.dumps(
+        {"n_indexes": len(wave.constituents), "bindings": bindings},
+        sort_keys=True,
+    ).encode("utf-8")
+    return (
+        _BIN_HEADER.pack(BINARY_MAGIC, SNAPSHOT_VERSION, len(directory))
+        + directory
+        + b"".join(blocks)
+    )
+
+
+def wave_from_bytes(
+    data: bytes, disk: SimulatedDisk, config: IndexConfig
+) -> WaveIndex:
+    """Load a wave index from :func:`wave_to_bytes` output."""
+    if len(data) < _BIN_HEADER.size:
+        raise WaveIndexError(
+            f"binary snapshot too short for header: {len(data)}B"
+        )
+    magic, version, directory_len = _BIN_HEADER.unpack_from(data, 0)
+    if magic != BINARY_MAGIC:
+        raise WaveIndexError(f"bad binary snapshot magic {magic!r}")
+    if version != SNAPSHOT_VERSION:
+        raise WaveIndexError(f"unsupported snapshot version {version!r}")
+    body_start = _BIN_HEADER.size + directory_len
+    if len(data) < body_start:
+        raise WaveIndexError("binary snapshot truncated inside directory")
+    try:
+        directory = json.loads(data[_BIN_HEADER.size : body_start])
+    except ValueError as exc:
+        raise WaveIndexError("malformed binary snapshot directory") from exc
+    body = data[body_start:]
+    wave = WaveIndex(disk, config, directory["n_indexes"])
+    for name, binding in directory["bindings"].items():
+        grouped: dict[Any, list[Entry]] = {}
+        for bucket in binding["buckets"]:
+            value = _decode_value(bucket["value"])
+            offset, length = bucket["offset"], bucket["length"]
+            if offset + length > len(body):
+                raise WaveIndexError(
+                    f"block [{offset}, {offset + length}) of bucket "
+                    f"{value!r} outside {len(body)}B body"
+                )
+            try:
+                grouped[value] = codec.decode_entries(
+                    body[offset : offset + length]
+                )
+            except codec.EntryCodecError as exc:
+                raise WaveIndexError(
+                    f"corrupt entry block for bucket {value!r} of "
+                    f"{name}: {exc}"
+                ) from exc
+        _bind_restored(
+            wave, name, grouped, binding["days"], binding["packed"]
+        )
     return wave
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any, Iterator, Sequence
 
 from ..errors import DegradedWindowError, FaultError, WaveIndexError
+from ..index import kernels
 from ..index.config import IndexConfig
 from ..index.constituent import ConstituentIndex
 from ..index.entry import Entry
@@ -176,6 +177,27 @@ class WaveIndex:
     def _relevant_days(self, index: ConstituentIndex, t1: int, t2: int) -> set[int]:
         """Return the part of ``index``'s time-set inside ``[t1, t2]``."""
         return {d for d in index.time_set if t1 <= d <= t2}
+
+    def _relevant_days_memo(
+        self,
+        index: ConstituentIndex,
+        t1: int,
+        t2: int,
+        memo: dict[tuple[int, int], set[int]],
+    ) -> set[int]:
+        """Memoized :meth:`_relevant_days` for one constituent in a batch.
+
+        Batched serving replays ask many requests over the *same* sliding
+        window, so per-constituent intersection sets repeat; the memo
+        computes each unique ``(t1, t2)`` once.  Callers only read the
+        returned sets, so sharing one set across requests is safe.
+        """
+        key = (t1, t2)
+        days = memo.get(key)
+        if days is None:
+            days = self._relevant_days(index, t1, t2)
+            memo[key] = days
+        return days
 
     def _skip_offline(
         self, name: str, relevant: set[int], degraded: bool, kind: str
@@ -360,10 +382,22 @@ class WaveIndex:
         the affected requests' ``missing_days``.
         """
         specs = list(requests)
-        n = len(specs)
         for value, t1, t2 in specs:
             if t1 > t2:
                 raise WaveIndexError(f"empty time range [{t1}, {t2}]")
+        if kernels.vectorized_enabled():
+            return self._probe_many_vectorized(specs, degraded)
+        return self._probe_many_object(specs, degraded)
+
+    def _probe_many_object(
+        self, specs: list[tuple[Any, int, int]], degraded: bool
+    ) -> BatchProbeResult:
+        """Reference batched probe: one accumulator pass per request.
+
+        This is the original per-request implementation, kept verbatim as
+        the baseline the vectorized path is proven equivalent against.
+        """
+        n = len(specs)
         begin = self._begin_batch()
         entries: list[list[Entry]] = [[] for _ in range(n)]
         seconds = [0.0] * n
@@ -439,6 +473,111 @@ class WaveIndex:
         )
         return BatchProbeResult(results, summary)
 
+    def _probe_many_vectorized(
+        self, specs: list[tuple[Any, int, int]], degraded: bool
+    ) -> BatchProbeResult:
+        """Kernel-backed batched probe: dedup specs, slice day columns.
+
+        Two identical ``(value, t1, t2)`` requests provably receive
+        identical results — same filtered entries, same cost share (the
+        per-value read is split evenly over requesters), same coverage —
+        so the batch is solved once per *unique* spec and each duplicate
+        gets the same immutable :class:`ProbeResult`.  Cost shares are
+        weighted by duplicate count, which reproduces the reference
+        path's charges exactly: with ``N`` total requesters of a value,
+        every copy is charged ``cost / N`` either way.  Per-bucket
+        filtering runs on cached day columns via
+        :class:`~repro.index.kernels.RangeFilterCache`.
+        """
+        n = len(specs)
+        unique_ids: dict[tuple[Any, int, int], int] = {}
+        fanout: list[int] = []
+        weights: list[int] = []
+        for spec in specs:
+            j = unique_ids.setdefault(spec, len(unique_ids))
+            if j == len(weights):
+                weights.append(0)
+            fanout.append(j)
+            weights[j] += 1
+        uspecs = list(unique_ids)
+        m = len(uspecs)
+        begin = self._begin_batch()
+        entries: list[list[Entry]] = [[] for _ in range(m)]
+        seconds = [0.0] * m
+        probed = [0] * m
+        covered: list[set[int]] = [set() for _ in range(m)]
+        missing: list[set[int]] = [set() for _ in range(m)]
+        constituents_touched = 0
+        buckets_read = 0
+        duplicate_hits = 0
+        for name in self.constituents:
+            index = self.bindings.get(name)
+            if index is None:
+                continue
+            days_memo: dict[tuple[int, int], set[int]] = {}
+            relevant: list[tuple[int, set[int]]] = []
+            for j, (value, t1, t2) in enumerate(uspecs):
+                days = self._relevant_days_memo(index, t1, t2, days_memo)
+                if days:
+                    relevant.append((j, days))
+            if not relevant:
+                continue
+            all_days = set().union(*(days for _, days in relevant))
+            if name in self.offline:
+                self._skip_offline(name, all_days, degraded, "probe")
+                for j, days in relevant:
+                    missing[j].update(days)
+                continue
+            by_value: dict[Any, list[int]] = {}
+            for j, _ in relevant:
+                by_value.setdefault(uspecs[j][0], []).append(j)
+            try:
+                found, nbuckets = index.probe_batch_buckets(by_value)
+            except FaultError:
+                self.offline.add(name)
+                if not degraded:
+                    raise
+                for j, days in relevant:
+                    missing[j].update(days)
+                continue
+            constituents_touched += 1
+            buckets_read += nbuckets
+            for j, days in relevant:
+                probed[j] += 1
+                covered[j].update(days)
+            for value, requesters in by_value.items():
+                got = found.get(value)
+                if got is None:
+                    continue
+                bucket, cost = got
+                total_requests = sum(weights[j] for j in requesters)
+                duplicate_hits += total_requests - 1
+                share = cost / total_requests
+                cache = kernels.RangeFilterCache.for_bucket(bucket)
+                for j in requesters:
+                    _, t1, t2 = uspecs[j]
+                    entries[j].extend(cache.filter(t1, t2))
+                    seconds[j] += share
+        unique_results = [
+            ProbeResult(
+                tuple(entries[j]),
+                seconds[j],
+                probed[j],
+                frozenset(covered[j]),
+                frozenset(missing[j] - covered[j]),
+            )
+            for j in range(m)
+        ]
+        results = tuple(unique_results[j] for j in fanout)
+        summary = self._finish_batch(
+            begin,
+            requests=n,
+            constituents_touched=constituents_touched,
+            buckets_read=buckets_read,
+            duplicate_hits=duplicate_hits,
+        )
+        return BatchProbeResult(results, summary)
+
     def scan_many(
         self,
         requests: Sequence[tuple[int, int]],
@@ -453,10 +592,18 @@ class WaveIndex:
         are split evenly across the requests it served.
         """
         specs = list(requests)
-        n = len(specs)
         for t1, t2 in specs:
             if t1 > t2:
                 raise WaveIndexError(f"empty time range [{t1}, {t2}]")
+        if kernels.vectorized_enabled():
+            return self._scan_many_vectorized(specs, degraded)
+        return self._scan_many_object(specs, degraded)
+
+    def _scan_many_object(
+        self, specs: list[tuple[int, int]], degraded: bool
+    ) -> BatchScanResult:
+        """Reference batched scan, kept verbatim as the equivalence baseline."""
+        n = len(specs)
         begin = self._begin_batch()
         entries: list[list[Entry]] = [[] for _ in range(n)]
         seconds = [0.0] * n
@@ -510,6 +657,97 @@ class WaveIndex:
             )
             for i in range(n)
         )
+        summary = self._finish_batch(
+            begin,
+            requests=n,
+            constituents_touched=constituents_touched,
+            buckets_read=0,
+            duplicate_hits=duplicate_hits,
+        )
+        return BatchScanResult(results, summary)
+
+    def _scan_many_vectorized(
+        self, specs: list[tuple[int, int]], degraded: bool
+    ) -> BatchScanResult:
+        """Kernel-backed batched scan: dedup ranges, filter the sweep once.
+
+        Duplicate ``(t1, t2)`` requests receive the same immutable
+        :class:`ScanResult`; the per-constituent cost split over ``N``
+        requests charges ``cost / N`` per copy exactly as the reference
+        path does.  Each constituent's shared sweep is filtered once per
+        unique range through a :class:`~repro.index.kernels.RangeFilterCache`
+        instead of once per request.
+        """
+        n = len(specs)
+        unique_ids: dict[tuple[int, int], int] = {}
+        fanout: list[int] = []
+        weights: list[int] = []
+        for spec in specs:
+            j = unique_ids.setdefault(spec, len(unique_ids))
+            if j == len(weights):
+                weights.append(0)
+            fanout.append(j)
+            weights[j] += 1
+        uspecs = list(unique_ids)
+        m = len(uspecs)
+        begin = self._begin_batch()
+        entries: list[list[Entry]] = [[] for _ in range(m)]
+        seconds = [0.0] * m
+        scanned = [0] * m
+        covered: list[set[int]] = [set() for _ in range(m)]
+        missing: list[set[int]] = [set() for _ in range(m)]
+        constituents_touched = 0
+        duplicate_hits = 0
+        for name in self.constituents:
+            index = self.bindings.get(name)
+            if index is None:
+                continue
+            days_memo: dict[tuple[int, int], set[int]] = {}
+            relevant = []
+            total_requests = 0
+            for j, (t1, t2) in enumerate(uspecs):
+                days = self._relevant_days_memo(index, t1, t2, days_memo)
+                if days:
+                    relevant.append((j, days))
+                    total_requests += weights[j]
+            if not relevant:
+                continue
+            all_days = set().union(*(days for _, days in relevant))
+            if name in self.offline:
+                self._skip_offline(name, all_days, degraded, "scan")
+                for j, days in relevant:
+                    missing[j].update(days)
+                continue
+            try:
+                found, cost = index.scan()
+            except FaultError:
+                self.offline.add(name)
+                if not degraded:
+                    raise
+                for j, days in relevant:
+                    missing[j].update(days)
+                continue
+            constituents_touched += 1
+            duplicate_hits += total_requests - 1
+            share = cost / total_requests
+            sweep = kernels.RangeFilterCache(found)
+            for j, days in relevant:
+                scanned[j] += 1
+                covered[j].update(days)
+                seconds[j] += share
+                t1, t2 = uspecs[j]
+                entries[j].extend(sweep.filter(t1, t2))
+        unique_results = [
+            ScanResult(
+                tuple(entries[j]),
+                seconds[j],
+                scanned[j],
+                frozenset(covered[j]),
+                frozenset(missing[j] - covered[j]),
+            )
+            for j in range(m)
+        ]
+        results = tuple(unique_results[j] for j in fanout)
         summary = self._finish_batch(
             begin,
             requests=n,

@@ -18,10 +18,12 @@ unpacked.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable
 
 from ..storage.extent import Extent
+from . import kernels
 from .entry import Entry
 
 
@@ -48,6 +50,16 @@ class Bucket:
     shared: bool = False
     capacity_entries: int = 0
     offset_in_extent: int = 0
+    #: Lazily built day-column mirror of ``entries`` (see
+    #: :func:`repro.index.kernels.bucket_day_column`).  Maintained
+    #: incrementally by :meth:`append_entries`; any other mutation must
+    #: go through :meth:`replace_entries` (or reset it to ``None``).
+    _day_column: array | None = field(
+        default=None, repr=False, compare=False
+    )
+    _day_column_sorted: bool = field(
+        default=False, repr=False, compare=False
+    )
 
     @property
     def live_count(self) -> int:
@@ -70,12 +82,42 @@ class Bucket:
         """Return ``True`` if ``n_more`` entries fit in the current placement."""
         return not self.shared and n_more <= self.free_entries()
 
+    def append_entries(self, entries: Iterable[Entry]) -> None:
+        """Append ``entries``, keeping the cached day column in sync.
+
+        The incremental extension preserves the sorted flag when the
+        appended days continue the non-decreasing run — the common case,
+        since maintenance feeds entries in insert-day order.
+        """
+        column = self._day_column
+        if column is None or len(column) != len(self.entries):
+            self.entries.extend(entries)
+            self._day_column = None
+            return
+        start = len(column)
+        self.entries.extend(entries)
+        column.extend(e.day for e in self.entries[start:])
+        if self._day_column_sorted:
+            self._day_column_sorted = all(
+                column[i] <= column[i + 1]
+                for i in range(max(0, start - 1), len(column) - 1)
+            )
+
+    def replace_entries(self, entries: list[Entry]) -> None:
+        """Swap in a new entry list, invalidating the cached day column."""
+        self.entries = entries
+        self._day_column = None
+
+    def touches_days(self, days: set[int]) -> bool:
+        """Return ``True`` if any live entry's insert day is in ``days``."""
+        return kernels.bucket_touches_days(self, days)
+
     def remove_days(self, days: set[int]) -> int:
         """Drop entries whose insert day is in ``days``; return how many."""
         before = len(self.entries)
-        self.entries = [e for e in self.entries if e.day not in days]
+        self.replace_entries([e for e in self.entries if e.day not in days])
         return before - len(self.entries)
 
     def select(self, t1: int, t2: int) -> list[Entry]:
         """Return entries with insert day in the closed range ``[t1, t2]``."""
-        return [e for e in self.entries if t1 <= e.day <= t2]
+        return kernels.filter_bucket(self, t1, t2)

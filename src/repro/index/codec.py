@@ -1,0 +1,290 @@
+"""Fixed-width batch entry codec.
+
+A real deployment of the paper's schemes stores bucket entries as
+fixed-width records — the paper's ``c`` bytes per entry — and moves them
+in batches: a packed build writes one contiguous run of records, a scan
+reads one back, a replica copy ships them over the wire.  The simulated
+substrate kept entries as Python ``NamedTuple`` objects and serialised
+them one at a time (JSON lists in wave snapshots), which made entry
+movement the dominant CPU cost at bench scale.
+
+This module is the contiguous-buffer representation: a batch of
+:class:`~repro.index.entry.Entry` values encodes to one ``bytes`` blob
+of fixed-width records plus a side pool for variable-width ``info``
+payloads, and decodes back to the identical list of entries.
+
+Record layout (little-endian, :data:`RECORD_SIZE` bytes per entry)::
+
+    int64  record_id
+    int64  day
+    uint8  info tag  (0=None, 1=int64, 2=float64, 3=str, 4=big int)
+    7x     padding (zeros)
+    8      payload  (int64 / float64 bits / uint32 pool offset+length)
+
+``str`` payloads land UTF-8 in a shared pool after the record run; ints
+outside the int64 range are stored in the pool as decimal text (tag 4),
+so arbitrary Python ints round-trip exactly.
+
+Two implementations produce **byte-identical** output:
+
+* :func:`encode_entries_object` / :func:`decode_entries_object` — the
+  per-entry reference path (one ``struct`` call per record);
+* :func:`encode_entries` / :func:`decode_entries` — the batch path:
+  whole columns move through ``array('q')`` buffers (and NumPy when
+  available) with a single ``bytes`` join, falling back to the
+  reference path entry-by-entry only for pool-backed infos.
+
+The hypothesis suite (``tests/index/test_codec.py``) proves the two
+paths equal on random entry lists, including the ``info=None`` and
+non-int ``info`` edge cases.
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+from typing import Sequence
+
+from .entry import Entry
+from . import kernels
+
+try:  # pragma: no cover - exercised implicitly by both CI matrices
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-less environments
+    _np = None
+
+#: Format marker leading every encoded block.
+MAGIC = b"WIX1"
+
+#: Bytes per fixed-width record.
+RECORD_SIZE = 32
+
+#: Header: magic, entry count, pool length.
+_HEADER = struct.Struct("<4sQQ")
+
+#: One record: record_id, day, tag, 7 pad bytes, 8 payload bytes.
+_RECORD = struct.Struct("<qqB7x8s")
+
+#: Payload encodings per tag.
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_POOL_REF = struct.Struct("<II")
+
+TAG_NONE = 0
+TAG_INT = 1
+TAG_FLOAT = 2
+TAG_STR = 3
+TAG_BIGINT = 4
+
+_I64_MIN = -(2**63)
+_I64_MAX = 2**63 - 1
+
+_ZERO_PAYLOAD = b"\x00" * 8
+
+
+class EntryCodecError(ValueError):
+    """Raised on malformed blocks or unencodable entries."""
+
+
+def _check_day_fields(record_id: int, day: int) -> None:
+    if not (_I64_MIN <= record_id <= _I64_MAX) or not (
+        _I64_MIN <= day <= _I64_MAX
+    ):
+        raise EntryCodecError(
+            f"record_id/day outside int64 range: ({record_id}, {day})"
+        )
+
+
+def _encode_info(info, pool: bytearray) -> tuple[int, bytes]:
+    """Return ``(tag, payload)`` for one info value, growing ``pool``."""
+    if info is None:
+        return TAG_NONE, _ZERO_PAYLOAD
+    if isinstance(info, bool):
+        raise EntryCodecError("bool info is not part of the Entry domain")
+    if isinstance(info, int):
+        if _I64_MIN <= info <= _I64_MAX:
+            return TAG_INT, _I64.pack(info)
+        raw = str(info).encode("ascii")
+        ref = _POOL_REF.pack(len(pool), len(raw))
+        pool.extend(raw)
+        return TAG_BIGINT, ref
+    if isinstance(info, float):
+        return TAG_FLOAT, _F64.pack(info)
+    if isinstance(info, str):
+        raw = info.encode("utf-8")
+        ref = _POOL_REF.pack(len(pool), len(raw))
+        pool.extend(raw)
+        return TAG_STR, ref
+    raise EntryCodecError(f"unencodable info payload: {info!r}")
+
+
+def encode_entries_object(entries: Sequence[Entry]) -> bytes:
+    """Reference encoder: one ``struct.pack`` call per entry."""
+    pool = bytearray()
+    parts = [b""]  # placeholder for the header
+    for e in entries:
+        _check_day_fields(e.record_id, e.day)
+        tag, payload = _encode_info(e.info, pool)
+        parts.append(_RECORD.pack(e.record_id, e.day, tag, payload))
+    parts[0] = _HEADER.pack(MAGIC, len(entries), len(pool))
+    parts.append(bytes(pool))
+    return b"".join(parts)
+
+
+def _all_simple_infos(entries: Sequence[Entry]) -> bool:
+    """Return ``True`` when every info is None or an in-range int."""
+    for e in entries:
+        info = e.info
+        if info is None:
+            continue
+        if (
+            type(info) is int
+            and _I64_MIN <= info <= _I64_MAX
+        ):
+            continue
+        return False
+    return True
+
+
+def encode_entries(entries: Sequence[Entry]) -> bytes:
+    """Batch encoder; byte-identical to :func:`encode_entries_object`.
+
+    The fast path interleaves the id/day/tag/payload columns through one
+    NumPy structured array (or stays on the reference loop without
+    NumPy or when the kernels are disabled).  Entries with pool-backed
+    infos (strings, big ints) take the reference path — the pool is
+    inherently sequential.
+    """
+    if (
+        not kernels.vectorized_enabled()
+        or _np is None
+        or len(entries) < 2
+        or not _all_simple_infos(entries)
+    ):
+        return encode_entries_object(entries)
+    n = len(entries)
+    out = _np.zeros(
+        n,
+        dtype=_np.dtype(
+            [
+                ("record_id", "<i8"),
+                ("day", "<i8"),
+                ("tag", "u1"),
+                ("pad", "V7"),
+                ("payload", "<i8"),
+            ]
+        ),
+    )
+    try:
+        out["record_id"] = _np.fromiter(
+            (e.record_id for e in entries), dtype=_np.int64, count=n
+        )
+        out["day"] = _np.fromiter(
+            (e.day for e in entries), dtype=_np.int64, count=n
+        )
+        out["tag"] = _np.fromiter(
+            (TAG_NONE if e.info is None else TAG_INT for e in entries),
+            dtype=_np.uint8,
+            count=n,
+        )
+        out["payload"] = _np.fromiter(
+            (0 if e.info is None else e.info for e in entries),
+            dtype=_np.int64,
+            count=n,
+        )
+    except OverflowError:
+        # A record_id/day outside int64: the reference path raises the
+        # codec's own error (or handles it) — defer to it.
+        return encode_entries_object(entries)
+    return _HEADER.pack(MAGIC, n, 0) + out.tobytes()
+
+
+def _parse_header(data: bytes) -> tuple[int, int]:
+    if len(data) < _HEADER.size:
+        raise EntryCodecError(f"block too short for header: {len(data)}B")
+    magic, count, pool_len = _HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise EntryCodecError(f"bad magic {magic!r}")
+    expected = _HEADER.size + count * RECORD_SIZE + pool_len
+    if len(data) != expected:
+        raise EntryCodecError(
+            f"block length {len(data)} != expected {expected} "
+            f"({count} records, {pool_len}B pool)"
+        )
+    return count, pool_len
+
+
+def _decode_info(tag: int, payload: bytes, pool: bytes):
+    if tag == TAG_NONE:
+        return None
+    if tag == TAG_INT:
+        return _I64.unpack(payload)[0]
+    if tag == TAG_FLOAT:
+        return _F64.unpack(payload)[0]
+    if tag in (TAG_STR, TAG_BIGINT):
+        offset, length = _POOL_REF.unpack(payload)
+        if offset + length > len(pool):
+            raise EntryCodecError(
+                f"pool reference [{offset}, {offset + length}) outside "
+                f"{len(pool)}B pool"
+            )
+        raw = pool[offset : offset + length]
+        return raw.decode("utf-8") if tag == TAG_STR else int(raw)
+    raise EntryCodecError(f"unknown info tag {tag}")
+
+
+def decode_entries_object(data: bytes) -> list[Entry]:
+    """Reference decoder: one ``struct.unpack`` call per record."""
+    count, pool_len = _parse_header(data)
+    records_end = _HEADER.size + count * RECORD_SIZE
+    pool = data[records_end:]
+    entries: list[Entry] = []
+    for offset in range(_HEADER.size, records_end, RECORD_SIZE):
+        record_id, day, tag, payload = _RECORD.unpack_from(data, offset)
+        entries.append(Entry(record_id, day, _decode_info(tag, payload, pool)))
+    return entries
+
+
+def decode_entries(data: bytes) -> list[Entry]:
+    """Batch decoder; value-identical to :func:`decode_entries_object`.
+
+    Columns come off the buffer through ``array('q')`` / NumPy reads;
+    ``tolist()`` materialises plain Python ints, so decoded entries are
+    indistinguishable (``==`` and ``type``-wise) from the reference
+    path's.  Blocks with pool-backed infos defer to the reference path.
+    """
+    if not kernels.vectorized_enabled():
+        return decode_entries_object(data)
+    count, pool_len = _parse_header(data)
+    if count < 2 or pool_len:
+        return decode_entries_object(data)
+    body = memoryview(data)[_HEADER.size : _HEADER.size + count * RECORD_SIZE]
+    if _np is not None:
+        raw = _np.frombuffer(body, dtype=_np.int64).reshape(count, 4)
+        tags = _np.frombuffer(body, dtype=_np.uint8).reshape(count, 32)[:, 16]
+        if not _np.all((tags == TAG_NONE) | (tags == TAG_INT)):
+            return decode_entries_object(data)
+        ids = raw[:, 0].tolist()
+        days = raw[:, 1].tolist()
+        payloads = raw[:, 3].tolist()
+        has_info = (tags == TAG_INT).tolist()
+    else:
+        flat = array("q")
+        flat.frombytes(body)
+        ids = flat[0::4].tolist()
+        days = flat[1::4].tolist()
+        payloads = flat[3::4].tolist()
+        tag_col = bytes(body)[16::32]
+        bad = set(tag_col) - {TAG_NONE, TAG_INT}
+        if bad:
+            return decode_entries_object(data)
+        has_info = [t == TAG_INT for t in tag_col]
+    return [
+        Entry(rid, day, payload if flag else None)
+        for rid, day, payload, flag in zip(ids, days, payloads, has_info)
+    ]
+
+
+def encoded_size(n_entries: int, pool_bytes: int = 0) -> int:
+    """Return the block size for ``n_entries`` fixed records + pool."""
+    return _HEADER.size + n_entries * RECORD_SIZE + pool_bytes

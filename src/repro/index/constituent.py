@@ -27,6 +27,7 @@ from typing import Any, Iterable, Iterator, Mapping
 from ..errors import ConstituentIndexError
 from ..storage.disk import SimulatedDisk
 from ..storage.extent import Extent
+from . import kernels
 from .bucket import Bucket
 from .config import IndexConfig
 from .entry import Entry
@@ -211,7 +212,7 @@ class ConstituentIndex:
                 capacity_entries=capacity,
             )
             self.directory.put(value, bucket)
-            bucket.entries.extend(entries)
+            bucket.append_entries(entries)
             self.disk.write(extent, len(entries) * entry_size, seeks=seek)
             return
 
@@ -219,7 +220,7 @@ class ConstituentIndex:
             self._evict_shared_bucket(bucket, extra=len(entries), seek=seek)
 
         if bucket.fits(len(entries)):
-            bucket.entries.extend(entries)
+            bucket.append_entries(entries)
             # Append into the free tail: one (possibly cached) seek plus
             # the new bytes.
             self.disk.write(
@@ -233,7 +234,7 @@ class ConstituentIndex:
         old_extent = bucket.extent
         new_extent = self.disk.allocate(new_capacity * entry_size)
         self.disk.read(old_extent, bucket.live_count * entry_size, seeks=seek)
-        bucket.entries.extend(entries)
+        bucket.append_entries(entries)
         self.disk.write(
             new_extent, bucket.live_count * entry_size, seeks=seek
         )
@@ -291,7 +292,7 @@ class ConstituentIndex:
         seek = self.disk.effective_seeks(1.0, float(self.allocated_bytes))
         removed_any = False
         for value, bucket in list(self.directory.items()):
-            if not any(e.day in day_set for e in bucket.entries):
+            if not bucket.touches_days(day_set):
                 continue
             removed_any = True
             before = bucket.live_count
@@ -397,6 +398,24 @@ class ConstituentIndex:
             value with a bucket to ``(entries, seconds)`` for its read.
             Values with no bucket are absent (a directory miss is free).
         """
+        found, buckets_read = self.probe_batch_buckets(values)
+        return (
+            {v: (list(b.entries), s) for v, (b, s) in found.items()},
+            buckets_read,
+        )
+
+    def probe_batch_buckets(
+        self, values: Iterable[Any]
+    ) -> tuple[dict[Any, tuple[Bucket, float]], int]:
+        """Like :meth:`probe_batch`, but return the live buckets uncopied.
+
+        Callers get the :class:`Bucket` objects themselves — with their
+        cached day columns — instead of entry-list copies, so batch
+        filtering (:mod:`repro.index.kernels`) can slice the persistent
+        column rather than re-scanning a fresh copy.  Charges the exact
+        same simulated costs as :meth:`probe_batch`.  Callers must not
+        mutate the returned buckets.
+        """
         self._check_not_dropped()
         touches: list[Bucket] = []
         for value in dict.fromkeys(values):
@@ -409,24 +428,29 @@ class ConstituentIndex:
                 self._bucket_position(b)[1],
             )
         )
-        found: dict[Any, tuple[list[Entry], float]] = {}
+        found: dict[Any, tuple[Bucket, float]] = {}
         previous_extent_id: int | None = None
         for bucket in touches:
             extent, _ = self._bucket_position(bucket)
             seeks = 0.0 if extent.extent_id == previous_extent_id else 1.0
             seconds = self._read_bucket(bucket, seeks=seeks)
             previous_extent_id = extent.extent_id
-            found[bucket.value] = (list(bucket.entries), seconds)
+            found[bucket.value] = (bucket, seconds)
         return found, len(touches)
 
     def timed_probe(self, value: Any, t1: int, t2: int) -> tuple[list[Entry], float]:
         """Point lookup restricted to insert days in ``[t1, t2]``.
 
         The whole bucket is still read (entries for one value are stored
-        together); filtering happens in memory, as in the paper.
+        together); filtering happens in memory, as in the paper — on the
+        bucket's day column when the kernels are enabled.
         """
-        entries, seconds = self.probe(value)
-        return [e for e in entries if t1 <= e.day <= t2], seconds
+        self._check_not_dropped()
+        bucket = self.directory.get(value)
+        if bucket is None:
+            return [], 0.0
+        seconds = self._read_bucket(bucket, seeks=1.0)
+        return kernels.filter_bucket(bucket, t1, t2), seconds
 
     def scan(self) -> tuple[list[Entry], float]:
         """Full segment scan: return ``(entries, seconds)``.
@@ -440,9 +464,22 @@ class ConstituentIndex:
         return list(self.all_entries()), seconds
 
     def timed_scan(self, t1: int, t2: int) -> tuple[list[Entry], float]:
-        """Segment scan restricted to insert days in ``[t1, t2]``."""
-        entries, seconds = self.scan()
-        return [e for e in entries if t1 <= e.day <= t2], seconds
+        """Segment scan restricted to insert days in ``[t1, t2]``.
+
+        The cost is the full scan either way; with the kernels enabled
+        the in-memory filter runs per bucket on the cached day columns
+        (bucket order times entry order equals scan order, so the result
+        is element-identical to filtering the flat scan).
+        """
+        if not kernels.vectorized_enabled():
+            entries, seconds = self.scan()
+            return [e for e in entries if t1 <= e.day <= t2], seconds
+        self._check_not_dropped()
+        seconds = self.disk.stream_read(self.allocated_bytes)
+        found: list[Entry] = []
+        for bucket in self.buckets():
+            found.extend(kernels.filter_bucket(bucket, t1, t2))
+        return found, seconds
 
     # ------------------------------------------------------------------
     # Drop

@@ -1,0 +1,254 @@
+"""Vectorized hot-path kernels for entry filtering and batch assembly.
+
+Profiling the standard benches (``repro bench-serving``, ``bench-cluster``)
+shows that once the simulated I/O model is warm, real wall-clock time is
+dominated by pure-Python inner loops: the per-entry timestamp filter in
+:meth:`~repro.core.wave.WaveIndex.probe_many` / ``scan_many`` result
+assembly alone accounts for more than half of replay time (millions of
+``e.day`` attribute reads through a generator per batch).  This module
+rewrites those loops on contiguous buffers *behind the existing
+interfaces*:
+
+* each bucket's insert days are mirrored into a compact ``array('q')``
+  **day column**, built lazily and maintained incrementally on append
+  (:func:`bucket_day_column`);
+* day-range filters run on the column instead of the entry objects —
+  bounds checks first (whole bucket in / out of range), then a
+  ``bisect`` fast path when the column is non-decreasing (the common
+  case: entries arrive in day order), then a NumPy mask when it is not,
+  and only as a last resort the object-level comprehension;
+* the filtered result is a *list slice* or an indexed gather of the
+  original ``Entry`` objects, so answers are identical to the object
+  path element for element — the equivalence suite
+  (``tests/core/test_vectorized_equivalence.py``) proves bit-identical
+  answers and simulated-cost charges with the kernels on and off.
+
+Every kernel has an object-level reference implementation and a module
+switch (:func:`set_vectorized`, honoured everywhere the kernels are
+wired in), so any result can be re-derived on the slow path.  NumPy is
+optional: without it the sorted-column and bounds fast paths still
+apply, and the unsorted case falls back to the reference loop.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from bisect import bisect_left, bisect_right
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+try:  # pragma: no cover - exercised implicitly by both CI matrices
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-less environments
+    _np = None
+
+if TYPE_CHECKING:
+    from .bucket import Bucket
+    from .entry import Entry
+
+#: Module switch: ``False`` forces every call site back onto the
+#: object-level reference path.  Controlled by :func:`set_vectorized`
+#: or the ``REPRO_VECTORIZED=0`` environment variable (read at import).
+_ENABLED = os.environ.get("REPRO_VECTORIZED", "1") != "0"
+
+
+def vectorized_enabled() -> bool:
+    """Return ``True`` when the vectorized kernels are switched on."""
+    return _ENABLED
+
+
+def set_vectorized(enabled: bool) -> None:
+    """Globally enable or disable the vectorized kernels.
+
+    The object-level paths are kept callable forever — they are the
+    reference the equivalence suite compares against, and the fallback
+    for environments without NumPy.
+    """
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+@contextmanager
+def vectorized(enabled: bool) -> Iterator[None]:
+    """Context manager pinning the kernel switch inside a ``with`` block."""
+    previous = _ENABLED
+    set_vectorized(enabled)
+    try:
+        yield
+    finally:
+        set_vectorized(previous)
+
+
+# ----------------------------------------------------------------------
+# Day columns
+# ----------------------------------------------------------------------
+
+
+def day_column(entries: Sequence["Entry"]) -> array:
+    """Return the insert days of ``entries`` as a compact ``array('q')``."""
+    return array("q", (e.day for e in entries))
+
+
+def is_nondecreasing(column: array) -> bool:
+    """Return ``True`` if ``column`` is sorted in non-decreasing order."""
+    return all(column[i] <= column[i + 1] for i in range(len(column) - 1))
+
+
+def bucket_day_column(bucket: "Bucket") -> tuple[array, bool]:
+    """Return ``bucket``'s cached ``(day_column, is_sorted)`` pair.
+
+    The column is built on first use and extended incrementally by
+    :meth:`~repro.index.bucket.Bucket.append_entries`; wholesale entry
+    replacement (``remove_days``) invalidates it.  Entries arrive in
+    insert-day order in every maintenance path, so the sorted flag is
+    almost always ``True`` — it is *checked*, never assumed.
+    """
+    entries = bucket.entries
+    column = bucket._day_column
+    if column is None or len(column) != len(entries):
+        column = day_column(entries)
+        bucket._day_column = column
+        bucket._day_column_sorted = is_nondecreasing(column)
+    return column, bucket._day_column_sorted
+
+
+# ----------------------------------------------------------------------
+# Day-range filtering
+# ----------------------------------------------------------------------
+
+
+def filter_entries_object(
+    entries: Sequence["Entry"], t1: int, t2: int
+) -> list["Entry"]:
+    """Reference filter: the object-level comprehension the kernels match."""
+    return [e for e in entries if t1 <= e.day <= t2]
+
+
+def filter_entries(
+    entries: Sequence["Entry"],
+    t1: int,
+    t2: int,
+    column: array | None = None,
+    sorted_column: bool = False,
+) -> list["Entry"]:
+    """Return entries with insert day in ``[t1, t2]``, in input order.
+
+    Identical output to :func:`filter_entries_object`; with the kernels
+    enabled the work happens on the day column: a bounds check retires
+    the all-in/all-out cases in O(1) after the column's min/max are
+    known, a sorted column reduces the filter to two bisects and one
+    list slice, and an unsorted one to a NumPy mask gather.
+    """
+    if not _ENABLED or not entries:
+        return filter_entries_object(entries, t1, t2)
+    if column is None:
+        column = day_column(entries)
+        sorted_column = is_nondecreasing(column)
+    if sorted_column:
+        lo = bisect_left(column, t1)
+        hi = bisect_right(column, t2)
+        if lo >= hi:
+            return []
+        if lo == 0 and hi == len(entries):
+            return list(entries)
+        return list(entries[lo:hi])
+    lo_day = min(column)
+    hi_day = max(column)
+    if lo_day >= t1 and hi_day <= t2:
+        return list(entries)
+    if hi_day < t1 or lo_day > t2:
+        return []
+    if _np is not None:
+        days = _np.frombuffer(column, dtype=_np.int64)
+        matches = _np.flatnonzero((days >= t1) & (days <= t2))
+        return [entries[i] for i in matches.tolist()]
+    return filter_entries_object(entries, t1, t2)
+
+
+def filter_bucket(bucket: "Bucket", t1: int, t2: int) -> list["Entry"]:
+    """Filter a bucket's live entries by day range via its cached column."""
+    if not _ENABLED:
+        return filter_entries_object(bucket.entries, t1, t2)
+    column, is_sorted = bucket_day_column(bucket)
+    return filter_entries(bucket.entries, t1, t2, column, is_sorted)
+
+
+def bucket_touches_days(bucket: "Bucket", days: frozenset | set) -> bool:
+    """Return ``True`` if any live entry's insert day is in ``days``.
+
+    Equivalent to ``any(e.day in days for e in bucket.entries)``; the
+    kernel consults the cached column (with a min/max prune) instead of
+    the entry objects.
+    """
+    entries = bucket.entries
+    if not days or not entries:
+        return False
+    column = bucket._day_column
+    if not _ENABLED or column is None or len(column) != len(entries):
+        # Maintenance sweeps (delete_days) hit buckets whose column was
+        # never built; materializing one just to throw it away on the
+        # following remove_days would cost more than the probe saves.
+        return any(e.day in days for e in entries)
+    is_sorted = bucket._day_column_sorted
+    lo = column[0] if is_sorted else min(column)
+    hi = column[-1] if is_sorted else max(column)
+    if max(days) < lo or min(days) > hi:
+        return False
+    return any(day in days for day in column)
+
+
+# ----------------------------------------------------------------------
+# Batch request grouping (probe/scan result assembly)
+# ----------------------------------------------------------------------
+
+
+class RangeFilterCache:
+    """Memoizes day-range filters over one immutable entry list.
+
+    ``probe_many``/``scan_many`` serve batches where many requests share
+    the same ``(t1, t2)`` range (a serving replay uses one sliding
+    window for the whole stream): the object path re-filtered the same
+    bucket once per requester; the cache filters once per *unique*
+    range and hands every requester the same freshly filtered list.
+    Sharing is safe because the result is only ever consumed by
+    ``list.extend`` into per-request accumulators.
+    """
+
+    __slots__ = ("entries", "column", "sorted", "_cache")
+
+    def __init__(
+        self,
+        entries: Sequence["Entry"],
+        column: array | None = None,
+        sorted_column: bool = False,
+    ) -> None:
+        self.entries = entries
+        if _ENABLED and column is None and len(entries) > 1:
+            column = day_column(entries)
+            sorted_column = is_nondecreasing(column)
+        self.column = column
+        self.sorted = sorted_column
+        self._cache: dict[tuple[int, int], list["Entry"]] = {}
+
+    @classmethod
+    def for_bucket(cls, bucket: "Bucket") -> "RangeFilterCache":
+        """Return a cache over a bucket's entries and its cached column."""
+        if not _ENABLED:
+            return cls(bucket.entries)
+        column, is_sorted = bucket_day_column(bucket)
+        return cls(bucket.entries, column, is_sorted)
+
+    def filter(self, t1: int, t2: int) -> list["Entry"]:
+        """Return the memoized filtered entries for ``[t1, t2]``."""
+        key = (t1, t2)
+        got = self._cache.get(key)
+        if got is None:
+            if _ENABLED:
+                got = filter_entries(
+                    self.entries, t1, t2, self.column, self.sorted
+                )
+            else:
+                got = filter_entries_object(self.entries, t1, t2)
+            self._cache[key] = got
+        return got

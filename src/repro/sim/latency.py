@@ -31,6 +31,7 @@ from ..analysis.parameters import CostParameters
 from ..core.ops import Phase
 from ..errors import ReproError
 from ..index.updates import UpdateTechnique
+from ..obs.registry import Histogram
 
 #: Seconds in the simulated day.
 DAY_SECONDS = 86_400.0
@@ -157,13 +158,17 @@ def simulate_query_latency(
 
     if not latencies:
         return LatencyStats(0, 0, 0.0, 0.0, 0.0, 0.0)
-    latencies.sort()
+    # Nearest-rank percentiles via the observability histogram — the
+    # ad-hoc indexing it replaces picked the upper median (``n // 2``)
+    # and overshot p95 by one rank (``int(0.95 * n)`` is the count of
+    # covered observations, not the index of the last one).
+    hist = Histogram("latency", latencies)
     n = len(latencies)
     return LatencyStats(
         queries=n,
         blocked_queries=blocked,
         mean_s=sum(latencies) / n,
-        p50_s=latencies[n // 2],
-        p95_s=latencies[min(n - 1, int(0.95 * n))],
-        max_s=latencies[-1],
+        p50_s=hist.quantile(0.50),
+        p95_s=hist.quantile(0.95),
+        max_s=hist.max,
     )

@@ -149,12 +149,12 @@ class SimulationResult:
         return sum(d.peak_bytes for d in days) / len(days)
 
     def max_peak_bytes(self) -> int:
-        """Return the worst space peak over the whole run."""
-        return max(d.peak_bytes for d in self.days)
+        """Return the worst space peak over the whole run (0 if empty)."""
+        return max((d.peak_bytes for d in self.days), default=0)
 
     def max_length_days(self) -> int:
-        """Return the maximum wave-index length (Appendix B measure)."""
-        return max(d.length_days for d in self.days)
+        """Return the maximum wave-index length (0 if the run is empty)."""
+        return max((d.length_days for d in self.days), default=0)
 
     # ------------------------------------------------------------------
     # Cache aggregates

@@ -40,6 +40,19 @@ from dataclasses import dataclass
 
 from .extent import Extent
 
+#: Lazily bound :mod:`repro.index.kernels` — imported on first touch to
+#: avoid the import cycle ``index -> storage.disk -> pagecache``.
+_kernels = None
+
+
+def _vectorized_enabled() -> bool:
+    global _kernels
+    if _kernels is None:
+        from ..index import kernels
+
+        _kernels = kernels
+    return _kernels.vectorized_enabled()
+
 #: Default page size: 4 KiB, the classic OS/buffer-pool granule.
 DEFAULT_PAGE_SIZE = 4096
 
@@ -179,8 +192,51 @@ class PageCache:
 
         Every touched page ends up resident and most-recently-used;
         admission evicts LRU pages as needed.
+
+        With the vectorized kernels enabled, the two overwhelmingly
+        common span shapes skip the per-page Python loop:
+
+        * **all resident** (a warm sweep) — bulk counter updates, with
+          only the mandatory per-page ``move_to_end`` to keep LRU order
+          exact;
+        * **none resident** (a cold sweep that fits) — one arithmetic
+          eviction count ``max(0, resident + k - capacity)``, a bulk
+          pop of that many LRU victims, and one ordered bulk insert.
+
+        Mixed spans — and cold spans larger than the whole cache, where
+        later admissions must evict earlier pages of the *same* span —
+        take the reference loop, so counters, LRU order, and victim
+        choice are identical to the per-page path in every case
+        (property-tested in ``tests/storage/test_pagecache_kernel.py``).
         """
         span = self._page_span(extent, nbytes, offset)
+        k = len(span)
+        if k > 1 and _vectorized_enabled():
+            ext_id = extent.extent_id
+            resident = self._by_extent.get(ext_id)
+            n_hits = len(resident.intersection(span)) if resident else 0
+            pages = self._pages
+            if n_hits == k:
+                for page_index in span:
+                    pages.move_to_end((ext_id, page_index))
+                self.hits += k
+                if is_read:
+                    self.read_hits += k
+                else:
+                    self.write_hits += k
+                return 0, k
+            if n_hits == 0 and k <= self.capacity_pages:
+                n_evict = len(pages) + k - self.capacity_pages
+                if n_evict > 0:
+                    for _ in range(n_evict):
+                        victim, _unused = pages.popitem(last=False)
+                        self._forget(victim)
+                    self.evictions += n_evict
+                for page_index in span:
+                    pages[(ext_id, page_index)] = None
+                self._by_extent.setdefault(ext_id, set()).update(span)
+                self.misses += k
+                return k, k
         missed = 0
         for page_index in span:
             key = (extent.extent_id, page_index)

@@ -356,3 +356,82 @@ class TestPartitionStore:
                     for v in record.values:
                         got.add((record.record_id, day, v))
         assert got == want
+
+
+class TestShardsForMany:
+    """Batched routing must be element-identical to per-value routing."""
+
+    values = st.lists(
+        st.one_of(
+            st.text(max_size=8),
+            st.integers(min_value=-1000, max_value=1000),
+            st.tuples(st.text(max_size=3), st.integers()),
+        ),
+        max_size=50,
+    )
+
+    @settings(max_examples=100, deadline=None)
+    @given(values=values, k=st.integers(min_value=1, max_value=6))
+    def test_hash_matches_shard_for(self, values, k):
+        p = HashPartitioner(k)
+        assert p.shards_for_many(values) == [
+            p.shard_for(v) for v in values
+        ]
+
+    @settings(max_examples=100, deadline=None)
+    @given(values=values, k=st.integers(min_value=1, max_value=6))
+    def test_slot_hash_matches_shard_for(self, values, k):
+        p = SlotHashPartitioner.balanced(k, 16)
+        assert p.shards_for_many(values) == [
+            p.shard_for(v) for v in values
+        ]
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        values=st.lists(
+            st.integers(min_value=-100, max_value=100), max_size=50
+        ),
+        splits=st.lists(
+            st.integers(min_value=-80, max_value=80),
+            min_size=1,
+            max_size=5,
+            unique=True,
+        ).map(sorted),
+    )
+    def test_range_matches_shard_for(self, values, splits):
+        p = RangePartitioner(tuple(splits))
+        assert p.shards_for_many(values) == [
+            p.shard_for(v) for v in values
+        ]
+
+    def test_unhashable_values_fall_back_to_per_value_routing(self):
+        # The routing memo keys on the value; unhashable values (lists)
+        # must still route rather than raise TypeError.
+        p = HashPartitioner(4)
+        mixed = ["a", [1, 2], "b", [1, 2], {"k": 1}]
+        assert p.shards_for_many(mixed) == [
+            p.shard_for(v) for v in mixed
+        ]
+
+    def test_memo_survives_repeat_batches(self):
+        p = SlotHashPartitioner.balanced(3, 8)
+        batch = ["x", "y", "x", "z"]
+        first = p.shards_for_many(batch)
+        assert p.shards_for_many(batch) == first
+        assert p.shards_for_many(list(reversed(batch))) == list(
+            reversed(first)
+        )
+
+    def test_empty_batch(self):
+        assert HashPartitioner(3).shards_for_many([]) == []
+
+    def test_split_partitioner_does_not_inherit_stale_memo(self):
+        # split() returns a *new* partitioner; routings cached on the
+        # parent must not leak into the child's different topology.
+        parent = SlotHashPartitioner.balanced(2, 8)
+        keys = [f"k{i}" for i in range(32)]
+        parent.shards_for_many(keys)  # warm the parent's memo
+        child = parent.split(0)
+        assert child.shards_for_many(keys) == [
+            child.shard_for(k) for k in keys
+        ]

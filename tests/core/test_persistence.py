@@ -4,9 +4,13 @@ import pytest
 
 from repro.core.executor import PlanExecutor
 from repro.core.persistence import (
+    BINARY_MAGIC,
+    SNAPSHOT_VERSION,
     dump_wave,
     load_wave,
+    wave_from_bytes,
     wave_from_json,
+    wave_to_bytes,
     wave_to_json,
 )
 from repro.core.records import Record, RecordStore
@@ -118,3 +122,92 @@ class TestFormat:
         executor.execute(scheme.start_ops())
         with pytest.raises(WaveIndexError):
             dump_wave(wave)
+
+
+@pytest.mark.parametrize("scheme_cls", ALL_SCHEMES, ids=lambda c: c.name)
+class TestBinaryRoundTrip:
+    """The packed binary snapshot must round-trip exactly like JSON."""
+
+    def test_restored_wave_matches_json_snapshot(self, scheme_cls):
+        store = make_store(LAST, seed=41)
+        original = maintained_wave(scheme_cls, store)
+        restored = wave_from_bytes(
+            wave_to_bytes(original), SimulatedDisk(), IndexConfig()
+        )
+        # wave_to_json is the canonical full-state projection: identical
+        # JSON means identical bindings, days, packedness, and entries.
+        assert wave_to_json(restored) == wave_to_json(original)
+
+    def test_header_and_reencode_stability(self, scheme_cls):
+        store = make_store(LAST, seed=41)
+        original = maintained_wave(scheme_cls, store)
+        data = wave_to_bytes(original)
+        assert data[:4] == BINARY_MAGIC
+        restored = wave_from_bytes(data, SimulatedDisk(), IndexConfig())
+        assert wave_to_bytes(restored) == data
+
+
+class TestBinaryFormat:
+    def _simple_wave(self):
+        store = RecordStore()
+        store.add_records(
+            1, [Record(1, 1, ("alpha", 7), info=3.5), Record(2, 1, (7,))]
+        )
+        store.add_records(2, [Record(3, 2, ("alpha",))])
+        disk = SimulatedDisk()
+        wave = WaveIndex(disk, IndexConfig(), 1)
+        executor = PlanExecutor(wave, store, UpdateTechnique.IN_PLACE)
+        scheme = DelScheme(2, 1)
+        executor.execute(scheme.start_ops())
+        return wave
+
+    def test_float_info_round_trips_exactly(self):
+        # JSON would round-trip 3.5 fine but mangles e.g. signalling
+        # payloads; the binary path stores the raw IEEE-754 bits.
+        wave = self._simple_wave()
+        restored = wave_from_bytes(
+            wave_to_bytes(wave), SimulatedDisk(), IndexConfig()
+        )
+        infos = {
+            e.record_id: e.info
+            for e in restored.index_probe("alpha").entries
+        }
+        assert infos[1] == 3.5 and type(infos[1]) is float
+        assert infos[3] is None
+
+    def test_truncated_body_rejected(self):
+        data = wave_to_bytes(self._simple_wave())
+        with pytest.raises(WaveIndexError):
+            wave_from_bytes(data[:-3], SimulatedDisk(), IndexConfig())
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(WaveIndexError):
+            wave_from_bytes(b"WS", SimulatedDisk(), IndexConfig())
+
+    def test_bad_magic_rejected(self):
+        data = wave_to_bytes(self._simple_wave())
+        with pytest.raises(WaveIndexError):
+            wave_from_bytes(
+                b"XXXX" + data[4:], SimulatedDisk(), IndexConfig()
+            )
+
+    def test_malformed_directory_rejected(self):
+        import struct as _struct
+
+        directory = b"{not json"
+        data = (
+            _struct.pack("<4sIQ", BINARY_MAGIC, SNAPSHOT_VERSION, len(directory))
+            + directory
+        )
+        with pytest.raises(WaveIndexError):
+            wave_from_bytes(data, SimulatedDisk(), IndexConfig())
+
+    def test_vectorized_switch_does_not_change_bytes(self):
+        from repro.index.kernels import vectorized
+
+        wave = self._simple_wave()
+        with vectorized(True):
+            on = wave_to_bytes(wave)
+        with vectorized(False):
+            off = wave_to_bytes(wave)
+        assert on == off

@@ -1,0 +1,167 @@
+"""Bit-identical equivalence of the vectorized kernels and the object path.
+
+The kernels (`repro.index.kernels`) promise that flipping the module
+switch changes *nothing observable*: batched queries return the same
+answers in the same order, simulated clocks and I/O statistics charge
+the same costs, page-cache counters agree, and a wave serialises to the
+same snapshot bytes.  These tests run the same workloads twice — kernels
+on and off — and compare everything.
+"""
+
+import pytest
+
+from repro.core.executor import PlanExecutor
+from repro.core.persistence import wave_to_json
+from repro.core.schemes import DelScheme
+from repro.core.wave import WaveIndex
+from repro.index.config import IndexConfig
+from repro.index.kernels import vectorized
+from repro.index.updates import UpdateTechnique
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pagecache import PageCache
+from tests.conftest import make_store
+
+WINDOW, N, LAST = 6, 3, 12
+LO, HI = LAST - WINDOW + 1, LAST
+
+
+def build_wave(disk):
+    store = make_store(LAST, seed=13)
+    wave = WaveIndex(disk, IndexConfig(), N)
+    executor = PlanExecutor(wave, store, UpdateTechnique.SIMPLE_SHADOW)
+    scheme = DelScheme(WINDOW, N)
+    executor.execute(scheme.start_ops())
+    for day in range(WINDOW + 1, LAST + 1):
+        executor.execute(scheme.transition_ops(day))
+    return wave
+
+
+PROBE_REQUESTS = [
+    ("a", LO, HI),
+    ("a", LO, HI),  # duplicate spec: shares one result
+    ("b", LO, HI - 2),
+    ("a", LO + 1, HI),  # same value, different range
+    ("c", LO + 3, HI),
+    ("z", LO, HI),  # absent value
+    ("b", LO, HI - 2),  # duplicate of an earlier spec
+]
+
+SCAN_REQUESTS = [(LO, HI), (HI, HI), (LO, HI), (LO, LO + 1), (HI, HI)]
+
+
+def serve(enabled, page_cache=None, offline=None, degraded=False):
+    """Build and serve one full workload with the kernels pinned."""
+    with vectorized(enabled):
+        disk = SimulatedDisk(page_cache=page_cache)
+        wave = build_wave(disk)
+        if offline:
+            wave.mark_offline(offline)
+        probe = wave.probe_many(PROBE_REQUESTS, degraded=degraded)
+        scan = wave.scan_many(SCAN_REQUESTS, degraded=degraded)
+        probe2 = wave.probe_many(PROBE_REQUESTS, degraded=degraded)  # warm
+        return {
+            "probe_results": tuple(probe.results),
+            "probe_summary": probe.summary,
+            "scan_results": tuple(scan.results),
+            "scan_summary": scan.summary,
+            "warm_results": tuple(probe2.results),
+            "warm_summary": probe2.summary,
+            "clock": disk.clock,
+            "io": disk.stats.snapshot(),
+            "cache": (
+                disk.page_cache.snapshot() if disk.page_cache else None
+            ),
+            "snapshot_json": wave_to_json(wave),
+        }
+
+
+def assert_equivalent(on, off):
+    assert on["probe_results"] == off["probe_results"]
+    assert on["probe_summary"] == off["probe_summary"]
+    assert on["scan_results"] == off["scan_results"]
+    assert on["scan_summary"] == off["scan_summary"]
+    assert on["warm_results"] == off["warm_results"]
+    assert on["warm_summary"] == off["warm_summary"]
+    assert on["clock"] == off["clock"]
+    assert on["io"] == off["io"]
+    assert on["cache"] == off["cache"]
+    assert on["snapshot_json"] == off["snapshot_json"]
+
+
+class TestBatchedServingEquivalence:
+    def test_uncached_serving_is_bit_identical(self):
+        assert_equivalent(serve(True), serve(False))
+
+    def test_cached_serving_is_bit_identical(self):
+        on = serve(True, page_cache=PageCache(1 << 18))
+        off = serve(False, page_cache=PageCache(1 << 18))
+        assert on["cache"] is not None and on["cache"].hits > 0
+        assert_equivalent(on, off)
+
+    def test_degraded_serving_is_bit_identical(self):
+        on = serve(True, offline="I1", degraded=True)
+        off = serve(False, offline="I1", degraded=True)
+        assert any(r.missing_days for r in on["probe_results"])
+        assert_equivalent(on, off)
+
+    def test_duplicate_requests_share_identical_results(self):
+        with vectorized(True):
+            wave = build_wave(SimulatedDisk())
+            batch = wave.probe_many(PROBE_REQUESTS)
+        # Requests 0 and 1 are the same spec: the vectorized path hands
+        # both the same immutable result, and the answer still matches a
+        # solo probe.
+        assert batch.results[0] == batch.results[1]
+        solo = wave.timed_index_probe("a", LO, HI)
+        assert sorted(batch.results[0].record_ids) == sorted(solo.record_ids)
+
+    def test_weighted_cost_shares_match_reference(self):
+        # 3 duplicates + 1 distinct value: every copy must be charged the
+        # same share the object path computes per-request.
+        requests = [("a", LO, HI)] * 3 + [("b", LO, HI)]
+        with vectorized(True):
+            on = build_wave(SimulatedDisk()).probe_many(requests)
+        with vectorized(False):
+            off = build_wave(SimulatedDisk()).probe_many(requests)
+        assert [r.seconds for r in on] == [r.seconds for r in off]
+        assert on.summary.duplicate_hits == off.summary.duplicate_hits
+
+
+class TestSingleQueryEquivalence:
+    @pytest.mark.parametrize("value", ["a", "b", "z"])
+    def test_timed_probe(self, value):
+        results = {}
+        for enabled in (True, False):
+            with vectorized(enabled):
+                disk = SimulatedDisk()
+                wave = build_wave(disk)
+                results[enabled] = (
+                    wave.timed_index_probe(value, LO + 1, HI - 1),
+                    disk.clock,
+                )
+        assert results[True] == results[False]
+
+    def test_timed_scan(self):
+        results = {}
+        for enabled in (True, False):
+            with vectorized(enabled):
+                disk = SimulatedDisk()
+                wave = build_wave(disk)
+                results[enabled] = (
+                    wave.timed_segment_scan(LO + 1, HI - 1),
+                    disk.clock,
+                )
+        assert results[True] == results[False]
+
+    def test_maintenance_produces_identical_snapshots(self):
+        # The whole build (packed builds, appends, delete_days) must not
+        # depend on the switch either.
+        snapshots = {}
+        for enabled in (True, False):
+            with vectorized(enabled):
+                disk = SimulatedDisk()
+                snapshots[enabled] = (
+                    wave_to_json(build_wave(disk)),
+                    disk.clock,
+                )
+        assert snapshots[True] == snapshots[False]

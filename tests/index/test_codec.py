@@ -1,0 +1,155 @@
+"""Round-trip and path-equivalence proofs for the batch entry codec.
+
+The contract under test (`repro.index.codec`): the batch encoder and the
+per-entry reference encoder produce **byte-identical** blocks, both
+decoders recover the **identical** entry list (values and types), and
+malformed blocks or unencodable entries fail loudly.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import codec
+from repro.index.entry import Entry
+from repro.index.kernels import vectorized
+
+I64 = 2**63
+
+record_ids = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+days = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+infos = st.one_of(
+    st.none(),
+    st.integers(),  # includes out-of-int64 values (pool-backed)
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+)
+entry_lists = st.lists(
+    st.builds(Entry, record_ids, days, infos), max_size=60
+)
+
+
+@given(entry_lists)
+@settings(max_examples=200)
+def test_batch_encoder_is_byte_identical_to_reference(entries):
+    reference = codec.encode_entries_object(entries)
+    with vectorized(True):
+        assert codec.encode_entries(entries) == reference
+    with vectorized(False):
+        assert codec.encode_entries(entries) == reference
+
+
+@given(entry_lists)
+@settings(max_examples=200)
+def test_round_trip_recovers_identical_entries(entries):
+    block = codec.encode_entries_object(entries)
+    for decode in (codec.decode_entries_object, codec.decode_entries):
+        got = decode(block)
+        assert got == entries
+        for original, decoded in zip(entries, got):
+            assert type(decoded.info) is type(original.info)
+
+
+@given(entry_lists)
+@settings(max_examples=100)
+def test_decoders_agree_with_kernels_on_and_off(entries):
+    block = codec.encode_entries(entries)
+    reference = codec.decode_entries_object(block)
+    with vectorized(True):
+        assert codec.decode_entries(block) == reference
+    with vectorized(False):
+        assert codec.decode_entries(block) == reference
+
+
+def test_none_info_round_trips():
+    entries = [Entry(1, 2, None), Entry(3, 4, None), Entry(5, 6, None)]
+    block = codec.encode_entries(entries)
+    assert codec.decode_entries(block) == entries
+    assert codec.decode_entries(block)[0].info is None
+
+
+def test_mixed_info_types_round_trip():
+    entries = [
+        Entry(1, 1, None),
+        Entry(2, 1, 42),
+        Entry(3, 2, -7),
+        Entry(4, 2, 3.5),
+        Entry(5, 3, "häßlich ünïcode"),
+        Entry(6, 3, 10**30),
+        Entry(7, 4, -(10**30)),
+        Entry(8, 4, ""),
+    ]
+    block = codec.encode_entries(entries)
+    assert block == codec.encode_entries_object(entries)
+    got = codec.decode_entries(block)
+    assert got == entries
+    assert [type(e.info) for e in got] == [type(e.info) for e in entries]
+
+
+def test_block_layout_is_fixed_width():
+    entries = [Entry(i, i, i) for i in range(5)]
+    block = codec.encode_entries(entries)
+    assert block[:4] == codec.MAGIC
+    assert len(block) == codec.encoded_size(5)
+    with_pool = codec.encode_entries([Entry(1, 1, "abc")])
+    assert len(with_pool) == codec.encoded_size(1, 3)
+
+
+def test_empty_list_round_trips():
+    block = codec.encode_entries([])
+    assert codec.decode_entries(block) == []
+    assert len(block) == codec.encoded_size(0)
+
+
+def test_bool_info_is_rejected():
+    with pytest.raises(codec.EntryCodecError):
+        codec.encode_entries_object([Entry(1, 1, True)])
+    # The batch path must reject it too, not silently encode as int.
+    with pytest.raises(codec.EntryCodecError):
+        codec.encode_entries([Entry(1, 1, True), Entry(2, 2, False)])
+
+
+def test_unencodable_info_is_rejected():
+    with pytest.raises(codec.EntryCodecError):
+        codec.encode_entries([Entry(1, 1, [1, 2])])
+
+
+def test_out_of_range_record_id_is_rejected():
+    with pytest.raises(codec.EntryCodecError):
+        codec.encode_entries([Entry(I64, 1, None), Entry(1, 1, None)])
+    with pytest.raises(codec.EntryCodecError):
+        codec.encode_entries([Entry(1, -I64 - 1, None), Entry(1, 1, None)])
+
+
+def test_truncated_block_is_rejected():
+    block = codec.encode_entries([Entry(1, 1, 2), Entry(3, 4, 5)])
+    with pytest.raises(codec.EntryCodecError):
+        codec.decode_entries(block[:-1])
+    with pytest.raises(codec.EntryCodecError):
+        codec.decode_entries(block[: codec._HEADER.size - 1])
+
+
+def test_bad_magic_is_rejected():
+    block = codec.encode_entries([Entry(1, 1, 2), Entry(3, 4, 5)])
+    with pytest.raises(codec.EntryCodecError):
+        codec.decode_entries(b"XXXX" + block[4:])
+
+
+def test_unknown_tag_is_rejected():
+    block = bytearray(codec.encode_entries([Entry(1, 1, 2), Entry(3, 4, 5)]))
+    block[codec._HEADER.size + 16] = 99
+    with pytest.raises(codec.EntryCodecError):
+        codec.decode_entries(bytes(block))
+    with pytest.raises(codec.EntryCodecError):
+        codec.decode_entries_object(bytes(block))
+
+
+def test_pool_reference_outside_pool_is_rejected():
+    block = bytearray(codec.encode_entries_object([Entry(1, 1, "ab")]))
+    # Inflate the pool-ref length field far past the 2-byte pool.
+    offset = codec._HEADER.size + 24
+    struct.pack_into("<II", block, offset, 0, 9999)
+    with pytest.raises(codec.EntryCodecError):
+        codec.decode_entries_object(bytes(block))

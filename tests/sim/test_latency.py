@@ -1,5 +1,8 @@
 """Tests for the query-latency simulation under maintenance."""
 
+import math
+import random
+
 import pytest
 
 from repro.analysis.daycount import run_reports
@@ -7,6 +10,7 @@ from repro.analysis.parameters import SCAM_PARAMETERS
 from repro.core.schemes import DelScheme, ReindexScheme
 from repro.errors import ReproError
 from repro.index.updates import UpdateTechnique
+from repro.sim import latency as latency_mod
 from repro.sim.latency import (
     maintenance_timeline,
     simulate_query_latency,
@@ -132,6 +136,62 @@ class TestLatency:
                 report, SCAM_PARAMETERS, UpdateTechnique.IN_PLACE,
                 queries_per_day=-1,
             )
+
+    def test_percentiles_use_nearest_rank(self):
+        """Regression: p50/p95 are nearest-rank, not off-by-one indexing.
+
+        The old code picked the upper median (``sorted[n // 2]``) and
+        indexed p95 at ``int(0.95 * n)`` — the *count* of covered
+        observations, one rank past the nearest-rank element.  Rebuild
+        the empirical latency sample with the same seed and check the
+        reported percentiles land on the exact nearest-rank elements.
+        """
+        report = steady_report(DelScheme, UpdateTechnique.IN_PLACE)
+        queries_per_day, seed = 400, 7
+        stats = simulate_query_latency(
+            report,
+            SCAM_PARAMETERS,
+            UpdateTechnique.IN_PLACE,
+            queries_per_day=queries_per_day,
+            seed=seed,
+        )
+
+        # Mirror the simulator's arrival loop to recover the sample.
+        names = {snap.name for snap in report.constituents}
+        intervals = maintenance_timeline(
+            report, UpdateTechnique.IN_PLACE, names,
+            data_arrival_s=6 * 3600.0,
+        )
+        service_s = latency_mod._per_query_service_s(
+            report, SCAM_PARAMETERS
+        )
+        rng = random.Random(seed)
+        latencies = []
+        t = 0.0
+        rate = queries_per_day / latency_mod.DAY_SECONDS
+        for _ in range(queries_per_day):
+            t += rng.expovariate(rate)
+            if t > latency_mod.DAY_SECONDS:
+                break
+            wait = 0.0
+            for interval in intervals:
+                if interval.start_s <= t < interval.end_s:
+                    wait = max(wait, interval.end_s - t)
+            latencies.append(wait + service_s)
+
+        ordered = sorted(latencies)
+        n = len(ordered)
+        assert stats.queries == n
+
+        def nearest_rank(q):
+            return ordered[min(n - 1, max(0, math.ceil(q * n) - 1))]
+
+        assert stats.p50_s == nearest_rank(0.50)
+        assert stats.p95_s == nearest_rank(0.95)
+        assert stats.max_s == ordered[-1]
+        # The sample must actually discriminate against the old p95
+        # indexing, or this test proves nothing.
+        assert ordered[int(0.95 * n)] != stats.p95_s
 
     def test_percentiles_ordered(self):
         report = steady_report(DelScheme, UpdateTechnique.IN_PLACE)
