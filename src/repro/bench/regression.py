@@ -66,6 +66,8 @@ class HeadlineMetric:
             return report.get("headline", {}).get(
                 "throughput_recovery_makespan"
             )
+        if self.name == "frontend_knee_qps":
+            return report.get("headline", {}).get("frontend_knee_qps")
         raise KeyError(self.name)
 
 
@@ -120,6 +122,16 @@ HEADLINE_METRICS: tuple[HeadlineMetric, ...] = (
         higher_is_better=False,
         description="spike-to-recovery makespan of the elastic reshard bench",
     ),
+    HeadlineMetric(
+        "frontend_knee_qps",
+        "frontend",
+        higher_is_better=True,
+        description="sustained admitted qps at the frontend saturation knee",
+        # Wall-clock, machine-dependent: gate it only on a baseline
+        # adopted on the same machine class (like the wall-clock probe
+        # speedup, it is not in the committed repo baseline).
+        optional=True,
+    ),
 )
 
 
@@ -140,6 +152,11 @@ class RegressionRow:
     #: baseline — informational, never failing; adopt it with
     #: ``repro bench-check --update``.
     new: bool = False
+    #: The baseline carries a metric no benchmark measures anymore — a
+    #: gate that silently vanished.  Always failing: either restore the
+    #: metric or retire it deliberately with ``repro bench-check
+    #: --update`` (the mirror of ``new``).
+    dropped: bool = False
 
 
 def extract_headlines(report: dict[str, Any]) -> dict[str, float]:
@@ -163,10 +180,15 @@ def build_baseline(
 
     Metrics for benchmarks not present in ``reports`` are carried over
     from ``previous`` so a partial refresh never silently drops a gate.
+    Names the registry no longer defines are pruned — ``--update`` is
+    the deliberate way to retire a DROPPED gate.
     """
     metrics: dict[str, float] = {}
     if previous is not None:
         metrics.update(previous.get("metrics", {}))
+        for name in list(metrics):
+            if _metric_by_name(name) is None:
+                metrics.pop(name)
     for report in reports:
         metrics.update(extract_headlines(report))
     return {
@@ -200,6 +222,9 @@ def compare(
     A measured metric the baseline has not adopted yet becomes a
     non-failing *NEW* row pointing at ``repro bench-check --update``
     (first run of a fresh benchmark against an older baseline).
+    A baseline metric the registry no longer defines at all becomes a
+    failing *DROPPED* row — a vanished gate must be retired on purpose
+    (``--update`` prunes it), never silently.
     """
     current: dict[str, float] = {}
     provided_benches = {r.get("bench") for r in reports}
@@ -209,7 +234,17 @@ def compare(
     baseline_metrics = baseline.get("metrics", {})
     for name, base_value in sorted(baseline_metrics.items()):
         metric = _metric_by_name(name)
-        if metric is None or metric.bench not in provided_benches:
+        if metric is None:
+            # The baseline gates a metric the registry no longer
+            # defines: the gate vanished out from under the baseline.
+            # Fail loudly instead of skipping (mirror of NEW rows).
+            rows.append(
+                RegressionRow(
+                    name, base_value, None, None, True, dropped=True
+                )
+            )
+            continue
+        if metric.bench not in provided_benches:
             rows.append(
                 RegressionRow(name, base_value, None, None, False, skipped=True)
             )
@@ -258,22 +293,34 @@ def render_diff_table(rows: list[RegressionRow], threshold: float) -> str:
             continue
         current = f"{row.current:.4f}" if row.current is not None else "-"
         change = f"{row.change:+.1%}" if row.change is not None else "-"
-        verdict = "NEW" if row.new else "FAIL" if row.regressed else "ok"
+        verdict = (
+            "DROPPED"
+            if row.dropped
+            else "NEW" if row.new else "FAIL" if row.regressed else "ok"
+        )
         lines.append(
             f"{row.metric:<32} {baseline:>10} {current:>10} "
             f"{change:>8} {verdict:>8}"
         )
     checked = [r for r in rows if not r.skipped and not r.new]
-    failed = [r for r in checked if r.regressed]
+    failed = [r for r in checked if r.regressed and not r.dropped]
+    gone = [r for r in rows if r.dropped]
     fresh = [r for r in rows if r.new]
     lines.append("")
+    if gone:
+        names = ", ".join(r.metric for r in gone)
+        lines.append(
+            f"DROPPED: baseline metric(s) {names} no longer measured by "
+            f"any benchmark — restore the metric, or retire it "
+            f"deliberately with `repro bench-check --update`"
+        )
     if failed:
         names = ", ".join(r.metric for r in failed)
         lines.append(
             f"REGRESSION: {names} worse than baseline by more than "
             f"{threshold:.0%}"
         )
-    else:
+    elif not gone:
         lines.append(
             f"gate ok: {len(checked)} metric(s) within {threshold:.0%} "
             f"of baseline ({len(rows) - len(checked) - len(fresh)} skipped)"

@@ -414,6 +414,127 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit nonzero when any invariant fails (the CI mode)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="boot the asyncio query frontend over a demo cluster and "
+        "serve probe/scan over TCP until interrupted",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default: 0 = pick a free one and print it)",
+    )
+    serve.add_argument(
+        "--policy", choices=("shed", "queue"), default="shed",
+        help="overload policy for a full queue (default: shed)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=None,
+        help="bounded request queue depth (default 256)",
+    )
+    serve.add_argument(
+        "--concurrency", type=int, default=None,
+        help="max batches dispatched to the backend at once (default 4)",
+    )
+    serve.add_argument(
+        "--tenant-rate", type=float, default=None,
+        help="per-tenant token-bucket rate in requests/s "
+        "(default: no per-tenant limit)",
+    )
+    serve.add_argument("--window", "-w", type=int, default=None)
+    serve.add_argument("--shards", type=int, default=None)
+    serve.add_argument(
+        "--scheme", default=None,
+        help="maintenance scheme the demo cluster runs (default REINDEX)",
+    )
+    serve.add_argument("--seed", type=int, default=None)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="replay an open-loop request schedule (poisson or usenet "
+        "diurnal arrivals) against a frontend and report the outcome",
+    )
+    loadgen.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="frontend to drive (default: boot one in-process)",
+    )
+    loadgen.add_argument(
+        "--duration", type=float, default=None,
+        help="burst duration in seconds (default 2.0)",
+    )
+    loadgen.add_argument(
+        "--qps", type=float, default=None,
+        help="mean offered load in requests/s (default 400)",
+    )
+    loadgen.add_argument(
+        "--arrivals", choices=("poisson", "diurnal"), default=None,
+        help="arrival process (default poisson)",
+    )
+    loadgen.add_argument(
+        "--users", type=int, default=None,
+        help="simulated user population (default 1,000,000)",
+    )
+    loadgen.add_argument(
+        "--tenants", type=int, default=None,
+        help="tenants the population is split across (default 8)",
+    )
+    loadgen.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-request deadline (default: none)",
+    )
+    loadgen.add_argument(
+        "--policy", choices=("shed", "queue"), default="shed",
+        help="overload policy of the in-process frontend",
+    )
+    loadgen.add_argument(
+        "--tenant-rate", type=float, default=None,
+        help="per-tenant token-bucket rate of the in-process frontend",
+    )
+    loadgen.add_argument("--seed", type=int, default=None)
+    loadgen.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as JSON instead of a summary",
+    )
+
+    frontend = sub.add_parser(
+        "bench-frontend",
+        help="sweep offered load past the saturation knee under the "
+        "shed and queue overload policies; emit BENCH_frontend.json "
+        "(wall-clock: never byte-compared)",
+    )
+    frontend.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized sweep (fewer, shorter steps)",
+    )
+    frontend.add_argument(
+        "--out", default="BENCH_frontend.json",
+        help="output JSON path (default: ./BENCH_frontend.json)",
+    )
+    frontend.add_argument(
+        "--multipliers", type=float, nargs="+", default=None,
+        help="offered-load multipliers of calibrated capacity "
+        "(must straddle 1.0)",
+    )
+    frontend.add_argument(
+        "--step-duration", type=float, default=None,
+        help="seconds per sweep step",
+    )
+    frontend.add_argument(
+        "--service-us", type=float, default=None,
+        help="stand-in backend service time per request in "
+        "microseconds (default 2500)",
+    )
+    frontend.add_argument(
+        "--users", type=int, default=None,
+        help="simulated user population (default 1,000,000)",
+    )
+    frontend.add_argument("--seed", type=int, default=None)
+    frontend.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero unless the graceful-degradation claims "
+        "hold (the CI mode)",
+    )
+
     check = sub.add_parser(
         "bench-check",
         help="gate fresh bench artifacts against BENCH_baseline.json",
@@ -950,6 +1071,226 @@ def _cmd_topology_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _demo_cluster_config(args: argparse.Namespace):
+    from dataclasses import replace
+
+    from .serve.demo import DemoClusterConfig
+
+    overrides = {
+        "window": getattr(args, "window", None),
+        "n_shards": getattr(args, "shards", None),
+        "scheme": getattr(args, "scheme", None),
+        "seed": getattr(args, "seed", None),
+    }
+    overrides = {k: v for k, v in overrides.items() if v is not None}
+    return replace(DemoClusterConfig(), **overrides)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .errors import FrontendError
+    from .serve.admission import AdmissionConfig
+    from .serve.demo import build_demo_cluster
+    from .serve.server import FrontendServer
+
+    try:
+        cluster = _demo_cluster_config(args)
+        admission = AdmissionConfig(
+            overload_policy=args.policy,
+            **(
+                {}
+                if args.queue_depth is None
+                else {"max_queue_depth": args.queue_depth}
+            ),
+            **(
+                {}
+                if args.concurrency is None
+                else {"max_concurrency": args.concurrency}
+            ),
+            tenant_rate=args.tenant_rate,
+        )
+    except (KeyError, FrontendError) as exc:
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
+
+    async def _serve() -> int:
+        print(
+            f"building demo cluster (scheme={cluster.scheme} "
+            f"W={cluster.window} shards={cluster.n_shards})...",
+            flush=True,
+        )
+        sim = build_demo_cluster(cluster)
+        server = FrontendServer(sim.coordinator, admission)
+        await server.start(host=args.host, port=args.port)
+        print(
+            f"serving on {args.host}:{server.port} "
+            f"(policy={admission.overload_policy}, "
+            f"queue={admission.max_queue_depth}, "
+            f"concurrency={admission.max_concurrency}); Ctrl-C to drain",
+            flush=True,
+        )
+        try:
+            await asyncio.Event().wait()
+        except asyncio.CancelledError:
+            pass
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\ndraining...", file=sys.stderr)
+        return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .errors import FrontendError, WorkloadError
+    from .loadgen import LoadConfig, TenantPopulation, run_load
+    from .serve.admission import (
+        AdmissionConfig,
+        AdmissionController,
+        CoordinatorBackend,
+    )
+    from .serve.client import FrontendClient, InProcessClient
+    from .serve.demo import build_demo_cluster
+
+    try:
+        cluster = _demo_cluster_config(args)
+        population = TenantPopulation(
+            **({} if args.users is None else {"n_users": args.users}),
+            **({} if args.tenants is None else {"n_tenants": args.tenants}),
+        )
+        load = LoadConfig(
+            **({} if args.duration is None else {"duration_s": args.duration}),
+            **({} if args.qps is None else {"offered_qps": args.qps}),
+            **({} if args.arrivals is None else {"arrivals": args.arrivals}),
+            population=population,
+            domain=cluster.domain,
+            t_lo=cluster.oldest_day,
+            t_hi=cluster.last_day,
+            deadline_ms=args.deadline_ms,
+            **({} if args.seed is None else {"seed": args.seed}),
+        )
+    except (KeyError, FrontendError, WorkloadError) as exc:
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
+
+    async def _drive() -> int:
+        if args.connect is not None:
+            host, _, port = args.connect.rpartition(":")
+            client = await FrontendClient().connect(host or "127.0.0.1",
+                                                    int(port))
+            controller = None
+        else:
+            sim = build_demo_cluster(cluster)
+            controller = AdmissionController(
+                CoordinatorBackend(sim.coordinator),
+                AdmissionConfig(
+                    overload_policy=args.policy,
+                    tenant_rate=args.tenant_rate,
+                ),
+            )
+            controller.start()
+            client = InProcessClient(controller)
+        try:
+            report = await run_load(client, load)
+        finally:
+            await client.close()
+            if controller is not None:
+                await controller.drain()
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            latency = report.latency
+            print(
+                f"offered {report.offered} requests "
+                f"({report.offered_qps:.0f} qps nominal) over "
+                f"{report.wall_duration_s:.2f}s wall"
+            )
+            print(
+                f"completed {report.completed} "
+                f"({report.admitted_qps:.0f} qps), errors {report.errors}, "
+                f"max issue lag {report.max_lag_s * 1e3:.1f} ms"
+            )
+            if report.rejected:
+                rejects = ", ".join(
+                    f"{code}={n}"
+                    for code, n in sorted(report.rejected.items())
+                )
+                print(f"rejected: {rejects}")
+            if latency.get("count"):
+                print(
+                    f"latency ms: p50 {latency['p50'] * 1e3:.1f}  "
+                    f"p95 {latency['p95'] * 1e3:.1f}  "
+                    f"p99 {latency['p99'] * 1e3:.1f}  "
+                    f"max {latency['max'] * 1e3:.1f}"
+                )
+            top = sorted(
+                report.per_tenant.items(),
+                key=lambda kv: -kv[1]["offered"],
+            )[:4]
+            for tenant, bins in top:
+                print(
+                    f"  {tenant}: offered {bins['offered']} "
+                    f"completed {bins['completed']} "
+                    f"rejected {bins['rejected']}"
+                )
+        return 0
+
+    try:
+        return asyncio.run(_drive())
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot reach frontend: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_bench_frontend(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .bench.frontend import (
+        FrontendBenchConfig,
+        quick_config,
+        render_summary,
+        run_frontend_bench,
+        write_report,
+    )
+    from .errors import FrontendError, WorkloadError
+
+    config = FrontendBenchConfig()
+    if args.quick:
+        config = quick_config(config)
+    overrides: dict = {}
+    if args.multipliers is not None:
+        overrides["load_multipliers"] = tuple(args.multipliers)
+    if args.step_duration is not None:
+        overrides["step_duration_s"] = args.step_duration
+    if args.service_us is not None:
+        overrides["service_us"] = args.service_us
+    if args.users is not None:
+        overrides["n_users"] = args.users
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    try:
+        config = replace(config, **overrides)
+        report = run_frontend_bench(config)
+    except (KeyError, ValueError, FrontendError, WorkloadError) as exc:
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
+    path = write_report(report, args.out)
+    print(render_summary(report))
+    print(f"\nwrote {path}")
+    if args.strict and not report["headline"]["claim"]["pass"]:
+        print(
+            "frontend bench FAILED: graceful-degradation claims violated",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_bench_check(args: argparse.Namespace) -> int:
     from .bench.regression import (
         DEFAULT_THRESHOLD,
@@ -1024,6 +1365,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_bench_elastic(args)
     if args.command == "topology-chaos":
         return _cmd_topology_chaos(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
+    if args.command == "bench-frontend":
+        return _cmd_bench_frontend(args)
     if args.command == "bench-check":
         return _cmd_bench_check(args)
     raise AssertionError(f"unhandled command {args.command!r}")

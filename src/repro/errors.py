@@ -138,5 +138,27 @@ class CircuitOpenError(ClusterError):
         self.retry_at = retry_at
 
 
+class FrontendError(ReproError):
+    """The serving frontend (:mod:`repro.serve`) was configured or driven
+    incorrectly — bad protocol frames, malformed requests, or a client
+    used after its connection closed."""
+
+
+class RequestRejected(FrontendError):
+    """The admission-control pipeline refused a request.
+
+    ``code`` is the machine-readable reason the wire protocol carries
+    back to the client: ``shed-overload`` (bounded queue full under the
+    shed policy), ``rate-limit`` (the tenant's token bucket is empty),
+    ``deadline-expired`` (the request's deadline passed while it was
+    queued or in flight), or ``draining`` (the server is shutting down
+    gracefully and no longer admits new work).
+    """
+
+    def __init__(self, code: str, message: str | None = None) -> None:
+        super().__init__(message or code)
+        self.code = code
+
+
 # Public alias: ``IndexError_`` reads poorly at call sites.
 ConstituentIndexError = IndexError_

@@ -1,0 +1,281 @@
+"""Open-loop load generator for the serving frontend.
+
+Builds a deterministic *schedule* first — arrival times from a Poisson
+or usenet-diurnal process, each arrival bound to a tenant/user from a
+million-user population and to a concrete probe or scan — then replays
+it against a client in open loop: requests are issued when the clock
+says so, never when the previous response lands.  Responses settle
+concurrently; the generator records each request's fate (completed,
+shed, rate-limited, deadline-expired) and wall-clock latency.
+
+The report separates **offered** load (what the schedule demanded) from
+**admitted/completed** load (what the server absorbed) — the gap *is*
+the overload behaviour under test.  ``max_lag_s`` reports how far the
+issue loop itself fell behind the schedule, so a run where the
+generator (not the server) was the bottleneck is visible instead of
+silently under-offering.
+
+Works against either client in :mod:`repro.serve.client`; schedules are
+reproducible from the seed, so two policies can be offered *exactly*
+the same traffic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import FrontendError, RequestRejected, WorkloadError
+from ..obs import Histogram
+from .arrivals import (
+    TenantPopulation,
+    modulated_arrivals,
+    poisson_arrivals,
+    usenet_diurnal_profile,
+)
+
+#: Arrival shapes :class:`LoadConfig` accepts.
+ARRIVAL_KINDS = ("poisson", "diurnal")
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """One open-loop burst's shape.
+
+    ``offered_qps`` is the schedule's mean rate; the diurnal profile
+    redistributes it across the run without changing the mean.
+    ``t_lo``/``t_hi`` bound the day axis queries ask about (take them
+    from the served cluster's window).
+    """
+
+    duration_s: float = 2.0
+    offered_qps: float = 400.0
+    arrivals: str = "poisson"
+    #: Days of the usenet weekly profile compressed onto the run
+    #: (only used by ``arrivals="diurnal"``).
+    diurnal_days: int = 7
+    population: TenantPopulation = field(default_factory=TenantPopulation)
+    probe_fraction: float = 0.9
+    domain: int = 400
+    t_lo: int = 1
+    t_hi: int = 5
+    deadline_ms: float | None = None
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise WorkloadError(
+                f"duration_s must be > 0, got {self.duration_s}"
+            )
+        if self.offered_qps <= 0:
+            raise WorkloadError(
+                f"offered_qps must be > 0, got {self.offered_qps}"
+            )
+        if self.arrivals not in ARRIVAL_KINDS:
+            raise WorkloadError(
+                f"unknown arrival kind {self.arrivals!r}; "
+                f"known: {', '.join(ARRIVAL_KINDS)}"
+            )
+        if not 0.0 <= self.probe_fraction <= 1.0:
+            raise WorkloadError(
+                f"probe_fraction must be in [0, 1], "
+                f"got {self.probe_fraction}"
+            )
+        if self.domain < 1:
+            raise WorkloadError(f"domain must be >= 1, got {self.domain}")
+        if not self.t_lo <= self.t_hi:
+            raise WorkloadError(
+                f"t_lo {self.t_lo} must be <= t_hi {self.t_hi}"
+            )
+
+
+@dataclass(frozen=True)
+class ScheduledRequest:
+    """One arrival: when, who, and what to ask."""
+
+    at: float
+    tenant: str
+    user_id: int
+    op: str  # "probe" | "scan"
+    value: int | None
+    t1: int
+    t2: int
+
+
+def build_schedule(config: LoadConfig) -> list[ScheduledRequest]:
+    """Return the burst's deterministic request schedule."""
+    rng = random.Random(config.seed)
+    if config.arrivals == "diurnal":
+        times = modulated_arrivals(
+            config.offered_qps,
+            config.duration_s,
+            usenet_diurnal_profile(config.diurnal_days),
+            rng,
+        )
+    else:
+        times = poisson_arrivals(config.offered_qps, config.duration_s, rng)
+    schedule = []
+    for t in times:
+        tenant, user_id = config.population.sample(rng)
+        t1 = rng.randint(config.t_lo, config.t_hi)
+        t2 = rng.randint(t1, config.t_hi)
+        if rng.random() < config.probe_fraction:
+            schedule.append(
+                ScheduledRequest(
+                    t, tenant, user_id, "probe",
+                    rng.randint(1, config.domain), t1, t2,
+                )
+            )
+        else:
+            schedule.append(
+                ScheduledRequest(t, tenant, user_id, "scan", None, t1, t2)
+            )
+    return schedule
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one open-loop burst (all latencies wall-clock)."""
+
+    offered: int
+    offered_qps: float
+    wall_duration_s: float
+    completed: int
+    rejected: dict[str, int]
+    errors: int
+    latency: dict[str, float]
+    per_tenant: dict[str, dict[str, int]]
+    max_lag_s: float
+
+    @property
+    def shed(self) -> int:
+        """Return how many requests the shed policy turned away."""
+        return self.rejected.get("shed-overload", 0)
+
+    @property
+    def admitted_qps(self) -> float:
+        """Return completed requests per wall-clock second."""
+        if self.wall_duration_s <= 0:
+            return 0.0
+        return self.completed / self.wall_duration_s
+
+    @property
+    def shed_ratio(self) -> float:
+        """Return the fraction of offered requests that were shed."""
+        return self.shed / self.offered if self.offered else 0.0
+
+    @property
+    def reject_ratio(self) -> float:
+        """Return the fraction of offered requests rejected for any reason."""
+        total = sum(self.rejected.values())
+        return total / self.offered if self.offered else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return the JSON-serialisable report."""
+        return {
+            "offered": self.offered,
+            "offered_qps": self.offered_qps,
+            "wall_duration_s": self.wall_duration_s,
+            "completed": self.completed,
+            "admitted_qps": self.admitted_qps,
+            "rejected": dict(sorted(self.rejected.items())),
+            "shed_ratio": self.shed_ratio,
+            "errors": self.errors,
+            "latency": self.latency,
+            "per_tenant": {
+                k: dict(v) for k, v in sorted(self.per_tenant.items())
+            },
+            "max_lag_s": self.max_lag_s,
+        }
+
+
+async def run_load(
+    client: Any,
+    config: LoadConfig,
+    *,
+    clock: Callable[[], float] = time.monotonic,
+) -> LoadReport:
+    """Replay ``config``'s schedule against ``client`` in open loop."""
+    schedule = build_schedule(config)
+    latencies = Histogram("loadgen.latency")
+    rejected: dict[str, int] = {}
+    per_tenant: dict[str, dict[str, int]] = {}
+    completed = 0
+    errors = 0
+    max_lag = 0.0
+
+    def tenant_bin(tenant: str) -> dict[str, int]:
+        return per_tenant.setdefault(
+            tenant, {"offered": 0, "completed": 0, "rejected": 0}
+        )
+
+    async def issue(request: ScheduledRequest) -> None:
+        nonlocal completed, errors
+        started = clock()
+        try:
+            if request.op == "probe":
+                await client.probe(
+                    request.value, request.t1, request.t2,
+                    tenant=request.tenant,
+                    deadline_ms=config.deadline_ms,
+                )
+            else:
+                await client.scan(
+                    request.t1, request.t2,
+                    tenant=request.tenant,
+                    deadline_ms=config.deadline_ms,
+                )
+        except RequestRejected as exc:
+            rejected[exc.code] = rejected.get(exc.code, 0) + 1
+            tenant_bin(request.tenant)["rejected"] += 1
+            return
+        except (FrontendError, ConnectionError, OSError):
+            errors += 1
+            return
+        completed += 1
+        tenant_bin(request.tenant)["completed"] += 1
+        latencies.observe(clock() - started)
+
+    tasks: list[asyncio.Task] = []
+    loop = asyncio.get_running_loop()
+    start = clock()
+    for request in schedule:
+        tenant_bin(request.tenant)["offered"] += 1
+        due = start + request.at
+        delay = due - clock()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        else:
+            max_lag = max(max_lag, -delay)
+        tasks.append(loop.create_task(issue(request)))
+    if tasks:
+        await asyncio.gather(*tasks)
+    wall = clock() - start
+    return LoadReport(
+        offered=len(schedule),
+        offered_qps=len(schedule) / config.duration_s,
+        wall_duration_s=wall,
+        completed=completed,
+        rejected=rejected,
+        errors=errors,
+        latency=latencies.summary(),
+        per_tenant=per_tenant,
+        max_lag_s=max_lag,
+    )
+
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "LoadConfig",
+    "LoadReport",
+    "ScheduledRequest",
+    "TenantPopulation",
+    "build_schedule",
+    "modulated_arrivals",
+    "poisson_arrivals",
+    "run_load",
+    "usenet_diurnal_profile",
+]

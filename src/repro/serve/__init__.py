@@ -1,0 +1,46 @@
+"""Real-concurrency serving frontend over the cluster coordinator.
+
+Until this package, every number in the repo came from simulated clocks
+inside one synchronous process.  ``repro.serve`` puts an actual service
+in front of :class:`~repro.cluster.coordinator.ClusterCoordinator`:
+
+* :mod:`repro.serve.protocol` — length-prefixed JSON TCP protocol;
+* :mod:`repro.serve.admission` — the admission-control pipeline
+  (per-tenant token buckets, bounded queue with shed-vs-queue overload
+  policy, concurrency-limited batched dispatch, deadline propagation
+  with cancellation, graceful drain);
+* :mod:`repro.serve.server` — the asyncio TCP frontend;
+* :mod:`repro.serve.client` — multiplexing TCP client and an
+  in-process client with the same surface;
+* :mod:`repro.serve.demo` — a seeded ready-to-serve cluster for the
+  CLI, the load generator, and the saturation bench.
+
+A thread-pool executor bridges the asyncio world to the synchronous
+coordinator; the simulated substrate stays single-threaded behind a
+lock, while the event loop overlaps queueing, admission, deadline
+handling, and I/O with the backend's compute.  Wall-clock latency and
+throughput are measured by :mod:`repro.loadgen` and
+``repro bench-frontend``.
+"""
+
+from .admission import (
+    AdmissionConfig,
+    AdmissionController,
+    CoordinatorBackend,
+    TokenBucket,
+)
+from .client import FrontendClient, InProcessClient
+from .demo import DemoClusterConfig, build_demo_cluster
+from .server import FrontendServer
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "CoordinatorBackend",
+    "DemoClusterConfig",
+    "FrontendClient",
+    "FrontendServer",
+    "InProcessClient",
+    "TokenBucket",
+    "build_demo_cluster",
+]

@@ -1,0 +1,518 @@
+"""Admission control for the asyncio serving frontend.
+
+The pipeline every query passes through, in order:
+
+1. **Drain gate** — a draining server admits nothing new
+   (``draining``); work already admitted still completes.
+2. **Per-tenant token bucket** — each tenant refills at
+   ``tenant_rate`` tokens/s up to ``tenant_burst``; an empty bucket
+   rejects with ``rate-limit`` before the request costs anything.
+3. **Bounded request queue** — at most ``max_queue_depth`` requests
+   wait.  When the queue is full the configured overload policy
+   decides: ``shed`` rejects immediately with ``shed-overload`` (keeps
+   admitted-latency bounded; the open-loop generator sees the rejects),
+   ``queue`` makes the submitter wait for space (backpressure: latency
+   absorbs the overload instead).
+4. **Deadline while queued** — a dispatcher that dequeues an
+   already-expired request rejects it (``deadline-expired``) without
+   spending backend time on an answer nobody is waiting for.
+5. **Concurrency-limited dispatch** — ``max_concurrency`` dispatcher
+   tasks pull from the queue.  Consecutive probe requests are coalesced
+   (up to ``batch_max``) into one backend ``probe_many`` call, carrying
+   PR 2's batch amortization through the frontend.  The synchronous
+   backend runs on a thread-pool executor so the event loop keeps
+   accepting and timing out other work.
+6. **Deadline in flight** — the dispatch is awaited under the batch's
+   largest remaining deadline; on expiry the waiting requests are
+   rejected and the answer, when the worker thread eventually produces
+   it, is discarded (the thread itself cannot be interrupted — the
+   cancellation boundary is the event loop, which is where the client
+   is waiting).
+
+Everything is observable through a :class:`~repro.obs.MetricsRegistry`:
+``serve.admitted`` / ``serve.shed`` / ``serve.rejected.*`` counters,
+per-tenant admit/reject counters, queue-depth and batch-size
+histograms, and **wall-clock** latency histograms (``serve.latency.*``,
+in seconds).  Unlike every other metric in this repo these are real
+time, not simulated-disk time — the frontend exists precisely to
+measure the system under real concurrency — so they are never
+byte-compared across machines.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import FrontendError, RequestRejected
+from ..obs import MetricsRegistry
+
+#: Overload policies :class:`AdmissionConfig` accepts.
+OVERLOAD_POLICIES = ("shed", "queue")
+
+#: Rejection codes the pipeline emits (the wire protocol's error codes).
+CODE_SHED = "shed-overload"
+CODE_RATE_LIMIT = "rate-limit"
+CODE_DEADLINE = "deadline-expired"
+CODE_DRAINING = "draining"
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Tuning knobs of the admission pipeline.
+
+    The defaults are sized for the demo cluster the CLI serves; the
+    saturation bench overrides them per sweep.
+    """
+
+    max_queue_depth: int = 256
+    overload_policy: str = "shed"
+    max_concurrency: int = 4
+    #: Consecutive same-op requests coalesced into one backend batch.
+    batch_max: int = 32
+    #: Per-tenant refill rate in requests/s; ``None`` disables the
+    #: token buckets entirely (every tenant is unlimited).
+    tenant_rate: float | None = None
+    tenant_burst: float = 50.0
+    #: Deadline applied to requests that do not carry their own.
+    default_deadline_s: float | None = None
+    #: How long :meth:`AdmissionController.drain` waits for queued and
+    #: in-flight work before abandoning it.
+    drain_timeout_s: float = 10.0
+    executor_workers: int = 4
+
+    def __post_init__(self) -> None:
+        if self.overload_policy not in OVERLOAD_POLICIES:
+            raise FrontendError(
+                f"unknown overload policy {self.overload_policy!r}; "
+                f"known: {', '.join(OVERLOAD_POLICIES)}"
+            )
+        if self.max_queue_depth < 1:
+            raise FrontendError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.max_concurrency < 1:
+            raise FrontendError(
+                f"max_concurrency must be >= 1, got {self.max_concurrency}"
+            )
+        if self.batch_max < 1:
+            raise FrontendError(
+                f"batch_max must be >= 1, got {self.batch_max}"
+            )
+        if self.tenant_rate is not None and self.tenant_rate <= 0:
+            raise FrontendError(
+                f"tenant_rate must be > 0, got {self.tenant_rate}"
+            )
+        if self.tenant_burst < 1:
+            raise FrontendError(
+                f"tenant_burst must be >= 1, got {self.tenant_burst}"
+            )
+
+
+class TokenBucket:
+    """One tenant's rate limiter: ``rate`` tokens/s up to ``burst``.
+
+    Pure arithmetic on an injected clock value — no threads, no tasks —
+    so refill timing is exactly testable.
+    """
+
+    def __init__(self, rate: float, burst: float, *, now: float) -> None:
+        if rate <= 0:
+            raise FrontendError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise FrontendError(f"burst must be >= 1, got {burst}")
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self._last = now
+
+    def _refill(self, now: float) -> None:
+        if now > self._last:
+            self.tokens = min(
+                self.burst, self.tokens + (now - self._last) * self.rate
+            )
+        self._last = max(self._last, now)
+
+    def try_take(self, now: float, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; refills first."""
+        self._refill(now)
+        if self.tokens >= n:
+            self.tokens -= n
+            return True
+        return False
+
+    def seconds_until(self, n: float = 1.0, *, now: float) -> float:
+        """Return how long until ``n`` tokens will be available."""
+        self._refill(now)
+        if self.tokens >= n:
+            return 0.0
+        return (n - self.tokens) / self.rate
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting in the queue."""
+
+    op: str  # "probe" | "scan"
+    spec: tuple[Any, ...]
+    tenant: str
+    enqueued_at: float
+    deadline: float | None
+    future: asyncio.Future = field(repr=False, kw_only=True)
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+    def remaining(self, now: float) -> float | None:
+        if self.deadline is None:
+            return None
+        return self.deadline - now
+
+
+class CoordinatorBackend:
+    """Thread-safe bridge from the async frontend to the sync cluster.
+
+    The :class:`~repro.cluster.coordinator.ClusterCoordinator` and the
+    simulated substrate under it are single-threaded state (device
+    clocks, page caches, failover bookkeeping), so a lock serializes
+    the actual coordinator calls; concurrency above this point comes
+    from batching and from the event loop overlapping queueing,
+    admission, and timeout handling with the backend's compute.
+    """
+
+    def __init__(self, coordinator: Any) -> None:
+        import threading
+
+        self.coordinator = coordinator
+        self._lock = threading.Lock()
+
+    def probe_many(self, specs: list[tuple[Any, int, int]]) -> list[Any]:
+        with self._lock:
+            return list(self.coordinator.probe_many(specs).results)
+
+    def scan_many(self, specs: list[tuple[int, int]]) -> list[Any]:
+        with self._lock:
+            return list(self.coordinator.scan_many(specs).results)
+
+
+class AdmissionController:
+    """The admission pipeline: buckets -> bounded queue -> dispatchers.
+
+    Args:
+        backend: Object with synchronous ``probe_many(specs)`` /
+            ``scan_many(specs)`` returning one result per spec (usually
+            a :class:`CoordinatorBackend`).
+        config: Pipeline tuning.
+        metrics: Registry the pipeline publishes into (created when
+            omitted; exposed as :attr:`obs`).
+        clock: Wall-clock source (seconds, monotonic).  Injected so
+            token-bucket and deadline tests can run on a fake clock.
+    """
+
+    def __init__(
+        self,
+        backend: Any,
+        config: AdmissionConfig | None = None,
+        *,
+        metrics: MetricsRegistry | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.backend = backend
+        self.config = config or AdmissionConfig()
+        self.obs = metrics or MetricsRegistry()
+        self.clock = clock
+        self._queue: asyncio.Queue[_Pending] = asyncio.Queue(
+            maxsize=self.config.max_queue_depth
+        )
+        self._buckets: dict[str, TokenBucket] = {}
+        self._dispatchers: list[asyncio.Task] = []
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.executor_workers,
+            thread_name_prefix="repro-serve",
+        )
+        self._draining = False
+        self._in_flight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the dispatcher tasks (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for i in range(self.config.max_concurrency):
+            self._dispatchers.append(
+                asyncio.get_running_loop().create_task(
+                    self._dispatch_loop(), name=f"repro-dispatch-{i}"
+                )
+            )
+
+    @property
+    def draining(self) -> bool:
+        """Return ``True`` once :meth:`drain` has begun."""
+        return self._draining
+
+    @property
+    def queue_depth(self) -> int:
+        """Return how many admitted requests are waiting."""
+        return self._queue.qsize()
+
+    @property
+    def in_flight(self) -> int:
+        """Return how many requests are currently dispatched."""
+        return self._in_flight
+
+    async def drain(self, timeout_s: float | None = None) -> bool:
+        """Stop admitting, let queued and in-flight work finish.
+
+        Returns ``True`` when everything completed inside the timeout;
+        ``False`` when the timeout expired and the stragglers were
+        abandoned (their futures are rejected with ``draining``).
+        Either way the dispatchers and the executor are shut down.
+        """
+        self._draining = True
+        timeout = (
+            self.config.drain_timeout_s if timeout_s is None else timeout_s
+        )
+        clean = True
+        try:
+            await asyncio.wait_for(self._quiesced(), timeout)
+        except asyncio.TimeoutError:
+            clean = False
+        for task in self._dispatchers:
+            task.cancel()
+        for task in self._dispatchers:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._dispatchers.clear()
+        while not self._queue.empty():
+            pending = self._queue.get_nowait()
+            self._reject(pending, CODE_DRAINING, "abandoned by drain")
+            clean = False
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        self.obs.counter("serve.drains").inc()
+        return clean
+
+    async def _quiesced(self) -> None:
+        while True:
+            if self._queue.empty() and self._in_flight == 0:
+                return
+            await self._idle.wait()
+            # The event flips on every transition to idle dispatchers;
+            # loop to re-check the queue, which may have been refilled
+            # by a submitter that won the race with the drain flag.
+            self._idle.clear()
+
+    # ------------------------------------------------------------------
+    # Submission (stages 1-3)
+    # ------------------------------------------------------------------
+
+    async def submit(
+        self,
+        op: str,
+        spec: tuple[Any, ...],
+        *,
+        tenant: str = "default",
+        deadline_s: float | None = None,
+    ) -> Any:
+        """Run one request through the pipeline; return its result.
+
+        Raises :class:`~repro.errors.RequestRejected` with the
+        stage-specific code when the pipeline refuses it.
+        """
+        if op not in ("probe", "scan"):
+            raise FrontendError(f"unknown op {op!r}")
+        now = self.clock()
+        self.obs.counter("serve.requests").inc()
+        self.obs.counter(f"serve.tenant.{tenant}.requests").inc()
+        if self._draining:
+            raise self._rejected(tenant, CODE_DRAINING, "server is draining")
+        if not self._bucket_admits(tenant, now):
+            raise self._rejected(
+                tenant, CODE_RATE_LIMIT,
+                f"tenant {tenant!r} exceeded its request rate",
+            )
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        pending = _Pending(
+            op=op,
+            spec=spec,
+            tenant=tenant,
+            enqueued_at=now,
+            deadline=None if deadline_s is None else now + deadline_s,
+            future=asyncio.get_running_loop().create_future(),
+        )
+        self.obs.histogram("serve.queue.depth").observe(self._queue.qsize())
+        if self.config.overload_policy == "shed":
+            try:
+                self._queue.put_nowait(pending)
+            except asyncio.QueueFull:
+                self.obs.counter("serve.shed").inc()
+                raise self._rejected(
+                    tenant, CODE_SHED,
+                    f"queue full ({self.config.max_queue_depth}) under "
+                    f"the shed policy",
+                ) from None
+        else:
+            # Queue policy: backpressure.  The submitter waits for a
+            # slot; time spent here is queueing latency by another name
+            # and lands in the same wall-clock histogram.
+            await self._queue.put(pending)
+        self.obs.counter("serve.admitted").inc()
+        self.obs.counter(f"serve.tenant.{tenant}.admitted").inc()
+        return await pending.future
+
+    def _bucket_admits(self, tenant: str, now: float) -> bool:
+        rate = self.config.tenant_rate
+        if rate is None:
+            return True
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(
+                rate, self.config.tenant_burst, now=now
+            )
+        return bucket.try_take(now)
+
+    def _rejected(
+        self, tenant: str, code: str, message: str
+    ) -> RequestRejected:
+        self.obs.counter(f"serve.rejected.{code}").inc()
+        self.obs.counter(f"serve.tenant.{tenant}.rejected").inc()
+        return RequestRejected(code, message)
+
+    def _reject(self, pending: _Pending, code: str, message: str) -> None:
+        if not pending.future.done():
+            pending.future.set_exception(
+                self._rejected(pending.tenant, code, message)
+            )
+
+    # ------------------------------------------------------------------
+    # Dispatch (stages 4-6)
+    # ------------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            pending = await self._queue.get()
+            batch = [pending]
+            # Coalesce immediately-available same-op requests so the
+            # backend sees one probe_many where the wire saw many
+            # single probes.
+            while (
+                len(batch) < self.config.batch_max
+                and not self._queue.empty()
+            ):
+                nxt = self._queue._queue[0]  # type: ignore[attr-defined]
+                if nxt.op != pending.op:
+                    break
+                batch.append(self._queue.get_nowait())
+            self._in_flight += len(batch)
+            self._idle.clear()
+            try:
+                await self._dispatch_batch(batch)
+            finally:
+                self._in_flight -= len(batch)
+                for _ in batch:
+                    self._queue.task_done()
+                if self._in_flight == 0:
+                    self._idle.set()
+
+    async def _dispatch_batch(self, batch: list[_Pending]) -> None:
+        now = self.clock()
+        alive: list[_Pending] = []
+        for pending in batch:
+            if pending.expired(now):
+                # Stage 4: the deadline passed while the request sat in
+                # the queue; spend nothing on it.
+                self.obs.counter("serve.deadline.queued").inc()
+                self._reject(
+                    pending, CODE_DEADLINE,
+                    "deadline expired while queued",
+                )
+            else:
+                alive.append(pending)
+        if not alive:
+            return
+        self.obs.histogram("serve.batch.size").observe(len(alive))
+        for pending in alive:
+            self.obs.histogram("serve.latency.queue").observe(
+                now - pending.enqueued_at
+            )
+        op = alive[0].op
+        specs = [p.spec for p in alive]
+        call = (
+            self.backend.probe_many
+            if op == "probe"
+            else self.backend.scan_many
+        )
+        loop = asyncio.get_running_loop()
+        work = loop.run_in_executor(self._executor, call, specs)
+        remaining = [
+            r for p in alive if (r := p.remaining(now)) is not None
+        ]
+        # Stage 6: wait under the batch's most patient deadline; each
+        # request is then settled against its own.
+        timeout = max(remaining) if len(remaining) == len(alive) else None
+        try:
+            results = await asyncio.wait_for(work, timeout)
+        except asyncio.CancelledError:
+            # An unclean drain cancelled this dispatcher mid-flight;
+            # settle the waiters so no client hangs on a dead future.
+            for pending in alive:
+                self._reject(pending, CODE_DRAINING, "abandoned by drain")
+            raise
+        except asyncio.TimeoutError:
+            # The worker thread finishes on its own; the answer is
+            # discarded — every waiter's deadline has passed.
+            self.obs.counter("serve.deadline.inflight").inc(len(alive))
+            for pending in alive:
+                self._reject(
+                    pending, CODE_DEADLINE,
+                    "deadline expired in flight",
+                )
+            return
+        except Exception as exc:  # backend fault: fail the batch loudly
+            self.obs.counter("serve.backend.errors").inc()
+            for pending in alive:
+                if not pending.future.done():
+                    pending.future.set_exception(
+                        FrontendError(f"backend error: {exc!r}")
+                    )
+            return
+        done = self.clock()
+        for pending, result in zip(alive, results):
+            if pending.expired(done):
+                self.obs.counter("serve.deadline.inflight").inc()
+                self._reject(
+                    pending, CODE_DEADLINE,
+                    "deadline expired in flight",
+                )
+                continue
+            self.obs.counter("serve.completed").inc()
+            self.obs.histogram("serve.latency.wall").observe(
+                done - pending.enqueued_at
+            )
+            if not pending.future.done():
+                pending.future.set_result(result)
+
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "CODE_DEADLINE",
+    "CODE_DRAINING",
+    "CODE_RATE_LIMIT",
+    "CODE_SHED",
+    "CoordinatorBackend",
+    "OVERLOAD_POLICIES",
+    "TokenBucket",
+]

@@ -1,0 +1,233 @@
+"""Clients for the serving frontend: TCP and in-process.
+
+:class:`FrontendClient` speaks the wire protocol over one TCP
+connection with request multiplexing — any number of requests may be in
+flight at once; a background reader task settles each response future
+by its correlation id.  That multiplexing is what lets the open-loop
+load generator drive a single connection at rates far past the
+backend's capacity, which is the whole point of an overload bench.
+
+:class:`InProcessClient` presents the same ``probe``/``scan`` surface
+directly on an :class:`~repro.serve.admission.AdmissionController`,
+skipping sockets and JSON entirely.  The saturation bench uses it so
+the measured knee is the *admission pipeline and backend's*, not the
+JSON codec's; the CI smoke job uses the TCP client so the wire path
+stays exercised end to end.
+
+Both raise :class:`~repro.errors.RequestRejected` with the server's
+rejection code, so callers handle shed/rate-limit/deadline uniformly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any
+
+from ..core.queries import ProbeResult, ScanResult
+from ..errors import FrontendError, RequestRejected
+from . import protocol
+from .admission import AdmissionController
+
+
+class FrontendClient:
+    """Async TCP client with response multiplexing."""
+
+    def __init__(self) -> None:
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._ids = itertools.count(1)
+        self._reader_task: asyncio.Task | None = None
+        self._write_lock = asyncio.Lock()
+
+    async def connect(self, host: str, port: int) -> "FrontendClient":
+        """Open the connection and start the response reader."""
+        self._reader, self._writer = await asyncio.open_connection(host, port)
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_responses(), name="repro-client-reader"
+        )
+        return self
+
+    async def close(self) -> None:
+        """Close the connection; outstanding requests fail."""
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+        self._fail_pending(FrontendError("connection closed"))
+
+    async def __aenter__(self) -> "FrontendClient":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Ops
+    # ------------------------------------------------------------------
+
+    async def probe(
+        self,
+        value: Any,
+        t1: int,
+        t2: int,
+        *,
+        tenant: str = "default",
+        deadline_ms: float | None = None,
+    ) -> ProbeResult:
+        """Timed index probe for ``value`` over days ``[t1, t2]``."""
+        wire = await self._request(
+            {
+                "op": "probe", "value": value, "t1": t1, "t2": t2,
+                "tenant": tenant,
+                **(
+                    {} if deadline_ms is None
+                    else {"deadline_ms": deadline_ms}
+                ),
+            }
+        )
+        result = protocol.result_from_wire(wire)
+        assert isinstance(result, ProbeResult)
+        return result
+
+    async def scan(
+        self,
+        t1: int,
+        t2: int,
+        *,
+        tenant: str = "default",
+        deadline_ms: float | None = None,
+    ) -> ScanResult:
+        """Timed segment scan over days ``[t1, t2]``."""
+        wire = await self._request(
+            {
+                "op": "scan", "t1": t1, "t2": t2, "tenant": tenant,
+                **(
+                    {} if deadline_ms is None
+                    else {"deadline_ms": deadline_ms}
+                ),
+            }
+        )
+        result = protocol.result_from_wire(wire)
+        assert isinstance(result, ScanResult)
+        return result
+
+    async def ping(self) -> bool:
+        """Health check; bypasses admission on the server."""
+        return await self._request({"op": "ping"}) == "pong"
+
+    async def stats(self) -> dict[str, Any]:
+        """Scrape the server's metrics snapshot."""
+        return await self._request({"op": "stats"})
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    async def _request(self, message: dict[str, Any]) -> Any:
+        if self._writer is None:
+            raise FrontendError("client is not connected")
+        request_id = next(self._ids)
+        message["id"] = request_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            async with self._write_lock:
+                protocol.write_frame(self._writer, message)
+                await self._writer.drain()
+            return await future
+        finally:
+            self._pending.pop(request_id, None)
+
+    async def _read_responses(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                response = await protocol.read_frame(self._reader)
+                if response is None:
+                    self._fail_pending(
+                        FrontendError("server closed the connection")
+                    )
+                    return
+                self._settle(response)
+        except FrontendError as exc:
+            self._fail_pending(exc)
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionError, OSError) as exc:
+            self._fail_pending(FrontendError(f"connection lost: {exc}"))
+
+    def _settle(self, response: dict[str, Any]) -> None:
+        future = self._pending.get(response.get("id"))
+        if future is None or future.done():
+            return
+        if response.get("ok"):
+            future.set_result(response.get("result"))
+            return
+        error = response.get("error") or {}
+        code = error.get("code", "internal")
+        message = error.get("message", "")
+        if code in ("bad-request", "internal"):
+            future.set_exception(FrontendError(f"{code}: {message}"))
+        else:
+            future.set_exception(RequestRejected(code, message))
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+
+
+class InProcessClient:
+    """The client surface directly on an admission controller."""
+
+    def __init__(self, controller: AdmissionController) -> None:
+        self.controller = controller
+
+    async def probe(
+        self,
+        value: Any,
+        t1: int,
+        t2: int,
+        *,
+        tenant: str = "default",
+        deadline_ms: float | None = None,
+    ) -> ProbeResult:
+        return await self.controller.submit(
+            "probe", (value, t1, t2), tenant=tenant,
+            deadline_s=None if deadline_ms is None else deadline_ms / 1e3,
+        )
+
+    async def scan(
+        self,
+        t1: int,
+        t2: int,
+        *,
+        tenant: str = "default",
+        deadline_ms: float | None = None,
+    ) -> ScanResult:
+        return await self.controller.submit(
+            "scan", (t1, t2), tenant=tenant,
+            deadline_s=None if deadline_ms is None else deadline_ms / 1e3,
+        )
+
+    async def ping(self) -> bool:
+        return True
+
+    async def close(self) -> None:  # symmetry with the TCP client
+        return None
+
+
+__all__ = ["FrontendClient", "InProcessClient"]

@@ -1,0 +1,210 @@
+"""Length-prefixed JSON wire protocol for the serving frontend.
+
+Every message — request or response — is one *frame*: a 4-byte
+big-endian unsigned length followed by that many bytes of UTF-8 JSON.
+Framing first, JSON second: a reader never has to scan for delimiters,
+partial reads resume cleanly, and a malformed payload poisons only its
+own frame, not the stream position.
+
+Requests carry ``id`` (client-chosen correlation number), ``op``
+(``probe`` / ``scan`` / ``ping`` / ``stats``), an optional ``tenant``
+(admission control's rate-limit key, default ``"default"``) and optional
+``deadline_ms`` (propagated through the admission pipeline), plus the
+op's arguments (``value``/``t1``/``t2``).  Responses echo the ``id``
+with either ``ok: true`` and a ``result`` or ``ok: false`` and an
+``error`` object carrying the machine-readable rejection ``code``
+(:class:`~repro.errors.RequestRejected`).
+
+Query results cross the wire as plain JSON (entries are
+``[record_id, day, info]`` triples, day sets are sorted lists) and come
+back as :class:`~repro.core.queries.ProbeResult` /
+:class:`~repro.core.queries.ScanResult` on the client, so in-process and
+TCP callers see identical shapes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any
+
+from ..core.queries import ProbeResult, ScanResult
+from ..errors import FrontendError
+from ..index.entry import Entry
+
+#: Frame length prefix: 4-byte big-endian unsigned.
+_LEN = struct.Struct(">I")
+
+#: Default ceiling on one frame's payload; a peer announcing more is
+#: treated as a protocol violation, not an allocation request.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Operations the server accepts.
+OPS = ("probe", "scan", "ping", "stats")
+
+
+def encode_frame(message: dict[str, Any]) -> bytes:
+    """Return ``message`` as one length-prefixed JSON frame."""
+    payload = json.dumps(
+        message, separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrontendError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LEN.pack(len(payload)) + payload
+
+
+def decode_frame(payload: bytes) -> dict[str, Any]:
+    """Decode one frame's JSON payload into a message dict."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrontendError(f"malformed frame payload: {exc}") from exc
+    if not isinstance(message, dict):
+        raise FrontendError(
+            f"frame must decode to an object, got {type(message).__name__}"
+        )
+    return message
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    *,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+) -> dict[str, Any] | None:
+    """Read one frame from ``reader``; ``None`` on clean EOF.
+
+    EOF in the middle of a frame (after the prefix, or mid-payload) is a
+    torn stream and raises :class:`~repro.errors.FrontendError` — the
+    peer vanished mid-message, which callers should not confuse with an
+    orderly close between frames.
+    """
+    try:
+        prefix = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrontendError(
+            f"stream closed mid-prefix ({len(exc.partial)}/4 bytes)"
+        ) from exc
+    (length,) = _LEN.unpack(prefix)
+    if length > max_frame_bytes:
+        raise FrontendError(
+            f"peer announced a {length}-byte frame "
+            f"(limit {max_frame_bytes})"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrontendError(
+            f"stream closed mid-frame ({len(exc.partial)}/{length} bytes)"
+        ) from exc
+    return decode_frame(payload)
+
+
+def write_frame(writer: asyncio.StreamWriter, message: dict[str, Any]) -> None:
+    """Queue one frame on ``writer`` (callers await ``writer.drain()``)."""
+    writer.write(encode_frame(message))
+
+
+# ----------------------------------------------------------------------
+# Result marshalling
+# ----------------------------------------------------------------------
+
+
+def _entries_to_wire(entries: tuple[Entry, ...]) -> list[list[Any]]:
+    return [[e.record_id, e.day, e.info] for e in entries]
+
+
+def _entries_from_wire(raw: list[Any]) -> tuple[Entry, ...]:
+    return tuple(Entry(int(r), int(d), info) for r, d, info in raw)
+
+
+def probe_result_to_wire(result: ProbeResult) -> dict[str, Any]:
+    """Return a JSON-serialisable view of one probe answer."""
+    return {
+        "kind": "probe",
+        "entries": _entries_to_wire(result.entries),
+        "seconds": result.seconds,
+        "indexes_probed": result.indexes_probed,
+        "covered_days": sorted(result.covered_days),
+        "missing_days": sorted(result.missing_days),
+    }
+
+
+def scan_result_to_wire(result: ScanResult) -> dict[str, Any]:
+    """Return a JSON-serialisable view of one scan answer."""
+    return {
+        "kind": "scan",
+        "entries": _entries_to_wire(result.entries),
+        "seconds": result.seconds,
+        "indexes_scanned": result.indexes_scanned,
+        "covered_days": sorted(result.covered_days),
+        "missing_days": sorted(result.missing_days),
+    }
+
+
+def result_to_wire(result: ProbeResult | ScanResult) -> dict[str, Any]:
+    """Marshal either result kind for the wire."""
+    if isinstance(result, ProbeResult):
+        return probe_result_to_wire(result)
+    if isinstance(result, ScanResult):
+        return scan_result_to_wire(result)
+    raise FrontendError(f"cannot marshal {type(result).__name__}")
+
+
+def result_from_wire(wire: dict[str, Any]) -> ProbeResult | ScanResult:
+    """Rebuild the result object a wire payload describes."""
+    try:
+        kind = wire["kind"]
+        entries = _entries_from_wire(wire["entries"])
+        covered = frozenset(wire["covered_days"])
+        missing = frozenset(wire["missing_days"])
+        if kind == "probe":
+            return ProbeResult(
+                entries, wire["seconds"], wire["indexes_probed"],
+                covered, missing,
+            )
+        if kind == "scan":
+            return ScanResult(
+                entries, wire["seconds"], wire["indexes_scanned"],
+                covered, missing,
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise FrontendError(f"malformed result payload: {exc}") from exc
+    raise FrontendError(f"unknown result kind {kind!r}")
+
+
+def error_response(
+    request_id: Any, code: str, message: str
+) -> dict[str, Any]:
+    """Return the ``ok: false`` response frame body."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+
+
+def ok_response(request_id: Any, result: Any) -> dict[str, Any]:
+    """Return the ``ok: true`` response frame body."""
+    return {"id": request_id, "ok": True, "result": result}
+
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "decode_frame",
+    "encode_frame",
+    "error_response",
+    "ok_response",
+    "probe_result_to_wire",
+    "read_frame",
+    "result_from_wire",
+    "result_to_wire",
+    "scan_result_to_wire",
+    "write_frame",
+]

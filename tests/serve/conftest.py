@@ -1,0 +1,63 @@
+"""Shared fakes for the serving-frontend tests.
+
+The admission tests run on fake backends and a fake clock so every
+time-dependent path (bucket refill, queued-deadline expiry) is exact,
+with no real sleeping.
+"""
+
+import threading
+
+import pytest
+
+
+class FakeClock:
+    """Manually-advanced monotonic clock."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class EchoBackend:
+    """Instant backend: answers derived from the specs, call log kept."""
+
+    def __init__(self) -> None:
+        self.probe_calls: list[list] = []
+        self.scan_calls: list[list] = []
+
+    def probe_many(self, specs):
+        self.probe_calls.append(list(specs))
+        return [("probe", spec) for spec in specs]
+
+    def scan_many(self, specs):
+        self.scan_calls.append(list(specs))
+        return [("scan", spec) for spec in specs]
+
+
+class GateBackend(EchoBackend):
+    """Backend that blocks in the worker thread until released."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.release = threading.Event()
+        self.entered = threading.Event()
+
+    def probe_many(self, specs):
+        self.entered.set()
+        assert self.release.wait(10), "test forgot to release the gate"
+        return super().probe_many(specs)
+
+    def scan_many(self, specs):
+        self.entered.set()
+        assert self.release.wait(10), "test forgot to release the gate"
+        return super().scan_many(specs)
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()

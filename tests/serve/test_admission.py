@@ -1,0 +1,406 @@
+"""Admission-pipeline tests: the overload edge cases.
+
+Time-dependent paths (bucket refill, queued-deadline expiry) run on the
+fake clock from ``conftest`` — no real sleeping, exact timing.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import FrontendError, RequestRejected
+from repro.serve.admission import (
+    CODE_DEADLINE,
+    CODE_DRAINING,
+    CODE_RATE_LIMIT,
+    CODE_SHED,
+    AdmissionConfig,
+    AdmissionController,
+    TokenBucket,
+)
+
+from .conftest import EchoBackend, GateBackend
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def spin(n: int = 10) -> None:
+    """Give the event loop a few cycles to move dispatcher tasks."""
+    for _ in range(n):
+        await asyncio.sleep(0)
+
+
+class TestConfigValidation:
+    def test_unknown_policy(self):
+        with pytest.raises(FrontendError, match="policy"):
+            AdmissionConfig(overload_policy="panic")
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("max_queue_depth", 0),
+            ("max_concurrency", 0),
+            ("batch_max", 0),
+            ("tenant_rate", 0.0),
+            ("tenant_burst", 0.5),
+        ],
+    )
+    def test_bad_numbers(self, field, value):
+        with pytest.raises(FrontendError):
+            AdmissionConfig(**{field: value})
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0, now=0.0)
+        assert all(bucket.try_take(0.0) for _ in range(3))
+        assert not bucket.try_take(0.0)
+
+    def test_refill_timing_is_exact(self):
+        bucket = TokenBucket(rate=2.0, burst=2.0, now=0.0)
+        bucket.try_take(0.0)
+        bucket.try_take(0.0)
+        # 2 tokens/s: one token exists at exactly t=0.5, not before.
+        assert not bucket.try_take(0.49)
+        assert bucket.seconds_until(now=0.49) == pytest.approx(0.01)
+        assert bucket.try_take(0.5)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0, now=0.0)
+        bucket.try_take(0.0)
+        bucket._refill(100.0)
+        assert bucket.tokens == 2.0
+
+    def test_clock_going_backwards_is_ignored(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0, now=10.0)
+        bucket.try_take(10.0)
+        assert not bucket.try_take(5.0)  # no refill from the past
+        assert bucket.try_take(11.0)
+
+
+class TestTenantRateLimit:
+    def controller(self, clock, **overrides):
+        config = AdmissionConfig(
+            tenant_rate=1.0, tenant_burst=2.0, max_concurrency=1,
+            **overrides,
+        )
+        return AdmissionController(
+            EchoBackend(), config, clock=clock
+        )
+
+    def test_exhaustion_then_refill(self, clock):
+        async def scenario():
+            controller = self.controller(clock)
+            controller.start()
+            try:
+                # Burst of 2 admitted, third rejected before queueing.
+                for _ in range(2):
+                    await controller.submit("probe", (1, 1, 2))
+                with pytest.raises(RequestRejected) as exc:
+                    await controller.submit("probe", (1, 1, 2))
+                assert exc.value.code == CODE_RATE_LIMIT
+                # Exactly one token after one second at rate=1.
+                clock.advance(1.0)
+                await controller.submit("probe", (1, 1, 2))
+                with pytest.raises(RequestRejected):
+                    await controller.submit("probe", (1, 1, 2))
+            finally:
+                await controller.drain()
+
+        run(scenario())
+
+    def test_buckets_are_per_tenant(self, clock):
+        async def scenario():
+            controller = self.controller(clock)
+            controller.start()
+            try:
+                for _ in range(2):
+                    await controller.submit("probe", (1, 1, 2), tenant="a")
+                with pytest.raises(RequestRejected):
+                    await controller.submit("probe", (1, 1, 2), tenant="a")
+                # Tenant b's bucket is untouched by a's exhaustion.
+                await controller.submit("probe", (1, 1, 2), tenant="b")
+            finally:
+                await controller.drain()
+
+        run(scenario())
+
+    def test_rejections_observable_per_tenant(self, clock):
+        async def scenario():
+            controller = self.controller(clock)
+            controller.start()
+            try:
+                for _ in range(2):
+                    await controller.submit("probe", (1, 1, 2), tenant="a")
+                with pytest.raises(RequestRejected):
+                    await controller.submit("probe", (1, 1, 2), tenant="a")
+                snapshot = controller.obs.snapshot()
+                counters = snapshot["counters"]
+                assert counters["serve.tenant.a.admitted"] == 2
+                assert counters["serve.tenant.a.rejected"] == 1
+                assert counters[f"serve.rejected.{CODE_RATE_LIMIT}"] == 1
+            finally:
+                await controller.drain()
+
+        run(scenario())
+
+
+class TestDeadlines:
+    def test_deadline_expired_while_queued(self, clock):
+        async def scenario():
+            backend = GateBackend()
+            controller = AdmissionController(
+                backend,
+                AdmissionConfig(max_concurrency=1, batch_max=1),
+                clock=clock,
+            )
+            controller.start()
+            loop = asyncio.get_running_loop()
+            # First request occupies the only dispatcher inside the
+            # gated backend.
+            blocker = loop.create_task(
+                controller.submit("probe", ("blocker", 1, 2))
+            )
+            await spin()
+            assert backend.entered.wait(5)
+            # Second request is admitted and waits in the queue with a
+            # 5-second deadline...
+            waiter = loop.create_task(
+                controller.submit(
+                    "probe", ("late", 1, 2), deadline_s=5.0
+                )
+            )
+            await spin()
+            assert controller.queue_depth == 1
+            # ...which expires before the dispatcher frees up.
+            clock.advance(10.0)
+            backend.release.set()
+            with pytest.raises(RequestRejected) as exc:
+                await waiter
+            assert exc.value.code == CODE_DEADLINE
+            assert await blocker == ("probe", ("blocker", 1, 2))
+            # The expired request never reached the backend.
+            assert [s for call in backend.probe_calls for s in call] == [
+                ("blocker", 1, 2)
+            ]
+            counters = controller.obs.snapshot()["counters"]
+            assert counters["serve.deadline.queued"] == 1
+            await controller.drain()
+
+        run(scenario())
+
+    def test_unexpired_deadline_completes(self, clock):
+        async def scenario():
+            controller = AdmissionController(
+                EchoBackend(),
+                AdmissionConfig(max_concurrency=1),
+                clock=clock,
+            )
+            controller.start()
+            try:
+                result = await controller.submit(
+                    "probe", (1, 1, 2), deadline_s=60.0
+                )
+                assert result == ("probe", (1, 1, 2))
+            finally:
+                await controller.drain()
+
+        run(scenario())
+
+
+class TestOverloadPolicies:
+    def test_shed_rejects_when_queue_full(self, clock):
+        async def scenario():
+            backend = GateBackend()
+            controller = AdmissionController(
+                backend,
+                AdmissionConfig(
+                    max_queue_depth=2, max_concurrency=1, batch_max=1,
+                    overload_policy="shed",
+                ),
+                clock=clock,
+            )
+            controller.start()
+            loop = asyncio.get_running_loop()
+            tasks = [
+                loop.create_task(controller.submit("probe", (0, 1, 2)))
+            ]
+            await spin()
+            assert backend.entered.wait(5)  # first is in flight
+            tasks += [
+                loop.create_task(controller.submit("probe", (i, 1, 2)))
+                for i in (1, 2)  # fills the depth-2 queue exactly
+            ]
+            await spin()
+            with pytest.raises(RequestRejected) as exc:
+                await controller.submit("probe", (99, 1, 2))
+            assert exc.value.code == CODE_SHED
+            backend.release.set()
+            assert len(await asyncio.gather(*tasks)) == 3
+            counters = controller.obs.snapshot()["counters"]
+            assert counters["serve.shed"] == 1
+            await controller.drain()
+
+        run(scenario())
+
+    def test_queue_policy_waits_instead_of_shedding(self, clock):
+        async def scenario():
+            backend = GateBackend()
+            controller = AdmissionController(
+                backend,
+                AdmissionConfig(
+                    max_queue_depth=2, max_concurrency=1, batch_max=1,
+                    overload_policy="queue",
+                ),
+                clock=clock,
+            )
+            controller.start()
+            loop = asyncio.get_running_loop()
+            tasks = [
+                loop.create_task(controller.submit("probe", (i, 1, 2)))
+                for i in range(4)  # more than fits: the excess waits
+            ]
+            await spin()
+            # Nothing was rejected; the overflow submitter is parked in
+            # the queue's put().
+            assert all(not t.done() for t in tasks)
+            backend.release.set()
+            results = await asyncio.gather(*tasks)
+            assert len(results) == 4
+            counters = controller.obs.snapshot()["counters"]
+            assert "serve.shed" not in counters
+            await controller.drain()
+
+        run(scenario())
+
+    def test_policies_equivalent_below_saturation(self, clock):
+        # At sub-saturation load the policy must be unobservable: both
+        # complete every request with nothing shed.
+        async def one_policy(policy):
+            backend = EchoBackend()
+            controller = AdmissionController(
+                backend,
+                AdmissionConfig(
+                    max_queue_depth=4, max_concurrency=2,
+                    overload_policy=policy,
+                ),
+                clock=clock,
+            )
+            controller.start()
+            try:
+                results = []
+                for i in range(40):
+                    results.append(
+                        await controller.submit(
+                            "probe", (i, 1, 2), tenant=f"t{i % 3}"
+                        )
+                    )
+                counters = controller.obs.snapshot()["counters"]
+                assert counters["serve.admitted"] == 40
+                assert "serve.shed" not in counters
+                return results
+            finally:
+                await controller.drain()
+
+        shed = run(one_policy("shed"))
+        queued = run(one_policy("queue"))
+        assert shed == queued
+
+    def test_batching_coalesces_consecutive_probes(self, clock):
+        async def scenario():
+            backend = GateBackend()
+            controller = AdmissionController(
+                backend,
+                AdmissionConfig(
+                    max_queue_depth=16, max_concurrency=1, batch_max=8,
+                ),
+                clock=clock,
+            )
+            controller.start()
+            loop = asyncio.get_running_loop()
+            blocker = loop.create_task(
+                controller.submit("probe", ("blocker", 1, 2))
+            )
+            await spin()
+            assert backend.entered.wait(5)
+            tasks = [
+                loop.create_task(controller.submit("probe", (i, 1, 2)))
+                for i in range(5)
+            ]
+            await spin()
+            backend.release.set()
+            await asyncio.gather(blocker, *tasks)
+            # The 5 queued probes went to the backend as one batch.
+            assert [len(c) for c in backend.probe_calls] == [1, 5]
+            await controller.drain()
+
+        run(scenario())
+
+
+class TestDrain:
+    def test_drain_completes_in_flight_work(self, clock):
+        async def scenario():
+            backend = GateBackend()
+            controller = AdmissionController(
+                backend,
+                AdmissionConfig(max_concurrency=1, batch_max=1),
+                clock=clock,
+            )
+            controller.start()
+            loop = asyncio.get_running_loop()
+            in_flight = loop.create_task(
+                controller.submit("probe", ("work", 1, 2))
+            )
+            await spin()
+            assert backend.entered.wait(5)
+            drain = loop.create_task(controller.drain(timeout_s=5.0))
+            await spin()
+            # New work is refused the moment draining begins.
+            with pytest.raises(RequestRejected) as exc:
+                await controller.submit("probe", ("late", 1, 2))
+            assert exc.value.code == CODE_DRAINING
+            backend.release.set()
+            # The admitted request still completes, and the drain is
+            # clean.
+            assert await in_flight == ("probe", ("work", 1, 2))
+            assert await drain is True
+
+        run(scenario())
+
+    def test_unclean_drain_rejects_stragglers(self, clock):
+        async def scenario():
+            backend = GateBackend()
+            controller = AdmissionController(
+                backend,
+                AdmissionConfig(max_concurrency=1, batch_max=1),
+                clock=clock,
+            )
+            controller.start()
+            loop = asyncio.get_running_loop()
+            stuck = loop.create_task(
+                controller.submit("probe", ("stuck", 1, 2))
+            )
+            await spin()
+            assert backend.entered.wait(5)
+            # The backend never comes back in time: drain times out,
+            # reports unclean, and the stuck waiter is settled (not
+            # hung forever on a dead future).
+            assert await controller.drain(timeout_s=0.05) is False
+            with pytest.raises(RequestRejected) as exc:
+                await stuck
+            assert exc.value.code == CODE_DRAINING
+            backend.release.set()  # let the worker thread exit
+
+        run(scenario())
+
+    def test_drain_idempotent_on_idle_controller(self, clock):
+        async def scenario():
+            controller = AdmissionController(
+                EchoBackend(), AdmissionConfig(), clock=clock
+            )
+            controller.start()
+            assert await controller.drain() is True
+
+        run(scenario())

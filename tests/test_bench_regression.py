@@ -190,3 +190,82 @@ class TestOptionalWallclockMetric:
             if r.metric == "serving_wallclock_probe_speedup"
         )
         assert wallclock.regressed
+
+
+def frontend_report(knee_qps=500.0):
+    return {
+        "bench": "frontend",
+        "headline": {"frontend_knee_qps": knee_qps},
+    }
+
+
+class TestDroppedMetric:
+    """A baseline gate no benchmark measures anymore must fail loudly."""
+
+    def ghost_baseline(self):
+        baseline = build_baseline([serving_report(4.0)])
+        baseline["metrics"]["retired_metric"] = 1.0
+        return baseline
+
+    def test_unknown_baseline_name_is_dropped_and_failing(self):
+        rows = compare(self.ghost_baseline(), [serving_report(4.0)])
+        ghost = next(r for r in rows if r.metric == "retired_metric")
+        assert ghost.dropped
+        assert ghost.regressed  # DROPPED fails the gate
+        assert not ghost.skipped
+
+    def test_dropped_fails_even_without_its_bench_provided(self):
+        # Unlike a skipped metric, DROPPED does not depend on which
+        # reports were handed to this CI job: the gate is gone, period.
+        rows = compare(self.ghost_baseline(), [overlap_report()])
+        ghost = next(r for r in rows if r.metric == "retired_metric")
+        assert ghost.dropped and ghost.regressed
+
+    def test_diff_table_names_the_dropped_gate(self):
+        rows = compare(self.ghost_baseline(), [serving_report(4.0)])
+        table = render_diff_table(rows, DEFAULT_THRESHOLD)
+        assert "DROPPED" in table
+        assert "retired_metric" in table
+        assert "--update" in table
+
+    def test_update_retires_the_dropped_gate(self):
+        refreshed = build_baseline(
+            [serving_report(4.0)], previous=self.ghost_baseline()
+        )
+        assert "retired_metric" not in refreshed["metrics"]
+        rows = compare(refreshed, [serving_report(4.0)])
+        assert not any(r.dropped for r in rows)
+
+    def test_known_but_absent_bench_still_skips(self):
+        # The DROPPED path must not swallow the normal skip: a metric
+        # whose benchmark simply was not run stays skipped, not failed.
+        baseline = build_baseline([serving_report(4.0), overlap_report()])
+        rows = compare(baseline, [serving_report(4.0)])
+        overlap = next(
+            r for r in rows if r.metric == "overlap_makespan_ratio_mean"
+        )
+        assert overlap.skipped and not overlap.regressed
+
+
+class TestFrontendKneeMetric:
+    def test_extracted_from_frontend_report(self):
+        headlines = extract_headlines(frontend_report(512.0))
+        assert headlines["frontend_knee_qps"] == 512.0
+
+    def test_not_in_default_baseline_shows_as_new(self):
+        baseline = build_baseline([serving_report(4.0)])
+        rows = compare(baseline, [frontend_report(512.0)])
+        knee = next(r for r in rows if r.metric == "frontend_knee_qps")
+        assert knee.new and not knee.regressed
+
+    def test_adopted_knee_gates_like_any_headline(self):
+        baseline = build_baseline([frontend_report(500.0)])
+        rows = compare(baseline, [frontend_report(200.0)])  # 60% drop
+        knee = next(r for r in rows if r.metric == "frontend_knee_qps")
+        assert knee.regressed
+
+    def test_absent_headline_skips_because_optional(self):
+        baseline = build_baseline([frontend_report(500.0)])
+        rows = compare(baseline, [{"bench": "frontend", "headline": {}}])
+        knee = next(r for r in rows if r.metric == "frontend_knee_qps")
+        assert knee.skipped and not knee.regressed
