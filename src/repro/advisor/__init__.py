@@ -1,0 +1,41 @@
+"""Cost-model-driven online tuning advisor (ROADMAP item 3).
+
+A control plane over the cluster that closes the loop between the
+paper's Section-5 analytic model and the running system:
+
+* :mod:`repro.advisor.observer` — per-shard workload windows out of the
+  ``repro.obs`` counters (probe/scan mix, arrival volume, value skew);
+* :mod:`repro.advisor.calibrate` — substrate-measured model constants;
+* :mod:`repro.advisor.planner` — ranks (scheme, n, technique) candidates
+  with the analytic total-work measure, hysteresis, and an amortized
+  switching charge;
+* :mod:`repro.advisor.engine` — executes accepted switches online
+  through the journaled copy → catch-up → swap pipeline;
+* :mod:`repro.advisor.router` — cost-aware routing across divergently
+  tuned replicas.
+
+Attach an :class:`AdvisorConfig` to ``ClusterConfig.advisor`` to enable
+it; with the default ``None`` the cluster is bit-identical to an
+advisor-less build.
+"""
+
+from .calibrate import calibrate_parameters
+from .config import AdvisorConfig
+from .engine import AdvisorEngine, RetuneAborted, RetuneReport
+from .observer import ShardObservation, WorkloadObserver
+from .planner import CostModelPlanner, Design, RetuneDecision
+from .router import DesignRouter
+
+__all__ = [
+    "AdvisorConfig",
+    "AdvisorEngine",
+    "CostModelPlanner",
+    "Design",
+    "DesignRouter",
+    "RetuneAborted",
+    "RetuneDecision",
+    "RetuneReport",
+    "ShardObservation",
+    "WorkloadObserver",
+    "calibrate_parameters",
+]

@@ -1,0 +1,111 @@
+"""Per-shard workload observation out of the metrics registry.
+
+The serving loop publishes what it sees — probe values, scans and their
+targets, request arrivals, per-value hit counts — as plain ``advisor.*``
+counters in the cluster's :class:`~repro.obs.MetricsRegistry`.  The
+observer never touches the query stream itself: it windows those
+monotonic counters with a :class:`~repro.obs.CounterWindow`, keeps the
+last ``observe_days`` of per-day deltas, and condenses them into the
+:class:`ShardObservation` the planner feeds to the cost model.
+
+Counter namespace (all under ``advisor.shard{ID}.``):
+
+* ``probes`` — probe *values* served (the model's ``Probe_num`` unit);
+* ``scans`` — segment scans served;
+* ``scans_newest`` — the subset of scans whose range is just the newest
+  day (SCAM-style registration checks, the model's ``Scan_idx = 1``);
+* ``requests`` — arrival units (batched or not), the volume signal;
+* ``value.{v}`` — per-value probe hits for skew, capped at
+  :data:`VALUE_TRACK_LIMIT` distinct values per shard (the remainder is
+  lumped into ``value.~other`` so cardinality stays bounded).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..obs import CounterWindow, MetricsRegistry
+
+#: Distinct per-shard probe values tracked individually for skew.
+VALUE_TRACK_LIMIT = 64
+
+
+@dataclass(frozen=True)
+class ShardObservation:
+    """One shard's workload, averaged over the observation window.
+
+    Attributes:
+        shard_id: The shard observed.
+        days: Days of data in the window (< ``observe_days`` during
+            warm-up; the planner abstains until the window is full).
+        probes_per_day: Probe values served per day (``Probe_num``).
+        scans_per_day: Segment scans served per day (``Scan_num``).
+        newest_fraction: Fraction of scans that touched only the newest
+            day; >= 0.5 infers ``scan_target="newest"``.
+        requests_per_day: Arrival units per day (volume ramp signal).
+        top_value_share: The hottest probe value's share of probe
+            traffic — 1/|domain| under uniform load, ~1.0 under a
+            single-value hotspot.
+    """
+
+    shard_id: int
+    days: int
+    probes_per_day: float
+    scans_per_day: float
+    newest_fraction: float
+    requests_per_day: float
+    top_value_share: float
+
+    @property
+    def scan_target(self) -> str:
+        """Return the inferred model ``scan_target`` for this mix."""
+        return "newest" if self.newest_fraction >= 0.5 else "all"
+
+
+class WorkloadObserver:
+    """Windows ``advisor.*`` counters into per-shard observations."""
+
+    PREFIX = "advisor."
+
+    def __init__(self, registry: MetricsRegistry, observe_days: int) -> None:
+        if observe_days < 1:
+            raise ValueError(f"observe_days must be >= 1, got {observe_days}")
+        self.observe_days = observe_days
+        self._window: CounterWindow = registry.window()
+        self._days: deque[dict[str, float]] = deque(maxlen=observe_days)
+
+    def end_day(self) -> None:
+        """Close the day: bank its counter deltas, roll the window."""
+        self._days.append(self._window.advance(self.PREFIX))
+
+    def _sum(self, shard_id: int, leaf: str) -> float:
+        key = f"{self.PREFIX}shard{shard_id}.{leaf}"
+        return sum(day.get(key, 0.0) for day in self._days)
+
+    def observation(self, shard_id: int) -> ShardObservation:
+        """Return the windowed workload summary for ``shard_id``."""
+        days = max(1, len(self._days))
+        probes = self._sum(shard_id, "probes")
+        scans = self._sum(shard_id, "scans")
+        newest = self._sum(shard_id, "scans_newest")
+        requests = self._sum(shard_id, "requests")
+        value_prefix = f"{self.PREFIX}shard{shard_id}.value."
+        value_totals: dict[str, float] = {}
+        for day in self._days:
+            for key, delta in day.items():
+                if key.startswith(value_prefix):
+                    value_totals[key] = value_totals.get(key, 0.0) + delta
+        tracked = sum(value_totals.values())
+        top_share = (
+            max(value_totals.values()) / tracked if tracked > 0 else 0.0
+        )
+        return ShardObservation(
+            shard_id=shard_id,
+            days=len(self._days),
+            probes_per_day=probes / days,
+            scans_per_day=scans / days,
+            newest_fraction=newest / scans if scans > 0 else 0.0,
+            requests_per_day=requests / days,
+            top_value_share=top_share,
+        )

@@ -162,6 +162,50 @@ class CostParameters:
             raise ValueError(f"window must be >= 1, got {window}")
         return replace(self, window=window)
 
+    def with_overrides(self, **overrides: object) -> "CostParameters":
+        """Return a frozen copy with leaf fields overridden by name.
+
+        Accepts any leaf parameter from the three groups plus the
+        top-level fields, routed to the right nested dataclass — so a
+        caller modelling one shard's workload writes
+        ``params.with_overrides(probe_num=120.0, scan_num=3.0)`` instead
+        of rebuilding the whole nested structure.  Validation reruns via
+        each group's ``__post_init__``; unknown names raise
+        :class:`ValueError` listing the valid ones.
+        """
+        top = {"name", "window", "cp_s_override", "smcp_s_override"}
+        groups: dict[str, str] = {}
+        for attr, cls in (
+            ("hardware", HardwareParameters),
+            ("application", ApplicationParameters),
+            ("implementation", ImplementationParameters),
+        ):
+            for leaf in cls.__dataclass_fields__:
+                groups[leaf] = attr
+        unknown = set(overrides) - top - set(groups)
+        if unknown:
+            valid = sorted(top | set(groups))
+            raise ValueError(
+                f"unknown parameter override(s) {sorted(unknown)}; "
+                f"valid names: {valid}"
+            )
+        top_kw = {k: v for k, v in overrides.items() if k in top}
+        nested: dict[str, dict[str, object]] = {}
+        for key, value in overrides.items():
+            if key in top:
+                continue
+            nested.setdefault(groups[key], {})[key] = value
+        out = self
+        for attr, kwargs in nested.items():
+            out = replace(out, **{attr: replace(getattr(out, attr), **kwargs)})
+        if top_kw:
+            if "window" in top_kw and int(top_kw["window"]) < 1:  # type: ignore[arg-type]
+                raise ValueError(
+                    f"window must be >= 1, got {top_kw['window']}"
+                )
+            out = replace(out, **top_kw)  # type: ignore[arg-type]
+        return out
+
 
 # ----------------------------------------------------------------------
 # Table 12: published case-study parameterisations

@@ -68,6 +68,8 @@ class HeadlineMetric:
             )
         if self.name == "frontend_knee_qps":
             return report.get("headline", {}).get("frontend_knee_qps")
+        if self.name == "advisor_drift_advantage":
+            return report.get("headline", {}).get("advisor_drift_advantage")
         raise KeyError(self.name)
 
 
@@ -131,6 +133,12 @@ HEADLINE_METRICS: tuple[HeadlineMetric, ...] = (
         # adopted on the same machine class (like the wall-clock probe
         # speedup, it is not in the committed repo baseline).
         optional=True,
+    ),
+    HeadlineMetric(
+        "advisor_drift_advantage",
+        "advisor",
+        higher_is_better=True,
+        description="best-static/advisor cumulative cost over the drift",
     ),
 )
 

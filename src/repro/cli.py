@@ -21,6 +21,8 @@ Commands:
 * ``chaos-soak`` — randomized fault schedules against the self-healing
   cluster, invariants checked against a fault-free twin, writing
   ``BENCH_chaos.json``.
+* ``bench-advisor`` — race the online tuning advisor against every
+  static design over a drifting workload, writing ``BENCH_advisor.json``.
 * ``bench-check`` — gate fresh bench artifacts against the committed
   ``BENCH_baseline.json`` headline metrics.
 
@@ -377,6 +379,34 @@ def build_parser() -> argparse.ArgumentParser:
     elastic.add_argument(
         "--strict", action="store_true",
         help="exit nonzero unless the recovery claim holds (CI mode)",
+    )
+
+    badv = sub.add_parser(
+        "bench-advisor",
+        help="race the online tuning advisor against every static design "
+        "over a drifting workload and emit BENCH_advisor.json",
+    )
+    badv.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run (identical races; marks the artifact quick)",
+    )
+    badv.add_argument(
+        "--out", default="BENCH_advisor.json",
+        help="output JSON path (default: ./BENCH_advisor.json)",
+    )
+    badv.add_argument("--window", "-w", type=int, default=None)
+    badv.add_argument(
+        "--phase-days", type=int, default=None,
+        help="days per drift phase (default 14)",
+    )
+    badv.add_argument(
+        "--volume-ramp", type=float, default=None,
+        help="fractional request growth per day (default 0.02)",
+    )
+    badv.add_argument("--seed", type=int, default=None)
+    badv.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero unless the advisor claim holds (CI mode)",
     )
 
     topo = sub.add_parser(
@@ -1030,6 +1060,43 @@ def _cmd_bench_elastic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_advisor(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .bench.advisor import (
+        AdvisorBenchConfig,
+        quick_config,
+        render_summary,
+        run_advisor_bench,
+        write_report,
+    )
+    from .errors import ClusterError
+
+    config = AdvisorBenchConfig()
+    if args.quick:
+        config = quick_config(config)
+    overrides = {
+        "window": args.window,
+        "phase_days": args.phase_days,
+        "volume_ramp": args.volume_ramp,
+        "seed": args.seed,
+    }
+    overrides = {k: v for k, v in overrides.items() if v is not None}
+    try:
+        config = replace(config, **overrides)
+        report = run_advisor_bench(config)
+    except (KeyError, ValueError, ClusterError) as exc:
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
+    path = write_report(report, args.out)
+    print(render_summary(report))
+    print(f"\nwrote {path}")
+    if args.strict and not report["headline"]["claim"]["pass"]:
+        print("advisor bench FAILED: claim violated", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_topology_chaos(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
@@ -1363,6 +1430,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_chaos_soak(args)
     if args.command == "bench-elastic":
         return _cmd_bench_elastic(args)
+    if args.command == "bench-advisor":
+        return _cmd_bench_advisor(args)
     if args.command == "topology-chaos":
         return _cmd_topology_chaos(args)
     if args.command == "serve":

@@ -35,6 +35,7 @@ from .partitioner import Partitioner
 from .shard import Shard, ShardReplica
 
 if TYPE_CHECKING:
+    from ..advisor.router import DesignRouter
     from .selfheal import ReplicaHealthMonitor
 
 
@@ -108,6 +109,13 @@ class ClusterCoordinator:
             With one, replica selection honours the circuit breakers and
             escaped transients are retried under the monitor's retry
             policy instead of immediately retiring the replica.
+        router: Optional :class:`~repro.advisor.router.DesignRouter`.
+            With divergently tuned replicas it picks the replica whose
+            design fits each batch (probes to the probe twin, scans to
+            the scan twin); without one the primary serves, and with a
+            ``monitor`` the breaker policy wins (health beats cost).
+            Failover is unchanged either way: faults retire the chosen
+            replica and the batch re-serves on any healthy one.
     """
 
     def __init__(
@@ -117,6 +125,7 @@ class ClusterCoordinator:
         metrics: MetricsRegistry | None = None,
         *,
         monitor: "ReplicaHealthMonitor | None" = None,
+        router: "DesignRouter | None" = None,
     ) -> None:
         if len(shards) != partitioner.n_shards:
             raise ClusterError(
@@ -127,6 +136,7 @@ class ClusterCoordinator:
         self.partitioner = partitioner
         self.obs = metrics or MetricsRegistry()
         self.monitor = monitor
+        self.router = router
         self.topology_version = 0
 
     # ------------------------------------------------------------------
@@ -167,9 +177,21 @@ class ClusterCoordinator:
     # Failover primitive
     # ------------------------------------------------------------------
 
-    def _serve(self, shard: Shard, call, *, degraded: bool = True):
+    def _serve(
+        self,
+        shard: Shard,
+        call,
+        *,
+        degraded: bool = True,
+        route: tuple[int, int, str] | None = None,
+    ):
         """Run ``call(replica, degraded)`` on the shard, failing over on
         faults.
+
+        ``route`` — ``(t1, t2, kind)`` for the batch — lets an attached
+        :class:`~repro.advisor.router.DesignRouter` pick among divergently
+        tuned replicas; it only applies without a health monitor (an open
+        breaker outranks a cost preference).
 
         Failover beats degradation: while the shard has *another* live
         replica, the call runs strict (``degraded=False``) so a device
@@ -191,7 +213,10 @@ class ClusterCoordinator:
         exhausted: set[int] = set()
         while True:
             if monitor is None:
-                replica = shard.primary
+                if self.router is not None and route is not None:
+                    replica = self.router.choose(shard, *route)
+                else:
+                    replica = shard.primary
             else:
                 replica, breaker_wait = monitor.serving_replica(
                     shard, now=monitor.now, exclude=exhausted
@@ -286,6 +311,11 @@ class ClusterCoordinator:
                 shard,
                 lambda r, d: r.wave.probe_many(shard_specs, degraded=d),
                 degraded=degraded,
+                route=(
+                    min(t1 for _v, t1, _t2 in shard_specs),
+                    max(t2 for _v, _t1, t2 in shard_specs),
+                    "probe",
+                ),
             )
             merge.charge_aborted(shard_id, aborted)
             if batch is None:
@@ -329,6 +359,13 @@ class ClusterCoordinator:
                 shard,
                 lambda r, d: r.wave.scan_many(specs, degraded=d),
                 degraded=degraded,
+                route=(
+                    min(t1 for t1, _t2 in specs),
+                    max(t2 for _t1, t2 in specs),
+                    "scan",
+                )
+                if specs
+                else None,
             )
             merge.charge_aborted(shard.shard_id, aborted)
             if batch is None:

@@ -56,6 +56,11 @@ class ShardReplica:
     #: (its rebuild included the day's plan); the maintenance pass skips
     #: it for that day.  ``None`` for replicas built the normal way.
     caught_up_day: int | None = None
+    #: A replica the advisor retuned carries its *own* scheme instance —
+    #: a divergent (scheme, n) design of the same shard data — and runs
+    #: that scheme's plans instead of the shard-level plan.  ``None``
+    #: (every replica built the normal way) means the shard's scheme.
+    scheme: WaveScheme | None = None
 
     @property
     def name(self) -> str:

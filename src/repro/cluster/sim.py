@@ -71,6 +71,19 @@ from ..storage.array import DiskArray
 from ..storage.cost import DiskParameters
 from ..storage.disk import SimulatedDisk
 from ..storage.pagecache import PageCache
+from ..advisor import (
+    AdvisorConfig,
+    AdvisorEngine,
+    CostModelPlanner,
+    Design,
+    DesignRouter,
+    RetuneAborted,
+    RetuneDecision,
+    RetuneReport,
+    WorkloadObserver,
+    calibrate_parameters,
+)
+from ..advisor.observer import VALUE_TRACK_LIMIT
 from .coordinator import ClusterCoordinator
 from .elastic import (
     Autoscaler,
@@ -128,6 +141,11 @@ class ClusterConfig:
             the topology frozen; with it set and ``partitioner="hash"``,
             the plain hash partitioner is silently upgraded to the
             slot-based one so splits are even possible.
+        advisor: Optional online-tuning configuration (workload
+            observation, cost-model re-planning, journaled per-replica
+            retunes, divergent designs — see :mod:`repro.advisor`).
+            ``None`` (the default) keeps every design frozen and the
+            run bit-identical to an advisor-less build.
     """
 
     n_shards: int = 2
@@ -142,6 +160,7 @@ class ClusterConfig:
     page_size: int | None = None
     selfheal: SelfHealConfig | None = None
     elastic: ElasticConfig | None = None
+    advisor: "AdvisorConfig | None" = None
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -167,6 +186,15 @@ class ClusterConfig:
         if self.page_cache_bytes is not None and self.page_cache_bytes < 1:
             raise ClusterError(
                 f"page_cache_bytes must be >= 1, got {self.page_cache_bytes}"
+            )
+        if (
+            self.advisor is not None
+            and self.advisor.divergent
+            and self.replication < 2
+        ):
+            raise ClusterError(
+                "divergent per-replica designs need replication >= 2, "
+                f"got {self.replication}"
             )
 
     @property
@@ -214,6 +242,13 @@ class ClusterDayStats:
     topology_version: int = 0
     n_shards: int = 0
     autoscaler: dict[str, Any] | None = None
+    #: Online-tuning activity (all zero/None when the advisor is off).
+    retunes: int = 0
+    retunes_aborted: int = 0
+    retune_seconds: float = 0.0
+    #: Per-replica design labels after this day's retunes, keyed
+    #: ``"s{shard}/r{replica}"`` — only replicas with a divergent design.
+    designs: dict[str, str] | None = None
     #: Per-shard serving busy time; ``max()`` of it is the serving
     #: bottleneck the elastic bench measures throughput against.
     query_seconds: tuple[float, ...] = ()
@@ -476,8 +511,31 @@ class ClusterSimulation:
                 Shard(shard_id, scheme, shard_stores[shard_id], replicas)
             )
         self.scheme = self.shards[0].scheme
+        #: Online-tuning machinery (all ``None`` when the advisor is off,
+        #: keeping every hot path on its legacy branch).
+        self.advisor: AdvisorEngine | None = None
+        self._observer: WorkloadObserver | None = None
+        self._planner: CostModelPlanner | None = None
+        self.router: DesignRouter | None = None
+        self._retune_queue: list[RetuneDecision] = []
+        self._value_tracks: dict[int, set[Any]] = {}
+        if cfg.advisor is not None:
+            params = calibrate_parameters(
+                store, index_config, window=self.scheme.window
+            )
+            self._planner = CostModelPlanner(params, cfg.advisor)
+            self._observer = WorkloadObserver(
+                self.obs, cfg.advisor.observe_days
+            )
+            self.advisor = AdvisorEngine(self)
+            if cfg.advisor.divergent:
+                self.router = DesignRouter()
         self.coordinator = ClusterCoordinator(
-            self.shards, self.partitioner, self.obs, monitor=self._monitor
+            self.shards,
+            self.partitioner,
+            self.obs,
+            monitor=self._monitor,
+            router=self.router,
         )
         self.latency_during: Histogram = self.obs.histogram(
             "cluster.latency.during_transition"
@@ -669,6 +727,99 @@ class ClusterSimulation:
         reports.append(report)
         return reports, aborted, deferred
 
+    # ------------------------------------------------------------------
+    # Online tuning advisor
+    # ------------------------------------------------------------------
+
+    def _observe_unit(self, shard_id: int, unit: QueryUnit) -> None:
+        """Publish one served (sub)unit to the ``advisor.*`` counters."""
+        prefix = f"advisor.shard{shard_id}."
+        self.obs.counter(prefix + "requests").inc(unit.requests)
+        if isinstance(unit, ScanUnit):
+            self.obs.counter(prefix + "scans").inc(unit.requests)
+            if unit.t1 == unit.t2:
+                self.obs.counter(prefix + "scans_newest").inc(unit.requests)
+            return
+        self.obs.counter(prefix + "probes").inc(len(unit.values))
+        tracked = self._value_tracks.setdefault(shard_id, set())
+        for value in unit.values:
+            if value in tracked or len(tracked) < VALUE_TRACK_LIMIT:
+                tracked.add(value)
+                self.obs.counter(f"{prefix}value.{value}").inc()
+            else:
+                self.obs.counter(prefix + "value.~other").inc()
+
+    def _replica_design(
+        self, shard: Shard, replica: ShardReplica
+    ) -> Design:
+        """Return the design a replica currently runs."""
+        scheme = replica.scheme or shard.scheme
+        return Design(
+            scheme.name, scheme.n_indexes, replica.executor.technique.value
+        )
+
+    def _plan_retunes(self, day: int) -> None:
+        """Queue accepted design switches at the day boundary."""
+        planner = self._planner
+        observer = self._observer
+        assert planner is not None and observer is not None
+        queued = {
+            (d.shard_id, d.replica_id) for d in self._retune_queue
+        }
+        for shard in self.shards:
+            obs = observer.observation(shard.shard_id)
+            for replica in shard.replicas:
+                if replica.failed:
+                    continue
+                if (shard.shard_id, replica.replica_id) in queued:
+                    continue
+                view = planner.replica_view(
+                    obs, replica.replica_id, len(shard.replicas)
+                )
+                decision = planner.decide(
+                    shard.shard_id,
+                    replica.replica_id,
+                    day,
+                    self._replica_design(shard, replica),
+                    view,
+                )
+                if decision is not None:
+                    self._retune_queue.append(decision)
+                    self.obs.counter("cluster.advisor.decisions").inc()
+
+    def _run_advisor(self, day: int) -> tuple[list[RetuneReport], int]:
+        """Execute queued retunes at the start of the day.
+
+        Healing outranks retuning for spares (same deterministic rule as
+        the elastic engine): an under-replicated cluster defers the whole
+        queue.  A ``no-spare`` abort keeps its decision queued for
+        tomorrow; any other abort drops it — the replica's cooldown keeps
+        the planner from immediately re-deciding the same switch.
+        """
+        reports: list[RetuneReport] = []
+        aborted = 0
+        if (
+            self.advisor is None
+            or not self._retune_queue
+            or day <= self.window
+        ):
+            return reports, aborted
+        if self._under_replicated():
+            self.obs.counter("cluster.advisor.deferred").inc()
+            return reports, aborted
+        budget = self.config.advisor.max_retunes_per_day
+        requeue: list[RetuneDecision] = []
+        while self._retune_queue and len(reports) + aborted < budget:
+            decision = self._retune_queue.pop(0)
+            try:
+                reports.append(self.advisor.execute(decision, day=day))
+            except RetuneAborted as exc:
+                aborted += 1
+                if exc.reason == "no-spare":
+                    requeue.append(decision)
+        self._retune_queue = requeue + self._retune_queue
+        return reports, aborted
+
     def _on_topology_changed(self, mapping: dict[int, int]) -> None:
         """Re-align per-shard bookkeeping after a committed swap.
 
@@ -720,7 +871,10 @@ class ClusterSimulation:
         return SimulatedDisk(self._disk_params, page_cache=cache)
 
     def _run_healing(
-        self, day: int, plans: list[list[Op]]
+        self,
+        day: int,
+        plans: list[list[Op]],
+        replica_plans: dict[int, list[Op]] | None = None,
     ) -> tuple[list[float], list[RebuildReport], int]:
         """Re-replicate under-replicated shards (one rebuild each per day).
 
@@ -750,15 +904,22 @@ class ClusterSimulation:
                 continue
             spare = acquired[0]
             device_index = self.array.add_device(spare)
+            # A retuned donor clones under its *own* design: the rebuilt
+            # twin copies the donor's constituents, catches up with the
+            # donor's plan, and inherits its scheme and technique.
+            donor_plan = plans[shard.shard_id]
+            donor_technique = donor.executor.technique
+            if donor.scheme is not None and replica_plans is not None:
+                donor_plan = replica_plans[id(donor.scheme)]
             try:
                 replica, report = rebuild_replica(
                     shard,
                     donor,
                     spare,
                     device_index,
-                    plan=plans[shard.shard_id],
+                    plan=donor_plan,
                     day=day,
-                    technique=self.technique,
+                    technique=donor_technique,
                     monitor=monitor,
                 )
             except RebuildAborted:
@@ -768,6 +929,7 @@ class ClusterSimulation:
                 failed += 1
                 self.obs.counter("cluster.heal.rebuilds_failed").inc()
                 continue
+            replica.scheme = donor.scheme
             shard.replicas.append(replica)
             reports.append(report)
             delays[shard.shard_id] = max(
@@ -784,7 +946,11 @@ class ClusterSimulation:
     # ------------------------------------------------------------------
 
     def _run_maintenance(
-        self, day: int, plans: list[list[Op]], delays: list[float]
+        self,
+        day: int,
+        plans: list[list[Op]],
+        delays: list[float],
+        replica_plans: dict[int, list[Op]] | None = None,
     ) -> tuple[list[ExecutionReport], list[tuple[float, float]], float]:
         """Run every shard's plan under the staggering policy.
 
@@ -821,11 +987,17 @@ class ClusterSimulation:
                     if replica.caught_up_day == day:
                         shard_end = max(shard_end, replica.maintenance_end)
                         continue
+                    rplan = plan
+                    if (
+                        replica.scheme is not None
+                        and replica_plans is not None
+                    ):
+                        rplan = replica_plans[id(replica.scheme)]
                     if self._monitor is None:
-                        report = replica.run_maintenance(plan, start)
+                        report = replica.run_maintenance(rplan, start)
                     else:
                         report = replica.run_maintenance(
-                            plan, start, monitor=self._monitor
+                            rplan, start, monitor=self._monitor
                         )
                     if replica is metrics_replica:
                         reports[shard.shard_id] = report
@@ -906,7 +1078,15 @@ class ClusterSimulation:
         force_degraded: set[int] = set()
         while True:
             if monitor is None:
-                replica = shard.primary
+                if self.router is not None:
+                    replica = self.router.choose(
+                        shard,
+                        unit.t1,
+                        unit.t2,
+                        "scan" if isinstance(unit, ScanUnit) else "probe",
+                    )
+                else:
+                    replica = shard.primary
             else:
                 replica, breaker_wait = monitor.serving_replica(
                     shard,
@@ -1049,14 +1229,18 @@ class ClusterSimulation:
         monitor = self._monitor
         if monitor is not None:
             monitor.now = self._clock_base
-        retries_before = self.obs.counter("cluster.heal.retries").value
-        opens_before = self.obs.counter("cluster.heal.breaker_opens").value
+        heal_window = self.obs.window(
+            "cluster.heal.retries", "cluster.heal.breaker_opens"
+        )
         self.spares.new_day()
         # Topology changes run first: snapshots, plans, and serving all
         # see the post-swap shard list (children arrive caught up).
         reshard_reports, reshards_aborted, reshard_deferred = (
             self._run_elastic(day)
         )
+        # Then queued retunes (decided at yesterday's boundary); healing
+        # still outranks both for spares.
+        retune_reports, retunes_aborted = self._run_advisor(day)
         snapshots = []
         for shard in self.shards:
             replica = shard.primary or shard.replicas[0]
@@ -1077,11 +1261,28 @@ class ClusterSimulation:
                 if preplanned is not None
                 else list(plan_for(shard.scheme))
             )
+        # Replicas the advisor retuned run their own scheme's plan (one
+        # plan per scheme instance, shared by every replica bound to it —
+        # the same sharing rule as the shard-level plan).
+        replica_plans: dict[int, list[Op]] = {}
+        for shard in self.shards:
+            for replica in shard.replicas:
+                scheme = replica.scheme
+                if scheme is None or replica.failed:
+                    continue
+                if id(scheme) in replica_plans:
+                    continue
+                preplanned = self._preplanned.pop(id(scheme), None)
+                replica_plans[id(scheme)] = (
+                    preplanned
+                    if preplanned is not None
+                    else list(plan_for(scheme))
+                )
         delays, rebuild_reports, rebuilds_failed = self._run_healing(
-            day, plans
+            day, plans, replica_plans
         )
         reports, windows, cluster_end = self._run_maintenance(
-            day, plans, delays
+            day, plans, delays, replica_plans
         )
 
         if self.on_serving_start is not None:
@@ -1112,6 +1313,8 @@ class ClusterSimulation:
                     unit_missing: set[int] = set()
                     unit_degraded = False
                     for shard_id, subunit in self._split_unit(unit):
+                        if self._observer is not None:
+                            self._observe_unit(shard_id, subunit)
                         (
                             outcome,
                             end,
@@ -1194,6 +1397,22 @@ class ClusterSimulation:
                 self._pending_action = decision.queued
                 self.obs.counter("cluster.elastic.proposed").inc()
 
+        # Day boundary: roll the observation window forward and queue
+        # any retune decisions for execution at the start of tomorrow.
+        if self._observer is not None:
+            self._observer.end_day()
+            self._plan_retunes(day)
+        designs: dict[str, str] | None = None
+        if self.config.advisor is not None:
+            designs = {
+                replica.name: (
+                    f"{replica.scheme.name}/{replica.scheme.n_indexes}"
+                )
+                for shard in self.shards
+                for replica in shard.replicas
+                if replica.scheme is not None
+            } or None
+
         makespan = max(cluster_end, last_completion)
         stats = ClusterDayStats(
             day=day,
@@ -1224,13 +1443,9 @@ class ClusterSimulation:
             rebuild_spans=tuple(
                 r.makespan_seconds for r in rebuild_reports
             ),
-            retries=int(
-                self.obs.counter("cluster.heal.retries").value
-                - retries_before
-            ),
+            retries=int(heal_window.delta("cluster.heal.retries")),
             breaker_opens=int(
-                self.obs.counter("cluster.heal.breaker_opens").value
-                - opens_before
+                heal_window.delta("cluster.heal.breaker_opens")
             ),
             reshards=len(reshard_reports),
             reshards_aborted=reshards_aborted,
@@ -1239,6 +1454,10 @@ class ClusterSimulation:
             reshard_seconds=sum(
                 r.makespan_seconds for r in reshard_reports
             ),
+            retunes=len(retune_reports),
+            retunes_aborted=retunes_aborted,
+            retune_seconds=sum(r.seconds for r in retune_reports),
+            designs=designs,
             topology_version=self.coordinator.topology_version,
             n_shards=len(self.shards),
             autoscaler=decision.describe() if decision is not None else None,

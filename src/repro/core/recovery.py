@@ -548,6 +548,125 @@ class ReshardJournal:
         return cls.from_dict(json.loads(text))
 
 
+# ----------------------------------------------------------------------
+# Retune journal (online scheme changes on one replica)
+# ----------------------------------------------------------------------
+
+#: Retune journal format marker, independent of the other journals.
+RETUNE_JOURNAL_VERSION = 1
+
+
+@dataclass
+class RetuneJournal:
+    """Durable record of one replica's online scheme change.
+
+    A retune rebuilds one replica's wave index under a new
+    (scheme, n, technique) design on a spare device, catches it up to the
+    decision day, and swaps it in — the advisor-side analogue of a
+    reshard, with the same commit-point semantics.  Phases reuse
+    :class:`ReshardPhase`: a crash strictly before ``SWAPPED`` aborts
+    (the old design is still serving, so the partial build is dropped);
+    a crash at or after ``SWAPPED`` rolls forward (the new design is
+    serving, so recovery finishes draining the old device).
+
+    Attributes:
+        shard_id: The shard whose replica is being retuned.
+        replica_id: The replica receiving the new design.
+        day: The day the retune executes (new design catches up to it).
+        scheme_before: ``describe()``-style label of the outgoing design.
+        scheme_after: Label of the incoming design, e.g. ``"reindex+/3"``.
+        technique_after: Update technique name for the incoming design.
+        target_device: Array device index provisioned for the rebuild.
+        builds_done: Completed constituent builds (progress within
+            ``COPYING``).
+        catchup: :class:`TransitionJournal` dicts once catch-up starts.
+        phase: Current :class:`ReshardPhase` value.
+    """
+
+    shard_id: int
+    replica_id: int
+    day: int
+    scheme_before: str
+    scheme_after: str
+    technique_after: str
+    target_device: int | None = None
+    builds_done: int = 0
+    catchup: list[dict] = field(default_factory=list)
+    phase: str = ReshardPhase.PLANNED
+
+    def advance(self, phase: str) -> None:
+        """Move to ``phase``, enforcing forward-only progress."""
+        if self.phase in (ReshardPhase.DONE, ReshardPhase.ABORTED):
+            raise RecoveryError(
+                f"retune journal already terminal ({self.phase})"
+            )
+        if phase == ReshardPhase.ABORTED:
+            self.phase = phase
+            return
+        order = ReshardPhase.ORDER
+        if phase not in order or order.index(phase) <= order.index(self.phase):
+            raise RecoveryError(
+                f"cannot advance retune journal from {self.phase!r} "
+                f"to {phase!r}"
+            )
+        self.phase = phase
+
+    @property
+    def committed(self) -> bool:
+        """Return whether the design swap has been journaled."""
+        return self.phase in (ReshardPhase.SWAPPED, ReshardPhase.DONE)
+
+    @property
+    def terminal(self) -> bool:
+        """Return whether the retune has fully finished or aborted."""
+        return self.phase in (ReshardPhase.DONE, ReshardPhase.ABORTED)
+
+    def to_dict(self) -> dict:
+        """Serialise to a JSON-safe dict."""
+        return {
+            "version": RETUNE_JOURNAL_VERSION,
+            "shard_id": self.shard_id,
+            "replica_id": self.replica_id,
+            "day": self.day,
+            "scheme_before": self.scheme_before,
+            "scheme_after": self.scheme_after,
+            "technique_after": self.technique_after,
+            "target_device": self.target_device,
+            "builds_done": self.builds_done,
+            "catchup": [dict(j) for j in self.catchup],
+            "phase": self.phase,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RetuneJournal":
+        """Reconstruct a journal serialized by :meth:`to_dict`."""
+        if payload.get("version") != RETUNE_JOURNAL_VERSION:
+            raise RecoveryError(
+                f"unsupported retune journal version {payload.get('version')!r}"
+            )
+        return cls(
+            shard_id=payload["shard_id"],
+            replica_id=payload["replica_id"],
+            day=payload["day"],
+            scheme_before=payload["scheme_before"],
+            scheme_after=payload["scheme_after"],
+            technique_after=payload["technique_after"],
+            target_device=payload.get("target_device"),
+            builds_done=payload.get("builds_done", 0),
+            catchup=[dict(j) for j in payload.get("catchup", [])],
+            phase=payload["phase"],
+        )
+
+    def to_json(self) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RetuneJournal":
+        """Parse a journal produced by :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+
 def resume_scheme(journal: TransitionJournal) -> WaveScheme:
     """Resurrect the planner from the journal's scheme snapshot.
 

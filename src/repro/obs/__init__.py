@@ -13,11 +13,12 @@ per-phase I/O, cache, and latency metrics into
 :class:`~repro.sim.metrics.DayMetrics` and ``BENCH_serving.json``.
 """
 
-from .registry import Counter, Histogram, MetricsRegistry
+from .registry import Counter, CounterWindow, Histogram, MetricsRegistry
 from .tracing import Span, Tracer
 
 __all__ = [
     "Counter",
+    "CounterWindow",
     "Histogram",
     "MetricsRegistry",
     "Span",

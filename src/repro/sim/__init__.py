@@ -17,10 +17,12 @@ from .latency import (
 from .metrics import DayMetrics, OverlapDayStats, SimulationResult
 from .multidisk_sim import MultiDiskExecutor, MultiDiskReport
 from .querygen import (
+    DriftingWorkload,
     ProbeUnit,
     QueryWorkload,
     ScanUnit,
     UnitOutcome,
+    WorkloadPhase,
     uniform_key_picker,
     zipf_value_picker,
 )
@@ -50,6 +52,8 @@ __all__ = [
     "SchemeMatrixResult",
     "run_crash_matrix",
     "DAY_SECONDS",
+    "DriftingWorkload",
+    "WorkloadPhase",
     "DayMetrics",
     "LatencyStats",
     "maintenance_timeline",

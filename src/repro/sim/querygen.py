@@ -268,6 +268,80 @@ class SpikedWorkload:
         return units
 
 
+@dataclass(frozen=True)
+class WorkloadPhase:
+    """One regime of a drifting workload, active from ``start_day`` on."""
+
+    start_day: int
+    workload: QueryWorkload
+
+
+@dataclass(frozen=True)
+class DriftingWorkload:
+    """A workload whose probe/scan mix shifts through phases over time.
+
+    The advisor benchmark's drift generator: each day is served by the
+    phase whose ``start_day`` most recently passed (e.g. probe-heavy →
+    scan-heavy → mixed), and ``volume_ramp`` grows the day's request
+    counts by that fraction per day since the first phase began — the
+    volume signal the autoscaler and advisor both watch.  Every phase
+    derives its stream from its own workload's seed, so a given
+    (phases, day) pair is bit-reproducible and any two runs over the
+    same drift see the exact same request sequence.
+
+    Duck-types the :meth:`QueryWorkload.day_requests` surface the
+    cluster simulation consumes.
+    """
+
+    phases: tuple[WorkloadPhase, ...]
+    volume_ramp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise WorkloadError("a drifting workload needs >= 1 phase")
+        starts = [phase.start_day for phase in self.phases]
+        if starts != sorted(starts) or len(set(starts)) != len(starts):
+            raise WorkloadError(
+                f"phase start days must be strictly increasing, got {starts}"
+            )
+        if self.volume_ramp < 0.0:
+            raise WorkloadError(
+                f"volume_ramp must be >= 0, got {self.volume_ramp}"
+            )
+
+    @property
+    def seed(self) -> int:
+        """Return the first phase's master seed."""
+        return self.phases[0].workload.seed
+
+    def phase_for(self, day: int) -> WorkloadPhase:
+        """Return the phase serving ``day`` (the first, before any start)."""
+        active = self.phases[0]
+        for phase in self.phases:
+            if phase.start_day <= day:
+                active = phase
+        return active
+
+    def volume_factor(self, day: int) -> float:
+        """Return the day's volume multiplier under the ramp."""
+        elapsed = max(0, day - self.phases[0].start_day)
+        return 1.0 + self.volume_ramp * elapsed
+
+    def day_requests(self, day: int, window: int) -> list[QueryUnit]:
+        """Return the active phase's stream, counts scaled by the ramp."""
+        import dataclasses
+
+        workload = self.phase_for(day).workload
+        factor = self.volume_factor(day)
+        if factor != 1.0:
+            workload = dataclasses.replace(
+                workload,
+                probes_per_day=round(workload.probes_per_day * factor),
+                scans_per_day=round(workload.scans_per_day * factor),
+            )
+        return workload.day_requests(day, window)
+
+
 def zipf_value_picker(vocabulary: int, s: float = 1.0) -> Callable[[random.Random], str]:
     """Return a picker drawing word values the way the text workload does.
 

@@ -1,0 +1,34 @@
+"""Shared fixtures for the advisor suite: integer-keyed stores."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.records import Record, RecordStore
+
+
+def make_int_store(
+    num_days: int,
+    *,
+    domain: int = 16,
+    per_day: int = 8,
+    seed: int = 3,
+    record_bytes: int = 64,
+) -> RecordStore:
+    """A deterministic store of single-valued integer-keyed records.
+
+    Matches the key type :func:`repro.sim.querygen.uniform_key_picker`
+    draws, so probe workloads actually hit.
+    """
+    rng = random.Random(seed)
+    store = RecordStore()
+    rid = 0
+    for day in range(1, num_days + 1):
+        records = []
+        for _ in range(per_day):
+            records.append(
+                Record(rid, day, (rng.randint(1, domain),), nbytes=record_bytes)
+            )
+            rid += 1
+        store.add_records(day, records)
+    return store

@@ -1,0 +1,74 @@
+"""Substrate calibration for the advisor's cost model."""
+
+import pytest
+
+from repro.advisor import calibrate_parameters
+from repro.core.records import RecordStore
+from repro.index.config import IndexConfig
+from tests.advisor.helpers import make_int_store
+
+
+class TestCalibrate:
+    def test_measures_positive_constants(self):
+        params = calibrate_parameters(
+            make_int_store(10), IndexConfig(), window=6
+        )
+        assert params.window == 6
+        impl = params.implementation
+        assert impl.build_s > 0.0
+        assert impl.add_s > 0.0
+        assert impl.s_prime_bytes >= 1.0
+        assert params.application.s_bytes >= 1.0
+        assert params.application.c_bytes >= 1.0
+        # Growth factor must be model-legal (> 1) even when the index
+        # config uses exact sizing.
+        assert impl.g > 1.0
+
+    def test_workload_half_is_left_zeroed(self):
+        # The planner overlays the observed mix per shard; calibration
+        # must not bake one in.
+        params = calibrate_parameters(
+            make_int_store(10), IndexConfig(), window=6
+        )
+        assert params.application.probe_num == 0.0
+        assert params.application.scan_num == 0.0
+
+    def test_is_deterministic(self):
+        a = calibrate_parameters(make_int_store(10), IndexConfig(), window=6)
+        b = calibrate_parameters(make_int_store(10), IndexConfig(), window=6)
+        assert a == b
+
+    def test_short_store_still_calibrates(self):
+        params = calibrate_parameters(
+            make_int_store(2), IndexConfig(), window=6, sample_days=3
+        )
+        assert params.implementation.build_s > 0.0
+
+    def test_empty_store_is_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_parameters(RecordStore(), IndexConfig(), window=6)
+
+    def test_bad_sample_days_is_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_parameters(
+                make_int_store(5), IndexConfig(), window=6, sample_days=0
+            )
+
+    def test_feeds_the_analytic_model(self):
+        # The calibrated parameters must be usable end to end: pricing a
+        # design through steady_state is the planner's hot path.
+        from repro.analysis.daycount import steady_state
+        from repro.core.schemes import scheme_by_name
+        from repro.index.updates import UpdateTechnique
+
+        params = calibrate_parameters(
+            make_int_store(10), IndexConfig(), window=6
+        ).with_overrides(probe_num=50.0, scan_num=2.0)
+        scheme_cls = scheme_by_name("DEL")
+        averages = steady_state(
+            lambda: scheme_cls(6, 2),
+            params,
+            UpdateTechnique.SIMPLE_SHADOW,
+            measure_cycles=1,
+        )
+        assert averages.total_work_s > 0.0

@@ -1,0 +1,164 @@
+"""The advisor engine end to end inside a live cluster simulation."""
+
+from repro.advisor import AdvisorConfig
+from repro.cluster import ClusterConfig, ClusterSimulation, ElasticConfig
+from repro.core.schemes import scheme_by_name
+from repro.sim.querygen import QueryWorkload, uniform_key_picker
+from tests.advisor.helpers import make_int_store
+
+WINDOW = 6
+LAST = WINDOW + 8
+
+
+def _probe_heavy() -> QueryWorkload:
+    return QueryWorkload(
+        probes_per_day=200,
+        value_picker=uniform_key_picker(16),
+        seed=5,
+    )
+
+
+def _advisor(**overrides) -> AdvisorConfig:
+    base = dict(
+        observe_days=1,
+        cooldown_days=30,
+        amortization_days=30,
+        hysteresis=0.05,
+    )
+    base.update(overrides)
+    return AdvisorConfig(**base)
+
+
+def _run(advisor, *, elastic=None, replication=1, last=LAST):
+    # Probe-heavy traffic against a DEL/6 start: the model wants fewer
+    # constituents, so the advisor must retune.
+    scheme_cls = scheme_by_name("DEL")
+    sim = ClusterSimulation(
+        lambda: scheme_cls(WINDOW, WINDOW),
+        make_int_store(last, domain=16, seed=3),
+        queries=_probe_heavy(),
+        cluster=ClusterConfig(
+            n_shards=1,
+            replication=replication,
+            maintenance="lockstep",
+            advisor=advisor,
+            elastic=elastic,
+        ),
+    )
+    sim.run(last)
+    return sim
+
+
+class TestRetuneExecution:
+    def test_probe_heavy_traffic_triggers_a_committed_retune(self):
+        sim = _run(_advisor())
+        total = sum(d.retunes for d in sim.result.days)
+        assert total == 1
+        assert sim.obs.counter("cluster.advisor.retunes").value == 1
+        # The replica really is running the new design now.
+        replica = sim.shards[0].replicas[0]
+        assert replica.scheme is not None
+        assert replica.scheme.n_indexes < WINDOW
+
+    def test_decision_lands_the_day_after_it_is_made(self):
+        sim = _run(_advisor())
+        retune_days = [d.day for d in sim.result.days if d.retunes]
+        # Decisions happen at day-end boundaries and execute at the start
+        # of the NEXT day; the start day's traffic decides at earliest at
+        # the end of day W, landing the retune on day W+1 or later.
+        assert retune_days
+        assert retune_days[0] >= WINDOW + 1
+
+    def test_designs_are_reported_in_day_stats(self):
+        sim = _run(_advisor())
+        last = sim.result.days[-1]
+        assert last.designs is not None
+        (label,) = last.designs.values()
+        scheme_name, n = label.rsplit("/", 1)
+        assert scheme_name == "DEL"
+        assert int(n) < WINDOW
+
+    def test_retune_span_is_charged_to_the_day(self):
+        sim = _run(_advisor())
+        charged = [d for d in sim.result.days if d.retunes]
+        assert charged
+        assert all(d.retune_seconds > 0.0 for d in charged)
+        assert all(
+            d.maintenance_makespan_seconds >= d.retune_seconds
+            for d in charged
+        )
+
+    def test_advisor_answers_match_the_static_twin(self):
+        tuned = _run(_advisor())
+        frozen = _run(None)
+        probes = [(v, LAST - WINDOW + 1, LAST) for v in range(1, 17)]
+        scans = [(LAST - WINDOW + 1, LAST), (LAST, LAST)]
+
+        def canon(sim):
+            out = []
+            for r in sim.coordinator.probe_many(probes).results:
+                out.append((sorted(r.entries), sorted(r.missing_days)))
+            for r in sim.coordinator.scan_many(scans).results:
+                out.append((sorted(r.entries), sorted(r.covered_days)))
+            return out
+
+        assert canon(tuned) == canon(frozen)
+
+
+class TestSpareContention:
+    def test_no_spare_aborts_and_requeues(self):
+        elastic = ElasticConfig(
+            autoscale=False, min_shards=1, spare_budget_per_day=0
+        )
+        sim = _run(_advisor(), elastic=elastic)
+        assert sum(d.retunes for d in sim.result.days) == 0
+        assert sum(d.retunes_aborted for d in sim.result.days) >= 1
+        assert sim.obs.counter("cluster.advisor.no_spare").value >= 1
+        # The decision stayed queued rather than being dropped.
+        assert sim._retune_queue
+
+    def test_one_spare_per_day_limits_throughput_not_outcome(self):
+        elastic = ElasticConfig(
+            autoscale=False, min_shards=1, spare_budget_per_day=1
+        )
+        sim = _run(_advisor(), elastic=elastic, replication=1)
+        assert sum(d.retunes for d in sim.result.days) == 1
+
+
+class TestBudget:
+    def test_max_retunes_per_day_caps_execution(self):
+        sim = _run(_advisor(max_retunes_per_day=1), replication=2)
+        for day in sim.result.days:
+            assert day.retunes <= 1
+        # Both replicas eventually converge, one day at a time.
+        assert sum(d.retunes for d in sim.result.days) == 2
+
+
+class TestJournal:
+    def test_committed_retunes_leave_done_journals(self):
+        journals = []
+        from repro.advisor.engine import AdvisorEngine
+
+        scheme_cls = scheme_by_name("DEL")
+        sim2 = ClusterSimulation(
+            lambda: scheme_cls(WINDOW, WINDOW),
+            make_int_store(LAST, domain=16, seed=3),
+            queries=_probe_heavy(),
+            cluster=ClusterConfig(
+                n_shards=1,
+                replication=1,
+                maintenance="lockstep",
+                advisor=_advisor(),
+            ),
+        )
+        sim2.advisor = AdvisorEngine(
+            sim2, journal_sink=lambda j: journals.append(j.to_dict())
+        )
+        sim2.run(LAST)
+        assert sum(d.retunes for d in sim2.result.days) == 1
+        assert journals
+        assert journals[-1]["phase"] == "done"
+        phases = [j["phase"] for j in journals]
+        for required in ("planned", "copying", "copied", "catchup",
+                         "swapped", "done"):
+            assert required in phases

@@ -1,0 +1,100 @@
+"""The workload observer: counters in, windowed observations out."""
+
+import pytest
+
+from repro.advisor.observer import (
+    VALUE_TRACK_LIMIT,
+    ShardObservation,
+    WorkloadObserver,
+)
+from repro.obs import MetricsRegistry
+
+
+def _publish(registry, shard_id, *, probes=0, scans=0, newest=0, values=()):
+    prefix = f"advisor.shard{shard_id}."
+    registry.counter(prefix + "requests").inc(probes + scans)
+    registry.counter(prefix + "probes").inc(probes)
+    registry.counter(prefix + "scans").inc(scans)
+    registry.counter(prefix + "scans_newest").inc(newest)
+    for value in values:
+        registry.counter(prefix + f"value.{value}").inc()
+
+
+class TestWorkloadObserver:
+    def test_rejects_zero_window(self):
+        with pytest.raises(ValueError):
+            WorkloadObserver(MetricsRegistry(), 0)
+
+    def test_single_day_is_averaged_over_itself(self):
+        registry = MetricsRegistry()
+        observer = WorkloadObserver(registry, observe_days=2)
+        _publish(registry, 0, probes=10, scans=4, newest=3)
+        observer.end_day()
+        obs = observer.observation(0)
+        assert obs.days == 1
+        assert obs.probes_per_day == 10.0
+        assert obs.scans_per_day == 4.0
+        assert obs.newest_fraction == pytest.approx(0.75)
+
+    def test_window_averages_across_days(self):
+        registry = MetricsRegistry()
+        observer = WorkloadObserver(registry, observe_days=2)
+        _publish(registry, 0, probes=10)
+        observer.end_day()
+        _publish(registry, 0, probes=30)
+        observer.end_day()
+        assert observer.observation(0).probes_per_day == 20.0
+
+    def test_old_days_roll_off(self):
+        registry = MetricsRegistry()
+        observer = WorkloadObserver(registry, observe_days=2)
+        _publish(registry, 0, probes=1000)
+        observer.end_day()
+        for _ in range(2):
+            _publish(registry, 0, probes=2)
+            observer.end_day()
+        # The 1000-probe day is outside the 2-day window.
+        assert observer.observation(0).probes_per_day == 2.0
+
+    def test_deltas_not_running_totals(self):
+        registry = MetricsRegistry()
+        observer = WorkloadObserver(registry, observe_days=1)
+        _publish(registry, 0, probes=50)
+        observer.end_day()
+        observer.end_day()  # a quiet day
+        assert observer.observation(0).probes_per_day == 0.0
+
+    def test_shards_are_independent(self):
+        registry = MetricsRegistry()
+        observer = WorkloadObserver(registry, observe_days=1)
+        _publish(registry, 0, probes=7)
+        _publish(registry, 1, scans=5, newest=5)
+        observer.end_day()
+        assert observer.observation(0).probes_per_day == 7.0
+        assert observer.observation(0).scans_per_day == 0.0
+        assert observer.observation(1).scans_per_day == 5.0
+        assert observer.observation(1).scan_target == "newest"
+
+    def test_scan_target_inference(self):
+        newest = ShardObservation(0, 2, 0.0, 10.0, 0.6, 10.0, 0.1)
+        spread = ShardObservation(0, 2, 0.0, 10.0, 0.4, 10.0, 0.1)
+        assert newest.scan_target == "newest"
+        assert spread.scan_target == "all"
+
+    def test_top_value_share_detects_hotspots(self):
+        registry = MetricsRegistry()
+        observer = WorkloadObserver(registry, observe_days=1)
+        _publish(registry, 0, probes=10, values=["hot"] * 9 + ["cold"])
+        observer.end_day()
+        assert observer.observation(0).top_value_share == pytest.approx(0.9)
+
+    def test_value_track_limit_is_a_constantly_bounded_namespace(self):
+        # The serving loop caps distinct per-shard value counters; the
+        # observer must still produce a sane share with the ~other lump.
+        registry = MetricsRegistry()
+        observer = WorkloadObserver(registry, observe_days=1)
+        values = [str(v) for v in range(VALUE_TRACK_LIMIT)] + ["~other"] * 5
+        _publish(registry, 0, probes=len(values), values=values)
+        observer.end_day()
+        obs = observer.observation(0)
+        assert 0.0 < obs.top_value_share < 1.0

@@ -127,3 +127,37 @@ class TestValidation:
             ImplementationParameters(
                 g=2.0, build_s=-1, add_s=1, del_s=1, s_prime_bytes=1
             )
+
+
+class TestWithOverrides:
+    def test_leaf_fields_route_to_nested_groups(self):
+        p = SCAM_PARAMETERS.with_overrides(
+            probe_num=120.0, scan_num=3.0, build_s=9.0, seek_s=0.02
+        )
+        assert p.application.probe_num == 120.0
+        assert p.application.scan_num == 3.0
+        assert p.implementation.build_s == 9.0
+        assert p.hardware.seek_s == 0.02
+
+    def test_top_level_fields_override_directly(self):
+        p = SCAM_PARAMETERS.with_overrides(window=9, name="shard0")
+        assert p.window == 9
+        assert p.name == "shard0"
+
+    def test_original_is_untouched(self):
+        before = SCAM_PARAMETERS.application.probe_num
+        SCAM_PARAMETERS.with_overrides(probe_num=before + 1)
+        assert SCAM_PARAMETERS.application.probe_num == before
+
+    def test_no_overrides_is_identity(self):
+        assert SCAM_PARAMETERS.with_overrides() == SCAM_PARAMETERS
+
+    def test_unknown_name_raises_with_valid_list(self):
+        with pytest.raises(ValueError) as err:
+            SCAM_PARAMETERS.with_overrides(prob_num=1.0)
+        assert "prob_num" in str(err.value)
+        assert "probe_num" in str(err.value)  # the valid-names listing
+
+    def test_validation_reruns_on_overridden_groups(self):
+        with pytest.raises(ValueError):
+            SCAM_PARAMETERS.with_overrides(probe_num=-1.0)

@@ -88,3 +88,50 @@ class TestRegistry:
         reg.reset()
         assert reg.counters() == {}
         assert reg.counter("x").value == 0.0
+
+
+class TestCounterWindow:
+    def test_delta_measures_growth_since_open(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc(5)
+        window = reg.window("x")
+        reg.counter("x").inc(3)
+        assert window.delta("x") == 3.0
+
+    def test_named_counter_created_inside_the_interval(self):
+        reg = MetricsRegistry()
+        window = reg.window("late")
+        reg.counter("late").inc(4)
+        assert window.delta("late") == 4.0
+        assert window.deltas() == {"late": 4.0}
+
+    def test_unnamed_window_baselines_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(10)
+        window = reg.window()
+        reg.counter("a").inc(1)
+        reg.counter("b").inc(2)  # arrives after the window opened
+        assert window.deltas() == {"a": 1.0, "b": 2.0}
+
+    def test_deltas_filters_by_prefix(self):
+        reg = MetricsRegistry()
+        window = reg.window()
+        reg.counter("advisor.shard0.probes").inc(3)
+        reg.counter("io.seeks").inc(9)
+        assert window.deltas("advisor.") == {"advisor.shard0.probes": 3.0}
+
+    def test_advance_rolls_the_baseline(self):
+        reg = MetricsRegistry()
+        window = reg.window("x")
+        reg.counter("x").inc(7)
+        first = window.advance()
+        reg.counter("x").inc(2)
+        second = window.advance()
+        assert first == {"x": 7.0}
+        assert second == {"x": 2.0}
+
+    def test_named_window_reports_zero_deltas_explicitly(self):
+        # Per-day consumers want the key present even on a quiet day.
+        reg = MetricsRegistry()
+        window = reg.window("quiet")
+        assert window.deltas() == {"quiet": 0.0}
