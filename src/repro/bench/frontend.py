@@ -48,6 +48,7 @@ from typing import Any
 
 from ..errors import FrontendError
 from ..loadgen import LoadConfig, TenantPopulation, run_load
+from ..serve.adaptive import AdaptiveConfig
 from ..serve.admission import (
     AdmissionConfig,
     AdmissionController,
@@ -147,6 +148,21 @@ class FrontendBenchConfig:
     n_users: int = 1_000_000
     n_tenants: int = 8
     probe_fraction: float = 0.9
+    #: Request-queue discipline: ``"fifo"`` (the PR 8 baseline) or
+    #: ``"drr"`` (per-tenant deficit round-robin).  The saturation
+    #: claims must hold under either — ``--queue-policy drr`` on the
+    #: CLI re-asserts them over the fair queue.
+    queue_discipline: str = "fifo"
+    #: Enable AIMD adaptive concurrency on the dispatcher pool.  Off by
+    #: default so the committed artifact stays bit-equivalent to the
+    #: PR 8 fixed-dispatcher pipeline.
+    adaptive: bool = False
+    #: Absolute p95 SLO the AIMD controller defends when ``adaptive``
+    #: is on.  Set comfortably above the shed policy's bounded-queue
+    #: worst case: the limit then only shrinks when latency truly blows
+    #: up (the queue policy past the knee), which is exactly the
+    #: behaviour the claims expect to survive.
+    adaptive_target_p95_s: float = 0.25
     seed: int = 7
     quick: bool = False
 
@@ -214,12 +230,21 @@ class ServiceDelayBackend:
 def _admission_config(
     config: FrontendBenchConfig, policy: str
 ) -> AdmissionConfig:
+    adaptive = None
+    if config.adaptive:
+        adaptive = AdaptiveConfig(
+            min_concurrency=1,
+            max_concurrency=config.max_concurrency,
+            target_p95_s=config.adaptive_target_p95_s,
+        )
     return AdmissionConfig(
         max_queue_depth=config.max_queue_depth,
         overload_policy=policy,
         max_concurrency=config.max_concurrency,
         batch_max=config.batch_max,
         executor_workers=config.max_concurrency,
+        queue_discipline=config.queue_discipline,
+        adaptive=adaptive,
     )
 
 
@@ -463,6 +488,8 @@ def run_frontend_bench(
             "max_concurrency": config.max_concurrency,
             "batch_max": config.batch_max,
             "service_us": config.service_us,
+            "queue_discipline": config.queue_discipline,
+            "adaptive": config.adaptive,
             "load_multipliers": list(config.load_multipliers),
             "step_duration_s": config.step_duration_s,
             "arrivals": config.arrivals,

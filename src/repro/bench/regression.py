@@ -40,6 +40,11 @@ class HeadlineMetric:
     #: its benchmark (e.g. the flag-gated wall-clock section); absence
     #: skips the gate instead of failing it.
     optional: bool = False
+    #: An exact metric is a correctness invariant wearing a number (a
+    #: lost-request count, a checksum): the gate is equality with the
+    #: baseline, never a percentage allowance, and zero baselines are
+    #: legitimate.
+    exact: bool = False
 
     def extract(self, report: dict[str, Any]) -> float | None:
         """Pull this metric's value out of its benchmark report."""
@@ -70,6 +75,12 @@ class HeadlineMetric:
             return report.get("headline", {}).get("frontend_knee_qps")
         if self.name == "advisor_drift_advantage":
             return report.get("headline", {}).get("advisor_drift_advantage")
+        if self.name == "rolling_restart_lost_requests":
+            return report.get("headline", {}).get(
+                "rolling_restart_lost_requests"
+            )
+        if self.name == "hedge_tail_ratio":
+            return report.get("headline", {}).get("hedge_tail_ratio")
         raise KeyError(self.name)
 
 
@@ -139,6 +150,25 @@ HEADLINE_METRICS: tuple[HeadlineMetric, ...] = (
         "advisor",
         higher_is_better=True,
         description="best-static/advisor cumulative cost over the drift",
+    ),
+    HeadlineMetric(
+        "rolling_restart_lost_requests",
+        "resilience",
+        higher_is_better=False,
+        description="requests lost while rolling-restarting the fleet",
+        # Zero-loss is a correctness claim, not a perf trajectory: the
+        # gate is equality with the committed 0.0, on any machine.
+        exact=True,
+    ),
+    HeadlineMetric(
+        "hedge_tail_ratio",
+        "resilience",
+        higher_is_better=False,
+        description="hedged/unhedged p99 under an injected slow frontend",
+        # A ratio of two wall-clock latencies from the same run — far
+        # more portable than a raw latency, but still machine-shaped;
+        # gate it only on a baseline adopted on the same machine class.
+        optional=True,
     ),
 )
 
@@ -263,6 +293,23 @@ def compare(
             # without --wallclock): skip rather than fail the gate.
             rows.append(
                 RegressionRow(name, base_value, None, None, False, skipped=True)
+            )
+            continue
+        if metric.exact:
+            # Equality gate: no percentage allowance, and a 0.0
+            # baseline (zero lost requests) is the expected case the
+            # relative math below cannot express.
+            if value is None:
+                rows.append(
+                    RegressionRow(name, base_value, value, None, True)
+                )
+                continue
+            regressed = abs(value - base_value) > 1e-9
+            rows.append(
+                RegressionRow(
+                    name, base_value, value,
+                    0.0 if not regressed else None, regressed,
+                )
             )
             continue
         if value is None or base_value <= 0:

@@ -23,6 +23,10 @@ Commands:
   ``BENCH_chaos.json``.
 * ``bench-advisor`` — race the online tuning advisor against every
   static design over a drifting workload, writing ``BENCH_advisor.json``.
+* ``bench-resilience`` — tail-tolerance scenarios over a multi-frontend
+  fleet (hedging, retry budgets, DRR fairness, zero-loss rolling
+  restarts) plus a seeded frontend-chaos matrix, writing
+  ``BENCH_resilience.json``.
 * ``bench-check`` — gate fresh bench artifacts against the committed
   ``BENCH_baseline.json`` headline metrics.
 
@@ -558,11 +562,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--users", type=int, default=None,
         help="simulated user population (default 1,000,000)",
     )
+    frontend.add_argument(
+        "--queue-policy", choices=("fifo", "drr"), default="fifo",
+        help="request-queue discipline (default fifo, the PR 8 "
+        "baseline; drr re-asserts the claims over the fair queue)",
+    )
+    frontend.add_argument(
+        "--adaptive", action="store_true",
+        help="enable AIMD adaptive concurrency on the dispatcher pool",
+    )
     frontend.add_argument("--seed", type=int, default=None)
     frontend.add_argument(
         "--strict", action="store_true",
         help="exit nonzero unless the graceful-degradation claims "
         "hold (the CI mode)",
+    )
+
+    resilience = sub.add_parser(
+        "bench-resilience",
+        help="tail-tolerance scenarios over a multi-frontend fleet "
+        "(hedging, retry budget, DRR fairness, zero-loss rolling "
+        "restart) plus a seeded frontend-chaos matrix; emit "
+        "BENCH_resilience.json (wall-clock: never byte-compared)",
+    )
+    resilience.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run (same scenarios, shorter bursts)",
+    )
+    resilience.add_argument(
+        "--out", default="BENCH_resilience.json",
+        help="output JSON path (default: ./BENCH_resilience.json)",
+    )
+    resilience.add_argument(
+        "--frontends", type=int, default=None,
+        help="fleet size for the hedging/restart scenarios (default 3)",
+    )
+    resilience.add_argument(
+        "--seeds", type=int, nargs="+", default=None,
+        help="chaos-matrix seeds (default: one seed; nightly CI sweeps "
+        "several)",
+    )
+    resilience.add_argument("--seed", type=int, default=None)
+    resilience.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero unless every resilience claim and every "
+        "chaos cell holds (the CI mode)",
     )
 
     check = sub.add_parser(
@@ -1338,6 +1382,10 @@ def _cmd_bench_frontend(args: argparse.Namespace) -> int:
         overrides["service_us"] = args.service_us
     if args.users is not None:
         overrides["n_users"] = args.users
+    if args.queue_policy != "fifo":
+        overrides["queue_discipline"] = args.queue_policy
+    if args.adaptive:
+        overrides["adaptive"] = True
     if args.seed is not None:
         overrides["seed"] = args.seed
     try:
@@ -1352,6 +1400,46 @@ def _cmd_bench_frontend(args: argparse.Namespace) -> int:
     if args.strict and not report["headline"]["claim"]["pass"]:
         print(
             "frontend bench FAILED: graceful-degradation claims violated",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_bench_resilience(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .bench.resilience import (
+        ResilienceBenchConfig,
+        quick_config,
+        render_summary,
+        run_resilience_bench,
+        write_report,
+    )
+    from .errors import FrontendError, WorkloadError
+
+    config = ResilienceBenchConfig()
+    if args.quick:
+        config = quick_config(config)
+    overrides: dict = {}
+    if args.frontends is not None:
+        overrides["n_frontends"] = args.frontends
+    if args.seeds is not None:
+        overrides["chaos_seeds"] = tuple(args.seeds)
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    try:
+        config = replace(config, **overrides)
+        report = run_resilience_bench(config)
+    except (KeyError, ValueError, FrontendError, WorkloadError) as exc:
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
+    path = write_report(report, args.out)
+    print(render_summary(report))
+    print(f"\nwrote {path}")
+    if args.strict and not report["headline"]["claim"]["pass"]:
+        print(
+            "resilience bench FAILED: tail-tolerance claims violated",
             file=sys.stderr,
         )
         return 1
@@ -1440,6 +1528,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_loadgen(args)
     if args.command == "bench-frontend":
         return _cmd_bench_frontend(args)
+    if args.command == "bench-resilience":
+        return _cmd_bench_resilience(args)
     if args.command == "bench-check":
         return _cmd_bench_check(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -160,5 +160,29 @@ class RequestRejected(FrontendError):
         self.code = code
 
 
+class TransportError(FrontendError):
+    """The connection to a frontend died mid-conversation.
+
+    Raised by :class:`~repro.serve.client.FrontendClient` when the TCP
+    stream tears (connection reset, EOF mid-frame, EOF with responses
+    still owed) or a lazy reconnect fails.  Unlike a plain
+    :class:`FrontendError` this is *retryable by construction*: the
+    request may or may not have executed server-side, but re-issuing it
+    on another replica is always safe for the read-only probe/scan
+    surface.  The resilient client's taxonomy treats it accordingly.
+    """
+
+
+class BackendError(FrontendError):
+    """The serving backend failed while executing an admitted request.
+
+    Distinct from :class:`RequestRejected` (the pipeline refused the
+    request by policy) and from a bad request (the caller's fault): the
+    request was well-formed and admitted, but the cluster behind the
+    frontend raised.  Carried over the wire as the ``backend-error``
+    code so clients can classify it as retryable on another frontend.
+    """
+
+
 # Public alias: ``IndexError_`` reads poorly at call sites.
 ConstituentIndexError = IndexError_

@@ -28,8 +28,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from ..errors import FrontendError, RequestRejected, WorkloadError
+from ..errors import (
+    FrontendError,
+    RequestRejected,
+    TransportError,
+    WorkloadError,
+)
 from ..obs import Histogram
+from ..serve.resilience import ResilienceStats
 from .arrivals import (
     TenantPopulation,
     modulated_arrivals,
@@ -149,6 +155,21 @@ class LoadReport:
     latency: dict[str, float]
     per_tenant: dict[str, dict[str, int]]
     max_lag_s: float
+    #: Transport-level failures (torn streams) — a subset of ``errors``.
+    transport_errors: int = 0
+    #: Per-tenant per-code rejection breakdown: which tenant was turned
+    #: away for which reason (the fair-queueing claims read this).
+    rejected_by_tenant: dict[str, dict[str, int]] = field(
+        default_factory=dict
+    )
+    #: Backend attempts per offered request over this burst: 1.0 for a
+    #: plain client; > 1.0 measures the retry/hedge overhead a
+    #: :class:`~repro.serve.resilience.ResilientClient` added.
+    amplification: float = 1.0
+    #: Resilience deltas over the burst (hedges, retries, budget
+    #: denials...) when the client exposes
+    #: :class:`~repro.serve.resilience.ResilienceStats`.
+    resilience: dict[str, float] | None = None
 
     @property
     def shed(self) -> int:
@@ -189,6 +210,16 @@ class LoadReport:
                 k: dict(v) for k, v in sorted(self.per_tenant.items())
             },
             "max_lag_s": self.max_lag_s,
+            "transport_errors": self.transport_errors,
+            "rejected_by_tenant": {
+                k: dict(sorted(v.items()))
+                for k, v in sorted(self.rejected_by_tenant.items())
+            },
+            "amplification": self.amplification,
+            **(
+                {} if self.resilience is None
+                else {"resilience": dict(self.resilience)}
+            ),
         }
 
 
@@ -197,15 +228,30 @@ async def run_load(
     config: LoadConfig,
     *,
     clock: Callable[[], float] = time.monotonic,
+    schedule: list[ScheduledRequest] | None = None,
 ) -> LoadReport:
-    """Replay ``config``'s schedule against ``client`` in open loop."""
-    schedule = build_schedule(config)
+    """Replay a schedule against ``client`` in open loop.
+
+    ``schedule`` defaults to ``build_schedule(config)``; pass one
+    explicitly to offer byte-identical traffic to several clients or
+    server configurations (the A/B shape every bench claim relies on).
+    """
+    if schedule is None:
+        schedule = build_schedule(config)
     latencies = Histogram("loadgen.latency")
     rejected: dict[str, int] = {}
     per_tenant: dict[str, dict[str, int]] = {}
+    rejected_by_tenant: dict[str, dict[str, int]] = {}
     completed = 0
     errors = 0
+    transport_errors = 0
     max_lag = 0.0
+    # Amplification is measured as a delta over the burst so one client
+    # can serve several bursts without cross-contamination.
+    res_stats = getattr(client, "stats", None)
+    if not isinstance(res_stats, ResilienceStats):
+        res_stats = None
+    res_before = res_stats.to_dict() if res_stats is not None else None
 
     def tenant_bin(tenant: str) -> dict[str, int]:
         return per_tenant.setdefault(
@@ -213,7 +259,7 @@ async def run_load(
         )
 
     async def issue(request: ScheduledRequest) -> None:
-        nonlocal completed, errors
+        nonlocal completed, errors, transport_errors
         started = clock()
         try:
             if request.op == "probe":
@@ -231,6 +277,12 @@ async def run_load(
         except RequestRejected as exc:
             rejected[exc.code] = rejected.get(exc.code, 0) + 1
             tenant_bin(request.tenant)["rejected"] += 1
+            by_code = rejected_by_tenant.setdefault(request.tenant, {})
+            by_code[exc.code] = by_code.get(exc.code, 0) + 1
+            return
+        except TransportError:
+            transport_errors += 1
+            errors += 1
             return
         except (FrontendError, ConnectionError, OSError):
             errors += 1
@@ -254,6 +306,19 @@ async def run_load(
     if tasks:
         await asyncio.gather(*tasks)
     wall = clock() - start
+    amplification = 1.0
+    resilience: dict[str, float] | None = None
+    if res_stats is not None and res_before is not None:
+        after = res_stats.to_dict()
+        resilience = {
+            key: after[key] - res_before[key]
+            for key in (
+                "requests", "attempts", "hedges", "hedge_wins",
+                "retries", "budget_denied", "failovers",
+            )
+        }
+        if schedule:
+            amplification = resilience["attempts"] / len(schedule)
     return LoadReport(
         offered=len(schedule),
         offered_qps=len(schedule) / config.duration_s,
@@ -264,6 +329,10 @@ async def run_load(
         latency=latencies.summary(),
         per_tenant=per_tenant,
         max_lag_s=max_lag,
+        transport_errors=transport_errors,
+        rejected_by_tenant=rejected_by_tenant,
+        amplification=amplification,
+        resilience=resilience,
     )
 
 

@@ -13,7 +13,13 @@ per-phase I/O, cache, and latency metrics into
 :class:`~repro.sim.metrics.DayMetrics` and ``BENCH_serving.json``.
 """
 
-from .registry import Counter, CounterWindow, Histogram, MetricsRegistry
+from .registry import (
+    Counter,
+    CounterWindow,
+    Histogram,
+    MetricsRegistry,
+    SlidingWindow,
+)
 from .tracing import Span, Tracer
 
 __all__ = [
@@ -21,6 +27,7 @@ __all__ = [
     "CounterWindow",
     "Histogram",
     "MetricsRegistry",
+    "SlidingWindow",
     "Span",
     "Tracer",
 ]

@@ -14,6 +14,7 @@ numbers land unchanged in ``BENCH_*.json`` files.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
 
 
@@ -88,6 +89,47 @@ class Histogram:
             "p99": self.quantile(0.99),
             "max": self.max,
         }
+
+
+class SlidingWindow:
+    """A bounded window of recent observations with exact quantiles.
+
+    Where :class:`Histogram` keeps everything it ever saw (right for a
+    benchmark artifact), a sliding window forgets: only the latest
+    ``capacity`` observations matter.  That is the shape online
+    controllers need — the hedging client tracks recent p95 latency to
+    pick its hedge delay, and the AIMD dispatcher watches recent p95 to
+    decide whether to grow or back off — where decade-old samples would
+    anchor the controller to a regime that no longer exists.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._values: deque[float] = deque(maxlen=capacity)
+
+    def observe(self, value: float) -> None:
+        """Record one observation, evicting the oldest past capacity."""
+        self._values.append(value)
+
+    def clear(self) -> None:
+        """Forget every observation (a fresh control interval)."""
+        self._values.clear()
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def quantile(self, q: float) -> float:
+        """Return the ``q``-quantile (nearest-rank) of the window."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[rank]
 
 
 class CounterWindow:

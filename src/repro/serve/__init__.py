@@ -9,9 +9,19 @@ in front of :class:`~repro.cluster.coordinator.ClusterCoordinator`:
   (per-tenant token buckets, bounded queue with shed-vs-queue overload
   policy, concurrency-limited batched dispatch, deadline propagation
   with cancellation, graceful drain);
+* :mod:`repro.serve.queueing` — request-queue disciplines: the global
+  FIFO and per-tenant deficit-weighted round-robin (DRR) with fair
+  shedding;
+* :mod:`repro.serve.adaptive` — AIMD adaptive concurrency for the
+  dispatcher pool;
 * :mod:`repro.serve.server` — the asyncio TCP frontend;
-* :mod:`repro.serve.client` — multiplexing TCP client and an
-  in-process client with the same surface;
+* :mod:`repro.serve.client` — multiplexing TCP client (typed transport
+  errors, lazy reconnect) and an in-process client with the same
+  surface;
+* :mod:`repro.serve.resilience` — client-side hedged requests, retry
+  budgets, and the retryable-vs-fatal error taxonomy;
+* :mod:`repro.serve.fleet` — multi-frontend fleets and zero-loss
+  rolling-restart orchestration;
 * :mod:`repro.serve.demo` — a seeded ready-to-serve cluster for the
   CLI, the load generator, and the saturation bench.
 
@@ -19,10 +29,11 @@ A thread-pool executor bridges the asyncio world to the synchronous
 coordinator; the simulated substrate stays single-threaded behind a
 lock, while the event loop overlaps queueing, admission, deadline
 handling, and I/O with the backend's compute.  Wall-clock latency and
-throughput are measured by :mod:`repro.loadgen` and
-``repro bench-frontend``.
+throughput are measured by :mod:`repro.loadgen`,
+``repro bench-frontend``, and ``repro bench-resilience``.
 """
 
+from .adaptive import AdaptiveConfig, AimdController
 from .admission import (
     AdmissionConfig,
     AdmissionController,
@@ -31,16 +42,39 @@ from .admission import (
 )
 from .client import FrontendClient, InProcessClient
 from .demo import DemoClusterConfig, build_demo_cluster
+from .fleet import FrontendFleet, RestartReport, RollingRestartOrchestrator
+from .queueing import DrrRequestQueue, FifoRequestQueue
+from .resilience import (
+    ResilienceStats,
+    ResilientClient,
+    ResilientClientConfig,
+    RetryBudget,
+    RetryBudgetConfig,
+    is_retryable,
+)
 from .server import FrontendServer
 
 __all__ = [
+    "AdaptiveConfig",
     "AdmissionConfig",
     "AdmissionController",
+    "AimdController",
     "CoordinatorBackend",
     "DemoClusterConfig",
+    "DrrRequestQueue",
+    "FifoRequestQueue",
     "FrontendClient",
+    "FrontendFleet",
     "FrontendServer",
     "InProcessClient",
+    "ResilienceStats",
+    "ResilientClient",
+    "ResilientClientConfig",
+    "RestartReport",
+    "RetryBudget",
+    "RetryBudgetConfig",
+    "RollingRestartOrchestrator",
     "TokenBucket",
     "build_demo_cluster",
+    "is_retryable",
 ]

@@ -45,10 +45,12 @@ import asyncio
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Mapping
 
-from ..errors import FrontendError, RequestRejected
+from ..errors import BackendError, FrontendError, RequestRejected
 from ..obs import MetricsRegistry
+from .adaptive import AdaptiveConfig, AimdController
+from .queueing import QUEUE_DISCIPLINES, build_request_queue
 
 #: Overload policies :class:`AdmissionConfig` accepts.
 OVERLOAD_POLICIES = ("shed", "queue")
@@ -83,12 +85,41 @@ class AdmissionConfig:
     #: in-flight work before abandoning it.
     drain_timeout_s: float = 10.0
     executor_workers: int = 4
+    #: Request-queue discipline: ``fifo`` (the PR 8 global queue,
+    #: default) or ``drr`` (per-tenant deficit-weighted round-robin —
+    #: see :mod:`repro.serve.queueing`).
+    queue_discipline: str = "fifo"
+    #: DRR credit added per tenant turn (``drr`` only).
+    drr_quantum: float = 1.0
+    #: Per-tenant DRR service weights; missing tenants get 1.0.
+    tenant_weights: Mapping[str, float] | None = None
+    #: AIMD adaptive-concurrency controller; ``None`` (default) keeps
+    #: the PR 8 fixed dispatcher pool.
+    adaptive: AdaptiveConfig | None = None
 
     def __post_init__(self) -> None:
         if self.overload_policy not in OVERLOAD_POLICIES:
             raise FrontendError(
                 f"unknown overload policy {self.overload_policy!r}; "
                 f"known: {', '.join(OVERLOAD_POLICIES)}"
+            )
+        if self.queue_discipline not in QUEUE_DISCIPLINES:
+            raise FrontendError(
+                f"unknown queue discipline {self.queue_discipline!r}; "
+                f"known: {', '.join(QUEUE_DISCIPLINES)}"
+            )
+        if self.drr_quantum <= 0:
+            raise FrontendError(
+                f"drr_quantum must be > 0, got {self.drr_quantum}"
+            )
+        if (
+            self.adaptive is not None
+            and self.adaptive.max_concurrency > self.max_concurrency
+        ):
+            raise FrontendError(
+                "adaptive.max_concurrency must be <= max_concurrency "
+                f"(the dispatcher pool size), got "
+                f"{self.adaptive.max_concurrency} > {self.max_concurrency}"
             )
         if self.max_queue_depth < 1:
             raise FrontendError(
@@ -224,9 +255,20 @@ class AdmissionController:
         self.config = config or AdmissionConfig()
         self.obs = metrics or MetricsRegistry()
         self.clock = clock
-        self._queue: asyncio.Queue[_Pending] = asyncio.Queue(
-            maxsize=self.config.max_queue_depth
+        self._queue = build_request_queue(
+            self.config.queue_discipline,
+            self.config.max_queue_depth,
+            quantum=self.config.drr_quantum,
+            weights=self.config.tenant_weights,
+            on_evict=self._evict,
         )
+        self._adaptive: AimdController | None = None
+        self._limit_cond: asyncio.Condition | None = None
+        if self.config.adaptive is not None:
+            self._adaptive = AimdController(
+                self.config.adaptive, metrics=self.obs
+            )
+            self._limit_cond = asyncio.Condition()
         self._buckets: dict[str, TokenBucket] = {}
         self._dispatchers: list[asyncio.Task] = []
         self._executor = ThreadPoolExecutor(
@@ -251,7 +293,7 @@ class AdmissionController:
         for i in range(self.config.max_concurrency):
             self._dispatchers.append(
                 asyncio.get_running_loop().create_task(
-                    self._dispatch_loop(), name=f"repro-dispatch-{i}"
+                    self._dispatch_loop(i), name=f"repro-dispatch-{i}"
                 )
             )
 
@@ -269,6 +311,20 @@ class AdmissionController:
     def in_flight(self) -> int:
         """Return how many requests are currently dispatched."""
         return self._in_flight
+
+    @property
+    def concurrency_limit(self) -> int:
+        """Return the current dispatcher limit (fixed unless adaptive)."""
+        if self._adaptive is None:
+            return self.config.max_concurrency
+        return self._adaptive.limit
+
+    @property
+    def adaptive_snapshot(self) -> dict[str, float] | None:
+        """Return AIMD controller state, or ``None`` when disabled."""
+        if self._adaptive is None:
+            return None
+        return self._adaptive.snapshot()
 
     async def drain(self, timeout_s: float | None = None) -> bool:
         """Stop admitting, let queued and in-flight work finish.
@@ -396,12 +452,24 @@ class AdmissionController:
                 self._rejected(pending.tenant, code, message)
             )
 
+    def _evict(self, pending: _Pending) -> None:
+        # Fair shedding (DRR only): the queue made room for a light
+        # tenant by evicting the newest request of the heaviest backlog.
+        self.obs.counter("serve.shed").inc()
+        self.obs.counter("serve.shed.evicted").inc()
+        self._reject(
+            pending, CODE_SHED,
+            "evicted by fair shedding (largest tenant backlog)",
+        )
+
     # ------------------------------------------------------------------
     # Dispatch (stages 4-6)
     # ------------------------------------------------------------------
 
-    async def _dispatch_loop(self) -> None:
+    async def _dispatch_loop(self, index: int) -> None:
         while True:
+            if self._adaptive is not None:
+                await self._await_slot(index)
             pending = await self._queue.get()
             batch = [pending]
             # Coalesce immediately-available same-op requests so the
@@ -411,8 +479,8 @@ class AdmissionController:
                 len(batch) < self.config.batch_max
                 and not self._queue.empty()
             ):
-                nxt = self._queue._queue[0]  # type: ignore[attr-defined]
-                if nxt.op != pending.op:
+                nxt = self._queue.peek()
+                if nxt is None or nxt.op != pending.op:
                     break
                 batch.append(self._queue.get_nowait())
             self._in_flight += len(batch)
@@ -425,6 +493,30 @@ class AdmissionController:
                     self._queue.task_done()
                 if self._in_flight == 0:
                     self._idle.set()
+            if self._adaptive is not None:
+                await self._adapt()
+
+    async def _await_slot(self, index: int) -> None:
+        # Adaptive mode: dispatchers whose index exceeds the AIMD limit
+        # park here until additive increase re-opens their slot.  Index
+        # 0 never parks (min_concurrency >= 1), so dispatch and drain
+        # always make progress.
+        assert self._adaptive is not None and self._limit_cond is not None
+        while index >= self._adaptive.limit:
+            async with self._limit_cond:
+                if index >= self._adaptive.limit:
+                    await self._limit_cond.wait()
+
+    async def _adapt(self) -> None:
+        # One evaluation per interval (the controller rate-limits
+        # itself on the injected clock); on any limit change, wake the
+        # parked dispatchers so the new limit takes effect immediately.
+        assert self._adaptive is not None and self._limit_cond is not None
+        before = self._adaptive.limit
+        after = self._adaptive.maybe_evaluate(self.clock())
+        if after > before:
+            async with self._limit_cond:
+                self._limit_cond.notify_all()
 
     async def _dispatch_batch(self, batch: list[_Pending]) -> None:
         now = self.clock()
@@ -474,7 +566,13 @@ class AdmissionController:
             # The worker thread finishes on its own; the answer is
             # discarded — every waiter's deadline has passed.
             self.obs.counter("serve.deadline.inflight").inc(len(alive))
+            expired_at = self.clock()
             for pending in alive:
+                if self._adaptive is not None:
+                    # Timeouts are the strongest congestion signal the
+                    # controller gets; starving it of them would stall
+                    # backoff exactly when every request is expiring.
+                    self._adaptive.record(expired_at - pending.enqueued_at)
                 self._reject(
                     pending, CODE_DEADLINE,
                     "deadline expired in flight",
@@ -485,11 +583,14 @@ class AdmissionController:
             for pending in alive:
                 if not pending.future.done():
                     pending.future.set_exception(
-                        FrontendError(f"backend error: {exc!r}")
+                        BackendError(f"backend error: {exc!r}")
                     )
             return
         done = self.clock()
         for pending, result in zip(alive, results):
+            latency = done - pending.enqueued_at
+            if self._adaptive is not None:
+                self._adaptive.record(latency)
             if pending.expired(done):
                 self.obs.counter("serve.deadline.inflight").inc()
                 self._reject(
@@ -498,9 +599,7 @@ class AdmissionController:
                 )
                 continue
             self.obs.counter("serve.completed").inc()
-            self.obs.histogram("serve.latency.wall").observe(
-                done - pending.enqueued_at
-            )
+            self.obs.histogram("serve.latency.wall").observe(latency)
             if not pending.future.done():
                 pending.future.set_result(result)
 

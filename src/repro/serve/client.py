@@ -16,6 +16,12 @@ stays exercised end to end.
 
 Both raise :class:`~repro.errors.RequestRejected` with the server's
 rejection code, so callers handle shed/rate-limit/deadline uniformly.
+Transport failures — connection reset, EOF mid-frame, EOF with
+responses still owed — surface as the *retryable*
+:class:`~repro.errors.TransportError`, and the TCP client reconnects
+lazily on the next call, so a frontend restart costs exactly the
+requests that were in flight when it died (which the resilient client
+then retries elsewhere).
 """
 
 from __future__ import annotations
@@ -25,13 +31,18 @@ import itertools
 from typing import Any
 
 from ..core.queries import ProbeResult, ScanResult
-from ..errors import FrontendError, RequestRejected
+from ..errors import (
+    BackendError,
+    FrontendError,
+    RequestRejected,
+    TransportError,
+)
 from . import protocol
 from .admission import AdmissionController
 
 
 class FrontendClient:
-    """Async TCP client with response multiplexing."""
+    """Async TCP client with response multiplexing and lazy reconnect."""
 
     def __init__(self) -> None:
         self._reader: asyncio.StreamReader | None = None
@@ -40,17 +51,55 @@ class FrontendClient:
         self._ids = itertools.count(1)
         self._reader_task: asyncio.Task | None = None
         self._write_lock = asyncio.Lock()
+        self._host: str | None = None
+        self._port: int | None = None
+        self._closed = False
+        #: Successful reconnects after a torn connection (observability).
+        self.reconnects = 0
 
     async def connect(self, host: str, port: int) -> "FrontendClient":
         """Open the connection and start the response reader."""
-        self._reader, self._writer = await asyncio.open_connection(host, port)
-        self._reader_task = asyncio.get_running_loop().create_task(
-            self._read_responses(), name="repro-client-reader"
-        )
+        self._host = host
+        self._port = port
+        self._closed = False
+        await self._open()
         return self
+
+    async def _open(self) -> None:
+        assert self._host is not None and self._port is not None
+        try:
+            self._reader, self._writer = await asyncio.open_connection(
+                self._host, self._port
+            )
+        except (ConnectionError, OSError) as exc:
+            raise TransportError(
+                f"connect to {self._host}:{self._port} failed: {exc}"
+            ) from exc
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_responses(self._reader), name="repro-client-reader"
+        )
+
+    async def _ensure_connected(self) -> None:
+        if self._writer is not None:
+            return
+        if self._closed or self._host is None:
+            raise FrontendError("client is not connected")
+        # Lazy reconnect: the previous connection tore (its in-flight
+        # requests already failed with TransportError); this call gets
+        # a fresh one against the same address.
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
+        await self._open()
+        self.reconnects += 1
 
     async def close(self) -> None:
         """Close the connection; outstanding requests fail."""
+        self._closed = True
         if self._reader_task is not None:
             self._reader_task.cancel()
             try:
@@ -65,6 +114,7 @@ class FrontendClient:
             except (ConnectionError, OSError):
                 pass
             self._writer = None
+        self._reader = None
         self._fail_pending(FrontendError("connection closed"))
 
     async def __aenter__(self) -> "FrontendClient":
@@ -136,37 +186,65 @@ class FrontendClient:
     # ------------------------------------------------------------------
 
     async def _request(self, message: dict[str, Any]) -> Any:
-        if self._writer is None:
-            raise FrontendError("client is not connected")
+        await self._ensure_connected()
         request_id = next(self._ids)
         message["id"] = request_id
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
         try:
             async with self._write_lock:
-                protocol.write_frame(self._writer, message)
-                await self._writer.drain()
+                if self._writer is None:
+                    raise TransportError("connection lost before send")
+                try:
+                    protocol.write_frame(self._writer, message)
+                    await self._writer.drain()
+                except (ConnectionError, OSError) as exc:
+                    self._drop_connection(
+                        TransportError(f"send failed: {exc}")
+                    )
+            # Settled with the result, the server's rejection, or the
+            # TransportError a torn connection failed it with.
             return await future
         finally:
             self._pending.pop(request_id, None)
 
-    async def _read_responses(self) -> None:
-        assert self._reader is not None
+    async def _read_responses(self, reader: asyncio.StreamReader) -> None:
         try:
             while True:
-                response = await protocol.read_frame(self._reader)
+                response = await protocol.read_frame(reader)
                 if response is None:
-                    self._fail_pending(
-                        FrontendError("server closed the connection")
+                    # Clean EOF.  With responses still owed this is a
+                    # torn stream (the server died mid-conversation);
+                    # either way the connection is gone.
+                    self._disconnected(
+                        reader,
+                        TransportError("server closed the connection"),
                     )
                     return
                 self._settle(response)
         except FrontendError as exc:
-            self._fail_pending(exc)
+            # protocol.read_frame: EOF mid-prefix or mid-frame.
+            self._disconnected(reader, TransportError(f"torn stream: {exc}"))
         except asyncio.CancelledError:
             raise
         except (ConnectionError, OSError) as exc:
-            self._fail_pending(FrontendError(f"connection lost: {exc}"))
+            self._disconnected(
+                reader, TransportError(f"connection lost: {exc}")
+            )
+
+    def _disconnected(self, reader: asyncio.StreamReader, exc: Exception) -> None:
+        # Guard by identity: a reader task from a torn connection must
+        # not take down the replacement it was already superseded by.
+        if self._reader is not reader:
+            return
+        self._drop_connection(exc)
+
+    def _drop_connection(self, exc: Exception) -> None:
+        self._reader = None
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+        self._fail_pending(exc)
 
     def _settle(self, response: dict[str, Any]) -> None:
         future = self._pending.get(response.get("id"))
@@ -178,7 +256,9 @@ class FrontendClient:
         error = response.get("error") or {}
         code = error.get("code", "internal")
         message = error.get("message", "")
-        if code in ("bad-request", "internal"):
+        if code == "backend-error":
+            future.set_exception(BackendError(message or code))
+        elif code in ("bad-request", "internal"):
             future.set_exception(FrontendError(f"{code}: {message}"))
         else:
             future.set_exception(RequestRejected(code, message))

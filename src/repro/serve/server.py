@@ -20,7 +20,7 @@ from __future__ import annotations
 import asyncio
 from typing import Any
 
-from ..errors import FrontendError, RequestRejected
+from ..errors import BackendError, FrontendError, RequestRejected
 from ..obs import MetricsRegistry
 from . import protocol
 from .admission import AdmissionConfig, AdmissionController, CoordinatorBackend
@@ -35,6 +35,12 @@ class FrontendServer:
         config: Admission-pipeline tuning.
         metrics: Registry shared with the admission controller; scraped
             by the ``stats`` op.
+        backend: Pre-built backend to dispatch into instead of wrapping
+            ``coordinator``.  A multi-frontend fleet passes one shared
+            :class:`CoordinatorBackend` so every frontend serializes
+            through the same lock — the single-threaded simulated
+            substrate must never see two frontends' executor threads at
+            once.
     """
 
     def __init__(
@@ -43,11 +49,14 @@ class FrontendServer:
         config: AdmissionConfig | None = None,
         *,
         metrics: MetricsRegistry | None = None,
+        backend: Any | None = None,
     ) -> None:
         self.config = config or AdmissionConfig()
         self.obs = metrics or MetricsRegistry()
         self.controller = AdmissionController(
-            CoordinatorBackend(coordinator), self.config, metrics=self.obs
+            backend if backend is not None else CoordinatorBackend(coordinator),
+            self.config,
+            metrics=self.obs,
         )
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.Task] = set()
@@ -97,12 +106,38 @@ class FrontendServer:
         self._server = None
         return clean
 
+    async def abort(self) -> None:
+        """Ungraceful shutdown: kill the listener and every connection.
+
+        The chaos harness uses this to model a frontend crash: clients
+        with requests in flight see torn streams, not ``draining``
+        rejections, and nothing queued gets a goodbye.  The drain path
+        is *not* taken on purpose.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        for task in list(self._connections):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._connections.clear()
+        await self.controller.drain(0.0)
+
     def stats(self) -> dict[str, Any]:
         """Return the metrics snapshot the ``stats`` op serves."""
         snapshot = self.obs.snapshot()
         snapshot["queue_depth"] = self.controller.queue_depth
         snapshot["in_flight"] = self.controller.in_flight
         snapshot["draining"] = self.controller.draining
+        snapshot["concurrency_limit"] = self.controller.concurrency_limit
+        adaptive = self.controller.adaptive_snapshot
+        if adaptive is not None:
+            snapshot["adaptive"] = adaptive
         return snapshot
 
     # ------------------------------------------------------------------
@@ -131,6 +166,11 @@ class FrontendServer:
                 )
                 requests.add(request)
                 request.add_done_callback(requests.discard)
+        except asyncio.CancelledError:
+            # Server shutdown (drain/abort) cancelled this connection;
+            # finish through the cleanup below instead of letting the
+            # streams layer log the cancellation as an error.
+            pass
         finally:
             for request in list(requests):
                 request.cancel()
@@ -152,6 +192,12 @@ class FrontendServer:
             response = await self._dispatch(message)
         except RequestRejected as exc:
             response = protocol.error_response(request_id, exc.code, str(exc))
+        except BackendError as exc:
+            # Admitted but failed in the cluster: clients may retry it
+            # on another frontend, unlike a bad request.
+            response = protocol.error_response(
+                request_id, "backend-error", str(exc)
+            )
         except FrontendError as exc:
             response = protocol.error_response(
                 request_id, "bad-request", str(exc)

@@ -404,3 +404,97 @@ class TestDrain:
             assert await controller.drain() is True
 
         run(scenario())
+
+
+class TestAdmissionEdgeRaces:
+    """The timing races at the pipeline's stage boundaries."""
+
+    def test_deadline_already_expired_at_submit(self, clock):
+        # A zero-budget request is admitted (the bucket and queue know
+        # nothing of deadlines) but must die at dispatch without
+        # costing the backend anything.
+        async def scenario():
+            backend = EchoBackend()
+            controller = AdmissionController(
+                backend, AdmissionConfig(max_concurrency=1), clock=clock
+            )
+            controller.start()
+            try:
+                with pytest.raises(RequestRejected) as exc:
+                    await controller.submit(
+                        "probe", (1, 1, 2), deadline_s=0.0
+                    )
+                assert exc.value.code == CODE_DEADLINE
+                assert backend.probe_calls == []
+                counters = controller.obs.snapshot()["counters"]
+                assert counters["serve.deadline.queued"] == 1
+            finally:
+                await controller.drain()
+
+        run(scenario())
+
+    def test_drain_racing_a_dispatcher_mid_batch(self, clock):
+        # Drain begins while a batch is held inside the backend and
+        # more work sits queued behind it: nothing admitted may be
+        # abandoned — the dispatcher finishes the in-flight batch,
+        # then drains the queue, and only then does drain() return.
+        async def scenario():
+            backend = GateBackend()
+            controller = AdmissionController(
+                backend,
+                AdmissionConfig(max_concurrency=1, batch_max=2),
+                clock=clock,
+            )
+            controller.start()
+            loop = asyncio.get_running_loop()
+            in_flight = loop.create_task(
+                controller.submit("probe", ("flying", 1, 2))
+            )
+            await spin()
+            assert backend.entered.wait(5)
+            queued = [
+                loop.create_task(controller.submit("probe", (i, 1, 2)))
+                for i in range(2)
+            ]
+            await spin()
+            assert controller.queue_depth == 2
+            drain = loop.create_task(controller.drain(timeout_s=5.0))
+            await spin()
+            assert controller.draining
+            backend.release.set()
+            assert await in_flight == ("probe", ("flying", 1, 2))
+            results = await asyncio.gather(*queued)
+            assert results == [("probe", (i, 1, 2)) for i in range(2)]
+            assert await drain is True
+            counters = controller.obs.snapshot()["counters"]
+            assert f"serve.rejected.{CODE_DRAINING}" not in counters
+
+        run(scenario())
+
+    def test_token_refill_exactly_at_boundary_tick(self, clock):
+        # 2 tokens/s from empty: the token exists at exactly +0.5 s
+        # (powers of two, so the arithmetic is exact in binary), and
+        # the tick before it still rejects.
+        async def scenario():
+            controller = AdmissionController(
+                EchoBackend(),
+                AdmissionConfig(
+                    tenant_rate=2.0, tenant_burst=1.0, max_concurrency=1
+                ),
+                clock=clock,
+            )
+            controller.start()
+            try:
+                await controller.submit("probe", (1, 1, 2))
+                clock.advance(0.25)
+                with pytest.raises(RequestRejected) as exc:
+                    await controller.submit("probe", (2, 1, 2))
+                assert exc.value.code == CODE_RATE_LIMIT
+                clock.advance(0.25)  # exactly the refill boundary
+                await controller.submit("probe", (3, 1, 2))
+                with pytest.raises(RequestRejected):
+                    await controller.submit("probe", (4, 1, 2))
+            finally:
+                await controller.drain()
+
+        run(scenario())

@@ -1,0 +1,198 @@
+"""Fleet tests: multi-frontend boot, restart-in-place, rolling restarts.
+
+Real TCP against one small shared demo cluster (same module-level cache
+idiom as ``test_server``): the properties under test — port rebinding,
+lazy client reconnect, zero-loss rolls — live in the socket path.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import FrontendError, TransportError
+from repro.serve.admission import AdmissionConfig
+from repro.serve.demo import DemoClusterConfig, build_demo_cluster
+from repro.serve.fleet import FrontendFleet, RollingRestartOrchestrator
+from repro.serve.resilience import (
+    ResilientClientConfig,
+    RetryBudgetConfig,
+)
+
+SMALL = DemoClusterConfig(
+    window=3, n_indexes=2, n_shards=2, domain=40,
+    records_per_day=12, extra_days=1, seed=11,
+)
+
+_sim = None
+
+
+def sim():
+    global _sim
+    if _sim is None:
+        _sim = build_demo_cluster(SMALL)
+    return _sim
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_fleet(n=2, **config_overrides):
+    return FrontendFleet(
+        sim().coordinator,
+        AdmissionConfig(**config_overrides),
+        n_frontends=n,
+    )
+
+
+class TestFleetLifecycle:
+    def test_fleet_size_validation(self):
+        with pytest.raises(FrontendError):
+            FrontendFleet(sim().coordinator, n_frontends=0)
+
+    def test_boot_serves_on_distinct_ports(self):
+        async def scenario():
+            fleet = make_fleet(3)
+            await fleet.start()
+            try:
+                assert len(fleet) == 3
+                assert len(set(fleet.ports)) == 3
+                for idx in range(3):
+                    client = await fleet.client(idx)
+                    try:
+                        assert await client.ping() is True
+                    finally:
+                        await client.close()
+            finally:
+                await fleet.close()
+
+        run(scenario())
+
+    def test_restart_keeps_the_port(self):
+        async def scenario():
+            fleet = make_fleet(2)
+            await fleet.start()
+            try:
+                before = list(fleet.ports)
+                assert await fleet.restart(0) is True  # clean drain
+                assert fleet.ports == before
+                assert fleet.restarts == 1
+                client = await fleet.client(0)
+                try:
+                    assert await client.ping() is True
+                finally:
+                    await client.close()
+            finally:
+                await fleet.close()
+
+        run(scenario())
+
+    def test_client_reconnects_lazily_after_restart(self):
+        async def scenario():
+            fleet = make_fleet(2)
+            await fleet.start()
+            client = await fleet.client(0)
+            try:
+                t1, t2 = SMALL.oldest_day, SMALL.last_day
+                first = await client.probe(3, t1, t2)
+                await fleet.restart(0)
+                await asyncio.sleep(0.05)  # let the EOF reach the reader
+                # Same client object, same saved address: the next call
+                # opens a fresh connection instead of failing forever.
+                second = await client.probe(3, t1, t2)
+                assert second.entries == first.entries
+                assert client.reconnects == 1
+            finally:
+                await client.close()
+                await fleet.close()
+
+        run(scenario())
+
+    def test_kill_darkens_the_port_until_revive(self):
+        async def scenario():
+            fleet = make_fleet(2)
+            await fleet.start()
+            try:
+                client = await fleet.client(1)
+                try:
+                    await fleet.kill(1)
+                    await asyncio.sleep(0.05)
+                    t1, t2 = SMALL.oldest_day, SMALL.last_day
+                    with pytest.raises(TransportError):
+                        await client.probe(1, t1, t2)
+                        await client.probe(1, t1, t2)  # reconnect refused
+                finally:
+                    await client.close()
+                await fleet.revive(1)
+                revived = await fleet.client(1)
+                try:
+                    assert await revived.ping() is True
+                finally:
+                    await revived.close()
+            finally:
+                await fleet.close()
+
+        run(scenario())
+
+    def test_stats_aggregate_and_mark_down_frontends(self):
+        async def scenario():
+            fleet = make_fleet(2)
+            await fleet.start()
+            try:
+                client = await fleet.client(0)
+                try:
+                    t1, t2 = SMALL.oldest_day, SMALL.last_day
+                    await client.probe(2, t1, t2)
+                finally:
+                    await client.close()
+                await fleet.kill(1)
+                stats = fleet.stats()
+                assert stats["frontends"][0]["up"] is True
+                assert stats["frontends"][1]["up"] is False
+                assert stats["totals"]["serve.completed"] == 1
+            finally:
+                await fleet.close()
+
+        run(scenario())
+
+
+class TestRollingRestart:
+    def test_roll_loses_nothing_with_a_resilient_client(self):
+        async def scenario():
+            fleet = make_fleet(2)
+            await fleet.start()
+            client = await fleet.resilient_client(
+                ResilientClientConfig(
+                    max_attempts=5, hedge=True, hedge_initial_s=0.02,
+                    budget=RetryBudgetConfig(
+                        ratio=0.5, reserve=20.0, cap=100.0
+                    ),
+                )
+            )
+            try:
+                t1, t2 = SMALL.oldest_day, SMALL.last_day
+                direct = sim().coordinator.probe(5, t1, t2)
+                orchestrator = RollingRestartOrchestrator(
+                    fleet, drain_timeout_s=2.0, settle_s=0.02
+                )
+                roll = asyncio.get_running_loop().create_task(
+                    orchestrator.rolling_restart()
+                )
+                completed = 0
+                while not roll.done():
+                    result = await client.probe(5, t1, t2)
+                    assert result.entries == direct.entries
+                    completed += 1
+                    await asyncio.sleep(0.005)
+                report = await roll
+                # Every frontend rolled, and not one request was lost
+                # while a third to a half of the fleet was down.
+                assert report.restarted == [0, 1]
+                assert fleet.restarts == 2
+                assert completed > 0
+                assert report.to_dict()["restarted"] == [0, 1]
+            finally:
+                await client.close()
+                await fleet.close()
+
+        run(scenario())

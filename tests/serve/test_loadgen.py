@@ -6,7 +6,12 @@ import random
 
 import pytest
 
-from repro.errors import RequestRejected, WorkloadError
+from repro.errors import (
+    BackendError,
+    RequestRejected,
+    TransportError,
+    WorkloadError,
+)
 from repro.loadgen import (
     LoadConfig,
     LoadReport,
@@ -229,3 +234,139 @@ class TestRunLoad:
         assert report.admitted_qps == 40.0
         assert report.shed_ratio == pytest.approx(0.2)
         assert report.reject_ratio == pytest.approx(0.2)
+
+
+class TornClient(CountingClient):
+    """Client fake whose transport tears on every other probe."""
+
+    async def probe(self, value, t1, t2, *, tenant, deadline_ms):
+        if self.probes % 2 == 1:
+            self.probes += 1
+            raise TransportError("torn stream")
+        return await super().probe(
+            value, t1, t2, tenant=tenant, deadline_ms=deadline_ms
+        )
+
+
+class FlakyReplica:
+    """Resilient-client leg: fails its first ``fail_times`` calls."""
+
+    def __init__(self, fail_times=0):
+        self.calls = 0
+        self.fail_times = fail_times
+
+    async def _respond(self, result):
+        self.calls += 1
+        if self.calls <= self.fail_times:
+            raise BackendError("warming up")
+        return result
+
+    async def probe(self, value, t1, t2, *, tenant="default",
+                    deadline_ms=None):
+        return await self._respond(("probe", value))
+
+    async def scan(self, t1, t2, *, tenant="default", deadline_ms=None):
+        return await self._respond(("scan", t1, t2))
+
+    async def close(self):
+        return None
+
+
+class TestResilienceAccounting:
+    def config(self, **overrides):
+        defaults = dict(
+            duration_s=0.2, offered_qps=300.0, seed=5,
+            population=TenantPopulation(n_users=1000, n_tenants=3),
+        )
+        defaults.update(overrides)
+        return LoadConfig(**defaults)
+
+    def test_explicit_schedule_overrides_the_config(self):
+        # The A/B shape: two runs offered byte-identical traffic even
+        # though only one schedule was built.
+        config = self.config()
+        schedule = build_schedule(config)[:10]
+        client = CountingClient()
+        report = asyncio.run(run_load(client, config, schedule=schedule))
+        assert report.offered == 10
+        assert client.probes + client.scans == 10
+
+    def test_transport_errors_split_out_of_errors(self):
+        report = asyncio.run(
+            run_load(TornClient(), self.config(probe_fraction=1.0))
+        )
+        assert report.transport_errors > 0
+        assert report.transport_errors == report.errors
+        assert report.completed + report.errors == report.offered
+        assert report.to_dict()["transport_errors"] == report.transport_errors
+
+    def test_rejections_broken_down_per_tenant_per_code(self):
+        report = asyncio.run(
+            run_load(SheddingClient(), self.config(probe_fraction=1.0))
+        )
+        by_code: dict[str, int] = {}
+        for codes in report.rejected_by_tenant.values():
+            for code, count in codes.items():
+                by_code[code] = by_code.get(code, 0) + count
+        assert by_code == report.rejected
+        for tenant, codes in report.rejected_by_tenant.items():
+            assert sum(codes.values()) == (
+                report.per_tenant[tenant]["rejected"]
+            )
+
+    def test_plain_client_reports_unit_amplification(self):
+        report = asyncio.run(run_load(CountingClient(), self.config()))
+        assert report.amplification == 1.0
+        assert report.resilience is None
+        assert "resilience" not in report.to_dict()
+
+    def test_resilient_client_amplification_measured(self):
+        from repro.serve.resilience import (
+            ResilientClient,
+            ResilientClientConfig,
+            RetryBudgetConfig,
+        )
+
+        flaky = FlakyReplica(fail_times=10 ** 9)  # always down
+        healthy = FlakyReplica()
+        client = ResilientClient(
+            [flaky, healthy],
+            ResilientClientConfig(
+                hedge=False, max_attempts=3, backoff_base_s=0.0,
+                backoff_cap_s=0.0,
+                budget=RetryBudgetConfig(ratio=1.0, reserve=10.0),
+            ),
+        )
+        report = asyncio.run(run_load(client, self.config()))
+        # Every request landing on the dead replica costs a retry, so
+        # attempts/offered sits strictly above 1 — and the resilience
+        # section carries the breakdown.  (BackendError does not
+        # penalty-box the replica, so under concurrent round-robin a
+        # request may draw the dead leg on every attempt and error —
+        # that is the taxonomy working, not a loss.)
+        assert report.completed + report.errors == report.offered
+        assert report.completed > 0
+        assert report.amplification > 1.0
+        assert report.resilience is not None
+        assert report.resilience["retries"] > 0
+        assert report.resilience["requests"] == report.offered
+        assert report.to_dict()["resilience"]["retries"] == (
+            report.resilience["retries"]
+        )
+
+    def test_amplification_is_a_per_burst_delta(self):
+        from repro.serve.resilience import (
+            ResilientClient,
+            ResilientClientConfig,
+        )
+
+        client = ResilientClient(
+            [FlakyReplica()], ResilientClientConfig(hedge=False)
+        )
+        first = asyncio.run(run_load(client, self.config()))
+        second = asyncio.run(run_load(client, self.config(seed=6)))
+        # A healthy second burst reports 1.0 even though the client
+        # object has history: the stats are measured as deltas.
+        assert first.amplification == 1.0
+        assert second.amplification == 1.0
+        assert second.resilience["requests"] == second.offered

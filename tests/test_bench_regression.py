@@ -269,3 +269,88 @@ class TestFrontendKneeMetric:
         rows = compare(baseline, [{"bench": "frontend", "headline": {}}])
         knee = next(r for r in rows if r.metric == "frontend_knee_qps")
         assert knee.skipped and not knee.regressed
+
+
+def resilience_report(lost=0.0, hedge_ratio=0.4):
+    headline = {"rolling_restart_lost_requests": lost}
+    if hedge_ratio is not None:
+        headline["hedge_tail_ratio"] = hedge_ratio
+    return {"bench": "resilience", "headline": headline}
+
+
+class TestExactMetric:
+    """Zero-loss is an equality gate, not a percentage allowance."""
+
+    def test_extracted_from_resilience_report(self):
+        headlines = extract_headlines(resilience_report(0.0, 0.4))
+        assert headlines["rolling_restart_lost_requests"] == 0.0
+        assert headlines["hedge_tail_ratio"] == 0.4
+
+    def test_zero_baseline_zero_current_passes(self):
+        # The relative gate cannot express a 0.0 baseline; the exact
+        # gate treats it as the expected case.
+        baseline = build_baseline([resilience_report(0.0)])
+        rows = compare(baseline, [resilience_report(0.0)])
+        lost = next(
+            r for r in rows if r.metric == "rolling_restart_lost_requests"
+        )
+        assert not lost.regressed
+        assert lost.change == 0.0
+
+    def test_any_nonzero_delta_fails(self):
+        # One lost request is a correctness bug, not a 25%-allowance
+        # perf wiggle.
+        baseline = build_baseline([resilience_report(0.0)])
+        rows = compare(baseline, [resilience_report(1.0)])
+        lost = next(
+            r for r in rows if r.metric == "rolling_restart_lost_requests"
+        )
+        assert lost.regressed
+        assert lost.change is None
+
+    def test_missing_value_fails_when_bench_provided(self):
+        baseline = build_baseline([resilience_report(0.0)])
+        broken = {"bench": "resilience", "headline": {}}
+        rows = compare(baseline, [broken])
+        lost = next(
+            r for r in rows if r.metric == "rolling_restart_lost_requests"
+        )
+        assert lost.regressed
+
+    def test_absent_bench_still_skips(self):
+        baseline = build_baseline([resilience_report(0.0)])
+        rows = compare(baseline, [serving_report(4.0)])
+        lost = next(
+            r for r in rows if r.metric == "rolling_restart_lost_requests"
+        )
+        assert lost.skipped and not lost.regressed
+
+    def test_diff_table_reports_exact_pass(self):
+        baseline = build_baseline([resilience_report(0.0)])
+        rows = compare(baseline, [resilience_report(0.0)])
+        table = render_diff_table(rows, DEFAULT_THRESHOLD)
+        assert "rolling_restart_lost_requests" in table
+        assert "gate ok" in table
+
+
+class TestHedgeTailMetric:
+    def test_optional_absence_skips(self):
+        # The committed baseline adopts only the exact zero-loss gate;
+        # a machine-local baseline may also adopt the hedge ratio, and
+        # a report missing the section must then skip, not fail.
+        baseline = build_baseline([resilience_report(0.0, hedge_ratio=0.4)])
+        rows = compare(baseline, [resilience_report(0.0, hedge_ratio=None)])
+        hedge = next(r for r in rows if r.metric == "hedge_tail_ratio")
+        assert hedge.skipped and not hedge.regressed
+
+    def test_not_in_baseline_shows_as_new(self):
+        baseline = build_baseline([resilience_report(0.0, hedge_ratio=None)])
+        rows = compare(baseline, [resilience_report(0.0, hedge_ratio=0.4)])
+        hedge = next(r for r in rows if r.metric == "hedge_tail_ratio")
+        assert hedge.new and not hedge.regressed
+
+    def test_adopted_ratio_gates_relatively(self):
+        baseline = build_baseline([resilience_report(0.0, hedge_ratio=0.4)])
+        rows = compare(baseline, [resilience_report(0.0, hedge_ratio=0.8)])
+        hedge = next(r for r in rows if r.metric == "hedge_tail_ratio")
+        assert hedge.regressed  # doubled tail ratio, lower is better
